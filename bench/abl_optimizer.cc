@@ -1,0 +1,107 @@
+// Ablation (paper §III-B3 "Optimizer"): L-BFGS vs Adam vs SGD for training
+// the LearnedWMP MLP, on a small dataset (JOB) and a larger one (TPC-DS).
+//
+// Expected shape: L-BFGS is the stronger optimizer on the small dataset
+// (faster to a better loss); Adam wins on the larger one — matching the
+// paper's observation and scikit-learn's guidance.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/histogram.h"
+#include "ml/mlp.h"
+#include "util/timer.h"
+
+using namespace wmp;
+
+namespace {
+
+int RunOne(const char* label, workloads::Benchmark benchmark,
+           const bench::BenchArgs& args) {
+  core::ExperimentConfig cfg = bench::MakeConfig(benchmark, args);
+  auto data = core::PrepareExperiment(cfg);
+  if (!data.ok()) {
+    std::cerr << "prepare failed: " << data.status() << "\n";
+    return 1;
+  }
+  TablePrinter table(StrFormat("MLP optimizer ablation — %s (%zu queries)",
+                               label, data->dataset.records.size()));
+  table.SetHeader({"solver", "fit time (ms)", "final loss", "iters",
+                   "workload RMSE (MB)"});
+  for (ml::MlpSolver solver :
+       {ml::MlpSolver::kLbfgs, ml::MlpSolver::kAdam, ml::MlpSolver::kSgd}) {
+    core::LearnedWmpOptions opt;
+    opt.templates.num_templates = data->config.num_templates;
+    opt.batch_size = data->config.batch_size;
+    opt.regressor = ml::RegressorKind::kMlp;
+    opt.seed = data->config.seed;
+    // Train manually so we can swap the solver.
+    core::TemplateLearnerOptions topt = opt.templates;
+    auto templates = core::TemplateModel::Learn(
+        data->dataset.records, data->train_indices, *data->dataset.generator,
+        topt);
+    if (!templates.ok()) {
+      std::cerr << "templates failed: " << templates.status() << "\n";
+      return 1;
+    }
+    core::WorkloadSetOptions wopt;
+    wopt.batch_size = opt.batch_size;
+    wopt.seed = opt.seed;
+    auto batches = core::BuildWorkloads(data->dataset.records,
+                                        data->train_indices, wopt);
+    ml::Matrix h(batches.size(),
+                 static_cast<size_t>(templates->num_templates()));
+    std::vector<double> y(batches.size());
+    for (size_t b = 0; b < batches.size(); ++b) {
+      std::vector<int> ids;
+      for (uint32_t qi : batches[b].query_indices) {
+        ids.push_back(templates->Assign(data->dataset.records[qi]).value());
+      }
+      auto hist = core::BuildHistogram(ids, templates->num_templates()).value();
+      std::copy(hist.begin(), hist.end(), h.RowPtr(b));
+      y[b] = batches[b].label_mb;
+    }
+
+    ml::MlpOptions mopt;
+    mopt.solver = solver;
+    mopt.seed = opt.seed;
+    ml::MlpRegressor mlp(mopt);
+    Stopwatch sw;
+    if (Status st = mlp.Fit(h, y); !st.ok()) {
+      std::cerr << "fit failed: " << st << "\n";
+      return 1;
+    }
+    const double fit_ms = sw.ElapsedMillis();
+
+    // Score on the test workloads.
+    std::vector<double> pred(data->test_batches.size());
+    for (size_t b = 0; b < data->test_batches.size(); ++b) {
+      std::vector<int> ids;
+      for (uint32_t qi : data->test_batches[b].query_indices) {
+        ids.push_back(templates->Assign(data->dataset.records[qi]).value());
+      }
+      auto hist = core::BuildHistogram(ids, templates->num_templates()).value();
+      pred[b] = mlp.PredictOne(hist).value();
+    }
+    table.AddRow({ml::MlpSolverName(solver), StrFormat("%.1f", fit_ms),
+                  StrFormat("%.4f", mlp.final_loss()),
+                  StrFormat("%d", mlp.iterations_run()),
+                  StrFormat("%.1f", ml::Rmse(data->test_labels, pred))});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Ablation", "MLP optimizer: L-BFGS vs Adam vs SGD",
+                        args);
+  if (int rc = RunOne("small dataset (JOB)", workloads::Benchmark::kJob, args);
+      rc != 0) {
+    return rc;
+  }
+  return RunOne("large dataset (TPC-DS)", workloads::Benchmark::kTpcds, args);
+}

@@ -1,0 +1,78 @@
+#ifndef WMP_BENCH_BENCH_COMMON_H_
+#define WMP_BENCH_BENCH_COMMON_H_
+
+// Shared flag parsing and formatting for the figure harnesses.
+//
+// Every harness accepts:
+//   --scale=<f>      fraction of the paper's query counts (default 0.15 for
+//                    TPC-DS; JOB and TPC-C always run at paper scale since
+//                    they are small). --scale=1.0 reproduces the full paper
+//                    setup.
+//   --seed=<n>       RNG seed (default 42)
+//   --batch=<n>      workload batch size s (default 10)
+//   --templates=<n>  override template count k (default: per-benchmark)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace wmp::bench {
+
+struct BenchArgs {
+  double tpcds_scale = 0.15;
+  uint64_t seed = 42;
+  int batch_size = 10;
+  int num_templates = 0;  // 0 = per-benchmark default
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--scale=", 8) == 0) {
+      args.tpcds_scale = std::strtod(a + 8, nullptr);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      args.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--batch=", 8) == 0) {
+      args.batch_size = std::atoi(a + 8);
+    } else if (std::strncmp(a, "--templates=", 12) == 0) {
+      args.num_templates = std::atoi(a + 12);
+    } else if (std::strcmp(a, "--help") == 0) {
+      std::printf(
+          "flags: --scale=<f> --seed=<n> --batch=<n> --templates=<n>\n");
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline core::ExperimentConfig MakeConfig(workloads::Benchmark benchmark,
+                                         const BenchArgs& args) {
+  core::ExperimentConfig cfg;
+  cfg.benchmark = benchmark;
+  // JOB and TPC-C are small; always run them at the paper's query counts.
+  cfg.scale = benchmark == workloads::Benchmark::kTpcds ? args.tpcds_scale : 1.0;
+  cfg.batch_size = args.batch_size;
+  cfg.num_templates = args.num_templates;
+  cfg.seed = args.seed;
+  return cfg;
+}
+
+inline void PrintRunBanner(const char* figure, const char* what,
+                           const BenchArgs& args) {
+  std::printf("=======================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("TPC-DS scale=%.2f (93000 queries at 1.0), batch=%d, seed=%llu\n",
+              args.tpcds_scale, args.batch_size,
+              static_cast<unsigned long long>(args.seed));
+  std::printf("=======================================================\n");
+}
+
+}  // namespace wmp::bench
+
+#endif  // WMP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,50 @@
+// Fig. 10 reproduction: MAPE of LearnedWMP-XGB as a function of the number
+// of templates k in {10, 20, ..., 100}, for each benchmark.
+//
+// Expected shape (§IV-C "Effect of the number of query templates"):
+// TPC-DS keeps improving toward k=100 (large, diverse query population);
+// JOB and TPC-C reach their best MAPE at a moderate k (20-40) and
+// fluctuate beyond — fewer distinct query shapes to separate.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace wmp;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Fig. 10", "MAPE vs number of templates k", args);
+
+  for (workloads::Benchmark benchmark : workloads::AllBenchmarks()) {
+    core::ExperimentConfig base = bench::MakeConfig(benchmark, args);
+    TablePrinter table(StrFormat("Fig. 10 — %s, LearnedWMP-XGB",
+                                 workloads::BenchmarkName(benchmark)));
+    table.SetHeader({"k", "MAPE", "RMSE (MB)"});
+    double best_mape = 1e18;
+    int best_k = 0;
+    for (int k = 10; k <= 100; k += 10) {
+      core::ExperimentConfig cfg = base;
+      cfg.num_templates = k;
+      auto data = core::PrepareExperiment(cfg);
+      if (!data.ok()) {
+        std::cerr << "prepare failed: " << data.status() << "\n";
+        return 1;
+      }
+      auto report = core::EvaluateLearnedWmp(*data, ml::RegressorKind::kGbt);
+      if (!report.ok()) {
+        std::cerr << "k=" << k << " failed: " << report.status() << "\n";
+        return 1;
+      }
+      if (report->mape < best_mape) {
+        best_mape = report->mape;
+        best_k = k;
+      }
+      table.AddRow({StrFormat("%d", k), StrFormat("%.1f%%", report->mape),
+                    StrFormat("%.1f", report->rmse)});
+    }
+    table.Print(std::cout);
+    std::cout << StrFormat("best k = %d (MAPE %.1f%%)\n\n", best_k, best_mape);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 11 reproduction: MAPE of LearnedWMP-XGB on TPC-DS as a function of
+// the workload batch size s in {1, 2, 3, 5, 10, 15, 20, 25, 30, 35, 40,
+// 45, 50}, plus the paper's batch-size-1 comparison against SingleWMP-XGB.
+//
+// Expected shape (§IV-C "Effect of the batch size parameter"): MAPE drops
+// steeply as s grows, then flattens — batch estimation is more accurate
+// than per-query estimation. At s=1 SingleWMP beats LearnedWMP (the
+// histogram of a single query is a much weaker signal than its raw plan
+// features; the paper reports 3.6% vs 10.2%).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace wmp;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Fig. 11", "MAPE vs workload batch size s (TPC-DS)",
+                        args);
+
+  TablePrinter table("Fig. 11 — TPC-DS, LearnedWMP-XGB");
+  table.SetHeader({"batch size s", "MAPE", "RMSE (MB)", "test workloads"});
+  const int batch_sizes[] = {1, 2, 3, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
+  double learned_s1_mape = 0.0;
+  for (int s : batch_sizes) {
+    core::ExperimentConfig cfg =
+        bench::MakeConfig(workloads::Benchmark::kTpcds, args);
+    cfg.batch_size = s;
+    auto data = core::PrepareExperiment(cfg);
+    if (!data.ok()) {
+      std::cerr << "prepare failed: " << data.status() << "\n";
+      return 1;
+    }
+    auto report = core::EvaluateLearnedWmp(*data, ml::RegressorKind::kGbt);
+    if (!report.ok()) {
+      std::cerr << "s=" << s << " failed: " << report.status() << "\n";
+      return 1;
+    }
+    if (s == 1) learned_s1_mape = report->mape;
+    table.AddRow({StrFormat("%d", s), StrFormat("%.1f%%", report->mape),
+                  StrFormat("%.1f", report->rmse),
+                  StrFormat("%zu", data->test_batches.size())});
+  }
+  table.Print(std::cout);
+
+  // Batch-size-1 head-to-head: SingleWMP sees raw plan features and wins.
+  core::ExperimentConfig cfg =
+      bench::MakeConfig(workloads::Benchmark::kTpcds, args);
+  cfg.batch_size = 1;
+  auto data = core::PrepareExperiment(cfg);
+  if (!data.ok()) {
+    std::cerr << "prepare failed: " << data.status() << "\n";
+    return 1;
+  }
+  auto single = core::EvaluateSingleWmp(*data, ml::RegressorKind::kGbt);
+  if (!single.ok()) {
+    std::cerr << "single failed: " << single.status() << "\n";
+    return 1;
+  }
+  std::cout << StrFormat(
+      "\nbatch size 1 head-to-head: LearnedWMP-XGB MAPE %.1f%% vs "
+      "SingleWMP-XGB MAPE %.1f%% — per-query features win on single "
+      "queries, batching wins on workloads.\n",
+      learned_s1_mape, single->mape);
+  return 0;
+}

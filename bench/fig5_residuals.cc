@@ -1,0 +1,46 @@
+// Fig. 5 reproduction: distribution of estimation-error residuals
+// (predicted - actual, MB) per model and benchmark. The paper draws violin
+// plots; this harness prints each violin's numeric skeleton: median, IQR
+// (the thick bar), the p5/p95 tails (the violin's extent), and moment
+// skewness.
+//
+// Expected shape: SingleWMP-DBMS violins are wide, far from zero, and
+// skewed (toward underestimation on the analytic benchmarks); ML-based
+// models are centered near zero and narrow.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace wmp;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Fig. 5", "residual distributions (MB)", args);
+
+  for (workloads::Benchmark benchmark : workloads::AllBenchmarks()) {
+    auto result = core::RunCoreExperiment(bench::MakeConfig(benchmark, args));
+    if (!result.ok()) {
+      std::cerr << "experiment failed: " << result.status() << "\n";
+      return 1;
+    }
+    TablePrinter table(
+        StrFormat("Fig. 5 — %s residuals (predicted - actual, MB)",
+                  result->benchmark.c_str()));
+    table.SetHeader(
+        {"model", "median", "IQR", "p5", "p95", "skewness", "bias"});
+    for (const core::ModelReport& r : result->reports) {
+      const auto& s = r.residuals;
+      const char* bias = s.median < -1.0   ? "under-estimates"
+                         : s.median > 1.0  ? "over-estimates"
+                                           : "centered";
+      table.AddRow({r.name, StrFormat("%.1f", s.median),
+                    StrFormat("%.1f", s.iqr), StrFormat("%.1f", s.p5),
+                    StrFormat("%.1f", s.p95), StrFormat("%+.2f", s.skewness),
+                    bias});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

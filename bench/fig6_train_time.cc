@@ -1,0 +1,51 @@
+// Fig. 6 reproduction: ML model training time (ms) of LearnedWMP vs
+// SingleWMP per model family. SingleWMP-DBMS is excluded (no training,
+// footnote 1 in the paper).
+//
+// Expected shape: LearnedWMP trains faster than the equivalent SingleWMP
+// model for every non-trivial learner (it fits |Q_train|/s workload
+// examples instead of |Q_train| queries); Ridge shows no meaningful gap
+// (closed-form solve, the paper calls this out).
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+
+using namespace wmp;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Fig. 6", "model training time (ms)", args);
+
+  for (workloads::Benchmark benchmark : workloads::AllBenchmarks()) {
+    auto result = core::RunCoreExperiment(bench::MakeConfig(benchmark, args));
+    if (!result.ok()) {
+      std::cerr << "experiment failed: " << result.status() << "\n";
+      return 1;
+    }
+    std::map<std::string, std::pair<double, double>> by_family;  // single, learned
+    for (const core::ModelReport& r : result->reports) {
+      if (r.name == "SingleWMP-DBMS") continue;
+      const bool learned = r.name.rfind("LearnedWMP-", 0) == 0;
+      const std::string family = r.name.substr(r.name.find('-') + 1);
+      (learned ? by_family[family].second : by_family[family].first) =
+          r.train_ms;
+    }
+    TablePrinter table(
+        StrFormat("Fig. 6 — %s training time (ms)", result->benchmark.c_str()));
+    table.SetHeader({"family", "SingleWMP", "LearnedWMP", "speedup"});
+    for (const auto& [family, times] : by_family) {
+      table.AddRow({family, StrFormat("%.1f", times.first),
+                    StrFormat("%.1f", times.second),
+                    StrFormat("%.1fx", times.first /
+                                           std::max(times.second, 1e-3))});
+    }
+    table.Print(std::cout);
+    std::cout << StrFormat(
+        "(shared LearnedWMP phase-1 template learning: %.1f ms, once per "
+        "deployment)\n\n",
+        result->template_learning_ms);
+  }
+  return 0;
+}

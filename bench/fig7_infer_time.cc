@@ -1,0 +1,46 @@
+// Fig. 7 reproduction: inference time per workload (µs) of LearnedWMP vs
+// SingleWMP per model family.
+//
+// Expected shape (paper §IV-B): LearnedWMP achieves 3x-10x faster
+// inference — it evaluates the regressor once per workload on a k-dim
+// histogram instead of once per member query.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+
+using namespace wmp;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Fig. 7", "inference time per workload (µs)", args);
+
+  for (workloads::Benchmark benchmark : workloads::AllBenchmarks()) {
+    auto result = core::RunCoreExperiment(bench::MakeConfig(benchmark, args));
+    if (!result.ok()) {
+      std::cerr << "experiment failed: " << result.status() << "\n";
+      return 1;
+    }
+    std::map<std::string, std::pair<double, double>> by_family;
+    for (const core::ModelReport& r : result->reports) {
+      if (r.name == "SingleWMP-DBMS") continue;
+      const bool learned = r.name.rfind("LearnedWMP-", 0) == 0;
+      const std::string family = r.name.substr(r.name.find('-') + 1);
+      (learned ? by_family[family].second : by_family[family].first) =
+          r.infer_us_per_workload;
+    }
+    TablePrinter table(StrFormat("Fig. 7 — %s inference time (µs/workload)",
+                                 result->benchmark.c_str()));
+    table.SetHeader({"family", "SingleWMP", "LearnedWMP", "speedup"});
+    for (const auto& [family, times] : by_family) {
+      table.AddRow({family, StrFormat("%.1f", times.first),
+                    StrFormat("%.1f", times.second),
+                    StrFormat("%.1fx", times.first /
+                                           std::max(times.second, 1e-3))});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) of the hot pipeline components:
+// SQL parsing, planning, plan featurization (TR2), EXPLAIN round-trip,
+// template assignment (IN3), histogram construction (IN4), and the
+// end-to-end LearnedWMP inference path (IN1-IN5).
+
+#include <benchmark/benchmark.h>
+
+#include "core/featurizer.h"
+#include "core/histogram.h"
+#include "core/learned_wmp.h"
+#include "plan/explain.h"
+#include "plan/features.h"
+#include "plan/plan_parser.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+#include "workloads/dataset.h"
+
+namespace {
+
+using namespace wmp;
+
+// Shared fixture state, built once.
+struct PipelineState {
+  workloads::Dataset dataset;
+  core::LearnedWmpModel model;
+  std::vector<uint32_t> batch;
+  std::string sample_sql;
+  std::string sample_explain;
+
+  static PipelineState& Get() {
+    static PipelineState* state = [] {
+      auto* s = new PipelineState();
+      workloads::DatasetOptions opt;
+      opt.num_queries = 2000;
+      opt.seed = 17;
+      s->dataset =
+          std::move(*workloads::BuildDataset(workloads::Benchmark::kTpcds, opt));
+      core::LearnedWmpOptions lopt;
+      lopt.templates.num_templates = 50;
+      s->model = std::move(*core::LearnedWmpModel::Train(
+          s->dataset.records, core::AllIndices(s->dataset.records.size()),
+          *s->dataset.generator, lopt));
+      for (uint32_t i = 0; i < 10; ++i) s->batch.push_back(i);
+      s->sample_sql = s->dataset.records[0].sql_text;
+      s->sample_explain = plan::Explain(*s->dataset.records[0].plan);
+      return s;
+    }();
+    return *state;
+  }
+};
+
+void BM_SqlParse(benchmark::State& state) {
+  PipelineState& s = PipelineState::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Parse(s.sample_sql));
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_PlanQuery(benchmark::State& state) {
+  PipelineState& s = PipelineState::Get();
+  plan::Planner planner(&s.dataset.generator->catalog());
+  const sql::Query& q = s.dataset.records[0].query;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.CreatePlan(q));
+  }
+}
+BENCHMARK(BM_PlanQuery);
+
+void BM_ExtractPlanFeatures(benchmark::State& state) {
+  PipelineState& s = PipelineState::Get();
+  const plan::PlanNode& plan = *s.dataset.records[0].plan;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan::ExtractPlanFeatures(plan));
+  }
+}
+BENCHMARK(BM_ExtractPlanFeatures);
+
+void BM_ExplainRoundTrip(benchmark::State& state) {
+  PipelineState& s = PipelineState::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan::ParseExplain(s.sample_explain));
+  }
+}
+BENCHMARK(BM_ExplainRoundTrip);
+
+void BM_TemplateAssign(benchmark::State& state) {
+  PipelineState& s = PipelineState::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.model.templates().Assign(s.dataset.records[0]));
+  }
+}
+BENCHMARK(BM_TemplateAssign);
+
+void BM_BinWorkload(benchmark::State& state) {
+  PipelineState& s = PipelineState::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.model.BinWorkload(s.dataset.records, s.batch));
+  }
+}
+BENCHMARK(BM_BinWorkload);
+
+void BM_PredictWorkload(benchmark::State& state) {
+  PipelineState& s = PipelineState::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.model.PredictWorkload(s.dataset.records, s.batch));
+  }
+}
+BENCHMARK(BM_PredictWorkload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

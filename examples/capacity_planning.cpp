@@ -1,0 +1,74 @@
+// Capacity planning — sizing working memory for a mixed analytic workload.
+//
+// The DBA question: "how much working memory should the new OLAP node
+// have so that 95% of 10-query workload batches run without spilling?"
+// LearnedWMP answers it by predicting the demand distribution over
+// representative workloads; this example compares the recommendation
+// against the true demand distribution and the DBMS heuristic's answer.
+//
+// Run: ./build/examples/capacity_planning
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/learned_wmp.h"
+#include "core/single_wmp.h"
+#include "ml/metrics.h"
+#include "ml/search.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "workloads/dataset.h"
+
+using namespace wmp;
+
+int main() {
+  workloads::DatasetOptions dopt;
+  dopt.num_queries = 12000;  // ~13% of the paper's TPC-DS log
+  dopt.seed = 23;
+  auto dataset = workloads::BuildDataset(workloads::Benchmark::kTpcds, dopt);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  ml::IndexSplit split =
+      ml::TrainTestSplitIndices(dataset->records.size(), 0.25, 5);
+
+  core::LearnedWmpOptions opt;
+  opt.templates.num_templates = 100;
+  opt.regressor = ml::RegressorKind::kGbt;
+  auto model = core::LearnedWmpModel::Train(dataset->records, split.train,
+                                            *dataset->generator, opt);
+  if (!model.ok()) {
+    std::fprintf(stderr, "train: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table("memory sizing for 10-query TPC-DS workload batches");
+  table.SetHeader({"percentile", "true demand (MB)", "LearnedWMP (MB)",
+                   "DBMS heuristic (MB)"});
+  core::WorkloadSetOptions wopt;
+  wopt.batch_size = 10;
+  auto batches = core::BuildWorkloads(dataset->records, split.test, wopt);
+  std::vector<double> truths, learned, dbms;
+  for (const auto& b : batches) {
+    truths.push_back(b.label_mb);
+    learned.push_back(
+        model->PredictWorkload(dataset->records, b.query_indices).ValueOr(0));
+    dbms.push_back(core::DbmsWorkloadEstimate(dataset->records, b.query_indices));
+  }
+  for (double q : {0.50, 0.75, 0.90, 0.95, 0.99}) {
+    table.AddRow({StrFormat("p%.0f", q * 100),
+                  StrFormat("%.0f", ml::Quantile(truths, q)),
+                  StrFormat("%.0f", ml::Quantile(learned, q)),
+                  StrFormat("%.0f", ml::Quantile(dbms, q))});
+  }
+  table.Print(std::cout);
+
+  const double rec = ml::Quantile(learned, 0.95);
+  const double true_p95 = ml::Quantile(truths, 0.95);
+  std::printf(
+      "\nrecommendation: provision %.0f MB working memory per node "
+      "(true p95: %.0f MB, error %+.1f%%)\n",
+      rec, true_p95, 100.0 * (rec - true_p95) / true_p95);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: the full LearnedWMP workflow in ~60 lines.
+//
+//  1. Build a (simulated) query log for a benchmark      -> BuildDataset
+//  2. Train a LearnedWMP model on it                     -> LearnedWmpModel::Train
+//  3. Predict the memory demand of an unseen workload    -> PredictWorkload
+//
+// Run: ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/featurizer.h"
+#include "core/learned_wmp.h"
+#include "ml/search.h"
+#include "workloads/dataset.h"
+
+using namespace wmp;
+
+int main() {
+  // 1. Fabricate a query log: 2,000 TPC-C queries, planned and "executed"
+  //    by the memory simulator.
+  workloads::DatasetOptions dopt;
+  dopt.num_queries = 2000;
+  dopt.seed = 7;
+  auto dataset = workloads::BuildDataset(workloads::Benchmark::kTpcc, dopt);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query log: %zu %s queries\n", dataset->records.size(),
+              dataset->benchmark_name.c_str());
+  std::printf("sample query: %s\n", dataset->records[0].sql_text.c_str());
+
+  // 2. Train LearnedWMP-XGB on 80% of the log.
+  ml::IndexSplit split =
+      ml::TrainTestSplitIndices(dataset->records.size(), 0.2, /*seed=*/1);
+  core::LearnedWmpOptions opt;
+  opt.templates.num_templates = 16;  // k query templates
+  opt.batch_size = 10;               // workload size s
+  opt.regressor = ml::RegressorKind::kGbt;
+  auto model = core::LearnedWmpModel::Train(dataset->records, split.train,
+                                            *dataset->generator, opt);
+  if (!model.ok()) {
+    std::fprintf(stderr, "train: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trained on %zu workloads (templates %.0fms, regressor %.0fms)\n",
+              model->train_stats().num_workloads,
+              model->train_stats().template_ms,
+              model->train_stats().regressor_ms);
+
+  // 3. Predict an unseen workload: the first 10 held-out queries.
+  std::vector<uint32_t> workload(split.test.begin(), split.test.begin() + 10);
+  auto hist = model->BinWorkload(dataset->records, workload);
+  auto predicted = model->PredictWorkload(dataset->records, workload);
+  if (!predicted.ok()) {
+    std::fprintf(stderr, "predict: %s\n", predicted.status().ToString().c_str());
+    return 1;
+  }
+  double actual = 0.0;
+  for (uint32_t i : workload) actual += dataset->records[i].actual_memory_mb;
+
+  std::printf("\nworkload histogram (k=%d bins): [", model->templates().num_templates());
+  for (size_t i = 0; i < hist->size(); ++i) {
+    std::printf("%s%.0f", i ? " " : "", (*hist)[i]);
+  }
+  std::printf("]\n");
+  std::printf("predicted memory: %.1f MB\n", *predicted);
+  std::printf("actual memory:    %.1f MB\n", actual);
+  std::printf("relative error:   %.1f%%\n",
+              100.0 * (*predicted - actual) / actual);
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "catalog/catalog.h"
+
+namespace wmp::catalog {
+
+Status Catalog::AddTable(TableDef table) {
+  if (HasTable(table.name())) {
+    return Status::AlreadyExists("table exists: " + table.name());
+  }
+  order_.push_back(table.name());
+  tables_.emplace(table.name(), std::move(table));
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  return &it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+Result<TableDef*> Catalog::FindMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  return &it->second;
+}
+
+}  // namespace wmp::catalog

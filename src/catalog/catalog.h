@@ -1,0 +1,43 @@
+#ifndef WMP_CATALOG_CATALOG_H_
+#define WMP_CATALOG_CATALOG_H_
+
+/// \file catalog.h
+/// The schema registry the planner, estimators, and workload generators
+/// share.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "util/status.h"
+
+namespace wmp::catalog {
+
+/// \brief A named collection of tables.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a table; fails on duplicate names.
+  Status AddTable(TableDef table);
+
+  /// Looks up a table by name.
+  Result<const TableDef*> FindTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  /// Mutable lookup (for generators adjusting statistics).
+  Result<TableDef*> FindMutableTable(const std::string& name);
+
+  /// Table names in registration order.
+  const std::vector<std::string>& table_names() const { return order_; }
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, TableDef> tables_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace wmp::catalog
+
+#endif  // WMP_CATALOG_CATALOG_H_

@@ -1,0 +1,45 @@
+#include "catalog/column.h"
+
+namespace wmp::catalog {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt:
+      return "INT";
+    case ColumnType::kBigInt:
+      return "BIGINT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kDecimal:
+      return "DECIMAL";
+    case ColumnType::kString:
+      return "VARCHAR";
+    case ColumnType::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+uint32_t DefaultWidth(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt:
+      return 4;
+    case ColumnType::kBigInt:
+      return 8;
+    case ColumnType::kDouble:
+      return 8;
+    case ColumnType::kDecimal:
+      return 8;
+    case ColumnType::kString:
+      return 24;
+    case ColumnType::kDate:
+      return 4;
+  }
+  return 8;
+}
+
+uint32_t Column::width() const {
+  return stats_.avg_width != 0 ? stats_.avg_width : DefaultWidth(type_);
+}
+
+}  // namespace wmp::catalog

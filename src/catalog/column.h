@@ -1,0 +1,65 @@
+#ifndef WMP_CATALOG_COLUMN_H_
+#define WMP_CATALOG_COLUMN_H_
+
+/// \file column.h
+/// Column metadata and statistics.
+///
+/// The statistics carry *two* views of the data: the parameters the
+/// optimizer sees (ndv, min/max) and the shape of the true value
+/// distribution (`zipf_skew`), which only the execution simulator uses.
+/// The gap between the two is what makes the optimizer's uniformity
+/// assumption err the way a production DBMS errs.
+
+#include <cstdint>
+#include <string>
+
+namespace wmp::catalog {
+
+/// SQL-ish column types (affects default width only).
+enum class ColumnType : uint8_t { kInt, kBigInt, kDouble, kDecimal, kString, kDate };
+
+/// Human-readable type name ("INT", "VARCHAR", ...).
+const char* ColumnTypeName(ColumnType t);
+
+/// Default storage width in bytes for a type.
+uint32_t DefaultWidth(ColumnType t);
+
+/// \brief Per-column statistics.
+struct ColumnStats {
+  /// Number of distinct values. The optimizer assumes they are uniformly
+  /// likely; the simulator draws them Zipf(ndv, zipf_skew).
+  uint64_t ndv = 1000;
+  /// Domain bounds used by range-predicate selectivity math.
+  double min_value = 0.0;
+  double max_value = 1000.0;
+  /// Skew of the true frequency distribution (0 = uniform, ~1 = heavy).
+  double zipf_skew = 0.0;
+  double null_fraction = 0.0;
+  /// Average stored width in bytes (0 = derive from type).
+  uint32_t avg_width = 0;
+};
+
+/// \brief A column definition: name, type, statistics.
+class Column {
+ public:
+  Column() = default;
+  Column(std::string name, ColumnType type, ColumnStats stats = {})
+      : name_(std::move(name)), type_(type), stats_(stats) {}
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  const ColumnStats& stats() const { return stats_; }
+  ColumnStats& mutable_stats() { return stats_; }
+
+  /// Effective width in bytes (explicit avg_width, else type default).
+  uint32_t width() const;
+
+ private:
+  std::string name_;
+  ColumnType type_ = ColumnType::kInt;
+  ColumnStats stats_;
+};
+
+}  // namespace wmp::catalog
+
+#endif  // WMP_CATALOG_COLUMN_H_

@@ -1,0 +1,84 @@
+#include "catalog/table.h"
+
+#include <algorithm>
+
+namespace wmp::catalog {
+
+Status TableDef::AddColumn(Column column) {
+  if (HasColumn(column.name())) {
+    return Status::AlreadyExists("column exists: " + column.name());
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status TableDef::AddIndex(const std::string& column, bool unique) {
+  if (!HasColumn(column)) {
+    return Status::NotFound("index on unknown column: " + column);
+  }
+  indexes_.push_back({column, unique});
+  return Status::OK();
+}
+
+Status TableDef::AddForeignKey(ForeignKey fk) {
+  if (!HasColumn(fk.local_column)) {
+    return Status::NotFound("foreign key on unknown column: " + fk.local_column);
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+Status TableDef::AddCorrelation(const std::string& a, const std::string& b,
+                                double strength) {
+  if (!HasColumn(a) || !HasColumn(b)) {
+    return Status::NotFound("correlation on unknown column");
+  }
+  if (strength < 0.0 || strength > 1.0) {
+    return Status::InvalidArgument("correlation strength must be in [0, 1]");
+  }
+  correlations_.push_back({a, b, strength});
+  return Status::OK();
+}
+
+Result<const Column*> TableDef::FindColumn(const std::string& name) const {
+  for (const Column& c : columns_) {
+    if (c.name() == name) return &c;
+  }
+  return Status::NotFound("column not found: " + name_ + "." + name);
+}
+
+bool TableDef::HasColumn(const std::string& name) const {
+  return std::any_of(columns_.begin(), columns_.end(),
+                     [&](const Column& c) { return c.name() == name; });
+}
+
+bool TableDef::HasIndexOn(const std::string& column) const {
+  return std::any_of(indexes_.begin(), indexes_.end(),
+                     [&](const Index& i) { return i.column == column; });
+}
+
+double TableDef::CorrelationBetween(const std::string& a,
+                                    const std::string& b) const {
+  for (const Correlation& c : correlations_) {
+    if ((c.column_a == a && c.column_b == b) ||
+        (c.column_a == b && c.column_b == a)) {
+      return c.strength;
+    }
+  }
+  return 0.0;
+}
+
+const ForeignKey* TableDef::FindForeignKey(const std::string& column) const {
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (fk.local_column == column) return &fk;
+  }
+  return nullptr;
+}
+
+uint32_t TableDef::row_width() const {
+  uint32_t w = 0;
+  for (const Column& c : columns_) w += c.width();
+  return w;
+}
+
+}  // namespace wmp::catalog

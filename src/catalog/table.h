@@ -1,0 +1,98 @@
+#ifndef WMP_CATALOG_TABLE_H_
+#define WMP_CATALOG_TABLE_H_
+
+/// \file table.h
+/// Table definitions: columns, row counts, indexes, foreign keys, and
+/// intra-table column correlations (the statistic real optimizers lack,
+/// which the true-cardinality oracle uses).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/column.h"
+#include "util/status.h"
+
+namespace wmp::catalog {
+
+/// \brief Secondary index metadata (single-column).
+struct Index {
+  std::string column;
+  bool unique = false;
+};
+
+/// \brief Foreign-key edge `this.local_column -> ref_table.ref_column`.
+///
+/// `fanout_skew` scales the true join output relative to the optimizer's
+/// containment estimate: values > 1 model skewed fanouts (a few hot parent
+/// rows owning most children), the common reason real join estimates are
+/// low.
+struct ForeignKey {
+  std::string local_column;
+  std::string ref_table;
+  std::string ref_column;
+  double fanout_skew = 1.0;
+};
+
+/// \brief Pairwise column correlation used only by the true-cardinality
+/// oracle. The optimizer multiplies predicate selectivities independently;
+/// the oracle combines them with exponential backoff
+/// `s1 * s2^(1 - strength)`.
+struct Correlation {
+  std::string column_a;
+  std::string column_b;
+  double strength = 0.0;  ///< 0 = independent, 1 = fully correlated.
+};
+
+/// \brief A table definition.
+class TableDef {
+ public:
+  TableDef() = default;
+  TableDef(std::string name, uint64_t row_count)
+      : name_(std::move(name)), row_count_(row_count) {}
+
+  const std::string& name() const { return name_; }
+  uint64_t row_count() const { return row_count_; }
+  void set_row_count(uint64_t n) { row_count_ = n; }
+
+  /// Adds a column; fails on duplicate names.
+  Status AddColumn(Column column);
+  /// Declares a single-column index. The column must exist.
+  Status AddIndex(const std::string& column, bool unique = false);
+  /// Declares a foreign key. The local column must exist.
+  Status AddForeignKey(ForeignKey fk);
+  /// Declares a correlated column pair; both columns must exist and
+  /// `strength` must lie in [0, 1].
+  Status AddCorrelation(const std::string& a, const std::string& b,
+                        double strength);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<Index>& indexes() const { return indexes_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+  const std::vector<Correlation>& correlations() const { return correlations_; }
+
+  /// Looks up a column by name.
+  Result<const Column*> FindColumn(const std::string& name) const;
+  bool HasColumn(const std::string& name) const;
+  /// True if some index covers `column`.
+  bool HasIndexOn(const std::string& column) const;
+  /// Correlation strength between two columns (0 when undeclared).
+  double CorrelationBetween(const std::string& a, const std::string& b) const;
+  /// Foreign key departing from `column`, if any.
+  const ForeignKey* FindForeignKey(const std::string& column) const;
+
+  /// Sum of column widths: average materialized row width in bytes.
+  uint32_t row_width() const;
+
+ private:
+  std::string name_;
+  uint64_t row_count_ = 0;
+  std::vector<Column> columns_;
+  std::vector<Index> indexes_;
+  std::vector<ForeignKey> foreign_keys_;
+  std::vector<Correlation> correlations_;
+};
+
+}  // namespace wmp::catalog
+
+#endif  // WMP_CATALOG_TABLE_H_

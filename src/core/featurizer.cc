@@ -1,0 +1,45 @@
+#include "core/featurizer.h"
+
+#include <numeric>
+
+namespace wmp::core {
+
+ml::Matrix PlanFeatureMatrix(const std::vector<workloads::QueryRecord>& records,
+                             const std::vector<uint32_t>& indices) {
+  if (indices.empty()) return {};
+  const size_t dim = records[indices[0]].plan_features.size();
+  ml::Matrix x(indices.size(), dim);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const auto& f = records[indices[i]].plan_features;
+    std::copy(f.begin(), f.end(), x.RowPtr(i));
+  }
+  return x;
+}
+
+std::vector<double> ActualMemoryVector(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<uint32_t>& indices) {
+  std::vector<double> y(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    y[i] = records[indices[i]].actual_memory_mb;
+  }
+  return y;
+}
+
+std::vector<double> DbmsEstimateVector(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<uint32_t>& indices) {
+  std::vector<double> y(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    y[i] = records[indices[i]].dbms_estimate_mb;
+  }
+  return y;
+}
+
+std::vector<uint32_t> AllIndices(size_t n) {
+  std::vector<uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+}  // namespace wmp::core

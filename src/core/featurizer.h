@@ -1,0 +1,34 @@
+#ifndef WMP_CORE_FEATURIZER_H_
+#define WMP_CORE_FEATURIZER_H_
+
+/// \file featurizer.h
+/// Bridges query records to ML inputs: feature matrices and label vectors
+/// over arbitrary row subsets.
+
+#include <vector>
+
+#include "ml/linalg.h"
+#include "workloads/query_record.h"
+
+namespace wmp::core {
+
+/// Plan-feature matrix (TR2 output) for the selected records.
+ml::Matrix PlanFeatureMatrix(const std::vector<workloads::QueryRecord>& records,
+                             const std::vector<uint32_t>& indices);
+
+/// Actual peak memory labels (MB) for the selected records.
+std::vector<double> ActualMemoryVector(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<uint32_t>& indices);
+
+/// DBMS heuristic estimates (MB) for the selected records.
+std::vector<double> DbmsEstimateVector(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<uint32_t>& indices);
+
+/// Identity index vector [0, n).
+std::vector<uint32_t> AllIndices(size_t n);
+
+}  // namespace wmp::core
+
+#endif  // WMP_CORE_FEATURIZER_H_

@@ -1,0 +1,29 @@
+#include "core/histogram.h"
+
+#include "util/strings.h"
+
+namespace wmp::core {
+
+Result<std::vector<double>> BuildHistogram(const std::vector<int>& template_ids,
+                                           int num_templates) {
+  if (num_templates < 1) {
+    return Status::InvalidArgument("histogram needs >= 1 bin");
+  }
+  std::vector<double> h(static_cast<size_t>(num_templates), 0.0);
+  for (int id : template_ids) {
+    if (id < 0 || id >= num_templates) {
+      return Status::OutOfRange(
+          StrFormat("template id %d outside [0, %d)", id, num_templates));
+    }
+    h[static_cast<size_t>(id)] += 1.0;
+  }
+  return h;
+}
+
+double HistogramMass(const std::vector<double>& histogram) {
+  double mass = 0.0;
+  for (double c : histogram) mass += c;
+  return mass;
+}
+
+}  // namespace wmp::core

@@ -1,0 +1,27 @@
+#ifndef WMP_CORE_HISTOGRAM_H_
+#define WMP_CORE_HISTOGRAM_H_
+
+/// \file histogram.h
+/// Workload histograms (paper §II, def. "Workload Histogram"): the k-bin
+/// count vector H = [c_1 ... c_k] recording how a workload's queries
+/// distribute over the query templates. Sum of bins == workload size
+/// (paper eq. 4/8).
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace wmp::core {
+
+/// \brief Counts template assignments into a k-bin histogram.
+///
+/// Fails if any id lies outside `[0, num_templates)`.
+Result<std::vector<double>> BuildHistogram(const std::vector<int>& template_ids,
+                                           int num_templates);
+
+/// Sum of all bins (== number of queries binned).
+double HistogramMass(const std::vector<double>& histogram);
+
+}  // namespace wmp::core
+
+#endif  // WMP_CORE_HISTOGRAM_H_

@@ -1,0 +1,115 @@
+#ifndef WMP_CORE_LEARNED_WMP_H_
+#define WMP_CORE_LEARNED_WMP_H_
+
+/// \file learned_wmp.h
+/// The LearnedWMP model (paper §III): query templates + workload histograms
+/// + a distribution regressor, trained end-to-end from a query log and
+/// predicting the working-memory demand of unseen workloads.
+///
+/// Training implements TR1-TR6; PredictWorkload implements IN1-IN5
+/// (Algorithm 3).
+
+#include <memory>
+#include <vector>
+
+#include "core/template_learner.h"
+#include "core/workload.h"
+#include "ml/regressor.h"
+
+namespace wmp::core {
+
+/// Configuration of a LearnedWMP model.
+struct LearnedWmpOptions {
+  TemplateLearnerOptions templates;
+  int batch_size = 10;  ///< workload size `s`
+  WorkloadLabel label = WorkloadLabel::kSum;
+  ml::RegressorKind regressor = ml::RegressorKind::kGbt;
+  /// Variable-length workload support (the paper's §I extension): the
+  /// regressor is trained on *normalized* histograms (a distribution over
+  /// templates) with per-query targets, and predictions rescale by the
+  /// workload's size — so inference batches need not match the training
+  /// `batch_size`. Only meaningful with the kSum label.
+  bool variable_length = false;
+  uint64_t seed = 42;
+};
+
+/// \brief Timing breakdown of LearnedWmpModel::Train.
+struct LearnedWmpTrainStats {
+  double template_ms = 0.0;   ///< phase 1 (TR3)
+  double histogram_ms = 0.0;  ///< phase 2 (TR4-TR5)
+  double regressor_ms = 0.0;  ///< phase 3 (TR6) — Fig. 6's "training time"
+  size_t num_workloads = 0;
+};
+
+/// \brief Trained workload-memory predictor.
+class LearnedWmpModel {
+ public:
+  LearnedWmpModel() = default;
+
+  /// Trains on the selected records (the Q_train partition).
+  static Result<LearnedWmpModel> Train(
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<uint32_t>& train_indices,
+      const workloads::WorkloadGenerator& generator,
+      const LearnedWmpOptions& options);
+
+  /// Generator-free overload for training from an ingested query log
+  /// (tools/wmpctl): valid for the plan-feature template methods only —
+  /// rule-based needs expert rules and text-mining needs the catalog,
+  /// both of which come from a generator.
+  static Result<LearnedWmpModel> Train(
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<uint32_t>& train_indices,
+      const LearnedWmpOptions& options);
+
+  /// Predicts the collective memory demand (MB) of one workload:
+  /// IN1-IN4 build the histogram, IN5 applies the regressor.
+  Result<double> PredictWorkload(
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<uint32_t>& batch) const;
+
+  /// Predicts many workloads.
+  Result<std::vector<double>> PredictWorkloads(
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<WorkloadBatch>& batches) const;
+
+  /// Predicts directly from a precomputed histogram (length k).
+  Result<double> PredictFromHistogram(const std::vector<double>& histogram) const;
+
+  /// Builds the histogram of a workload (IN1-IN4; BinWorkload in Alg. 2).
+  Result<std::vector<double>> BinWorkload(
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<uint32_t>& batch) const;
+
+  const TemplateModel& templates() const { return templates_; }
+  const ml::Regressor& regressor() const { return *regressor_; }
+  const LearnedWmpTrainStats& train_stats() const { return train_stats_; }
+  const LearnedWmpOptions& options() const { return options_; }
+
+  /// Deployed model footprint: regressor + template model bytes.
+  Result<size_t> SerializedSize() const;
+  /// Regressor-only bytes (the quantity Fig. 8 compares across model
+  /// families).
+  Result<size_t> RegressorBytes() const;
+
+  /// \name Persistence — the paper's deployment story ("pre-train ... and
+  /// ship the model into the DBMS product"). Round-trips templates,
+  /// regressor, and options. Restricted to serializable template methods
+  /// (see TemplateModel::Serialize).
+  /// @{
+  Status Serialize(BinaryWriter* writer) const;
+  static Result<LearnedWmpModel> Deserialize(BinaryReader* reader);
+  Status SaveToFile(const std::string& path) const;
+  static Result<LearnedWmpModel> LoadFromFile(const std::string& path);
+  /// @}
+
+ private:
+  LearnedWmpOptions options_;
+  TemplateModel templates_;
+  std::unique_ptr<ml::Regressor> regressor_;
+  LearnedWmpTrainStats train_stats_;
+};
+
+}  // namespace wmp::core
+
+#endif  // WMP_CORE_LEARNED_WMP_H_

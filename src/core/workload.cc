@@ -1,0 +1,41 @@
+#include "core/workload.h"
+
+#include <algorithm>
+
+namespace wmp::core {
+
+double ComputeWorkloadLabel(const std::vector<workloads::QueryRecord>& records,
+                            const std::vector<uint32_t>& batch,
+                            WorkloadLabel label) {
+  double value = 0.0;
+  for (uint32_t i : batch) {
+    const double m = records[i].actual_memory_mb;
+    value = label == WorkloadLabel::kSum ? value + m : std::max(value, m);
+  }
+  return value;
+}
+
+std::vector<WorkloadBatch> BuildWorkloads(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<uint32_t>& indices, const WorkloadSetOptions& options) {
+  const size_t s = static_cast<size_t>(std::max(options.batch_size, 1));
+  std::vector<uint32_t> order = indices;
+  if (options.shuffle) {
+    Rng rng(options.seed);
+    rng.Shuffle(&order);
+  }
+  std::vector<WorkloadBatch> batches;
+  batches.reserve(order.size() / s);
+  for (size_t start = 0; start + s <= order.size(); start += s) {
+    WorkloadBatch batch;
+    batch.query_indices.assign(
+        order.begin() + static_cast<std::ptrdiff_t>(start),
+        order.begin() + static_cast<std::ptrdiff_t>(start + s));
+    batch.label_mb = ComputeWorkloadLabel(records, batch.query_indices,
+                                          options.label);
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace wmp::core

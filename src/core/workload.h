@@ -1,0 +1,52 @@
+#ifndef WMP_CORE_WORKLOAD_H_
+#define WMP_CORE_WORKLOAD_H_
+
+/// \file workload.h
+/// Workload batching (paper step TR4): partitioning queries into fixed-size
+/// workloads and computing each workload's collective memory label `y`.
+///
+/// The paper's prose defines `y` as the SUM of the member queries' peak
+/// memory (the quantity the concurrently-executing batch demands), while
+/// its eq. (1) writes `max`; we default to sum and expose max as an option
+/// (see DESIGN.md "Paper inconsistency noted").
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "workloads/query_record.h"
+
+namespace wmp::core {
+
+/// Aggregation of per-query memory into the workload label `y`.
+enum class WorkloadLabel { kSum, kMax };
+
+/// Batching knobs.
+struct WorkloadSetOptions {
+  int batch_size = 10;  ///< `s` in the paper; tuned in Fig. 11.
+  WorkloadLabel label = WorkloadLabel::kSum;
+  bool shuffle = true;  ///< TR4 partitions queries randomly.
+  uint64_t seed = 42;
+};
+
+/// \brief One workload: the member query rows plus the label.
+struct WorkloadBatch {
+  std::vector<uint32_t> query_indices;
+  double label_mb = 0.0;
+};
+
+/// \brief Partitions `indices` into batches of `batch_size` queries
+/// (dropping a final incomplete remainder batch, matching the paper's
+/// fixed-length-workload design) and labels each.
+std::vector<WorkloadBatch> BuildWorkloads(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<uint32_t>& indices, const WorkloadSetOptions& options);
+
+/// Label of one batch under the chosen aggregation.
+double ComputeWorkloadLabel(const std::vector<workloads::QueryRecord>& records,
+                            const std::vector<uint32_t>& batch,
+                            WorkloadLabel label);
+
+}  // namespace wmp::core
+
+#endif  // WMP_CORE_WORKLOAD_H_

@@ -1,0 +1,53 @@
+#include "engine/dbms_estimator.h"
+
+#include <algorithm>
+
+namespace wmp::engine {
+
+namespace {
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+}
+
+double DbmsEstimateMemoryMb(const plan::PlanNode& root,
+                            const DbmsEstimatorOptions& options) {
+  using plan::OperatorType;
+  double total = options.memory.executor_base_bytes;
+  root.Visit([&](const plan::PlanNode& node) {
+    switch (node.op) {
+      case OperatorType::kHsJoin: {
+        const plan::PlanNode* build =
+            node.children.size() > 1 ? node.children[1].get() : nullptr;
+        const double rows = build != nullptr ? build->output_card : 0.0;
+        const double width =
+            build != nullptr ? build->row_width : node.row_width;
+        // Expert rule: hash table ~ raw build bytes, capped at the heap.
+        total += std::min(rows * width * options.hash_fudge,
+                          options.memory.hash_join_heap_bytes);
+        break;
+      }
+      case OperatorType::kSort: {
+        const double bytes = node.input_card * node.row_width;
+        total += std::min(bytes * options.sort_fudge,
+                          options.memory.sort_heap_bytes);
+        break;
+      }
+      case OperatorType::kGroupBy: {
+        if (!node.hash_mode) break;
+        // Expert rule: groups * row width, no per-entry overhead.
+        total += std::min(node.output_card * node.row_width,
+                          options.memory.group_heap_bytes);
+        break;
+      }
+      case OperatorType::kTemp: {
+        total += std::min(node.input_card * node.row_width,
+                          options.memory.sort_heap_bytes);
+        break;
+      }
+      default:
+        break;  // scans and streaming operators billed as negligible
+    }
+  });
+  return total * options.safety_factor / kBytesPerMb;
+}
+
+}  // namespace wmp::engine

@@ -1,0 +1,37 @@
+#ifndef WMP_ENGINE_DBMS_ESTIMATOR_H_
+#define WMP_ENGINE_DBMS_ESTIMATOR_H_
+
+/// \file dbms_estimator.h
+/// The state-of-practice baseline: the optimizer's own per-query working
+/// memory estimate (SingleWMP-DBMS in the paper).
+///
+/// Like commercial optimizers it (a) consumes its own — error-prone —
+/// cardinality estimates, (b) sums operator-level memory without pipeline
+/// analysis, and (c) applies expert-written fudge factors instead of
+/// modeling hash/sort overheads and spills. These three simplifications
+/// are exactly why the paper's Fig. 5 shows DBMS estimates skewed and wide.
+
+#include "engine/memory_model.h"
+#include "plan/plan_node.h"
+
+namespace wmp::engine {
+
+/// Heuristic knobs of the estimator (expert "rules").
+struct DbmsEstimatorOptions {
+  MemoryModelConfig memory;
+  /// Experts size hash tables as `rows * width` — no bucket overhead.
+  double hash_fudge = 1.0;
+  /// Sorts assumed to run fully in memory up to the heap, no overhead.
+  double sort_fudge = 1.0;
+  /// Safety factor applied to the final sum (DBAs often pad estimates).
+  double safety_factor = 1.1;
+};
+
+/// \brief Computes the optimizer's working-memory estimate for one query
+/// plan, in MB. Reads only the ESTIMATED cardinality track.
+double DbmsEstimateMemoryMb(const plan::PlanNode& root,
+                            const DbmsEstimatorOptions& options = {});
+
+}  // namespace wmp::engine
+
+#endif  // WMP_ENGINE_DBMS_ESTIMATOR_H_

@@ -1,0 +1,114 @@
+#include "engine/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wmp::engine {
+
+double NodeInputCard(const plan::PlanNode& node, CardTrack track) {
+  if (track == CardTrack::kTrue && node.true_input_card >= 0.0) {
+    return node.true_input_card;
+  }
+  return node.input_card;
+}
+
+double NodeOutputCard(const plan::PlanNode& node, CardTrack track) {
+  if (track == CardTrack::kTrue && node.true_output_card >= 0.0) {
+    return node.true_output_card;
+  }
+  return node.output_card;
+}
+
+OperatorMemory ComputeOperatorMemory(const plan::PlanNode& node,
+                                     const MemoryModelConfig& config,
+                                     CardTrack track) {
+  using plan::OperatorType;
+  OperatorMemory mem;
+  switch (node.op) {
+    case OperatorType::kTbScan:
+      mem.build_bytes = mem.resident_bytes = config.scan_buffer_bytes;
+      break;
+    case OperatorType::kIxScan:
+      mem.build_bytes = mem.resident_bytes = config.index_buffer_bytes;
+      break;
+    case OperatorType::kFetch:
+      mem.build_bytes = mem.resident_bytes = config.fetch_buffer_bytes;
+      break;
+    case OperatorType::kFilter:
+      mem.build_bytes = mem.resident_bytes = config.filter_buffer_bytes;
+      break;
+    case OperatorType::kNlJoin:
+      mem.build_bytes = mem.resident_bytes = config.nlj_buffer_bytes;
+      break;
+    case OperatorType::kMsJoin:
+      mem.build_bytes = mem.resident_bytes = config.msjoin_buffer_bytes;
+      break;
+    case OperatorType::kHsJoin: {
+      // Build side = children[1] by planner convention; its *output* rows
+      // populate the hash table.
+      const plan::PlanNode* build =
+          node.children.size() > 1 ? node.children[1].get() : nullptr;
+      const double rows = build != nullptr ? NodeOutputCard(*build, track) : 0.0;
+      const double width = build != nullptr ? build->row_width : node.row_width;
+      double table_bytes = rows * (width + config.hash_entry_overhead) /
+                           config.hash_table_load_factor;
+      if (table_bytes > config.hash_join_heap_bytes) {
+        // Grace-partitioned join: in-memory footprint capped at the heap.
+        mem.spills = true;
+        table_bytes = config.hash_join_heap_bytes;
+      }
+      mem.build_bytes = table_bytes;
+      mem.resident_bytes = table_bytes;  // probed until the join finishes
+      break;
+    }
+    case OperatorType::kSort: {
+      const double bytes = NodeInputCard(node, track) * node.row_width;
+      double sort_bytes = bytes * config.sort_overhead_factor;
+      if (sort_bytes > config.sort_heap_bytes) {
+        mem.spills = true;
+        // External sort: heap during run formation, merge buffers after.
+        mem.build_bytes = config.sort_heap_bytes;
+        const double runs =
+            std::max(2.0, std::ceil(sort_bytes / config.sort_heap_bytes));
+        mem.resident_bytes =
+            std::min(runs, 16.0) * config.merge_buffer_bytes;
+      } else {
+        mem.build_bytes = sort_bytes;
+        mem.resident_bytes = sort_bytes;  // sorted data streamed out
+      }
+      break;
+    }
+    case OperatorType::kGroupBy: {
+      if (!node.hash_mode) {
+        // Streaming over sorted input holds one group at a time.
+        mem.build_bytes = mem.resident_bytes = config.filter_buffer_bytes;
+        break;
+      }
+      const double groups = NodeOutputCard(node, track);
+      double table_bytes =
+          groups *
+          (node.row_width + config.agg_state_bytes + config.hash_entry_overhead) /
+          config.hash_table_load_factor;
+      if (table_bytes > config.group_heap_bytes) {
+        mem.spills = true;
+        table_bytes = config.group_heap_bytes;
+      }
+      mem.build_bytes = table_bytes;
+      mem.resident_bytes = table_bytes;  // emitted by iterating the table
+      break;
+    }
+    case OperatorType::kTemp: {
+      const double bytes = NodeInputCard(node, track) * node.row_width;
+      mem.build_bytes = mem.resident_bytes =
+          std::min(bytes, config.sort_heap_bytes);
+      mem.spills = bytes > config.sort_heap_bytes;
+      break;
+    }
+    case OperatorType::kReturn:
+      mem.build_bytes = mem.resident_bytes = 0.0;
+      break;
+  }
+  return mem;
+}
+
+}  // namespace wmp::engine

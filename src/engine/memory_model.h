@@ -1,0 +1,65 @@
+#ifndef WMP_ENGINE_MEMORY_MODEL_H_
+#define WMP_ENGINE_MEMORY_MODEL_H_
+
+/// \file memory_model.h
+/// Per-operator working-memory formulas.
+///
+/// The same formulas serve both sides of the experiment:
+///  * fed with TRUE cardinalities (+ overheads + spill modeling) they give
+///    the simulated ground truth `m`,
+///  * fed with ESTIMATED cardinalities (and the cruder heuristic knobs of
+///    `DbmsEstimator`) they give the state-of-practice estimate.
+
+#include <cstdint>
+
+#include "plan/plan_node.h"
+
+namespace wmp::engine {
+
+/// Tunable memory-model parameters (defaults model a mid-size OLAP node
+/// with per-operator heaps, roughly a Db2 SHEAPTHRES-style configuration).
+struct MemoryModelConfig {
+  double sort_heap_bytes = 256.0 * 1024 * 1024;   ///< per-sort cap, then spill
+  double hash_join_heap_bytes = 512.0 * 1024 * 1024;
+  double group_heap_bytes = 384.0 * 1024 * 1024;
+  double sort_overhead_factor = 1.15;   ///< tournament-tree + pointer overhead
+  double hash_entry_overhead = 24.0;    ///< bucket pointer + hash + latch
+  double hash_table_load_factor = 0.75;
+  double agg_state_bytes = 16.0;        ///< running aggregate state per group
+  double merge_buffer_bytes = 2.0 * 1024 * 1024;  ///< external-sort run buffer
+  double scan_buffer_bytes = 256.0 * 1024;        ///< table-scan prefetch
+  double index_buffer_bytes = 64.0 * 1024;
+  double fetch_buffer_bytes = 128.0 * 1024;
+  double nlj_buffer_bytes = 64.0 * 1024;
+  double msjoin_buffer_bytes = 512.0 * 1024;
+  double filter_buffer_bytes = 16.0 * 1024;
+  double executor_base_bytes = 512.0 * 1024;  ///< per-query runtime structures
+};
+
+/// \brief Which cardinality track the formulas read.
+enum class CardTrack { kEstimated, kTrue };
+
+/// \brief Memory demand of one operator, decomposed into the phase it is
+/// *building* (consuming input) and the footprint it keeps *resident* while
+/// producing output / being probed.
+struct OperatorMemory {
+  double build_bytes = 0.0;    ///< held while consuming input
+  double resident_bytes = 0.0; ///< held while downstream consumes
+  bool spills = false;         ///< exceeded its heap and went external
+};
+
+/// \brief Computes the memory demand of `node` under `config`.
+///
+/// \param track  which cardinality annotations to read. Reading the true
+///               track of an unannotated plan falls back to estimates.
+OperatorMemory ComputeOperatorMemory(const plan::PlanNode& node,
+                                     const MemoryModelConfig& config,
+                                     CardTrack track);
+
+/// Cardinality accessors honoring the track fallback.
+double NodeInputCard(const plan::PlanNode& node, CardTrack track);
+double NodeOutputCard(const plan::PlanNode& node, CardTrack track);
+
+}  // namespace wmp::engine
+
+#endif  // WMP_ENGINE_MEMORY_MODEL_H_

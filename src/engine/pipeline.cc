@@ -1,0 +1,98 @@
+#include "engine/pipeline.h"
+
+#include <algorithm>
+
+namespace wmp::engine {
+
+namespace {
+
+MemoryProfile Analyze(const plan::PlanNode& node,
+                      const MemoryModelConfig& config, CardTrack track) {
+  using plan::OperatorType;
+  const OperatorMemory own = ComputeOperatorMemory(node, config, track);
+
+  std::vector<MemoryProfile> kids;
+  kids.reserve(node.children.size());
+  MemoryProfile out;
+  for (const auto& child : node.children) {
+    kids.push_back(Analyze(*child, config, track));
+    out.spill_count += kids.back().spill_count;
+  }
+  if (own.spills) ++out.spill_count;
+
+  switch (node.op) {
+    case OperatorType::kSort:
+    case OperatorType::kTemp: {
+      // Build phase: the child's *streaming* footprint coexists with the
+      // growing buffer; the child's own internal build phases happened
+      // before this operator allocated anything.
+      const MemoryProfile& c = kids[0];
+      const double build_phase = c.active_bytes + own.build_bytes;
+      out.peak_bytes =
+          std::max({c.peak_bytes, build_phase, own.resident_bytes});
+      out.active_bytes = own.resident_bytes;
+      return out;
+    }
+    case OperatorType::kGroupBy: {
+      const MemoryProfile& c = kids[0];
+      if (node.hash_mode) {
+        const double build_phase = c.active_bytes + own.build_bytes;
+        out.peak_bytes =
+            std::max({c.peak_bytes, build_phase, own.resident_bytes});
+        out.active_bytes = own.resident_bytes;
+      } else {
+        out.active_bytes = own.build_bytes + c.active_bytes;
+        out.peak_bytes = std::max(c.peak_bytes + own.build_bytes,
+                                  out.active_bytes);
+      }
+      return out;
+    }
+    case OperatorType::kHsJoin: {
+      const MemoryProfile& probe = kids[0];
+      const MemoryProfile& build = kids[1];
+      const double table = own.resident_bytes;
+      // Build phase streams the build child into the table; probe phase
+      // keeps the full table resident while the probe pipeline (including
+      // its internal phases) runs.
+      const double build_phase = build.active_bytes + own.build_bytes;
+      out.peak_bytes =
+          std::max({build.peak_bytes, build_phase, table + probe.peak_bytes});
+      out.active_bytes = table + probe.active_bytes;
+      return out;
+    }
+    case OperatorType::kNlJoin:
+    case OperatorType::kMsJoin: {
+      const MemoryProfile& c0 = kids[0];
+      const MemoryProfile& c1 = kids[1];
+      out.active_bytes = own.build_bytes + c0.active_bytes + c1.active_bytes;
+      out.peak_bytes =
+          own.build_bytes + std::max(c0.peak_bytes + c1.active_bytes,
+                                     c1.peak_bytes + c0.active_bytes);
+      out.peak_bytes = std::max(out.peak_bytes, out.active_bytes);
+      return out;
+    }
+    default: {  // streaming unary ops and leaves
+      double child_active = 0.0, child_peak = 0.0;
+      if (!kids.empty()) {
+        child_active = kids[0].active_bytes;
+        child_peak = kids[0].peak_bytes;
+      }
+      out.active_bytes = own.build_bytes + child_active;
+      out.peak_bytes = std::max(child_peak + own.build_bytes, out.active_bytes);
+      return out;
+    }
+  }
+}
+
+}  // namespace
+
+MemoryProfile AnalyzePlanMemory(const plan::PlanNode& root,
+                                const MemoryModelConfig& config,
+                                CardTrack track) {
+  MemoryProfile profile = Analyze(root, config, track);
+  profile.active_bytes += config.executor_base_bytes;
+  profile.peak_bytes += config.executor_base_bytes;
+  return profile;
+}
+
+}  // namespace wmp::engine

@@ -1,0 +1,51 @@
+#ifndef WMP_ENGINE_PIPELINE_H_
+#define WMP_ENGINE_PIPELINE_H_
+
+/// \file pipeline.h
+/// Pipeline-aware peak-memory analysis.
+///
+/// A plan executes as a sequence of pipelines separated by blocking
+/// operators (SORT, hash GROUP BY, TEMP, and the build side of HSJOIN).
+/// Peak working memory is NOT the sum of all operator memories: a sort's
+/// buffer and the hash table it feeds exist at different times, while a
+/// probe-side scan and the resident hash table exist at the same time.
+///
+/// The recursion computes, per subtree:
+///  * `active`  — bytes held while the subtree is streaming rows up,
+///  * `peak`    — maximum bytes alive at any instant of the subtree's
+///                 entire execution (including its internal build phases).
+///
+/// Rules (children already analyzed):
+///  * streaming unary op:  active = own + child.active,
+///                         peak = max(child.peak + own, active)
+///  * streaming binary op (NLJOIN/MSJOIN — both inputs open):
+///        active = own + c0.active + c1.active
+///        peak   = own + max(c0.peak + c1.active, c1.peak + c0.active)
+///  * SORT/TEMP/hash-GRPBY (blocking):
+///        peak   = max(child.peak + build, resident)
+///        active = resident              (child freed before producing)
+///  * HSJOIN (build = child 1, probe = child 0):
+///        peak   = max(c1.peak + build, resident + c0.peak + own_buffers)
+///        active = resident + c0.active
+
+#include "engine/memory_model.h"
+#include "plan/plan_node.h"
+
+namespace wmp::engine {
+
+/// \brief Result of analyzing one subtree.
+struct MemoryProfile {
+  double active_bytes = 0.0;
+  double peak_bytes = 0.0;
+  int spill_count = 0;  ///< operators that exceeded their heap
+};
+
+/// \brief Computes the peak-memory profile of `root` under `config`,
+/// reading the chosen cardinality track.
+MemoryProfile AnalyzePlanMemory(const plan::PlanNode& root,
+                                const MemoryModelConfig& config,
+                                CardTrack track);
+
+}  // namespace wmp::engine
+
+#endif  // WMP_ENGINE_PIPELINE_H_

@@ -1,0 +1,28 @@
+#include "engine/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wmp::engine {
+
+namespace {
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+}
+
+double Simulator::NoiselessPeakMemoryMb(const plan::PlanNode& root) const {
+  const MemoryProfile profile =
+      AnalyzePlanMemory(root, options_.memory, CardTrack::kTrue);
+  return profile.peak_bytes / kBytesPerMb;
+}
+
+double Simulator::SimulatePeakMemoryMb(const plan::PlanNode& root) {
+  double mb = NoiselessPeakMemoryMb(root);
+  if (options_.noise_sigma > 0.0) {
+    // Bounded log-normal: clamp to +-3 sigma to keep labels physical.
+    const double z = std::clamp(rng_.Normal(0.0, 1.0), -3.0, 3.0);
+    mb *= std::exp(options_.noise_sigma * z);
+  }
+  return mb;
+}
+
+}  // namespace wmp::engine

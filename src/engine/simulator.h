@@ -1,0 +1,52 @@
+#ifndef WMP_ENGINE_SIMULATOR_H_
+#define WMP_ENGINE_SIMULATOR_H_
+
+/// \file simulator.h
+/// Execution-memory simulator: the stand-in for "run the query on the DBMS
+/// and read the peak working memory from the monitor".
+///
+/// Given a plan annotated with true cardinalities it returns the simulated
+/// peak working memory `m` in megabytes: the pipeline-aware peak over the
+/// TRUE cardinality track, perturbed by bounded log-normal noise modeling
+/// run-to-run variance (buffer rounding, partial pipelining, allocator
+/// slop). The learned models never see the simulator's internals — only
+/// the resulting (plan, m) pairs, the same interface a DBMS query log
+/// provides (paper step TR1).
+
+#include "engine/pipeline.h"
+#include "util/random.h"
+
+namespace wmp::engine {
+
+/// Simulator configuration.
+struct SimulatorOptions {
+  MemoryModelConfig memory;
+  /// Log-normal sigma of run-to-run noise (0 disables noise).
+  double noise_sigma = 0.06;
+  uint64_t seed = 7;
+};
+
+/// \brief Simulates peak working memory for annotated plans.
+class Simulator {
+ public:
+  explicit Simulator(SimulatorOptions options = {})
+      : options_(options), rng_(options.seed) {}
+
+  /// Peak working memory of one query in MB. The plan must carry true
+  /// cardinality annotations (falls back to estimates otherwise, which is
+  /// only appropriate in tests).
+  double SimulatePeakMemoryMb(const plan::PlanNode& root);
+
+  /// Deterministic component (no noise), for tests and calibration.
+  double NoiselessPeakMemoryMb(const plan::PlanNode& root) const;
+
+  const SimulatorOptions& options() const { return options_; }
+
+ private:
+  SimulatorOptions options_;
+  Rng rng_;
+};
+
+}  // namespace wmp::engine
+
+#endif  // WMP_ENGINE_SIMULATOR_H_

@@ -1,0 +1,71 @@
+#include "ml/dbscan.h"
+
+#include <deque>
+
+namespace wmp::ml {
+
+Status Dbscan::Fit(const Matrix& x, const DbscanOptions& options) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("Dbscan::Fit on empty matrix");
+  }
+  if (options.eps <= 0.0 || options.min_points < 1) {
+    return Status::InvalidArgument("Dbscan: eps must be > 0, min_points >= 1");
+  }
+  const size_t n = x.rows(), d = x.cols();
+  const double eps2 = options.eps * options.eps;
+
+  auto region_query = [&](size_t i) {
+    std::vector<size_t> out;
+    const double* row = x.RowPtr(i);
+    for (size_t j = 0; j < n; ++j) {
+      if (SquaredDistance(row, x.RowPtr(j), d) <= eps2) out.push_back(j);
+    }
+    return out;
+  };
+
+  constexpr int kUnvisited = -2;
+  constexpr int kNoise = -1;
+  labels_.assign(n, kUnvisited);
+  int cluster = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels_[i] != kUnvisited) continue;
+    std::vector<size_t> neighbors = region_query(i);
+    if (neighbors.size() < static_cast<size_t>(options.min_points)) {
+      labels_[i] = kNoise;
+      continue;
+    }
+    labels_[i] = cluster;
+    std::deque<size_t> frontier(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      size_t j = frontier.front();
+      frontier.pop_front();
+      if (labels_[j] == kNoise) labels_[j] = cluster;  // border point
+      if (labels_[j] != kUnvisited) continue;
+      labels_[j] = cluster;
+      std::vector<size_t> jn = region_query(j);
+      if (jn.size() >= static_cast<size_t>(options.min_points)) {
+        frontier.insert(frontier.end(), jn.begin(), jn.end());
+      }
+    }
+    ++cluster;
+  }
+  num_clusters_ = cluster;
+
+  centroids_ = Matrix(static_cast<size_t>(num_clusters_), d);
+  std::vector<size_t> counts(static_cast<size_t>(num_clusters_), 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (labels_[i] < 0) continue;
+    double* crow = centroids_.RowPtr(static_cast<size_t>(labels_[i]));
+    const double* row = x.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) crow[j] += row[j];
+    ++counts[static_cast<size_t>(labels_[i])];
+  }
+  for (int c = 0; c < num_clusters_; ++c) {
+    double* crow = centroids_.RowPtr(static_cast<size_t>(c));
+    const double denom = std::max<size_t>(counts[static_cast<size_t>(c)], 1);
+    for (size_t j = 0; j < d; ++j) crow[j] /= static_cast<double>(denom);
+  }
+  return Status::OK();
+}
+
+}  // namespace wmp::ml

@@ -1,0 +1,50 @@
+#ifndef WMP_ML_DBSCAN_H_
+#define WMP_ML_DBSCAN_H_
+
+/// \file dbscan.h
+/// DBSCAN density clustering. The paper's related-work section reports an
+/// ablation comparing DBSCAN-learned templates against k-means templates
+/// (DBSeer uses DBSCAN for transaction-type learning); `bench/abl_clustering`
+/// reproduces that comparison.
+
+#include <vector>
+
+#include "ml/linalg.h"
+#include "util/status.h"
+
+namespace wmp::ml {
+
+/// Configuration for DBSCAN::Fit.
+struct DbscanOptions {
+  double eps = 0.5;     ///< neighborhood radius (Euclidean).
+  int min_points = 5;   ///< core-point density threshold (incl. self).
+};
+
+/// \brief DBSCAN clustering; noise points get label -1.
+///
+/// To use DBSCAN output as query templates, callers typically map noise to
+/// its nearest cluster centroid (see `TemplateLearner`).
+class Dbscan {
+ public:
+  Dbscan() = default;
+
+  /// Clusters the rows of `x`; O(n^2) neighbor search, intended for the
+  /// template-ablation scale (thousands of queries).
+  Status Fit(const Matrix& x, const DbscanOptions& options);
+
+  /// Per-row cluster labels; -1 means noise.
+  const std::vector<int>& labels() const { return labels_; }
+  int num_clusters() const { return num_clusters_; }
+
+  /// Mean point of each cluster (noise excluded); `num_clusters()` rows.
+  const Matrix& centroids() const { return centroids_; }
+
+ private:
+  std::vector<int> labels_;
+  int num_clusters_ = 0;
+  Matrix centroids_;
+};
+
+}  // namespace wmp::ml
+
+#endif  // WMP_ML_DBSCAN_H_

@@ -1,0 +1,132 @@
+#ifndef WMP_ML_DTREE_H_
+#define WMP_ML_DTREE_H_
+
+/// \file dtree.h
+/// CART regression trees with histogram-based split finding.
+///
+/// Features are quantile-binned once per dataset (`FeatureBinner`); split
+/// search then scans per-bin statistics instead of sorting rows at every
+/// node, which keeps single-core training fast at the paper's 93k-query
+/// scale. The same binning infrastructure is reused by the random forest
+/// and the gradient-boosted trees.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/regressor.h"
+#include "util/random.h"
+
+namespace wmp::ml {
+
+/// \brief Quantile binning of continuous features into at most `max_bins`
+/// buckets per feature.
+class FeatureBinner {
+ public:
+  /// Computes per-feature bin edges from the rows of `x`.
+  /// \param max_bins  upper bound on buckets per feature (2..65535).
+  Status Fit(const Matrix& x, int max_bins = 64);
+
+  /// Bin index of `value` for feature `f` (0-based, < NumBins(f)).
+  uint16_t BinValue(size_t f, double value) const;
+
+  /// Bins every row of `x`; returns a row-major `n x d` bin-index buffer.
+  Result<std::vector<uint16_t>> BinAll(const Matrix& x) const;
+
+  /// Number of buckets for feature `f`.
+  size_t NumBins(size_t f) const { return edges_[f].size() + 1; }
+  size_t num_features() const { return edges_.size(); }
+  bool fitted() const { return !edges_.empty(); }
+
+  /// Upper edge of bucket `bin` for feature `f` — the raw-value threshold a
+  /// tree node stores so prediction never needs the binner.
+  double UpperEdge(size_t f, size_t bin) const { return edges_[f][bin]; }
+
+ private:
+  // edges_[f] is a sorted list of cut points; value <= edges_[f][i] and
+  // > edges_[f][i-1] falls in bin i; values above the last edge fall in the
+  // final bin.
+  std::vector<std::vector<double>> edges_;
+};
+
+/// \brief Flat-array tree node. `feature == -1` marks a leaf.
+struct TreeNode {
+  int feature = -1;
+  double threshold = 0.0;  ///< go left iff x[feature] <= threshold
+  int left = -1;
+  int right = -1;
+  double value = 0.0;  ///< leaf prediction
+};
+
+/// Hyperparameters shared by the tree learners.
+struct TreeOptions {
+  int max_depth = 10;
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+  /// Features examined per split: 0 = all, else ceil(fraction * d).
+  double feature_fraction = 0.0;
+  int max_bins = 64;
+};
+
+/// \brief A single regression tree trained on pre-binned data with variance
+/// reduction as the split criterion. Building block for DecisionTree and
+/// RandomForest regressors.
+class RegressionTree {
+ public:
+  /// Trains on rows `row_indices` of the binned design.
+  /// \param bins    row-major n x d bin indices from FeatureBinner::BinAll
+  /// \param binner  fitted binner (for raw-value thresholds)
+  /// \param y       targets, length n
+  Status Fit(const std::vector<uint16_t>& bins, size_t num_features,
+             const FeatureBinner& binner, const std::vector<double>& y,
+             const std::vector<uint32_t>& row_indices,
+             const TreeOptions& options, Rng* rng);
+
+  /// Predicts from raw (un-binned) features.
+  double Predict(const std::vector<double>& x) const;
+  double Predict(const double* x, size_t n) const;
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  bool fitted() const { return !nodes_.empty(); }
+
+  /// Wraps an externally built node array (used by the gradient booster,
+  /// which grows trees on gradient/hessian statistics instead of variance).
+  static RegressionTree FromNodes(std::vector<TreeNode> nodes);
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<RegressionTree> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+/// Hyperparameters for DecisionTreeRegressor.
+struct DecisionTreeOptions {
+  TreeOptions tree;
+  uint64_t seed = 42;
+};
+
+/// \brief Single CART tree exposed through the Regressor interface — the
+/// paper's "DT" model family.
+class DecisionTreeRegressor : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(DecisionTreeOptions options = {})
+      : options_(options) {}
+
+  std::string Name() const override { return "DT"; }
+  Status Fit(const Matrix& x, const std::vector<double>& y) override;
+  Result<double> PredictOne(const std::vector<double>& x) const override;
+  Status Serialize(BinaryWriter* writer) const override;
+
+  static Result<std::unique_ptr<DecisionTreeRegressor>> Deserialize(
+      BinaryReader* reader);
+
+  const RegressionTree& tree() const { return tree_; }
+
+ private:
+  DecisionTreeOptions options_;
+  RegressionTree tree_;
+};
+
+}  // namespace wmp::ml
+
+#endif  // WMP_ML_DTREE_H_

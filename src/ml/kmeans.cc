@@ -1,0 +1,219 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ml/regressor.h"
+#include "util/random.h"
+
+namespace wmp::ml {
+
+namespace {
+
+// One full k-means++ init followed by Lloyd iterations.
+// Returns (centroids, inertia).
+std::pair<Matrix, double> RunOnce(const Matrix& x, int k, int max_iters,
+                                  double tol, Rng* rng) {
+  const size_t n = x.rows(), d = x.cols();
+  const size_t kk = static_cast<size_t>(k);
+  Matrix centroids(kk, d);
+
+  // --- k-means++ seeding ---
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  size_t first = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+  std::copy(x.RowPtr(first), x.RowPtr(first) + d, centroids.RowPtr(0));
+  for (size_t c = 1; c < kk; ++c) {
+    const double* prev = centroids.RowPtr(c - 1);
+    for (size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i], SquaredDistance(x.RowPtr(i), prev, d));
+    }
+    double total = 0.0;
+    for (double v : min_dist) total += v;
+    size_t chosen;
+    if (total <= 0.0) {
+      chosen = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+    } else {
+      double r = rng->UniformDouble() * total;
+      double acc = 0.0;
+      chosen = n - 1;
+      for (size_t i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (r < acc) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    std::copy(x.RowPtr(chosen), x.RowPtr(chosen) + d, centroids.RowPtr(c));
+  }
+
+  // --- Lloyd iterations ---
+  std::vector<int> labels(n, 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+  double inertia = prev_inertia;
+  for (int it = 0; it < max_iters; ++it) {
+    inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = x.RowPtr(i);
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (size_t c = 0; c < kk; ++c) {
+        const double dist = SquaredDistance(row, centroids.RowPtr(c), d);
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<int>(c);
+        }
+      }
+      labels[i] = best_c;
+      inertia += best;
+    }
+    // Recompute centroids.
+    Matrix sums(kk, d);
+    std::vector<size_t> counts(kk, 0);
+    for (size_t i = 0; i < n; ++i) {
+      double* srow = sums.RowPtr(static_cast<size_t>(labels[i]));
+      const double* row = x.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) srow[j] += row[j];
+      ++counts[static_cast<size_t>(labels[i])];
+    }
+    for (size_t c = 0; c < kk; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed on a random point to keep k live clusters.
+        size_t p = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+        std::copy(x.RowPtr(p), x.RowPtr(p) + d, centroids.RowPtr(c));
+        continue;
+      }
+      double* crow = centroids.RowPtr(c);
+      const double* srow = sums.RowPtr(c);
+      for (size_t j = 0; j < d; ++j) {
+        crow[j] = srow[j] / static_cast<double>(counts[c]);
+      }
+    }
+    if (prev_inertia - inertia <= tol * std::max(prev_inertia, 1e-12)) break;
+    prev_inertia = inertia;
+  }
+  return {std::move(centroids), inertia};
+}
+
+}  // namespace
+
+Status KMeans::Fit(const Matrix& x, const KMeansOptions& options) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("KMeans::Fit on empty matrix");
+  }
+  if (options.num_clusters < 1) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  const int k =
+      std::min<int>(options.num_clusters, static_cast<int>(x.rows()));
+  Rng rng(options.seed);
+  double best_inertia = std::numeric_limits<double>::max();
+  Matrix best;
+  const int restarts = std::max(options.n_init, 1);
+  for (int r = 0; r < restarts; ++r) {
+    auto [centroids, inertia] =
+        RunOnce(x, k, options.max_iters, options.tol, &rng);
+    if (inertia < best_inertia) {
+      best_inertia = inertia;
+      best = std::move(centroids);
+    }
+  }
+  centroids_ = std::move(best);
+  inertia_ = best_inertia;
+  return Status::OK();
+}
+
+Result<int> KMeans::Assign(const std::vector<double>& row) const {
+  if (!fitted()) return Status::FailedPrecondition("KMeans not fitted");
+  if (row.size() != centroids_.cols()) {
+    return Status::InvalidArgument("KMeans::Assign dimension mismatch");
+  }
+  double best = std::numeric_limits<double>::max();
+  int best_c = 0;
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    const double dist =
+        SquaredDistance(row.data(), centroids_.RowPtr(c), row.size());
+    if (dist < best) {
+      best = dist;
+      best_c = static_cast<int>(c);
+    }
+  }
+  return best_c;
+}
+
+Result<std::vector<int>> KMeans::AssignAll(const Matrix& x) const {
+  if (!fitted()) return Status::FailedPrecondition("KMeans not fitted");
+  if (x.cols() != centroids_.cols()) {
+    return Status::InvalidArgument("KMeans::AssignAll dimension mismatch");
+  }
+  std::vector<int> labels(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    WMP_ASSIGN_OR_RETURN(labels[i], Assign(x.RowVec(i)));
+  }
+  return labels;
+}
+
+void KMeans::Serialize(BinaryWriter* writer) const {
+  writer->WriteU32(serialize_tags::kKMeans);
+  writer->WriteU64(centroids_.rows());
+  writer->WriteU64(centroids_.cols());
+  writer->WriteDoubleVec(centroids_.data());
+  writer->WriteDouble(inertia_);
+}
+
+Result<KMeans> KMeans::Deserialize(BinaryReader* reader) {
+  WMP_ASSIGN_OR_RETURN(uint32_t tag, reader->ReadU32());
+  if (tag != serialize_tags::kKMeans) {
+    return Status::InvalidArgument("bad kmeans magic tag");
+  }
+  WMP_ASSIGN_OR_RETURN(uint64_t rows, reader->ReadU64());
+  WMP_ASSIGN_OR_RETURN(uint64_t cols, reader->ReadU64());
+  WMP_ASSIGN_OR_RETURN(std::vector<double> data, reader->ReadDoubleVec());
+  if (data.size() != rows * cols) {
+    return Status::InvalidArgument("kmeans stream corrupt");
+  }
+  KMeans km;
+  km.centroids_ = Matrix(rows, cols, std::move(data));
+  WMP_ASSIGN_OR_RETURN(km.inertia_, reader->ReadDouble());
+  return km;
+}
+
+Result<std::vector<double>> KMeansElbowCurve(const Matrix& x,
+                                             const std::vector<int>& ks,
+                                             const KMeansOptions& base) {
+  std::vector<double> inertias;
+  inertias.reserve(ks.size());
+  for (int k : ks) {
+    KMeans km;
+    KMeansOptions opt = base;
+    opt.num_clusters = k;
+    WMP_RETURN_IF_ERROR(km.Fit(x, opt));
+    inertias.push_back(km.inertia());
+  }
+  return inertias;
+}
+
+size_t PickElbow(const std::vector<double>& inertias) {
+  if (inertias.size() < 3) return inertias.empty() ? 0 : inertias.size() - 1;
+  // Max distance from the chord connecting the first and last points.
+  const double x0 = 0.0, y0 = inertias.front();
+  const double x1 = static_cast<double>(inertias.size() - 1);
+  const double y1 = inertias.back();
+  const double dx = x1 - x0, dy = y1 - y0;
+  const double norm = std::sqrt(dx * dx + dy * dy);
+  size_t best_i = 0;
+  double best_d = -1.0;
+  for (size_t i = 0; i < inertias.size(); ++i) {
+    const double px = static_cast<double>(i) - x0;
+    const double py = inertias[i] - y0;
+    const double dist = norm > 0 ? std::fabs(dx * py - dy * px) / norm : 0.0;
+    if (dist > best_d) {
+      best_d = dist;
+      best_i = i;
+    }
+  }
+  return best_i;
+}
+
+}  // namespace wmp::ml

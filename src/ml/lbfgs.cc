@@ -1,0 +1,155 @@
+#include "ml/lbfgs.h"
+
+#include <cmath>
+#include <deque>
+
+#include "ml/linalg.h"
+
+namespace wmp::ml {
+
+namespace {
+
+double InfNorm(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace
+
+Result<LbfgsSummary> MinimizeLbfgs(const ObjectiveFn& f,
+                                   std::vector<double> x0,
+                                   const LbfgsOptions& options) {
+  if (x0.empty()) return Status::InvalidArgument("L-BFGS: empty start point");
+  const size_t n = x0.size();
+
+  std::vector<double> x = std::move(x0);
+  std::vector<double> grad(n, 0.0);
+  double loss = f(x, &grad);
+  if (grad.size() != n) {
+    return Status::InvalidArgument("L-BFGS: gradient length mismatch");
+  }
+
+  struct Pair {
+    std::vector<double> s;  // x_{k+1} - x_k
+    std::vector<double> y;  // g_{k+1} - g_k
+    double rho;             // 1 / (y . s)
+  };
+  std::deque<Pair> memory;
+
+  LbfgsSummary out;
+  std::vector<double> direction(n), x_new(n), grad_new(n, 0.0), alpha_buf;
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    if (InfNorm(grad) < options.grad_tol) {
+      out.converged = true;
+      break;
+    }
+    // Two-loop recursion: direction = -H * grad.
+    direction = grad;
+    alpha_buf.assign(memory.size(), 0.0);
+    for (size_t i = memory.size(); i-- > 0;) {
+      const Pair& p = memory[i];
+      alpha_buf[i] = p.rho * Dot(p.s, direction);
+      Axpy(-alpha_buf[i], p.y, &direction);
+    }
+    if (!memory.empty()) {
+      const Pair& last = memory.back();
+      const double yy = Dot(last.y, last.y);
+      if (yy > 1e-300) {
+        const double scale = Dot(last.s, last.y) / yy;
+        for (double& v : direction) v *= scale;
+      }
+    }
+    for (size_t i = 0; i < memory.size(); ++i) {
+      const Pair& p = memory[i];
+      const double beta = p.rho * Dot(p.y, direction);
+      Axpy(alpha_buf[i] - beta, p.s, &direction);
+    }
+    for (double& v : direction) v = -v;
+
+    double dir_dot_grad = Dot(direction, grad);
+    if (dir_dot_grad >= 0.0) {
+      // Not a descent direction (stale curvature): fall back to steepest
+      // descent and drop history.
+      memory.clear();
+      for (size_t i = 0; i < n; ++i) direction[i] = -grad[i];
+      dir_dot_grad = -Dot(grad, grad);
+    }
+
+    // Weak-Wolfe line search: backtrack on Armijo failure, expand when the
+    // curvature condition shows the step is too short. Expansion matters:
+    // pure backtracking accepts microscopic steps whose (s, y) pairs poison
+    // the inverse-Hessian estimate on ill-conditioned objectives.
+    constexpr double kC2 = 0.9;
+    double lo = 0.0, hi = 0.0;  // hi == 0 means "no upper bracket yet"
+    double step = 1.0;
+    double new_loss = loss;
+    bool accepted = false;
+    double armijo_step = -1.0, armijo_loss = loss;  // best fallback point
+    std::vector<double> armijo_x, armijo_grad;
+    for (int ls = 0; ls < options.max_line_search; ++ls) {
+      for (size_t i = 0; i < n; ++i) x_new[i] = x[i] + step * direction[i];
+      new_loss = f(x_new, &grad_new);
+      const bool armijo_ok =
+          std::isfinite(new_loss) &&
+          new_loss <= loss + options.c1 * step * dir_dot_grad;
+      if (!armijo_ok) {
+        hi = step;
+        step = 0.5 * (lo + hi);
+        continue;
+      }
+      if (new_loss < armijo_loss) {
+        armijo_step = step;
+        armijo_loss = new_loss;
+        armijo_x = x_new;
+        armijo_grad = grad_new;
+      }
+      if (Dot(grad_new, direction) < kC2 * dir_dot_grad) {
+        // Slope still steeply negative: step too short, move right.
+        lo = step;
+        step = hi > 0.0 ? 0.5 * (lo + hi) : 2.0 * step;
+        continue;
+      }
+      accepted = true;
+      break;
+    }
+    if (!accepted) {
+      if (armijo_step < 0.0) break;  // no acceptable point at all
+      // Fall back to the best Armijo point seen during the search.
+      x_new = std::move(armijo_x);
+      grad_new = std::move(armijo_grad);
+      new_loss = armijo_loss;
+    }
+
+    Pair p;
+    p.s.resize(n);
+    p.y.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      p.s[i] = x_new[i] - x[i];
+      p.y[i] = grad_new[i] - grad[i];
+    }
+    const double sy = Dot(p.s, p.y);
+    if (sy > 1e-12) {
+      p.rho = 1.0 / sy;
+      memory.push_back(std::move(p));
+      if (memory.size() > static_cast<size_t>(options.history)) {
+        memory.pop_front();
+      }
+    }
+
+    const double improvement = loss - new_loss;
+    x.swap(x_new);
+    grad.swap(grad_new);
+    loss = new_loss;
+    out.iterations = iter + 1;
+    if (improvement < options.f_tol * std::max(std::fabs(loss), 1.0)) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.x = std::move(x);
+  out.loss = loss;
+  return out;
+}
+
+}  // namespace wmp::ml

@@ -1,0 +1,51 @@
+#ifndef WMP_ML_LBFGS_H_
+#define WMP_ML_LBFGS_H_
+
+/// \file lbfgs.h
+/// Limited-memory BFGS minimizer with Armijo backtracking line search.
+///
+/// The paper compares L-BFGS against Adam for MLP training (§III-B3,
+/// following scikit-learn's guidance that L-BFGS wins on small datasets);
+/// `bench/abl_optimizer` reproduces that comparison.
+
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wmp::ml {
+
+/// Objective callback: returns the loss at `x` and writes the gradient
+/// (same length as `x`) into `*grad`.
+using ObjectiveFn =
+    std::function<double(const std::vector<double>& x, std::vector<double>* grad)>;
+
+/// Configuration for MinimizeLbfgs.
+struct LbfgsOptions {
+  int max_iters = 200;      ///< outer iterations.
+  int history = 10;         ///< stored (s, y) curvature pairs.
+  double grad_tol = 1e-6;   ///< stop when ||grad||_inf falls below this.
+  double f_tol = 1e-9;      ///< stop on relative loss improvement below this.
+  double c1 = 1e-4;         ///< Armijo sufficient-decrease constant.
+  int max_line_search = 25; ///< backtracking steps per iteration.
+};
+
+/// Outcome of an L-BFGS run.
+struct LbfgsSummary {
+  std::vector<double> x;  ///< final parameters.
+  double loss = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Minimizes `f` starting from `x0`.
+///
+/// Returns InvalidArgument if `x0` is empty or the objective produces a
+/// gradient of the wrong length.
+Result<LbfgsSummary> MinimizeLbfgs(const ObjectiveFn& f,
+                                   std::vector<double> x0,
+                                   const LbfgsOptions& options = {});
+
+}  // namespace wmp::ml
+
+#endif  // WMP_ML_LBFGS_H_

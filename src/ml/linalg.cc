@@ -1,0 +1,168 @@
+#include "ml/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wmp::ml {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  assert(data_.size() == rows_ * cols_);
+}
+
+std::vector<double> Matrix::RowVec(size_t r) const {
+  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+Status Matrix::AppendRow(const std::vector<double>& row) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = row.size();
+  } else if (row.size() != cols_) {
+    return Status::InvalidArgument("row length mismatch in AppendRow");
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+  return Status::OK();
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
+  }
+  return t;
+}
+
+Result<Matrix> Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  for (const auto& r : rows) WMP_RETURN_IF_ERROR(m.AppendRow(r));
+  return m;
+}
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  assert(x.size() == a.cols());
+  std::vector<double> y(a.rows(), 0.0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x) {
+  assert(x.size() == a.rows());
+  std::vector<double> y(a.cols(), 0.0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.RowPtr(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < a.cols(); ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over rows of b and c.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.RowPtr(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.At(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.RowPtr(r);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      double* grow = g.RowPtr(i);
+      for (size_t j = i; j < a.cols(); ++j) grow[j] += ri * row[j];
+    }
+  }
+  // Mirror the upper triangle.
+  for (size_t i = 0; i < g.rows(); ++i) {
+    for (size_t j = 0; j < i; ++j) g.At(i, j) = g.At(j, i);
+  }
+  return g;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  assert(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+double SquaredDistance(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+Result<CholeskySolver> CholeskySolver::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a.At(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l.At(j, k) * l.At(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::FailedPrecondition("matrix is not positive definite");
+    }
+    l.At(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) v -= l.At(i, k) * l.At(j, k);
+      l.At(i, j) = v / l.At(j, j);
+    }
+  }
+  return CholeskySolver(std::move(l));
+}
+
+Result<std::vector<double>> CholeskySolver::Solve(
+    const std::vector<double>& b) const {
+  const size_t n = l_.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs size mismatch in Cholesky solve");
+  }
+  // Forward substitution: L z = b.
+  std::vector<double> z(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (size_t k = 0; k < i; ++k) v -= l_.At(i, k) * z[k];
+    z[i] = v / l_.At(i, i);
+  }
+  // Backward substitution: L^T x = z.
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double v = z[ii];
+    for (size_t k = ii + 1; k < n; ++k) v -= l_.At(k, ii) * x[k];
+    x[ii] = v / l_.At(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace wmp::ml

@@ -1,0 +1,105 @@
+#ifndef WMP_ML_LINALG_H_
+#define WMP_ML_LINALG_H_
+
+/// \file linalg.h
+/// Dense linear algebra used by the learned models: row-major matrices,
+/// matrix products, and a Cholesky SPD solver (for Ridge's closed form and
+/// the truncated-SVD embedding trainer).
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wmp::ml {
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// The ML code paths are dominated by matvec/matmul over small-to-medium
+/// shapes (thousands of rows, tens to hundreds of columns), so a plain
+/// cache-friendly row-major layout is sufficient.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero-initialized `rows x cols`.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// Takes ownership of `data`, which must have `rows*cols` entries.
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row `r`.
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row `r` into a vector.
+  std::vector<double> RowVec(size_t r) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Appends a row; the first appended row fixes `cols()` for an empty
+  /// matrix, afterwards `row.size()` must match.
+  Status AppendRow(const std::vector<double>& row);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Builds a matrix from rows (all rows must have equal length).
+  static Result<Matrix> FromRows(const std::vector<std::vector<double>>& rows);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// `y = A * x`. Requires `x.size() == A.cols()`.
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);
+
+/// `y = A^T * x`. Requires `x.size() == A.rows()`.
+std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x);
+
+/// `C = A * B`. Requires `a.cols() == b.rows()`.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// Gram matrix `A^T * A` (symmetric, computed in one pass).
+Matrix Gram(const Matrix& a);
+
+/// Dot product; requires equal sizes.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& v);
+
+/// `y += alpha * x` in place.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// Squared Euclidean distance between two equal-length buffers.
+double SquaredDistance(const double* a, const double* b, size_t n);
+
+/// \brief Cholesky factorization/solve for symmetric positive-definite
+/// systems. Used by Ridge regression (`(X^T X + aI) w = X^T y`).
+class CholeskySolver {
+ public:
+  /// Factorizes SPD matrix `a` (lower triangular). Fails with
+  /// FailedPrecondition if `a` is not positive definite.
+  static Result<CholeskySolver> Factor(const Matrix& a);
+
+  /// Solves `A x = b` using the stored factor.
+  Result<std::vector<double>> Solve(const std::vector<double>& b) const;
+
+ private:
+  explicit CholeskySolver(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;  // lower-triangular factor
+};
+
+}  // namespace wmp::ml
+
+#endif  // WMP_ML_LINALG_H_

@@ -1,0 +1,83 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wmp::ml {
+
+double Rmse(const std::vector<double>& y, const std::vector<double>& y_hat) {
+  assert(y.size() == y_hat.size() && !y.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    const double d = y[i] - y_hat[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(y.size()));
+}
+
+double MeanAbsError(const std::vector<double>& y,
+                    const std::vector<double>& y_hat) {
+  assert(y.size() == y_hat.size() && !y.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) acc += std::fabs(y[i] - y_hat[i]);
+  return acc / static_cast<double>(y.size());
+}
+
+double Mape(const std::vector<double>& y, const std::vector<double>& y_hat,
+            double eps) {
+  assert(y.size() == y_hat.size() && !y.empty());
+  double acc = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (std::fabs(y[i]) < eps) continue;
+    acc += std::fabs(y[i] - y_hat[i]) / std::fabs(y[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : 100.0 * acc / static_cast<double>(n);
+}
+
+std::vector<double> Residuals(const std::vector<double>& y,
+                              const std::vector<double>& y_hat) {
+  assert(y.size() == y_hat.size());
+  std::vector<double> r(y.size());
+  for (size_t i = 0; i < y.size(); ++i) r[i] = y_hat[i] - y[i];
+  return r;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  assert(!values.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+ResidualSummary SummarizeResiduals(const std::vector<double>& residuals) {
+  assert(!residuals.empty());
+  ResidualSummary s;
+  const double n = static_cast<double>(residuals.size());
+  for (double r : residuals) s.mean += r;
+  s.mean /= n;
+  s.median = Quantile(residuals, 0.5);
+  s.p5 = Quantile(residuals, 0.05);
+  s.p25 = Quantile(residuals, 0.25);
+  s.p75 = Quantile(residuals, 0.75);
+  s.p95 = Quantile(residuals, 0.95);
+  s.iqr = s.p75 - s.p25;
+  double m2 = 0.0, m3 = 0.0;
+  for (double r : residuals) {
+    const double d = r - s.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  s.skewness = m2 > 1e-300 ? m3 / std::pow(m2, 1.5) : 0.0;
+  return s;
+}
+
+}  // namespace wmp::ml

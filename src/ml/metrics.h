@@ -1,0 +1,53 @@
+#ifndef WMP_ML_METRICS_H_
+#define WMP_ML_METRICS_H_
+
+/// \file metrics.h
+/// Accuracy metrics from the paper's evaluation: RMSE (eq. 12), MAPE
+/// (eq. 14), and residual-distribution summaries (the violin plots of
+/// Fig. 5 reduce to median/IQR/tails in text form).
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wmp::ml {
+
+/// Root mean squared error (paper eq. 12). Requires equal non-empty sizes.
+double Rmse(const std::vector<double>& y, const std::vector<double>& y_hat);
+
+/// Mean absolute error.
+double MeanAbsError(const std::vector<double>& y,
+                    const std::vector<double>& y_hat);
+
+/// Mean absolute percentage error in [0, 100] (paper eq. 14). Targets with
+/// |y| < `eps` are skipped to avoid division blow-ups.
+double Mape(const std::vector<double>& y, const std::vector<double>& y_hat,
+            double eps = 1e-9);
+
+/// Signed residuals `y_hat - y` (positive = overestimate).
+std::vector<double> Residuals(const std::vector<double>& y,
+                              const std::vector<double>& y_hat);
+
+/// Linear-interpolated quantile of `values`, `q` in [0,1].
+double Quantile(std::vector<double> values, double q);
+
+/// \brief Five-number-style summary of a residual distribution, the textual
+/// equivalent of one violin in Fig. 5.
+struct ResidualSummary {
+  double mean = 0.0;
+  double median = 0.0;
+  double p5 = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double iqr = 0.0;       ///< p75 - p25 (paper eq. 13)
+  double skewness = 0.0;  ///< Fisher moment skewness; sign = estimation bias.
+};
+
+/// Computes the summary; `residuals` must be non-empty.
+ResidualSummary SummarizeResiduals(const std::vector<double>& residuals);
+
+}  // namespace wmp::ml
+
+#endif  // WMP_ML_METRICS_H_

@@ -1,0 +1,69 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+namespace wmp::ml {
+
+Status RandomForestRegressor::Fit(const Matrix& x,
+                                  const std::vector<double>& y) {
+  if (x.rows() == 0) return Status::InvalidArgument("RF::Fit on empty matrix");
+  if (y.size() != x.rows()) {
+    return Status::InvalidArgument("RF::Fit target size mismatch");
+  }
+  if (options_.num_trees < 1) {
+    return Status::InvalidArgument("RF needs num_trees >= 1");
+  }
+  FeatureBinner binner;
+  WMP_RETURN_IF_ERROR(binner.Fit(x, options_.tree.max_bins));
+  WMP_ASSIGN_OR_RETURN(std::vector<uint16_t> bins, binner.BinAll(x));
+
+  Rng rng(options_.seed);
+  const size_t n = x.rows();
+  const size_t sample_n = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(options_.bootstrap_fraction *
+                                          static_cast<double>(n))));
+  trees_.assign(static_cast<size_t>(options_.num_trees), {});
+  std::vector<uint32_t> sample(sample_n);
+  for (auto& tree : trees_) {
+    for (auto& s : sample) {
+      s = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    }
+    WMP_RETURN_IF_ERROR(
+        tree.Fit(bins, x.cols(), binner, y, sample, options_.tree, &rng));
+  }
+  return Status::OK();
+}
+
+Result<double> RandomForestRegressor::PredictOne(
+    const std::vector<double>& x) const {
+  if (trees_.empty()) return Status::FailedPrecondition("RF not fitted");
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.Predict(x);
+  return acc / static_cast<double>(trees_.size());
+}
+
+Status RandomForestRegressor::Serialize(BinaryWriter* writer) const {
+  if (trees_.empty()) return Status::FailedPrecondition("RF not fitted");
+  writer->WriteU32(serialize_tags::kRandomForest);
+  writer->WriteU64(trees_.size());
+  for (const auto& tree : trees_) tree.Serialize(writer);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RandomForestRegressor>> RandomForestRegressor::Deserialize(
+    BinaryReader* reader) {
+  WMP_ASSIGN_OR_RETURN(uint32_t tag, reader->ReadU32());
+  if (tag != serialize_tags::kRandomForest) {
+    return Status::InvalidArgument("bad random-forest magic tag");
+  }
+  WMP_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  auto model = std::make_unique<RandomForestRegressor>();
+  model->trees_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    WMP_ASSIGN_OR_RETURN(RegressionTree t, RegressionTree::Deserialize(reader));
+    model->trees_.push_back(std::move(t));
+  }
+  return model;
+}
+
+}  // namespace wmp::ml

@@ -1,0 +1,50 @@
+#ifndef WMP_ML_RANDOM_FOREST_H_
+#define WMP_ML_RANDOM_FOREST_H_
+
+/// \file random_forest.h
+/// Bagged CART ensemble with per-split feature subsampling — the paper's
+/// "RF" model family.
+
+#include <vector>
+
+#include "ml/dtree.h"
+#include "ml/regressor.h"
+
+namespace wmp::ml {
+
+/// Hyperparameters for RandomForestRegressor.
+struct RandomForestOptions {
+  int num_trees = 50;
+  TreeOptions tree = {.max_depth = 12,
+                      .min_samples_split = 2,
+                      .min_samples_leaf = 2,
+                      .feature_fraction = 0.6,
+                      .max_bins = 64};
+  double bootstrap_fraction = 1.0;  ///< bootstrap sample size / n.
+  uint64_t seed = 42;
+};
+
+/// \brief Random forest regressor: average of bootstrapped trees.
+class RandomForestRegressor : public Regressor {
+ public:
+  explicit RandomForestRegressor(RandomForestOptions options = {})
+      : options_(options) {}
+
+  std::string Name() const override { return "RF"; }
+  Status Fit(const Matrix& x, const std::vector<double>& y) override;
+  Result<double> PredictOne(const std::vector<double>& x) const override;
+  Status Serialize(BinaryWriter* writer) const override;
+
+  static Result<std::unique_ptr<RandomForestRegressor>> Deserialize(
+      BinaryReader* reader);
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace wmp::ml
+
+#endif  // WMP_ML_RANDOM_FOREST_H_

@@ -1,0 +1,107 @@
+#include "ml/regressor.h"
+
+#include "ml/dtree.h"
+#include "ml/gbt.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+#include "ml/ridge.h"
+
+namespace wmp::ml {
+
+const char* RegressorKindName(RegressorKind kind) {
+  switch (kind) {
+    case RegressorKind::kRidge:
+      return "Ridge";
+    case RegressorKind::kDecisionTree:
+      return "DT";
+    case RegressorKind::kRandomForest:
+      return "RF";
+    case RegressorKind::kGbt:
+      return "XGB";
+    case RegressorKind::kMlp:
+      return "DNN";
+  }
+  return "?";
+}
+
+const std::vector<RegressorKind>& AllRegressorKinds() {
+  static const std::vector<RegressorKind> kKinds = {
+      RegressorKind::kMlp, RegressorKind::kRidge, RegressorKind::kDecisionTree,
+      RegressorKind::kRandomForest, RegressorKind::kGbt};
+  return kKinds;
+}
+
+Result<std::vector<double>> Regressor::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    WMP_ASSIGN_OR_RETURN(out[i], PredictOne(x.RowVec(i)));
+  }
+  return out;
+}
+
+Result<size_t> Regressor::SerializedSize() const {
+  BinaryWriter writer;
+  WMP_RETURN_IF_ERROR(Serialize(&writer));
+  return writer.size();
+}
+
+std::unique_ptr<Regressor> CreateRegressor(RegressorKind kind, uint64_t seed) {
+  switch (kind) {
+    case RegressorKind::kRidge:
+      return std::make_unique<RidgeRegressor>(RidgeOptions{.alpha = 1.0});
+    case RegressorKind::kDecisionTree: {
+      DecisionTreeOptions opt;
+      opt.tree.max_depth = 12;
+      opt.tree.min_samples_leaf = 2;
+      opt.seed = seed;
+      return std::make_unique<DecisionTreeRegressor>(opt);
+    }
+    case RegressorKind::kRandomForest: {
+      RandomForestOptions opt;
+      opt.num_trees = 40;
+      opt.seed = seed;
+      return std::make_unique<RandomForestRegressor>(opt);
+    }
+    case RegressorKind::kGbt: {
+      GbtOptions opt;
+      opt.seed = seed;
+      return std::make_unique<GbtRegressor>(opt);
+    }
+    case RegressorKind::kMlp: {
+      MlpOptions opt;
+      opt.seed = seed;
+      return std::make_unique<MlpRegressor>(opt);
+    }
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<Regressor>> DeserializeRegressor(BinaryReader* reader) {
+  WMP_ASSIGN_OR_RETURN(uint32_t tag, reader->PeekU32());
+  switch (tag) {
+    case serialize_tags::kRidge: {
+      WMP_ASSIGN_OR_RETURN(auto m, RidgeRegressor::Deserialize(reader));
+      return std::unique_ptr<Regressor>(std::move(m));
+    }
+    case serialize_tags::kDecisionTree: {
+      WMP_ASSIGN_OR_RETURN(auto m, DecisionTreeRegressor::Deserialize(reader));
+      return std::unique_ptr<Regressor>(std::move(m));
+    }
+    case serialize_tags::kRandomForest: {
+      WMP_ASSIGN_OR_RETURN(auto m, RandomForestRegressor::Deserialize(reader));
+      return std::unique_ptr<Regressor>(std::move(m));
+    }
+    case serialize_tags::kGbt: {
+      WMP_ASSIGN_OR_RETURN(auto m, GbtRegressor::Deserialize(reader));
+      return std::unique_ptr<Regressor>(std::move(m));
+    }
+    case serialize_tags::kMlp: {
+      WMP_ASSIGN_OR_RETURN(auto m, MlpRegressor::Deserialize(reader));
+      return std::unique_ptr<Regressor>(std::move(m));
+    }
+    default:
+      return Status::InvalidArgument("unknown regressor magic tag");
+  }
+}
+
+}  // namespace wmp::ml

@@ -1,0 +1,81 @@
+#include "ml/ridge.h"
+
+namespace wmp::ml {
+
+Status RidgeRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("Ridge::Fit on empty matrix");
+  }
+  if (y.size() != x.rows()) {
+    return Status::InvalidArgument("Ridge::Fit target size mismatch");
+  }
+  if (options_.alpha < 0.0) {
+    return Status::InvalidArgument("Ridge alpha must be >= 0");
+  }
+  const size_t n = x.rows(), d = x.cols();
+
+  // Center features and target so the intercept is unpenalized.
+  std::vector<double> mean_x(d, 0.0);
+  double mean_y = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) mean_x[c] += row[c];
+    mean_y += y[r];
+  }
+  for (double& m : mean_x) m /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+
+  Matrix xc(n, d);
+  std::vector<double> yc(n);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    double* out = xc.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) out[c] = row[c] - mean_x[c];
+    yc[r] = y[r] - mean_y;
+  }
+
+  Matrix gram = Gram(xc);
+  // A small ridge even when alpha == 0 keeps the factorization well posed
+  // for rank-deficient designs (e.g. sparse histogram bins never hit).
+  const double lambda = options_.alpha + 1e-8;
+  for (size_t i = 0; i < d; ++i) gram.At(i, i) += lambda;
+
+  std::vector<double> xty = MatTVec(xc, yc);
+  WMP_ASSIGN_OR_RETURN(CholeskySolver chol, CholeskySolver::Factor(gram));
+  WMP_ASSIGN_OR_RETURN(coef_, chol.Solve(xty));
+  intercept_ = mean_y - Dot(mean_x, coef_);
+  return Status::OK();
+}
+
+Result<double> RidgeRegressor::PredictOne(const std::vector<double>& x) const {
+  if (!fitted()) return Status::FailedPrecondition("Ridge not fitted");
+  if (x.size() != coef_.size()) {
+    return Status::InvalidArgument("Ridge::PredictOne dimension mismatch");
+  }
+  return intercept_ + Dot(x, coef_);
+}
+
+Status RidgeRegressor::Serialize(BinaryWriter* writer) const {
+  if (!fitted()) return Status::FailedPrecondition("Ridge not fitted");
+  writer->WriteU32(serialize_tags::kRidge);
+  writer->WriteDouble(options_.alpha);
+  writer->WriteDouble(intercept_);
+  writer->WriteDoubleVec(coef_);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RidgeRegressor>> RidgeRegressor::Deserialize(
+    BinaryReader* reader) {
+  WMP_ASSIGN_OR_RETURN(uint32_t tag, reader->ReadU32());
+  if (tag != serialize_tags::kRidge) {
+    return Status::InvalidArgument("bad ridge magic tag");
+  }
+  RidgeOptions opt;
+  WMP_ASSIGN_OR_RETURN(opt.alpha, reader->ReadDouble());
+  auto model = std::make_unique<RidgeRegressor>(opt);
+  WMP_ASSIGN_OR_RETURN(model->intercept_, reader->ReadDouble());
+  WMP_ASSIGN_OR_RETURN(model->coef_, reader->ReadDoubleVec());
+  return model;
+}
+
+}  // namespace wmp::ml

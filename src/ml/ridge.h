@@ -1,0 +1,47 @@
+#ifndef WMP_ML_RIDGE_H_
+#define WMP_ML_RIDGE_H_
+
+/// \file ridge.h
+/// L2-regularized linear regression, solved in closed form via Cholesky on
+/// the centered normal equations — the "Ridge" model family of the paper.
+
+#include <vector>
+
+#include "ml/regressor.h"
+
+namespace wmp::ml {
+
+/// Hyperparameters for RidgeRegressor.
+struct RidgeOptions {
+  double alpha = 1.0;  ///< L2 penalty strength; must be >= 0.
+};
+
+/// \brief Ridge regression `min ||Xw - y||^2 + alpha ||w||^2` with intercept.
+///
+/// Fitting centers X and y so the intercept is not penalized, then solves
+/// `(Xc^T Xc + alpha I) w = Xc^T y` with a Cholesky factorization.
+class RidgeRegressor : public Regressor {
+ public:
+  explicit RidgeRegressor(RidgeOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "Ridge"; }
+  Status Fit(const Matrix& x, const std::vector<double>& y) override;
+  Result<double> PredictOne(const std::vector<double>& x) const override;
+  Status Serialize(BinaryWriter* writer) const override;
+
+  static Result<std::unique_ptr<RidgeRegressor>> Deserialize(
+      BinaryReader* reader);
+
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+  bool fitted() const { return !coef_.empty(); }
+
+ private:
+  RidgeOptions options_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace wmp::ml
+
+#endif  // WMP_ML_RIDGE_H_

@@ -1,0 +1,91 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "ml/regressor.h"
+
+namespace wmp::ml {
+
+Status StandardScaler::Fit(const Matrix& x) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("StandardScaler::Fit on empty matrix");
+  }
+  const size_t n = x.rows(), d = x.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) mean_[c] += row[c];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) {
+      const double dlt = row[c] - mean_[c];
+      std_[c] += dlt * dlt;
+    }
+  }
+  for (double& s : std_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) s = 1.0;  // constant column: center only
+  }
+  return Status::OK();
+}
+
+Result<Matrix> StandardScaler::Transform(const Matrix& x) const {
+  if (!fitted()) return Status::FailedPrecondition("scaler not fitted");
+  if (x.cols() != mean_.size()) {
+    return Status::InvalidArgument("scaler column count mismatch");
+  }
+  Matrix out(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* in = x.RowPtr(r);
+    double* o = out.RowPtr(r);
+    for (size_t c = 0; c < x.cols(); ++c) o[c] = (in[c] - mean_[c]) / std_[c];
+  }
+  return out;
+}
+
+Status StandardScaler::TransformRow(std::vector<double>* row) const {
+  if (!fitted()) return Status::FailedPrecondition("scaler not fitted");
+  if (row->size() != mean_.size()) {
+    return Status::InvalidArgument("scaler column count mismatch");
+  }
+  for (size_t c = 0; c < row->size(); ++c) {
+    (*row)[c] = ((*row)[c] - mean_[c]) / std_[c];
+  }
+  return Status::OK();
+}
+
+Status StandardScaler::InverseTransformRow(std::vector<double>* row) const {
+  if (!fitted()) return Status::FailedPrecondition("scaler not fitted");
+  if (row->size() != mean_.size()) {
+    return Status::InvalidArgument("scaler column count mismatch");
+  }
+  for (size_t c = 0; c < row->size(); ++c) {
+    (*row)[c] = (*row)[c] * std_[c] + mean_[c];
+  }
+  return Status::OK();
+}
+
+void StandardScaler::Serialize(BinaryWriter* writer) const {
+  writer->WriteU32(serialize_tags::kScaler);
+  writer->WriteDoubleVec(mean_);
+  writer->WriteDoubleVec(std_);
+}
+
+Result<StandardScaler> StandardScaler::Deserialize(BinaryReader* reader) {
+  WMP_ASSIGN_OR_RETURN(uint32_t tag, reader->ReadU32());
+  if (tag != serialize_tags::kScaler) {
+    return Status::InvalidArgument("bad scaler magic tag");
+  }
+  StandardScaler s;
+  WMP_ASSIGN_OR_RETURN(s.mean_, reader->ReadDoubleVec());
+  WMP_ASSIGN_OR_RETURN(s.std_, reader->ReadDoubleVec());
+  if (s.mean_.size() != s.std_.size()) {
+    return Status::InvalidArgument("scaler stream corrupt");
+  }
+  return s;
+}
+
+}  // namespace wmp::ml

@@ -1,0 +1,52 @@
+#ifndef WMP_ML_SCALER_H_
+#define WMP_ML_SCALER_H_
+
+/// \file scaler.h
+/// Feature standardization (zero mean, unit variance). Plan-feature vectors
+/// mix operator counts (~units) with cardinalities (~millions); k-means and
+/// the MLP both require standardized inputs to behave.
+
+#include <vector>
+
+#include "ml/linalg.h"
+#include "util/io.h"
+#include "util/status.h"
+
+namespace wmp::ml {
+
+/// \brief Per-column standardizer: `x' = (x - mean) / std`.
+///
+/// Columns with zero variance are passed through centered only (divisor 1),
+/// matching scikit-learn's StandardScaler behaviour.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Learns per-column mean and standard deviation from `x`.
+  Status Fit(const Matrix& x);
+
+  /// Returns the standardized copy of `x`. Requires a prior Fit() with the
+  /// same column count.
+  Result<Matrix> Transform(const Matrix& x) const;
+
+  /// Standardizes a single row in place.
+  Status TransformRow(std::vector<double>* row) const;
+
+  /// Undoes TransformRow.
+  Status InverseTransformRow(std::vector<double>* row) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& std_dev() const { return std_; }
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<StandardScaler> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace wmp::ml
+
+#endif  // WMP_ML_SCALER_H_

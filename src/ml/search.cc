@@ -1,0 +1,102 @@
+#include "ml/search.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/metrics.h"
+
+namespace wmp::ml {
+
+IndexSplit TrainTestSplitIndices(size_t n, double test_fraction,
+                                 uint64_t seed) {
+  std::vector<uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&idx);
+  const size_t n_test = std::min(
+      n, std::max<size_t>(1, static_cast<size_t>(test_fraction *
+                                                 static_cast<double>(n))));
+  IndexSplit split;
+  split.test.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n_test));
+  split.train.assign(idx.begin() + static_cast<std::ptrdiff_t>(n_test), idx.end());
+  return split;
+}
+
+std::vector<IndexSplit> KFoldIndices(size_t n, int folds, uint64_t seed) {
+  folds = std::max(folds, 2);
+  std::vector<uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&idx);
+  std::vector<IndexSplit> out(static_cast<size_t>(folds));
+  for (size_t i = 0; i < n; ++i) {
+    const size_t fold = i % static_cast<size_t>(folds);
+    for (size_t f = 0; f < static_cast<size_t>(folds); ++f) {
+      if (f == fold) {
+        out[f].test.push_back(idx[i]);
+      } else {
+        out[f].train.push_back(idx[i]);
+      }
+    }
+  }
+  return out;
+}
+
+void TakeRows(const Matrix& x, const std::vector<double>& y,
+              const std::vector<uint32_t>& idx, Matrix* x_out,
+              std::vector<double>* y_out) {
+  *x_out = Matrix(idx.size(), x.cols());
+  y_out->resize(idx.size());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    std::copy(x.RowPtr(idx[i]), x.RowPtr(idx[i]) + x.cols(), x_out->RowPtr(i));
+    (*y_out)[i] = y[idx[i]];
+  }
+}
+
+Result<SearchOutcome> RandomizedSearch(
+    const Matrix& x, const std::vector<double>& y,
+    const std::vector<SearchCandidate>& candidates,
+    const SearchOptions& options) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("RandomizedSearch: no candidates");
+  }
+  if (x.rows() < 4) {
+    return Status::InvalidArgument("RandomizedSearch: need >= 4 rows");
+  }
+  IndexSplit split =
+      TrainTestSplitIndices(x.rows(), options.validation_fraction, options.seed);
+  Matrix x_train, x_val;
+  std::vector<double> y_train, y_val;
+  TakeRows(x, y, split.train, &x_train, &y_train);
+  TakeRows(x, y, split.test, &x_val, &y_val);
+
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (options.num_samples > 0 &&
+      static_cast<size_t>(options.num_samples) < candidates.size()) {
+    Rng rng(options.seed ^ 0xABCD);
+    rng.Shuffle(&order);
+    order.resize(static_cast<size_t>(options.num_samples));
+  }
+
+  SearchOutcome outcome;
+  outcome.best_rmse = -1.0;
+  for (size_t oi = 0; oi < order.size(); ++oi) {
+    std::unique_ptr<Regressor> model = candidates[order[oi]].factory();
+    if (model == nullptr) {
+      return Status::Internal("candidate factory returned null");
+    }
+    WMP_RETURN_IF_ERROR(model->Fit(x_train, y_train));
+    WMP_ASSIGN_OR_RETURN(std::vector<double> pred, model->Predict(x_val));
+    const double rmse = Rmse(y_val, pred);
+    outcome.evaluated.push_back(order[oi]);
+    outcome.rmse.push_back(rmse);
+    if (outcome.best_rmse < 0.0 || rmse < outcome.best_rmse) {
+      outcome.best_rmse = rmse;
+      outcome.best_index = oi;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace wmp::ml

@@ -1,0 +1,72 @@
+#ifndef WMP_ML_SEARCH_H_
+#define WMP_ML_SEARCH_H_
+
+/// \file search.h
+/// Dataset splitting and hyperparameter search.
+///
+/// The paper tunes the MLP with randomized search (§III-B3) and uses an
+/// 80/20 train/test split for all experiments; these are the supporting
+/// utilities.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/regressor.h"
+#include "util/random.h"
+
+namespace wmp::ml {
+
+/// \brief Row-index split of a dataset.
+struct IndexSplit {
+  std::vector<uint32_t> train;
+  std::vector<uint32_t> test;
+};
+
+/// Shuffled train/test split of `n` rows; `test_fraction` in (0, 1).
+IndexSplit TrainTestSplitIndices(size_t n, double test_fraction, uint64_t seed);
+
+/// Shuffled k-fold cross-validation splits of `n` rows.
+std::vector<IndexSplit> KFoldIndices(size_t n, int folds, uint64_t seed);
+
+/// Materializes the selected rows of `(x, y)`.
+void TakeRows(const Matrix& x, const std::vector<double>& y,
+              const std::vector<uint32_t>& idx, Matrix* x_out,
+              std::vector<double>* y_out);
+
+/// \brief One hyperparameter configuration: a short description plus a
+/// factory producing a fresh, unfitted model with those parameters.
+struct SearchCandidate {
+  std::string description;
+  std::function<std::unique_ptr<Regressor>()> factory;
+};
+
+/// Configuration for RandomizedSearch.
+struct SearchOptions {
+  double validation_fraction = 0.2;
+  /// Number of candidates sampled (without replacement); 0 = evaluate all.
+  int num_samples = 0;
+  uint64_t seed = 42;
+};
+
+/// Outcome of a search run.
+struct SearchOutcome {
+  size_t best_index = 0;           ///< into the evaluated subset order
+  double best_rmse = 0.0;
+  std::vector<size_t> evaluated;   ///< candidate indices, evaluation order
+  std::vector<double> rmse;        ///< validation RMSE per evaluated candidate
+};
+
+/// \brief Randomized hyperparameter search on a holdout validation split.
+///
+/// Samples `num_samples` candidates (or all when 0), fits each on the
+/// training portion and scores RMSE on the validation portion.
+Result<SearchOutcome> RandomizedSearch(const Matrix& x,
+                                       const std::vector<double>& y,
+                                       const std::vector<SearchCandidate>& candidates,
+                                       const SearchOptions& options = {});
+
+}  // namespace wmp::ml
+
+#endif  // WMP_ML_SEARCH_H_

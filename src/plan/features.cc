@@ -1,0 +1,26 @@
+#include "plan/features.h"
+
+namespace wmp::plan {
+
+std::vector<double> ExtractPlanFeatures(const PlanNode& root) {
+  std::vector<double> features(kPlanFeatureDim, 0.0);
+  root.Visit([&](const PlanNode& node) {
+    const size_t t = static_cast<size_t>(node.op);
+    features[2 * t] += 1.0;
+    features[2 * t + 1] += node.output_card;
+  });
+  return features;
+}
+
+std::vector<std::string> PlanFeatureNames() {
+  std::vector<std::string> names;
+  names.reserve(kPlanFeatureDim);
+  for (int t = 0; t < kNumOperatorTypes; ++t) {
+    const std::string op = OperatorTypeName(static_cast<OperatorType>(t));
+    names.push_back(op + ".count");
+    names.push_back(op + ".card");
+  }
+  return names;
+}
+
+}  // namespace wmp::plan

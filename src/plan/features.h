@@ -1,0 +1,36 @@
+#ifndef WMP_PLAN_FEATURES_H_
+#define WMP_PLAN_FEATURES_H_
+
+/// \file features.h
+/// Plan featurization — step TR2 of the paper's pipeline.
+///
+/// Each query plan becomes a fixed-length vector with two slots per
+/// operator type: the number of instances and the sum of their estimated
+/// output cardinalities. Fig. 2's example (5 operator types, 10 features)
+/// generalizes here to the full closed operator set (11 types, 22
+/// features). Only *optimizer-estimated* cardinalities are read — at
+/// inference time the true values do not exist yet.
+
+#include <string>
+#include <vector>
+
+#include "plan/plan_node.h"
+
+namespace wmp::plan {
+
+/// Length of a plan feature vector: 2 * kNumOperatorTypes.
+constexpr size_t kPlanFeatureDim = 2 * static_cast<size_t>(kNumOperatorTypes);
+
+/// \brief Extracts the (count, total-cardinality) feature vector of a plan.
+///
+/// Layout: index 2*t is the instance count of operator type `t`, index
+/// 2*t+1 the summed estimated output cardinality of those instances.
+std::vector<double> ExtractPlanFeatures(const PlanNode& root);
+
+/// Human-readable names for the feature slots ("TBSCAN.count",
+/// "TBSCAN.card", ...), index-aligned with ExtractPlanFeatures.
+std::vector<std::string> PlanFeatureNames();
+
+}  // namespace wmp::plan
+
+#endif  // WMP_PLAN_FEATURES_H_

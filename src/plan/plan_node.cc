@@ -1,0 +1,52 @@
+#include "plan/plan_node.h"
+
+#include <algorithm>
+
+namespace wmp::plan {
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>(op);
+  copy->input_card = input_card;
+  copy->output_card = output_card;
+  copy->true_input_card = true_input_card;
+  copy->true_output_card = true_output_card;
+  copy->row_width = row_width;
+  copy->table = table;
+  copy->detail = detail;
+  copy->num_keys = num_keys;
+  copy->hash_mode = hash_mode;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+size_t PlanNode::TreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children) n += child->TreeSize();
+  return n;
+}
+
+size_t PlanNode::Depth() const {
+  size_t deepest = 0;
+  for (const auto& child : children) deepest = std::max(deepest, child->Depth());
+  return deepest + 1;
+}
+
+void PlanNode::Visit(const std::function<void(const PlanNode&)>& fn) const {
+  fn(*this);
+  for (const auto& child : children) child->Visit(fn);
+}
+
+void PlanNode::VisitMutable(const std::function<void(PlanNode*)>& fn) {
+  fn(this);
+  for (const auto& child : children) child->VisitMutable(fn);
+}
+
+std::unique_ptr<PlanNode> MakeNode(
+    OperatorType op, std::vector<std::unique_ptr<PlanNode>> children) {
+  auto node = std::make_unique<PlanNode>(op);
+  node->children = std::move(children);
+  return node;
+}
+
+}  // namespace wmp::plan

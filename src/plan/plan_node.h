@@ -1,0 +1,71 @@
+#ifndef WMP_PLAN_PLAN_NODE_H_
+#define WMP_PLAN_PLAN_NODE_H_
+
+/// \file plan_node.h
+/// Physical plan tree. Each node carries two cardinality tracks:
+///
+///  * `input_card` / `output_card` — the optimizer's estimates, derived
+///    under uniformity and independence. Plan featurization and the DBMS
+///    heuristic memory estimator read only these.
+///  * `true_input_card` / `true_output_card` — the ground-truth values the
+///    execution simulator fills in from the synthetic data model. They
+///    stand in for "what actually happened at runtime" and drive the
+///    actual-memory label `m`.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/operator.h"
+
+namespace wmp::plan {
+
+/// \brief One operator instance in a physical plan.
+struct PlanNode {
+  OperatorType op = OperatorType::kReturn;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// Optimizer-estimated rows flowing in (sum over children's output) and
+  /// out of this operator.
+  double input_card = 0.0;
+  double output_card = 0.0;
+  /// Ground-truth rows (filled by engine::Simulator; -1 = not yet set).
+  double true_input_card = -1.0;
+  double true_output_card = -1.0;
+
+  /// Average output row width in bytes.
+  double row_width = 8.0;
+  /// Base table name for scan operators; empty otherwise.
+  std::string table;
+  /// Free-form annotation (join columns, sort keys) for EXPLAIN output.
+  std::string detail;
+  /// Sort keys / grouping columns count.
+  int num_keys = 0;
+  /// GROUP BY only: hash aggregation (true) vs. streaming over sorted
+  /// input (false).
+  bool hash_mode = false;
+
+  PlanNode() = default;
+  explicit PlanNode(OperatorType type) : op(type) {}
+
+  /// Deep copy.
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Number of nodes in this subtree.
+  size_t TreeSize() const;
+  /// Longest root-to-leaf path length (single node = 1).
+  size_t Depth() const;
+
+  /// Pre-order traversal.
+  void Visit(const std::function<void(const PlanNode&)>& fn) const;
+  void VisitMutable(const std::function<void(PlanNode*)>& fn);
+};
+
+/// Convenience builder for tests and the planner.
+std::unique_ptr<PlanNode> MakeNode(OperatorType op,
+                                   std::vector<std::unique_ptr<PlanNode>> children = {});
+
+}  // namespace wmp::plan
+
+#endif  // WMP_PLAN_PLAN_NODE_H_

@@ -1,0 +1,147 @@
+#include "plan/plan_parser.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace wmp::plan {
+
+namespace {
+
+// One parsed line: indentation depth plus the node's fields.
+struct ParsedLine {
+  int depth = 0;
+  std::unique_ptr<PlanNode> node;
+};
+
+Result<ParsedLine> ParseLine(const std::string& line, size_t line_no) {
+  ParsedLine out;
+  size_t indent = 0;
+  while (indent < line.size() && line[indent] == ' ') ++indent;
+  if (indent % 2 != 0) {
+    return Status::InvalidArgument(
+        StrFormat("line %zu: odd indentation %zu", line_no, indent));
+  }
+  out.depth = static_cast<int>(indent / 2);
+
+  std::string_view rest = std::string_view(line).substr(indent);
+  // Operator name runs until '(' or whitespace.
+  size_t name_end = 0;
+  while (name_end < rest.size() && rest[name_end] != '(' &&
+         rest[name_end] != ' ') {
+    ++name_end;
+  }
+  const std::string op_name(rest.substr(0, name_end));
+  WMP_ASSIGN_OR_RETURN(OperatorType op, OperatorTypeFromName(op_name));
+  out.node = std::make_unique<PlanNode>(op);
+  rest.remove_prefix(name_end);
+
+  if (!rest.empty() && rest.front() == '(') {
+    const size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unterminated table name", line_no));
+    }
+    out.node->table = std::string(rest.substr(1, close - 1));
+    rest.remove_prefix(close + 1);
+  }
+
+  // Remaining fields are space-separated key=value pairs, plus the bare
+  // "hash" flag and a quoted detail.
+  while (!rest.empty()) {
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    if (rest.empty()) break;
+    if (StartsWith(rest, "hash")) {
+      out.node->hash_mode = true;
+      rest.remove_prefix(4);
+      continue;
+    }
+    if (StartsWith(rest, "detail=\"")) {
+      rest.remove_prefix(8);
+      const size_t close = rest.find('"');
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: unterminated detail", line_no));
+      }
+      out.node->detail = std::string(rest.substr(0, close));
+      rest.remove_prefix(close + 1);
+      continue;
+    }
+    const size_t eq = rest.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: malformed field near '%s'", line_no,
+                    std::string(rest.substr(0, 16)).c_str()));
+    }
+    const std::string key(rest.substr(0, eq));
+    rest.remove_prefix(eq + 1);
+    size_t val_end = rest.find(' ');
+    if (val_end == std::string_view::npos) val_end = rest.size();
+    const std::string value(rest.substr(0, val_end));
+    rest.remove_prefix(val_end);
+    char* endp = nullptr;
+    const double v = std::strtod(value.c_str(), &endp);
+    if (endp == value.c_str()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: non-numeric value for %s", line_no, key.c_str()));
+    }
+    if (key == "in") {
+      out.node->input_card = v;
+    } else if (key == "out") {
+      out.node->output_card = v;
+    } else if (key == "tin") {
+      out.node->true_input_card = v;
+    } else if (key == "tout") {
+      out.node->true_output_card = v;
+    } else if (key == "width") {
+      out.node->row_width = v;
+    } else if (key == "keys") {
+      out.node->num_keys = static_cast<int>(v);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unknown field '%s'", line_no, key.c_str()));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PlanNode>> ParseExplain(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  // Stack of (depth, node*) for parent attachment.
+  std::unique_ptr<PlanNode> root;
+  std::vector<std::pair<int, PlanNode*>> stack;
+  size_t line_no = 0;
+  for (const std::string& raw : lines) {
+    ++line_no;
+    if (Trim(raw).empty()) continue;
+    WMP_ASSIGN_OR_RETURN(ParsedLine parsed, ParseLine(raw, line_no));
+    if (root == nullptr) {
+      if (parsed.depth != 0) {
+        return Status::InvalidArgument("first plan line must not be indented");
+      }
+      root = std::move(parsed.node);
+      stack.push_back({0, root.get()});
+      continue;
+    }
+    // Pop to the parent level.
+    while (!stack.empty() && stack.back().first >= parsed.depth) {
+      stack.pop_back();
+    }
+    if (stack.empty() || stack.back().first != parsed.depth - 1) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: indentation skips a level", line_no));
+    }
+    PlanNode* parent = stack.back().second;
+    parent->children.push_back(std::move(parsed.node));
+    stack.push_back({parsed.depth, parent->children.back().get()});
+  }
+  if (root == nullptr) {
+    return Status::InvalidArgument("empty plan text");
+  }
+  return root;
+}
+
+}  // namespace wmp::plan

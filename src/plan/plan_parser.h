@@ -1,0 +1,27 @@
+#ifndef WMP_PLAN_PLAN_PARSER_H_
+#define WMP_PLAN_PLAN_PARSER_H_
+
+/// \file plan_parser.h
+/// Parses EXPLAIN text (see explain.h) back into a PlanNode tree.
+///
+/// This is the ingestion path for real deployments: a DBA dumps plans from
+/// the DBMS query log, and the LearnedWMP training pipeline featurizes them
+/// without re-planning. `ParseExplain(Explain(p))` reconstructs `p` exactly
+/// (all annotated fields).
+
+#include <memory>
+#include <string>
+
+#include "plan/plan_node.h"
+#include "util/status.h"
+
+namespace wmp::plan {
+
+/// \brief Parses one EXPLAIN plan. Fails with InvalidArgument on malformed
+/// lines, bad indentation (a child more than one level deeper than its
+/// parent), unknown operators, or empty input.
+Result<std::unique_ptr<PlanNode>> ParseExplain(const std::string& text);
+
+}  // namespace wmp::plan
+
+#endif  // WMP_PLAN_PLAN_PARSER_H_

@@ -1,0 +1,63 @@
+#ifndef WMP_PLAN_PLANNER_H_
+#define WMP_PLAN_PLANNER_H_
+
+/// \file planner.h
+/// Rule-based physical planner: SQL AST + catalog -> operator tree.
+///
+/// Access paths, join order, and join/aggregation methods are chosen with
+/// the optimizer cardinality model (uniformity + independence), mirroring a
+/// System-R-style commercial optimizer. Every node is annotated with both
+/// the optimizer's estimates and — when an oracle is enabled — the
+/// ground-truth cardinalities from the synthetic data model, which the
+/// execution-memory simulator consumes downstream.
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "plan/cardinality.h"
+#include "plan/plan_node.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace wmp::plan {
+
+/// Planner heuristics thresholds.
+struct PlannerOptions {
+  /// Use an index scan when the combined local selectivity is below this.
+  double index_selectivity_threshold = 0.05;
+  /// Nested-loop join is considered when the outer's estimated cardinality
+  /// is below this and the inner has an index on the join column.
+  double nlj_outer_card_max = 5000.0;
+  /// Switch from hash join to sort-merge when the estimated build side
+  /// exceeds this many bytes (models a bounded join heap).
+  double hash_build_max_bytes = 512.0 * 1024 * 1024;
+  /// Hash aggregation unless the estimated group count exceeds this.
+  double hash_group_max = 5e7;
+  /// Per-tuple overhead added to projected row widths.
+  double tuple_overhead_bytes = 8.0;
+  /// Also annotate true cardinalities with TrueCardinalityModel.
+  bool annotate_true_cardinalities = true;
+};
+
+/// \brief Translates queries into annotated physical plans.
+class Planner {
+ public:
+  /// \param cat must outlive the planner.
+  explicit Planner(const catalog::Catalog* cat, PlannerOptions options = {});
+
+  /// Builds the physical plan for `query`. Fails with NotFound for unknown
+  /// tables/columns and InvalidArgument for unresolvable references.
+  Result<std::unique_ptr<PlanNode>> CreatePlan(const sql::Query& query) const;
+
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  const catalog::Catalog* catalog_;
+  PlannerOptions options_;
+  OptimizerCardinalityModel optimizer_model_;
+  TrueCardinalityModel true_model_;
+};
+
+}  // namespace wmp::plan
+
+#endif  // WMP_PLAN_PLANNER_H_

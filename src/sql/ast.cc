@@ -1,0 +1,104 @@
+#include "sql/ast.h"
+
+#include "util/strings.h"
+
+namespace wmp::sql {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kBetween:
+      return "BETWEEN";
+    case CompareOp::kIn:
+      return "IN";
+    case CompareOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+std::string Literal::ToString() const {
+  if (is_string) return "'" + text + "'";
+  // Integral literals print without a trailing ".000000".
+  if (number == static_cast<double>(static_cast<int64_t>(number))) {
+    return StrFormat("%lld", static_cast<long long>(number));
+  }
+  return StrFormat("%g", number);
+}
+
+Predicate Predicate::Comparison(ColumnRef col, CompareOp op,
+                                std::vector<Literal> values) {
+  Predicate p;
+  p.kind = Kind::kComparison;
+  p.lhs = std::move(col);
+  p.op = op;
+  p.values = std::move(values);
+  return p;
+}
+
+Predicate Predicate::Join(ColumnRef a, ColumnRef b) {
+  Predicate p;
+  p.kind = Kind::kJoin;
+  p.lhs = std::move(a);
+  p.op = CompareOp::kEq;
+  p.rhs = std::move(b);
+  return p;
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "";
+}
+
+bool Query::HasAggregation() const {
+  for (const SelectItem& item : select_list) {
+    if (item.agg != AggFunc::kNone) return true;
+  }
+  return false;
+}
+
+std::vector<const Predicate*> Query::JoinPredicates() const {
+  std::vector<const Predicate*> out;
+  for (const Predicate& p : where) {
+    if (p.kind == Predicate::Kind::kJoin) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<const Predicate*> Query::LocalPredicates(
+    const std::string& table_or_alias) const {
+  std::vector<const Predicate*> out;
+  for (const Predicate& p : where) {
+    if (p.kind == Predicate::Kind::kComparison &&
+        p.lhs.table == table_or_alias) {
+      out.push_back(&p);
+    }
+  }
+  return out;
+}
+
+}  // namespace wmp::sql

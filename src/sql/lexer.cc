@@ -1,0 +1,122 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "util/strings.h"
+
+namespace wmp::sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM",  "WHERE",    "AND",   "GROUP", "BY",
+      "ORDER",  "LIMIT", "DISTINCT", "AS",    "BETWEEN", "IN",
+      "LIKE",   "COUNT", "SUM",      "AVG",   "MIN",   "MAX",
+      "ASC",    "DESC",  "NOT",      "OR",    "JOIN",  "ON",
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+bool IsReservedKeyword(const std::string& upper_word) {
+  return Keywords().count(upper_word) > 0;
+}
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsReservedKeyword(upper)) {
+        tokens.push_back({TokenType::kKeyword, std::move(upper), start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, ToLower(word), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      ++i;  // sign or first digit
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+                       ((input[i] == '+' || input[i] == '-') &&
+                        (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        ++i;
+      }
+      tokens.push_back({TokenType::kNumber, input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const std::string two = input.substr(i, 2);
+      if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+        tokens.push_back({TokenType::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case '=':
+      case '<':
+      case '>':
+      case '*':
+      case ';':
+        tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+        ++i;
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace wmp::sql

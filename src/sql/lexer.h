@@ -1,0 +1,48 @@
+#ifndef WMP_SQL_LEXER_H_
+#define WMP_SQL_LEXER_H_
+
+/// \file lexer.h
+/// Tokenizer for the SQL subset. Keywords are case-insensitive; identifiers
+/// preserve case (lowered for matching downstream).
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wmp::sql {
+
+/// Token categories.
+enum class TokenType : uint8_t {
+  kKeyword,     ///< SELECT, FROM, WHERE, ... (normalized upper-case)
+  kIdentifier,  ///< table/column names
+  kNumber,
+  kString,      ///< single-quoted literal, quotes stripped
+  kSymbol,      ///< punctuation / operators: ( ) , . = <> <= >= < > *
+  kEnd,
+};
+
+/// \brief A single token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// \brief Tokenizes `input`. Returns InvalidArgument on malformed input
+/// (unterminated string, stray character).
+Result<std::vector<Token>> Lex(const std::string& input);
+
+/// True if `word` (upper-cased) is a reserved keyword.
+bool IsReservedKeyword(const std::string& upper_word);
+
+}  // namespace wmp::sql
+
+#endif  // WMP_SQL_LEXER_H_

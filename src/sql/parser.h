@@ -1,0 +1,32 @@
+#ifndef WMP_SQL_PARSER_H_
+#define WMP_SQL_PARSER_H_
+
+/// \file parser.h
+/// Recursive-descent parser for the SQL subset:
+///
+///   query     := SELECT [DISTINCT] items FROM tables [WHERE conj]
+///                [GROUP BY cols] [ORDER BY cols [ASC|DESC]] [LIMIT n] [;]
+///   items     := item (',' item)*        item := '*' | agg '(' arg ')' | colref
+///   tables    := table [[AS] alias] (',' table [[AS] alias])*
+///   conj      := pred (AND pred)*
+///   pred      := colref cmp literal | colref cmp colref (join)
+///              | colref BETWEEN lit AND lit | colref IN '(' lit, ... ')'
+///              | colref LIKE string
+///
+/// Disjunction (OR) and explicit JOIN ... ON syntax are intentionally out of
+/// scope — the paper's workloads are conjunctive SPJ+aggregation queries.
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace wmp::sql {
+
+/// \brief Parses `input` into a Query. Returns InvalidArgument with an
+/// offset-annotated message on syntax errors.
+Result<Query> Parse(const std::string& input);
+
+}  // namespace wmp::sql
+
+#endif  // WMP_SQL_PARSER_H_

@@ -1,0 +1,84 @@
+#include "sql/printer.h"
+
+#include "util/strings.h"
+
+namespace wmp::sql {
+
+namespace {
+
+std::string PrintSelectItem(const SelectItem& item) {
+  if (item.agg == AggFunc::kNone) {
+    return item.is_star ? "*" : item.column.ToString();
+  }
+  const std::string arg = item.is_star ? "*" : item.column.ToString();
+  return std::string(AggFuncName(item.agg)) + "(" + arg + ")";
+}
+
+std::string PrintPredicate(const Predicate& p) {
+  if (p.kind == Predicate::Kind::kJoin) {
+    return p.lhs.ToString() + " = " + p.rhs.ToString();
+  }
+  switch (p.op) {
+    case CompareOp::kBetween:
+      return p.lhs.ToString() + " BETWEEN " + p.values[0].ToString() +
+             " AND " + p.values[1].ToString();
+    case CompareOp::kIn: {
+      std::vector<std::string> vals;
+      vals.reserve(p.values.size());
+      for (const Literal& v : p.values) vals.push_back(v.ToString());
+      return p.lhs.ToString() + " IN (" + Join(vals, ", ") + ")";
+    }
+    default:
+      return p.lhs.ToString() + " " + CompareOpName(p.op) + " " +
+             p.values[0].ToString();
+  }
+}
+
+}  // namespace
+
+std::string Print(const Query& query) {
+  std::string out = "SELECT ";
+  if (query.distinct) out += "DISTINCT ";
+  {
+    std::vector<std::string> items;
+    items.reserve(query.select_list.size());
+    for (const SelectItem& item : query.select_list) {
+      items.push_back(PrintSelectItem(item));
+    }
+    out += Join(items, ", ");
+  }
+  out += " FROM ";
+  {
+    std::vector<std::string> tables;
+    tables.reserve(query.from.size());
+    for (const TableRef& t : query.from) {
+      tables.push_back(t.alias.empty() ? t.table : t.table + " " + t.alias);
+    }
+    out += Join(tables, ", ");
+  }
+  if (!query.where.empty()) {
+    out += " WHERE ";
+    std::vector<std::string> preds;
+    preds.reserve(query.where.size());
+    for (const Predicate& p : query.where) preds.push_back(PrintPredicate(p));
+    out += Join(preds, " AND ");
+  }
+  if (!query.group_by.empty()) {
+    std::vector<std::string> cols;
+    cols.reserve(query.group_by.size());
+    for (const ColumnRef& c : query.group_by) cols.push_back(c.ToString());
+    out += " GROUP BY " + Join(cols, ", ");
+  }
+  if (!query.order_by.empty()) {
+    std::vector<std::string> cols;
+    cols.reserve(query.order_by.size());
+    for (const ColumnRef& c : query.order_by) cols.push_back(c.ToString());
+    out += " ORDER BY " + Join(cols, ", ");
+  }
+  if (query.limit >= 0) {
+    out += StrFormat(" LIMIT %lld", static_cast<long long>(query.limit));
+  }
+  return out;
+}
+
+}  // namespace wmp::sql

@@ -1,0 +1,21 @@
+#ifndef WMP_SQL_PRINTER_H_
+#define WMP_SQL_PRINTER_H_
+
+/// \file printer.h
+/// Renders a Query AST back to SQL text. `Parse(Print(q))` is the identity
+/// on the supported subset (modulo whitespace), which the workload
+/// generators rely on to emit query text for the text-based template
+/// learners (Fig. 9).
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace wmp::sql {
+
+/// \brief SQL text of `query`.
+std::string Print(const Query& query);
+
+}  // namespace wmp::sql
+
+#endif  // WMP_SQL_PRINTER_H_

@@ -1,0 +1,50 @@
+#include "text/bow.h"
+
+#include <algorithm>
+
+namespace wmp::text {
+
+Status BowVectorizer::Fit(const std::vector<std::string>& corpus,
+                          const BowOptions& options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("BowVectorizer::Fit on empty corpus");
+  }
+  options_ = options;
+  std::map<std::string, size_t> counts;
+  for (const std::string& sql : corpus) {
+    for (const std::string& tok : TokenizeSql(sql, options.tokenizer)) {
+      ++counts[tok];
+    }
+  }
+  // Keep the most frequent words (ties broken alphabetically for
+  // determinism).
+  std::vector<std::pair<std::string, size_t>> by_freq(counts.begin(),
+                                                      counts.end());
+  std::sort(by_freq.begin(), by_freq.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (by_freq.size() > options.max_vocab) by_freq.resize(options.max_vocab);
+  std::sort(by_freq.begin(), by_freq.end());  // stable feature order
+  vocab_.clear();
+  int index = 0;
+  for (const auto& [word, freq] : by_freq) vocab_.emplace(word, index++);
+  return Status::OK();
+}
+
+Result<std::vector<double>> BowVectorizer::Transform(
+    const std::string& sql) const {
+  if (!fitted()) return Status::FailedPrecondition("vectorizer not fitted");
+  std::vector<double> vec(vocab_.size(), 0.0);
+  for (const std::string& tok : TokenizeSql(sql, options_.tokenizer)) {
+    auto it = vocab_.find(tok);
+    if (it != vocab_.end()) vec[static_cast<size_t>(it->second)] += 1.0;
+  }
+  return vec;
+}
+
+int BowVectorizer::WordIndex(const std::string& word) const {
+  auto it = vocab_.find(word);
+  return it == vocab_.end() ? -1 : it->second;
+}
+
+}  // namespace wmp::text

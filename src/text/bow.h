@@ -1,0 +1,49 @@
+#ifndef WMP_TEXT_BOW_H_
+#define WMP_TEXT_BOW_H_
+
+/// \file bow.h
+/// Bag-of-words featurization of SQL text — the "Bag of Words based"
+/// template-learning alternative of Fig. 9. The vocabulary is built
+/// indiscriminately from the training corpus (most frequent words kept);
+/// each query becomes a vector of per-word counts.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "util/status.h"
+
+namespace wmp::text {
+
+/// Vocabulary/featurization knobs.
+struct BowOptions {
+  size_t max_vocab = 512;  ///< keep the most frequent words
+  TokenizerOptions tokenizer;
+};
+
+/// \brief Count-vectorizer over a learned vocabulary.
+class BowVectorizer {
+ public:
+  BowVectorizer() = default;
+
+  /// Builds the vocabulary from a corpus of SQL strings.
+  Status Fit(const std::vector<std::string>& corpus,
+             const BowOptions& options = {});
+
+  /// Per-word count vector of `sql`; out-of-vocabulary tokens are dropped.
+  Result<std::vector<double>> Transform(const std::string& sql) const;
+
+  size_t vocab_size() const { return vocab_.size(); }
+  /// Index of `word` in the feature vector; -1 if out of vocabulary.
+  int WordIndex(const std::string& word) const;
+  bool fitted() const { return !vocab_.empty(); }
+
+ protected:
+  BowOptions options_;
+  std::map<std::string, int> vocab_;  // word -> feature index
+};
+
+}  // namespace wmp::text
+
+#endif  // WMP_TEXT_BOW_H_

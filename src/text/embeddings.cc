@@ -1,0 +1,159 @@
+#include "text/embeddings.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace wmp::text {
+
+Status WordEmbeddings::Fit(const std::vector<std::string>& corpus,
+                           const EmbeddingOptions& options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("WordEmbeddings::Fit on empty corpus");
+  }
+  if (options.dim < 1 || options.window < 1) {
+    return Status::InvalidArgument("dim and window must be >= 1");
+  }
+  options_ = options;
+
+  // --- Vocabulary: most frequent tokens ------------------------------------
+  std::map<std::string, size_t> counts;
+  std::vector<std::vector<std::string>> tokenized;
+  tokenized.reserve(corpus.size());
+  for (const std::string& sql : corpus) {
+    tokenized.push_back(TokenizeSql(sql));
+    for (const std::string& tok : tokenized.back()) ++counts[tok];
+  }
+  std::vector<std::pair<std::string, size_t>> by_freq(counts.begin(),
+                                                      counts.end());
+  std::sort(by_freq.begin(), by_freq.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (by_freq.size() > options.max_vocab) by_freq.resize(options.max_vocab);
+  vocab_.clear();
+  int index = 0;
+  for (const auto& [word, freq] : by_freq) vocab_.emplace(word, index++);
+  const size_t v = vocab_.size();
+
+  // --- Windowed co-occurrence ----------------------------------------------
+  ml::Matrix cooc(v, v);
+  for (const auto& tokens : tokenized) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      auto it_i = vocab_.find(tokens[i]);
+      if (it_i == vocab_.end()) continue;
+      const size_t wi = static_cast<size_t>(it_i->second);
+      const size_t end = std::min(tokens.size(),
+                                  i + static_cast<size_t>(options.window) + 1);
+      for (size_t j = i + 1; j < end; ++j) {
+        auto it_j = vocab_.find(tokens[j]);
+        if (it_j == vocab_.end()) continue;
+        const size_t wj = static_cast<size_t>(it_j->second);
+        cooc.At(wi, wj) += 1.0;
+        cooc.At(wj, wi) += 1.0;
+      }
+    }
+  }
+
+  // --- PPMI re-weighting -----------------------------------------------------
+  double total = 0.0;
+  std::vector<double> row_sum(v, 0.0);
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t j = 0; j < v; ++j) row_sum[i] += cooc.At(i, j);
+    total += row_sum[i];
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("corpus produced no co-occurrences");
+  }
+  ml::Matrix ppmi(v, v);
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t j = 0; j < v; ++j) {
+      const double c = cooc.At(i, j);
+      if (c <= 0.0 || row_sum[i] <= 0.0 || row_sum[j] <= 0.0) continue;
+      const double pmi =
+          std::log((c * total) / (row_sum[i] * row_sum[j]));
+      if (pmi > 0.0) ppmi.At(i, j) = pmi;
+    }
+  }
+
+  // --- Truncated eigendecomposition (power iteration + deflation) ----------
+  // PPMI is symmetric, so its dominant eigenvectors give the SVD factors.
+  const int dim = std::min<int>(options.dim, static_cast<int>(v));
+  options_.dim = dim;
+  ml::Matrix components(static_cast<size_t>(dim), v);
+  std::vector<double> eigenvalues(static_cast<size_t>(dim), 0.0);
+  Rng rng(options.seed);
+  for (int d = 0; d < dim; ++d) {
+    std::vector<double> vec(v);
+    for (double& x : vec) x = rng.Normal();
+    double eig = 0.0;
+    for (int it = 0; it < options.power_iters; ++it) {
+      std::vector<double> next = ml::MatVec(ppmi, vec);
+      // Deflate previously found components.
+      for (int p = 0; p < d; ++p) {
+        const double* comp = components.RowPtr(static_cast<size_t>(p));
+        double proj = 0.0;
+        for (size_t i = 0; i < v; ++i) proj += comp[i] * next[i];
+        for (size_t i = 0; i < v; ++i) next[i] -= proj * comp[i];
+      }
+      const double norm = ml::Norm2(next);
+      if (norm < 1e-12) break;
+      for (double& x : next) x /= norm;
+      eig = ml::Dot(next, ml::MatVec(ppmi, next));
+      vec = std::move(next);
+    }
+    std::copy(vec.begin(), vec.end(),
+              components.RowPtr(static_cast<size_t>(d)));
+    eigenvalues[static_cast<size_t>(d)] = eig;
+  }
+
+  // Word vectors: eigenvector entries scaled by sqrt(|eigenvalue|).
+  vectors_ = ml::Matrix(v, static_cast<size_t>(dim));
+  for (size_t w = 0; w < v; ++w) {
+    for (int d = 0; d < dim; ++d) {
+      const double scale =
+          std::sqrt(std::max(eigenvalues[static_cast<size_t>(d)], 0.0));
+      vectors_.At(w, static_cast<size_t>(d)) =
+          components.At(static_cast<size_t>(d), w) * scale;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> WordEmbeddings::Transform(
+    const std::string& sql) const {
+  if (!fitted()) return Status::FailedPrecondition("embeddings not fitted");
+  std::vector<double> mean(static_cast<size_t>(options_.dim), 0.0);
+  size_t hits = 0;
+  for (const std::string& tok : TokenizeSql(sql)) {
+    auto it = vocab_.find(tok);
+    if (it == vocab_.end()) continue;
+    const double* row = vectors_.RowPtr(static_cast<size_t>(it->second));
+    for (size_t d = 0; d < mean.size(); ++d) mean[d] += row[d];
+    ++hits;
+  }
+  if (hits > 0) {
+    for (double& x : mean) x /= static_cast<double>(hits);
+  }
+  return mean;
+}
+
+Result<std::vector<double>> WordEmbeddings::WordVector(
+    const std::string& word) const {
+  if (!fitted()) return Status::FailedPrecondition("embeddings not fitted");
+  auto it = vocab_.find(word);
+  if (it == vocab_.end()) return Status::NotFound("word not in vocabulary: " + word);
+  return vectors_.RowVec(static_cast<size_t>(it->second));
+}
+
+Result<double> WordEmbeddings::Similarity(const std::string& a,
+                                          const std::string& b) const {
+  WMP_ASSIGN_OR_RETURN(std::vector<double> va, WordVector(a));
+  WMP_ASSIGN_OR_RETURN(std::vector<double> vb, WordVector(b));
+  const double na = ml::Norm2(va), nb = ml::Norm2(vb);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return ml::Dot(va, vb) / (na * nb);
+}
+
+}  // namespace wmp::text

@@ -1,0 +1,64 @@
+#ifndef WMP_TEXT_EMBEDDINGS_H_
+#define WMP_TEXT_EMBEDDINGS_H_
+
+/// \file embeddings.h
+/// Word embeddings for SQL tokens — Fig. 9's "Word embeddings based"
+/// template-learning method.
+///
+/// Embeddings are trained count-based: a windowed word-word co-occurrence
+/// matrix over the corpus, re-weighted with positive pointwise mutual
+/// information (PPMI), then factorized with truncated SVD (power iteration
+/// with deflation on the symmetric PPMI matrix). A query's feature vector
+/// is the mean of its tokens' embeddings, which captures keyword proximity
+/// — the property the paper credits embeddings with over plain
+/// bag-of-words.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ml/linalg.h"
+#include "util/status.h"
+
+namespace wmp::text {
+
+/// Training knobs.
+struct EmbeddingOptions {
+  size_t max_vocab = 512;
+  int dim = 16;          ///< embedding dimension
+  int window = 2;        ///< co-occurrence window (tokens on each side)
+  int power_iters = 30;  ///< power-iteration steps per component
+  uint64_t seed = 42;
+};
+
+/// \brief PPMI + truncated-SVD word embeddings.
+class WordEmbeddings {
+ public:
+  WordEmbeddings() = default;
+
+  /// Trains embeddings on a corpus of SQL strings.
+  Status Fit(const std::vector<std::string>& corpus,
+             const EmbeddingOptions& options = {});
+
+  /// Mean token embedding of `sql` (zero vector if no token is known).
+  Result<std::vector<double>> Transform(const std::string& sql) const;
+
+  /// Embedding of one word; NotFound if out of vocabulary.
+  Result<std::vector<double>> WordVector(const std::string& word) const;
+
+  /// Cosine similarity of two in-vocabulary words.
+  Result<double> Similarity(const std::string& a, const std::string& b) const;
+
+  int dim() const { return options_.dim; }
+  size_t vocab_size() const { return vocab_.size(); }
+  bool fitted() const { return vectors_.rows() > 0; }
+
+ private:
+  EmbeddingOptions options_;
+  std::map<std::string, int> vocab_;
+  ml::Matrix vectors_;  // vocab_size x dim
+};
+
+}  // namespace wmp::text
+
+#endif  // WMP_TEXT_EMBEDDINGS_H_

@@ -1,0 +1,35 @@
+#include "text/rules.h"
+
+#include <algorithm>
+
+namespace wmp::text {
+
+bool RuleBasedClassifier::Matches(const TemplateRule& rule,
+                                  const sql::Query& query) {
+  for (const std::string& table : rule.required_tables) {
+    const bool present =
+        std::any_of(query.from.begin(), query.from.end(),
+                    [&](const sql::TableRef& ref) { return ref.table == table; });
+    if (!present) return false;
+  }
+  const int joins = static_cast<int>(query.JoinPredicates().size());
+  if (rule.min_joins >= 0 && joins < rule.min_joins) return false;
+  if (rule.max_joins >= 0 && joins > rule.max_joins) return false;
+  if (rule.requires_aggregation.has_value()) {
+    const bool has = query.HasAggregation() || !query.group_by.empty();
+    if (has != *rule.requires_aggregation) return false;
+  }
+  if (rule.requires_order_by.has_value()) {
+    if (query.order_by.empty() == *rule.requires_order_by) return false;
+  }
+  return true;
+}
+
+int RuleBasedClassifier::Classify(const sql::Query& query) const {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (Matches(rules_[i], query)) return static_cast<int>(i);
+  }
+  return static_cast<int>(rules_.size());  // catch-all
+}
+
+}  // namespace wmp::text

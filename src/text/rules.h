@@ -1,0 +1,60 @@
+#ifndef WMP_TEXT_RULES_H_
+#define WMP_TEXT_RULES_H_
+
+/// \file rules.h
+/// Rule-based template assignment — Fig. 9's "Rule based" method.
+///
+/// Each rule is the kind of fingerprint a DBA would write: "queries that
+/// touch these tables, with/without aggregation, with this many joins,
+/// belong to template X". Rules are evaluated in order; the first match
+/// wins; queries matching nothing land in a catch-all template. Workload
+/// generators export one expert rule per query family, playing the role of
+/// the subject-matter expert the paper mentions.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace wmp::text {
+
+/// \brief One expert rule.
+struct TemplateRule {
+  std::string name;
+  /// Tables that must all appear in the FROM clause (by real table name).
+  std::vector<std::string> required_tables;
+  /// Join-count bounds (inclusive); -1 = unbounded.
+  int min_joins = -1;
+  int max_joins = -1;
+  /// Constraint on GROUP BY / aggregation presence (unset = don't care).
+  std::optional<bool> requires_aggregation;
+  std::optional<bool> requires_order_by;
+};
+
+/// \brief Ordered rule list classifying queries into templates.
+class RuleBasedClassifier {
+ public:
+  RuleBasedClassifier() = default;
+  explicit RuleBasedClassifier(std::vector<TemplateRule> rules)
+      : rules_(std::move(rules)) {}
+
+  /// Template id of `query`: index of the first matching rule, or
+  /// `rules().size()` (the catch-all bucket) when nothing matches.
+  int Classify(const sql::Query& query) const;
+
+  /// Total number of templates including the catch-all bucket.
+  int num_templates() const { return static_cast<int>(rules_.size()) + 1; }
+  const std::vector<TemplateRule>& rules() const { return rules_; }
+
+  /// True when `query` satisfies `rule`.
+  static bool Matches(const TemplateRule& rule, const sql::Query& query);
+
+ private:
+  std::vector<TemplateRule> rules_;
+};
+
+}  // namespace wmp::text
+
+#endif  // WMP_TEXT_RULES_H_

@@ -1,0 +1,47 @@
+#include "text/text_mining.h"
+
+#include "text/tokenizer.h"
+#include "util/strings.h"
+
+namespace wmp::text {
+
+const std::vector<std::string>& SchemaAwareVectorizer::ClauseKeywords() {
+  static const std::vector<std::string> kKeywords = {
+      "select", "from",  "where", "group", "order",    "by",
+      "limit",  "count", "sum",   "avg",   "min",      "max",
+      "between", "in",   "like",  "and",   "distinct",
+  };
+  return kKeywords;
+}
+
+Status SchemaAwareVectorizer::Fit(const catalog::Catalog& catalog) {
+  if (catalog.num_tables() == 0) {
+    return Status::InvalidArgument("SchemaAwareVectorizer: empty catalog");
+  }
+  vocab_.clear();
+  int index = 0;
+  auto add = [&](const std::string& word) {
+    vocab_.emplace(ToLower(word), index);
+    if (vocab_.size() == static_cast<size_t>(index) + 1) ++index;
+  };
+  for (const std::string& kw : ClauseKeywords()) add(kw);
+  for (const std::string& tname : catalog.table_names()) {
+    add(tname);
+    const catalog::TableDef* table = *catalog.FindTable(tname);
+    for (const catalog::Column& col : table->columns()) add(col.name());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> SchemaAwareVectorizer::Transform(
+    const std::string& sql) const {
+  if (!fitted()) return Status::FailedPrecondition("vectorizer not fitted");
+  std::vector<double> vec(vocab_.size(), 0.0);
+  for (const std::string& tok : TokenizeSql(sql)) {
+    auto it = vocab_.find(tok);
+    if (it != vocab_.end()) vec[static_cast<size_t>(it->second)] += 1.0;
+  }
+  return vec;
+}
+
+}  // namespace wmp::text

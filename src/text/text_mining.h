@@ -1,0 +1,43 @@
+#ifndef WMP_TEXT_TEXT_MINING_H_
+#define WMP_TEXT_TEXT_MINING_H_
+
+/// \file text_mining.h
+/// Schema-aware text featurization — Fig. 9's "Text mining based" method.
+/// Unlike bag-of-words, the vocabulary is restricted to tokens that carry
+/// database meaning: table names, column names (from the catalog), and SQL
+/// clause keywords. Everything else is ignored.
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "text/bow.h"
+
+namespace wmp::text {
+
+/// \brief Count-vectorizer whose vocabulary is derived from the catalog
+/// plus SQL clause keywords, not mined from the corpus.
+class SchemaAwareVectorizer {
+ public:
+  SchemaAwareVectorizer() = default;
+
+  /// Builds the vocabulary from the catalog (tables + columns) and the
+  /// fixed SQL clause keyword list.
+  Status Fit(const catalog::Catalog& catalog);
+
+  /// Count vector over the schema vocabulary.
+  Result<std::vector<double>> Transform(const std::string& sql) const;
+
+  size_t vocab_size() const { return vocab_.size(); }
+  bool fitted() const { return !vocab_.empty(); }
+
+  /// Clause keywords included in every vocabulary.
+  static const std::vector<std::string>& ClauseKeywords();
+
+ private:
+  std::map<std::string, int> vocab_;
+};
+
+}  // namespace wmp::text
+
+#endif  // WMP_TEXT_TEXT_MINING_H_

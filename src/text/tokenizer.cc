@@ -1,0 +1,47 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace wmp::text {
+
+std::vector<std::string> TokenizeSql(const std::string& sql,
+                                     const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const unsigned char c = static_cast<unsigned char>(sql[i]);
+    if (std::isalpha(c) || c == '_') {
+      std::string word;
+      while (i < n) {
+        const unsigned char d = static_cast<unsigned char>(sql[i]);
+        if (!std::isalnum(d) && d != '_') break;
+        word.push_back(static_cast<char>(std::tolower(d)));
+        ++i;
+      }
+      tokens.push_back(std::move(word));
+      continue;
+    }
+    if (std::isdigit(c)) {
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        ++i;
+      }
+      if (options.fold_numbers) {
+        tokens.push_back("#num");
+      }  // else dropped: raw constants are meaningless vocabulary
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      while (i < n && sql[i] != '\'') ++i;
+      if (i < n) ++i;  // closing quote
+      if (options.fold_strings) tokens.push_back("#str");
+      continue;
+    }
+    ++i;  // punctuation/whitespace
+  }
+  return tokens;
+}
+
+}  // namespace wmp::text

@@ -1,0 +1,29 @@
+#ifndef WMP_TEXT_TOKENIZER_H_
+#define WMP_TEXT_TOKENIZER_H_
+
+/// \file tokenizer.h
+/// SQL-text tokenization for the text-based template learners (Fig. 9's
+/// bag-of-words, text-mining, and word-embedding methods).
+
+#include <string>
+#include <vector>
+
+namespace wmp::text {
+
+/// Tokenization knobs.
+struct TokenizerOptions {
+  /// Replace numeric literals with the placeholder token "#num" (keeps the
+  /// vocabulary independent of constants).
+  bool fold_numbers = true;
+  /// Replace quoted string literals with "#str".
+  bool fold_strings = true;
+};
+
+/// \brief Lower-cases and splits SQL text into word tokens; punctuation is
+/// dropped, literals optionally folded into placeholder tokens.
+std::vector<std::string> TokenizeSql(const std::string& sql,
+                                     const TokenizerOptions& options = {});
+
+}  // namespace wmp::text
+
+#endif  // WMP_TEXT_TOKENIZER_H_

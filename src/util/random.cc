@@ -1,0 +1,132 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wmp {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = (~0ULL) - ((~0ULL) % range);
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r > limit && limit != 0);
+  return lo + static_cast<int64_t>(r % range);
+}
+
+double Rng::UniformDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u1, u2;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  u2 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_ = true;
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0 || weights.empty()) {
+    return weights.empty()
+               ? 0
+               : static_cast<size_t>(
+                     UniformInt(0, static_cast<int64_t>(weights.size()) - 1));
+  }
+  double r = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += std::max(weights[i], 0.0);
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta)
+    : n_(std::max<uint64_t>(n, 1)), theta_(std::max(theta, 0.0)) {
+  cdf_.resize(n_);
+  double acc = 0.0;
+  for (uint64_t k = 1; k <= n_; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), theta_);
+    cdf_[k - 1] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::Pmf(uint64_t k) const {
+  if (k < 1 || k > n_) return 0.0;
+  return Cdf(k) - Cdf(k - 1);
+}
+
+double ZipfDistribution::Cdf(uint64_t k) const {
+  if (k == 0) return 0.0;
+  if (k >= n_) return 1.0;
+  return cdf_[k - 1];
+}
+
+}  // namespace wmp

@@ -1,0 +1,103 @@
+#ifndef WMP_UTIL_RANDOM_H_
+#define WMP_UTIL_RANDOM_H_
+
+/// \file random.h
+/// Deterministic random number generation for simulation and ML training.
+///
+/// All stochastic components of the library (data generators, the execution
+/// simulator, k-means init, neural-net init, ...) draw from `Rng`, a
+/// xoshiro256** engine. Seeding every component explicitly keeps experiments
+/// bit-reproducible across runs.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wmp {
+
+/// \brief xoshiro256** pseudo-random generator with convenience samplers.
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+/// with `<random>` distributions and `std::shuffle`.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the engine via splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit draw.
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Uniform integer in `[lo, hi]` (inclusive). Requires `lo <= hi`.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Uniform double in `[0, 1)`.
+  double UniformDouble();
+  /// Uniform double in `[lo, hi)`.
+  double UniformDouble(double lo, double hi);
+  /// Standard normal via Box-Muller (cached spare deviate).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+  /// Log-normal with the underlying normal's `mu`/`sigma`.
+  double LogNormal(double mu, double sigma);
+  /// Bernoulli draw.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks an index in `[0, weights.size())` proportionally to `weights`.
+  /// Non-positive total weight falls back to uniform choice.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// \brief Samples ranks from a Zipf(n, theta) distribution.
+///
+/// Rank 1 is the most frequent value. `theta == 0` degenerates to uniform.
+/// The CDF is precomputed, so construction is O(n) and sampling is
+/// O(log n); intended for value domains up to a few hundred thousand.
+class ZipfDistribution {
+ public:
+  /// \param n     number of distinct ranks (>= 1)
+  /// \param theta skew parameter (>= 0); typical database skew is 0.5-1.2.
+  ZipfDistribution(uint64_t n, double theta);
+
+  /// Draws a rank in `[1, n]`.
+  uint64_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank `k` (1-based).
+  double Pmf(uint64_t k) const;
+
+  /// Cumulative probability of ranks `1..k`. `Cdf(n) == 1`.
+  double Cdf(uint64_t k) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k)
+};
+
+}  // namespace wmp
+
+#endif  // WMP_UTIL_RANDOM_H_

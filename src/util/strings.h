@@ -1,0 +1,42 @@
+#ifndef WMP_UTIL_STRINGS_H_
+#define WMP_UTIL_STRINGS_H_
+
+/// \file strings.h
+/// Small string utilities shared across the SQL lexer, plan parser, and
+/// report printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wmp {
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+/// ASCII upper-case copy.
+std::string ToUpper(std::string_view s);
+
+/// Strips leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a single character; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any whitespace run; empty pieces are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders a byte count as a human-readable "12.3 KB" style string.
+std::string HumanBytes(double bytes);
+
+}  // namespace wmp
+
+#endif  // WMP_UTIL_STRINGS_H_

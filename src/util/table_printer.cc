@@ -1,0 +1,56 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/strings.h"
+
+namespace wmp {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(StrFormat("%.*f", precision, v));
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace wmp

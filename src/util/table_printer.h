@@ -1,0 +1,43 @@
+#ifndef WMP_UTIL_TABLE_PRINTER_H_
+#define WMP_UTIL_TABLE_PRINTER_H_
+
+/// \file table_printer.h
+/// Console table rendering for the benchmark harnesses. Every `bench/fig*`
+/// binary prints the series a paper figure plots as an aligned text table.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wmp {
+
+/// \brief Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  /// \param title  heading printed above the table (may be empty).
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  /// Renders the table.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wmp
+
+#endif  // WMP_UTIL_TABLE_PRINTER_H_

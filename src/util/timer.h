@@ -1,0 +1,35 @@
+#ifndef WMP_UTIL_TIMER_H_
+#define WMP_UTIL_TIMER_H_
+
+/// \file timer.h
+/// Wall-clock stopwatch used by the training/inference time harnesses
+/// (Figs. 6 and 7).
+
+#include <chrono>
+#include <cstdint>
+
+namespace wmp {
+
+/// \brief Monotonic stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wmp
+
+#endif  // WMP_UTIL_TIMER_H_

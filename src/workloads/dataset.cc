@@ -1,0 +1,84 @@
+#include "workloads/dataset.h"
+
+#include "plan/features.h"
+#include "sql/printer.h"
+
+namespace wmp::workloads {
+
+const char* BenchmarkName(Benchmark b) {
+  switch (b) {
+    case Benchmark::kTpcds:
+      return "TPC-DS";
+    case Benchmark::kJob:
+      return "JOB";
+    case Benchmark::kTpcc:
+      return "TPC-C";
+  }
+  return "?";
+}
+
+const std::vector<Benchmark>& AllBenchmarks() {
+  static const std::vector<Benchmark> kAll = {
+      Benchmark::kTpcds, Benchmark::kJob, Benchmark::kTpcc};
+  return kAll;
+}
+
+size_t PaperQueryCount(Benchmark b) {
+  switch (b) {
+    case Benchmark::kTpcds:
+      return 93000;
+    case Benchmark::kJob:
+      return 2300;
+    case Benchmark::kTpcc:
+      return 3958;
+  }
+  return 0;
+}
+
+std::unique_ptr<WorkloadGenerator> CreateGenerator(Benchmark b) {
+  switch (b) {
+    case Benchmark::kTpcds:
+      return MakeTpcdsGenerator();
+    case Benchmark::kJob:
+      return MakeJobGenerator();
+    case Benchmark::kTpcc:
+      return MakeTpccGenerator();
+  }
+  return nullptr;
+}
+
+Result<Dataset> BuildDataset(Benchmark benchmark,
+                             const DatasetOptions& options) {
+  Dataset dataset;
+  dataset.generator = CreateGenerator(benchmark);
+  if (dataset.generator == nullptr) {
+    return Status::InvalidArgument("unknown benchmark");
+  }
+  dataset.benchmark_name = BenchmarkName(benchmark);
+  const size_t n =
+      options.num_queries > 0 ? options.num_queries : PaperQueryCount(benchmark);
+
+  plan::Planner planner(&dataset.generator->catalog(), options.planner);
+  engine::SimulatorOptions sim_options = options.simulator;
+  sim_options.seed ^= options.seed;
+  engine::Simulator simulator(sim_options);
+
+  Rng rng(options.seed);
+  dataset.records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    QueryRecord record;
+    record.family_id = dataset.generator->SampleFamily(&rng);
+    WMP_ASSIGN_OR_RETURN(
+        record.query, dataset.generator->GenerateQuery(record.family_id, &rng));
+    record.sql_text = sql::Print(record.query);
+    WMP_ASSIGN_OR_RETURN(record.plan, planner.CreatePlan(record.query));
+    record.plan_features = plan::ExtractPlanFeatures(*record.plan);
+    record.actual_memory_mb = simulator.SimulatePeakMemoryMb(*record.plan);
+    record.dbms_estimate_mb =
+        engine::DbmsEstimateMemoryMb(*record.plan, options.dbms);
+    dataset.records.push_back(std::move(record));
+  }
+  return dataset;
+}
+
+}  // namespace wmp::workloads

@@ -1,0 +1,122 @@
+#include "workloads/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "plan/cardinality.h"
+
+namespace wmp::workloads {
+
+int WorkloadGenerator::SampleFamily(Rng* rng) const {
+  return static_cast<int>(rng->UniformInt(0, num_families() - 1));
+}
+
+namespace {
+
+// Samples a frequency rank from Zipf(ndv, theta) by inverting the
+// closed-form CDF with binary search (O(log ndv), no per-column tables).
+uint64_t SampleZipfRank(uint64_t ndv, double theta, Rng* rng) {
+  if (ndv <= 1) return 1;
+  const double u = rng->UniformDouble();
+  uint64_t lo = 1, hi = ndv;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (plan::ZipfCdfApprox(static_cast<double>(mid),
+                            static_cast<double>(ndv), theta) < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// True selectivity (row fraction) of rank `k` under Zipf(ndv, theta).
+double RankSelectivity(uint64_t k, uint64_t ndv, double theta) {
+  const double n = static_cast<double>(ndv);
+  return std::max(plan::ZipfCdfApprox(static_cast<double>(k), n, theta) -
+                      plan::ZipfCdfApprox(static_cast<double>(k) - 1.0, n, theta),
+                  1e-12);
+}
+
+// Maps a frequency rank to a literal value. Values are laid out so hot
+// ranks sit at the low end of the [min, max] domain (the assumption the
+// true-cardinality model's range math uses).
+double RankToValue(uint64_t rank, const catalog::ColumnStats& stats) {
+  const double ndv = std::max<double>(static_cast<double>(stats.ndv), 1.0);
+  const double frac = (static_cast<double>(rank) - 0.5) / ndv;
+  return stats.min_value + frac * (stats.max_value - stats.min_value);
+}
+
+}  // namespace
+
+Result<sql::Predicate> SampleEqPredicate(const catalog::TableDef& table,
+                                         const std::string& alias,
+                                         const std::string& column, Rng* rng) {
+  WMP_ASSIGN_OR_RETURN(const catalog::Column* col, table.FindColumn(column));
+  const catalog::ColumnStats& stats = col->stats();
+  const uint64_t rank = SampleZipfRank(stats.ndv, stats.zipf_skew, rng);
+  sql::Predicate pred = sql::Predicate::Comparison(
+      {alias, column}, sql::CompareOp::kEq,
+      {sql::Literal::Number(RankToValue(rank, stats))});
+  pred.true_selectivity = RankSelectivity(rank, stats.ndv, stats.zipf_skew);
+  return pred;
+}
+
+Result<sql::Predicate> SampleInPredicate(const catalog::TableDef& table,
+                                         const std::string& alias,
+                                         const std::string& column,
+                                         int num_values, Rng* rng) {
+  WMP_ASSIGN_OR_RETURN(const catalog::Column* col, table.FindColumn(column));
+  if (num_values < 1) {
+    return Status::InvalidArgument("IN predicate needs >= 1 value");
+  }
+  const catalog::ColumnStats& stats = col->stats();
+  std::vector<sql::Literal> values;
+  std::vector<uint64_t> ranks;
+  double sel = 0.0;
+  for (int i = 0; i < num_values; ++i) {
+    uint64_t rank = SampleZipfRank(stats.ndv, stats.zipf_skew, rng);
+    if (std::find(ranks.begin(), ranks.end(), rank) != ranks.end()) continue;
+    ranks.push_back(rank);
+    values.push_back(sql::Literal::Number(RankToValue(rank, stats)));
+    sel += RankSelectivity(rank, stats.ndv, stats.zipf_skew);
+  }
+  sql::Predicate pred = sql::Predicate::Comparison(
+      {alias, column}, sql::CompareOp::kIn, std::move(values));
+  pred.true_selectivity = std::min(sel, 1.0);
+  return pred;
+}
+
+Result<sql::Predicate> SampleRangePredicate(const catalog::TableDef& table,
+                                            const std::string& alias,
+                                            const std::string& column,
+                                            double domain_fraction, Rng* rng) {
+  WMP_ASSIGN_OR_RETURN(const catalog::Column* col, table.FindColumn(column));
+  const catalog::ColumnStats& stats = col->stats();
+  const double span = stats.max_value - stats.min_value;
+  domain_fraction = std::clamp(domain_fraction, 0.001, 1.0);
+  switch (rng->UniformInt(0, 2)) {
+    case 0: {  // col <= cutoff covering `fraction` of the low end
+      const double cutoff = stats.min_value + domain_fraction * span;
+      return sql::Predicate::Comparison({alias, column}, sql::CompareOp::kLe,
+                                        {sql::Literal::Number(cutoff)});
+    }
+    case 1: {  // col >= cutoff covering `fraction` of the high end
+      const double cutoff = stats.max_value - domain_fraction * span;
+      return sql::Predicate::Comparison({alias, column}, sql::CompareOp::kGe,
+                                        {sql::Literal::Number(cutoff)});
+    }
+    default: {  // BETWEEN a band of width `fraction` at a random offset
+      const double start =
+          stats.min_value +
+          rng->UniformDouble(0.0, 1.0 - domain_fraction) * span;
+      return sql::Predicate::Comparison(
+          {alias, column}, sql::CompareOp::kBetween,
+          {sql::Literal::Number(start),
+           sql::Literal::Number(start + domain_fraction * span)});
+    }
+  }
+}
+
+}  // namespace wmp::workloads

@@ -1,0 +1,76 @@
+#ifndef WMP_WORKLOADS_GENERATOR_H_
+#define WMP_WORKLOADS_GENERATOR_H_
+
+/// \file generator.h
+/// Workload-generation framework.
+///
+/// A generator owns a benchmark's catalog and a set of *query families*
+/// (the benchmark's seed templates — TPC-DS has 99, JOB 33). Each call to
+/// GenerateQuery instantiates one family with fresh literals, mirroring the
+/// official query-generation toolkits the paper uses (§IV "Datasets").
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "sql/ast.h"
+#include "text/rules.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace wmp::workloads {
+
+/// \brief Abstract benchmark query generator.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// Benchmark name ("TPC-DS", "JOB", "TPC-C").
+  virtual const std::string& name() const = 0;
+  /// Schema + statistics the queries run against.
+  virtual const catalog::Catalog& catalog() const = 0;
+  /// Number of query families (seed templates).
+  virtual int num_families() const = 0;
+  /// Instantiates family `family_id` with random literals.
+  virtual Result<sql::Query> GenerateQuery(int family_id, Rng* rng) const = 0;
+
+  /// Expert ("DBA-written") rules, one per family, for the rule-based
+  /// template ablation of Fig. 9.
+  virtual std::vector<text::TemplateRule> ExpertRules() const = 0;
+
+  /// Samples a family id; default is uniform.
+  virtual int SampleFamily(Rng* rng) const;
+};
+
+/// \name Predicate helpers shared by the concrete generators.
+///
+/// Equality and IN predicates sample their constants *data-distributedly*
+/// (frequent values are picked more often, via the column's Zipf skew) and
+/// attach the sampled value's true selectivity as a ground-truth hint.
+/// Range predicates pick a domain cutoff; the true-cardinality model
+/// derives their skew-aware row fraction from catalog statistics.
+/// @{
+
+/// `alias.column = <sampled value>` with a true-selectivity hint.
+Result<sql::Predicate> SampleEqPredicate(const catalog::TableDef& table,
+                                         const std::string& alias,
+                                         const std::string& column, Rng* rng);
+
+/// `alias.column IN (<k sampled values>)` with a true-selectivity hint.
+Result<sql::Predicate> SampleInPredicate(const catalog::TableDef& table,
+                                         const std::string& alias,
+                                         const std::string& column,
+                                         int num_values, Rng* rng);
+
+/// Range predicate covering roughly `domain_fraction` of the domain; the
+/// comparison direction and operator (<=, >=, BETWEEN) are randomized.
+Result<sql::Predicate> SampleRangePredicate(const catalog::TableDef& table,
+                                            const std::string& alias,
+                                            const std::string& column,
+                                            double domain_fraction, Rng* rng);
+/// @}
+
+}  // namespace wmp::workloads
+
+#endif  // WMP_WORKLOADS_GENERATOR_H_

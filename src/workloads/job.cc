@@ -1,0 +1,356 @@
+#include "workloads/job.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <map>
+
+#include "util/strings.h"
+
+namespace wmp::workloads {
+
+namespace {
+
+using catalog::Column;
+using catalog::ColumnStats;
+using catalog::ColumnType;
+using catalog::TableDef;
+
+ColumnStats Key(uint64_t ndv) {
+  return {.ndv = ndv, .min_value = 1, .max_value = static_cast<double>(ndv)};
+}
+
+ColumnStats Attr(uint64_t ndv, double skew, double lo = 1, double hi = -1) {
+  return {.ndv = ndv,
+          .min_value = lo,
+          .max_value = hi < 0 ? static_cast<double>(ndv) : hi,
+          .zipf_skew = skew};
+}
+
+void AddColumnOrDie(TableDef* t, Column c) {
+  const Status st = t->AddColumn(std::move(c));
+  assert(st.ok());
+  (void)st;
+}
+
+catalog::Catalog BuildJobCatalog() {
+  catalog::Catalog cat;
+  {
+    TableDef t("title", 2528312);
+    AddColumnOrDie(&t, Column("id", ColumnType::kInt, Key(2528312)));
+    AddColumnOrDie(&t, Column("kind_id", ColumnType::kInt, Attr(7, 0.9)));
+    AddColumnOrDie(&t, Column("production_year", ColumnType::kInt,
+                              Attr(133, 0.8, 1880, 2012)));
+    AddColumnOrDie(&t, Column("title", ColumnType::kString, Attr(2400000, 0.0)));
+    assert(t.AddIndex("id", true).ok());
+    assert(t.AddForeignKey({"kind_id", "kind_type", "id", 1.0}).ok());
+    assert(t.AddCorrelation("kind_id", "production_year", 0.5).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  auto add_link_table = [&](const char* name, uint64_t rows,
+                            double movie_skew,
+                            std::vector<Column> extra_cols,
+                            std::vector<catalog::ForeignKey> extra_fks,
+                            double movie_fanout) {
+    TableDef t(name, rows);
+    AddColumnOrDie(&t, Column("movie_id", ColumnType::kInt,
+                              Attr(std::min<uint64_t>(rows, 2528312),
+                                   movie_skew)));
+    assert(t.AddForeignKey({"movie_id", "title", "id", movie_fanout}).ok());
+    assert(t.AddIndex("movie_id").ok());
+    for (Column& c : extra_cols) AddColumnOrDie(&t, std::move(c));
+    for (catalog::ForeignKey& fk : extra_fks) {
+      assert(t.AddForeignKey(std::move(fk)).ok());
+    }
+    assert(cat.AddTable(std::move(t)).ok());
+  };
+
+  add_link_table("movie_companies", 2609129, 1.0,
+                 {Column("company_id", ColumnType::kInt, Attr(234997, 1.1)),
+                  Column("company_type_id", ColumnType::kInt, Attr(2, 0.3))},
+                 {{"company_id", "company_name", "id", 2.5},
+                  {"company_type_id", "company_type", "id", 1.0}},
+                 1.9);
+  add_link_table("cast_info", 36244344, 1.1,
+                 {Column("person_id", ColumnType::kInt, Attr(4061926, 1.0)),
+                  Column("role_id", ColumnType::kInt, Attr(11, 0.8))},
+                 {{"person_id", "name", "id", 2.8},
+                  {"role_id", "role_type", "id", 1.0}},
+                 3.0);
+  add_link_table("movie_info", 14835720, 1.0,
+                 {Column("info_type_id", ColumnType::kInt, Attr(71, 1.2))},
+                 {{"info_type_id", "info_type", "id", 1.0}}, 2.4);
+  add_link_table("movie_info_idx", 1380035, 0.6,
+                 {Column("info_type_id", ColumnType::kInt, Attr(5, 0.5))},
+                 {{"info_type_id", "info_type", "id", 1.0}}, 1.3);
+  add_link_table("movie_keyword", 4523930, 1.0,
+                 {Column("keyword_id", ColumnType::kInt, Attr(134170, 1.1))},
+                 {{"keyword_id", "keyword", "id", 2.6}}, 2.1);
+  add_link_table("aka_title", 361472, 0.7, {}, {}, 1.2);
+  add_link_table("complete_cast", 135086, 0.4,
+                 {Column("subject_id", ColumnType::kInt, Attr(2, 0.2)),
+                  Column("status_id", ColumnType::kInt, Attr(2, 0.2))},
+                 {{"subject_id", "comp_cast_type", "id", 1.0},
+                  {"status_id", "comp_cast_type", "id", 1.0}},
+                 1.1);
+  add_link_table("movie_link", 29997, 0.5,
+                 {Column("link_type_id", ColumnType::kInt, Attr(16, 0.6))},
+                 {{"link_type_id", "link_type", "id", 1.0}}, 1.1);
+
+  auto add_entity = [&](const char* name, uint64_t rows,
+                        std::vector<Column> cols) {
+    TableDef t(name, rows);
+    AddColumnOrDie(&t, Column("id", ColumnType::kInt, Key(rows)));
+    assert(t.AddIndex("id", true).ok());
+    for (Column& c : cols) AddColumnOrDie(&t, std::move(c));
+    assert(cat.AddTable(std::move(t)).ok());
+  };
+  add_entity("company_name", 234997,
+             {Column("country_code", ColumnType::kString, Attr(112, 1.0)),
+              Column("name", ColumnType::kString, Attr(230000, 0.0))});
+  add_entity("company_type", 4,
+             {Column("kind", ColumnType::kString, Attr(4, 0.0))});
+  add_entity("name", 4061926,
+             {Column("gender", ColumnType::kString, Attr(3, 0.7)),
+              Column("name_pcode", ColumnType::kString, Attr(25000, 0.6))});
+  add_entity("char_name", 3140339, {});
+  add_entity("keyword", 134170,
+             {Column("keyword", ColumnType::kString, Attr(134170, 0.0))});
+  add_entity("info_type", 113,
+             {Column("info", ColumnType::kString, Attr(113, 0.0))});
+  add_entity("kind_type", 7,
+             {Column("kind", ColumnType::kString, Attr(7, 0.0))});
+  add_entity("role_type", 12,
+             {Column("role", ColumnType::kString, Attr(12, 0.0))});
+  add_entity("comp_cast_type", 4,
+             {Column("kind", ColumnType::kString, Attr(4, 0.0))});
+  add_entity("link_type", 18,
+             {Column("link", ColumnType::kString, Attr(18, 0.0))});
+
+  // Person-side satellites.
+  {
+    TableDef t("aka_name", 901343);
+    AddColumnOrDie(&t, Column("person_id", ColumnType::kInt, Attr(901343, 0.8)));
+    assert(t.AddForeignKey({"person_id", "name", "id", 1.4}).ok());
+    assert(t.AddIndex("person_id").ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("person_info", 2963664);
+    AddColumnOrDie(&t, Column("person_id", ColumnType::kInt, Attr(2963664, 0.9)));
+    AddColumnOrDie(&t, Column("info_type_id", ColumnType::kInt, Attr(40, 1.0)));
+    assert(t.AddForeignKey({"person_id", "name", "id", 1.8}).ok());
+    assert(t.AddForeignKey({"info_type_id", "info_type", "id", 1.0}).ok());
+    assert(t.AddIndex("person_id").ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  return cat;
+}
+
+// A join chain hanging off the title hub: the link table plus optional
+// entity hops, with candidate predicate columns `(table, column, fraction)`.
+struct Chain {
+  const char* link;  // table joined on movie_id
+  // (table, fk_on_that_table, entity, entity_pk)
+  std::vector<std::array<const char*, 4>> hops;
+  // (table, column, typical domain fraction; <=0 means equality/IN)
+  std::vector<std::array<const char*, 2>> eq_pred_cols;
+  std::vector<std::pair<std::array<const char*, 2>, double>> range_pred_cols;
+};
+
+std::vector<Chain> BuildChains() {
+  std::vector<Chain> chains;
+  chains.push_back({"movie_companies",
+                    {{{"movie_companies", "company_id", "company_name", "id"}},
+                     {{"movie_companies", "company_type_id", "company_type",
+                       "id"}}},
+                    {{{"company_name", "country_code"}},
+                     {{"company_type", "kind"}}},
+                    {}});
+  chains.push_back({"cast_info",
+                    {{{"cast_info", "person_id", "name", "id"}},
+                     {{"cast_info", "role_id", "role_type", "id"}}},
+                    {{{"name", "gender"}}, {{"role_type", "role"}}},
+                    {}});
+  chains.push_back({"movie_info",
+                    {{{"movie_info", "info_type_id", "info_type", "id"}}},
+                    {{{"info_type", "info"}}},
+                    {}});
+  chains.push_back({"movie_keyword",
+                    {{{"movie_keyword", "keyword_id", "keyword", "id"}}},
+                    {{{"keyword", "keyword"}}},
+                    {}});
+  chains.push_back({"movie_info_idx",
+                    {{{"movie_info_idx", "info_type_id", "info_type", "id"}}},
+                    {{{"info_type", "info"}}},
+                    {}});
+  chains.push_back({"complete_cast",
+                    {{{"complete_cast", "subject_id", "comp_cast_type", "id"}}},
+                    {{{"comp_cast_type", "kind"}}},
+                    {}});
+  chains.push_back({"movie_link",
+                    {{{"movie_link", "link_type_id", "link_type", "id"}}},
+                    {{{"link_type", "link"}}},
+                    {}});
+  chains.push_back({"aka_title", {}, {}, {}});
+  return chains;
+}
+
+struct JobFamily {
+  std::vector<int> chains;  // indices into BuildChains()
+  int hop_depth = 1;        // how many entity hops each chain includes
+  bool title_year_pred = true;
+  bool title_kind_pred = false;
+  int num_chain_preds = 1;
+};
+
+std::vector<JobFamily> BuildJobFamilies(size_t num_chains) {
+  std::vector<JobFamily> families;
+  // Enumerate chain subsets of growing size with rotations, 33 total —
+  // matching the 33 families of the real JOB.
+  for (int spin = 0; families.size() < 33 && spin < 12; ++spin) {
+    for (size_t width = 1; width <= 4 && families.size() < 33; ++width) {
+      JobFamily fam;
+      for (size_t c = 0; c < width; ++c) {
+        fam.chains.push_back(
+            static_cast<int>((static_cast<size_t>(spin) + c * 2) % num_chains));
+      }
+      std::sort(fam.chains.begin(), fam.chains.end());
+      fam.chains.erase(std::unique(fam.chains.begin(), fam.chains.end()),
+                       fam.chains.end());
+      fam.hop_depth = 1 + (spin + static_cast<int>(width)) % 2;
+      fam.title_year_pred = (spin % 3) != 1;
+      fam.title_kind_pred = (spin % 2) == 0;
+      fam.num_chain_preds = 1 + (spin + static_cast<int>(width)) % 2;
+      families.push_back(std::move(fam));
+    }
+  }
+  families.resize(33);
+  return families;
+}
+
+class JobGenerator : public WorkloadGenerator {
+ public:
+  JobGenerator()
+      : name_("JOB"),
+        catalog_(BuildJobCatalog()),
+        chains_(BuildChains()),
+        families_(BuildJobFamilies(chains_.size())) {}
+
+  const std::string& name() const override { return name_; }
+  const catalog::Catalog& catalog() const override { return catalog_; }
+  int num_families() const override {
+    return static_cast<int>(families_.size());
+  }
+
+  Result<sql::Query> GenerateQuery(int family_id, Rng* rng) const override {
+    if (family_id < 0 || family_id >= num_families()) {
+      return Status::InvalidArgument("bad JOB family id");
+    }
+    const JobFamily& fam = families_[static_cast<size_t>(family_id)];
+    sql::Query q;
+    q.from.push_back({"title", "t"});
+    q.select_list.push_back(
+        sql::SelectItem::Agg(sql::AggFunc::kMin, {"t", "production_year"}));
+
+    int alias_counter = 0;
+    int preds_added = 0;
+    for (int chain_idx : fam.chains) {
+      const Chain& chain = chains_[static_cast<size_t>(chain_idx)];
+      const std::string link_alias = StrFormat("l%d", alias_counter++);
+      q.from.push_back({chain.link, link_alias});
+      q.where.push_back(
+          sql::Predicate::Join({link_alias, "movie_id"}, {"t", "id"}));
+
+      std::map<std::string, std::string> alias_of;  // table -> alias
+      alias_of[chain.link] = link_alias;
+      const int hops =
+          std::min<int>(fam.hop_depth, static_cast<int>(chain.hops.size()));
+      for (int h = 0; h < hops; ++h) {
+        const auto& [from_table, fk, entity, pk] = chain.hops[static_cast<size_t>(h)];
+        const std::string entity_alias = StrFormat("e%d", alias_counter++);
+        q.from.push_back({entity, entity_alias});
+        q.where.push_back(sql::Predicate::Join({alias_of[from_table], fk},
+                                               {entity_alias, pk}));
+        alias_of[entity] = entity_alias;
+      }
+      // Selective predicate on one of the chain's entity columns.
+      if (preds_added < fam.num_chain_preds) {
+        for (const auto& pred_col : chain.eq_pred_cols) {
+          auto it = alias_of.find(pred_col[0]);
+          if (it == alias_of.end()) continue;
+          WMP_ASSIGN_OR_RETURN(const catalog::TableDef* table,
+                               catalog_.FindTable(pred_col[0]));
+          sql::Predicate pred;
+          if (rng->Bernoulli(0.35)) {
+            WMP_ASSIGN_OR_RETURN(
+                pred, SampleInPredicate(*table, it->second, pred_col[1],
+                                        static_cast<int>(rng->UniformInt(2, 5)),
+                                        rng));
+          } else {
+            WMP_ASSIGN_OR_RETURN(
+                pred, SampleEqPredicate(*table, it->second, pred_col[1], rng));
+          }
+          q.where.push_back(std::move(pred));
+          ++preds_added;
+          break;
+        }
+      }
+    }
+
+    WMP_ASSIGN_OR_RETURN(const catalog::TableDef* title,
+                         catalog_.FindTable("title"));
+    if (fam.title_year_pred) {
+      WMP_ASSIGN_OR_RETURN(
+          sql::Predicate pred,
+          SampleRangePredicate(*title, "t", "production_year",
+                               rng->UniformDouble(0.05, 0.5), rng));
+      q.where.push_back(std::move(pred));
+    }
+    if (fam.title_kind_pred) {
+      WMP_ASSIGN_OR_RETURN(sql::Predicate pred,
+                           SampleEqPredicate(*title, "t", "kind_id", rng));
+      q.where.push_back(std::move(pred));
+    }
+    return q;
+  }
+
+  std::vector<text::TemplateRule> ExpertRules() const override {
+    std::vector<text::TemplateRule> rules;
+    rules.reserve(families_.size());
+    for (size_t i = 0; i < families_.size(); ++i) {
+      const JobFamily& fam = families_[i];
+      text::TemplateRule rule;
+      rule.name = StrFormat("job-f%zu", i);
+      rule.required_tables.push_back("title");
+      int joins = 0;
+      for (int chain_idx : fam.chains) {
+        const Chain& chain = chains_[static_cast<size_t>(chain_idx)];
+        rule.required_tables.push_back(chain.link);
+        ++joins;
+        const int hops =
+            std::min<int>(fam.hop_depth, static_cast<int>(chain.hops.size()));
+        joins += hops;
+      }
+      rule.min_joins = joins;
+      rule.max_joins = joins;
+      rule.requires_aggregation = true;  // every JOB family aggregates (MIN)
+      rules.push_back(std::move(rule));
+    }
+    return rules;
+  }
+
+ private:
+  std::string name_;
+  catalog::Catalog catalog_;
+  std::vector<Chain> chains_;
+  std::vector<JobFamily> families_;
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> MakeJobGenerator() {
+  return std::make_unique<JobGenerator>();
+}
+
+}  // namespace wmp::workloads

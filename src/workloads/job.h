@@ -1,0 +1,22 @@
+#ifndef WMP_WORKLOADS_JOB_H_
+#define WMP_WORKLOADS_JOB_H_
+
+/// \file job.h
+/// Join Order Benchmark (JOB)-like generator: an IMDB-style schema
+/// (21 tables, heavily skewed and correlated) and 33 join-heavy query
+/// families mirroring the 33 families of the real benchmark — many joins
+/// around the `title` hub, selective dimension predicates, a single MIN
+/// aggregate, and no grouping.
+
+#include <memory>
+
+#include "workloads/generator.h"
+
+namespace wmp::workloads {
+
+/// Creates the JOB-like generator.
+std::unique_ptr<WorkloadGenerator> MakeJobGenerator();
+
+}  // namespace wmp::workloads
+
+#endif  // WMP_WORKLOADS_JOB_H_

@@ -1,0 +1,131 @@
+#include "workloads/log_io.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "plan/explain.h"
+#include "plan/features.h"
+#include "plan/plan_parser.h"
+#include "sql/parser.h"
+#include "util/strings.h"
+
+namespace wmp::workloads {
+
+std::string SerializeQueryLog(const std::vector<QueryRecord>& records) {
+  std::string out;
+  for (const QueryRecord& r : records) {
+    out += "-- query: " + r.sql_text + "\n";
+    out += StrFormat("-- memory_mb: %.17g\n", r.actual_memory_mb);
+    if (r.dbms_estimate_mb > 0.0) {
+      out += StrFormat("-- dbms_estimate_mb: %.17g\n", r.dbms_estimate_mb);
+    }
+    if (r.family_id >= 0) {
+      out += StrFormat("-- family: %d\n", r.family_id);
+    }
+    out += plan::Explain(*r.plan);
+    out += "\n";  // blank line terminates the record
+  }
+  return out;
+}
+
+Status WriteQueryLog(const std::vector<QueryRecord>& records,
+                     const std::string& path) {
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].plan == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("record %zu has no plan", i));
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << SerializeQueryLog(records);
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<QueryRecord>> ParseQueryLog(const std::string& text) {
+  std::vector<QueryRecord> records;
+  std::vector<std::string> lines = Split(text, '\n');
+
+  QueryRecord current;
+  std::string explain_block;
+  bool in_record = false;
+  size_t line_no = 0;
+
+  auto flush = [&]() -> Status {
+    if (!in_record) return Status::OK();
+    if (current.sql_text.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("record ending at line %zu has no '-- query:' header",
+                    line_no));
+    }
+    if (explain_block.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("record ending at line %zu has no EXPLAIN block", line_no));
+    }
+    WMP_ASSIGN_OR_RETURN(current.query, sql::Parse(current.sql_text));
+    WMP_ASSIGN_OR_RETURN(current.plan, plan::ParseExplain(explain_block));
+    current.plan_features = plan::ExtractPlanFeatures(*current.plan);
+    records.push_back(std::move(current));
+    current = QueryRecord{};
+    explain_block.clear();
+    in_record = false;
+    return Status::OK();
+  };
+
+  for (const std::string& raw : lines) {
+    ++line_no;
+    if (Trim(raw).empty()) {
+      WMP_RETURN_IF_ERROR(flush());
+      continue;
+    }
+    if (StartsWith(raw, "-- query: ")) {
+      if (in_record && !current.sql_text.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: duplicate '-- query:' in one record",
+                      line_no));
+      }
+      in_record = true;
+      current.sql_text = raw.substr(10);
+      continue;
+    }
+    if (StartsWith(raw, "-- memory_mb: ")) {
+      current.actual_memory_mb = std::strtod(raw.c_str() + 14, nullptr);
+      in_record = true;
+      continue;
+    }
+    if (StartsWith(raw, "-- dbms_estimate_mb: ")) {
+      current.dbms_estimate_mb = std::strtod(raw.c_str() + 21, nullptr);
+      in_record = true;
+      continue;
+    }
+    if (StartsWith(raw, "-- family: ")) {
+      current.family_id = std::atoi(raw.c_str() + 11);
+      in_record = true;
+      continue;
+    }
+    if (StartsWith(raw, "--")) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unknown log directive", line_no));
+    }
+    // Plan line (possibly indented).
+    in_record = true;
+    explain_block += raw;
+    explain_block += '\n';
+  }
+  WMP_RETURN_IF_ERROR(flush());
+  if (records.empty()) {
+    return Status::InvalidArgument("query log contains no records");
+  }
+  return records;
+}
+
+Result<std::vector<QueryRecord>> LoadQueryLog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return ParseQueryLog(text);
+}
+
+}  // namespace wmp::workloads

@@ -1,0 +1,47 @@
+#ifndef WMP_WORKLOADS_LOG_IO_H_
+#define WMP_WORKLOADS_LOG_IO_H_
+
+/// \file log_io.h
+/// Text serialization of query logs — the deployment-grade TR1 ingestion
+/// path. A production site dumps its query log as SQL + EXPLAIN + observed
+/// peak memory; LearnedWMP trains from that dump without access to the
+/// DBMS. The format is line-oriented and append-friendly:
+///
+///   -- query: SELECT ...
+///   -- memory_mb: 38.25
+///   -- dbms_estimate_mb: 12.5        (optional)
+///   -- family: 7                     (optional)
+///   RETURN in=... out=... width=...
+///     SORT ...
+///   <blank line terminates the record>
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workloads/query_record.h"
+
+namespace wmp::workloads {
+
+/// \brief Writes `records` (SQL text, plan, labels) to `path` in the query
+/// log format. Fails if a record lacks a plan.
+Status WriteQueryLog(const std::vector<QueryRecord>& records,
+                     const std::string& path);
+
+/// \brief Parses a query log produced by WriteQueryLog (or by an external
+/// dump tool emitting the same format).
+///
+/// Each record's SQL is re-parsed into an AST and its EXPLAIN block into a
+/// plan tree; plan features are recomputed from the parsed plan. Records
+/// missing the optional fields get `dbms_estimate_mb = 0` and
+/// `family_id = -1`. Malformed records fail the whole load with a
+/// line-annotated error.
+Result<std::vector<QueryRecord>> LoadQueryLog(const std::string& path);
+
+/// In-memory variants (for tests and piping).
+std::string SerializeQueryLog(const std::vector<QueryRecord>& records);
+Result<std::vector<QueryRecord>> ParseQueryLog(const std::string& text);
+
+}  // namespace wmp::workloads
+
+#endif  // WMP_WORKLOADS_LOG_IO_H_

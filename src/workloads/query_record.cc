@@ -1,0 +1,13 @@
+#include "workloads/query_record.h"
+
+#include "util/strings.h"
+
+namespace wmp::workloads {
+
+std::string SummarizeRecord(const QueryRecord& record) {
+  return StrFormat("family=%d mem=%.1fMB est=%.1fMB ops=%zu", record.family_id,
+                   record.actual_memory_mb, record.dbms_estimate_mb,
+                   record.plan != nullptr ? record.plan->TreeSize() : 0);
+}
+
+}  // namespace wmp::workloads

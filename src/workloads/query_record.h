@@ -1,0 +1,48 @@
+#ifndef WMP_WORKLOADS_QUERY_RECORD_H_
+#define WMP_WORKLOADS_QUERY_RECORD_H_
+
+/// \file query_record.h
+/// One fully-processed historical query: the unit of the training corpus
+/// `Q_train` (paper step TR1). A record carries everything every
+/// downstream component needs — SQL text for the text-based template
+/// learners, the plan + features for the plan-based learner and SingleWMP,
+/// the simulated actual memory as the label, and the DBMS heuristic
+/// estimate as the state-of-practice baseline.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/plan_node.h"
+#include "sql/ast.h"
+
+namespace wmp::workloads {
+
+/// \brief A processed query from the (simulated) query log.
+struct QueryRecord {
+  std::string sql_text;
+  sql::Query query;
+  std::unique_ptr<plan::PlanNode> plan;
+  /// TR2 features: per-operator (count, total estimated cardinality).
+  std::vector<double> plan_features;
+  /// Ground-truth peak working memory (MB) from the execution simulator.
+  double actual_memory_mb = 0.0;
+  /// The optimizer's heuristic memory estimate (MB): SingleWMP-DBMS.
+  double dbms_estimate_mb = 0.0;
+  /// Generator family the query was instantiated from (for rule-based
+  /// templates and diagnostics; the learned pipeline never reads it).
+  int family_id = -1;
+
+  QueryRecord() = default;
+  QueryRecord(QueryRecord&&) = default;
+  QueryRecord& operator=(QueryRecord&&) = default;
+  QueryRecord(const QueryRecord&) = delete;
+  QueryRecord& operator=(const QueryRecord&) = delete;
+};
+
+/// One-line diagnostic summary ("family=12 mem=38.2MB est=12.1MB ops=9").
+std::string SummarizeRecord(const QueryRecord& record);
+
+}  // namespace wmp::workloads
+
+#endif  // WMP_WORKLOADS_QUERY_RECORD_H_

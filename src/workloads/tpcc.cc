@@ -1,0 +1,314 @@
+#include "workloads/tpcc.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace wmp::workloads {
+
+namespace {
+
+using catalog::Column;
+using catalog::ColumnStats;
+using catalog::ColumnType;
+using catalog::TableDef;
+
+ColumnStats Key(uint64_t ndv) {
+  return {.ndv = ndv, .min_value = 1, .max_value = static_cast<double>(ndv)};
+}
+
+ColumnStats Attr(uint64_t ndv, double skew, double lo = 1, double hi = -1) {
+  return {.ndv = ndv,
+          .min_value = lo,
+          .max_value = hi < 0 ? static_cast<double>(ndv) : hi,
+          .zipf_skew = skew};
+}
+
+void AddColumnOrDie(TableDef* t, Column c) {
+  const Status st = t->AddColumn(std::move(c));
+  assert(st.ok());
+  (void)st;
+}
+
+catalog::Catalog BuildTpccCatalog() {
+  catalog::Catalog cat;
+  constexpr uint64_t kW = 100;  // warehouses
+  {
+    TableDef t("warehouse", kW);
+    AddColumnOrDie(&t, Column("w_id", ColumnType::kInt, Key(kW)));
+    AddColumnOrDie(&t, Column("w_tax", ColumnType::kDecimal,
+                              Attr(100, 0.0, 0, 0.2)));
+    assert(t.AddIndex("w_id", true).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("district", kW * 10);
+    AddColumnOrDie(&t, Column("d_id", ColumnType::kInt, Key(kW * 10)));
+    AddColumnOrDie(&t, Column("d_w_id", ColumnType::kInt, Attr(kW, 0.0)));
+    AddColumnOrDie(&t, Column("d_next_o_id", ColumnType::kInt,
+                              Attr(30000, 0.0, 1, 30000)));
+    assert(t.AddIndex("d_id", true).ok());
+    assert(t.AddForeignKey({"d_w_id", "warehouse", "w_id", 1.0}).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("customer", kW * 30000);
+    AddColumnOrDie(&t, Column("c_id", ColumnType::kInt, Key(kW * 30000)));
+    AddColumnOrDie(&t, Column("c_d_id", ColumnType::kInt, Attr(kW * 10, 0.2)));
+    AddColumnOrDie(&t, Column("c_last", ColumnType::kString, Attr(1000, 1.0)));
+    AddColumnOrDie(&t, Column("c_balance", ColumnType::kDecimal,
+                              Attr(100000, 0.3, -10000, 10000)));
+    AddColumnOrDie(&t, Column("c_credit", ColumnType::kString, Attr(2, 0.2)));
+    assert(t.AddIndex("c_id", true).ok());
+    assert(t.AddIndex("c_last").ok());
+    assert(t.AddForeignKey({"c_d_id", "district", "d_id", 1.0}).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("orders", kW * 30000);
+    AddColumnOrDie(&t, Column("o_id", ColumnType::kInt, Key(kW * 30000)));
+    AddColumnOrDie(&t, Column("o_c_id", ColumnType::kInt,
+                              Attr(kW * 30000, 0.6)));
+    AddColumnOrDie(&t, Column("o_d_id", ColumnType::kInt, Attr(kW * 10, 0.2)));
+    AddColumnOrDie(&t, Column("o_carrier_id", ColumnType::kInt,
+                              Attr(10, 0.3, 1, 10)));
+    assert(t.AddIndex("o_id", true).ok());
+    assert(t.AddIndex("o_c_id").ok());
+    assert(t.AddForeignKey({"o_c_id", "customer", "c_id", 1.3}).ok());
+    assert(t.AddForeignKey({"o_d_id", "district", "d_id", 1.0}).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("new_order", kW * 9000);
+    AddColumnOrDie(&t, Column("no_o_id", ColumnType::kInt, Attr(kW * 9000, 0.0)));
+    AddColumnOrDie(&t, Column("no_d_id", ColumnType::kInt, Attr(kW * 10, 0.1)));
+    assert(t.AddIndex("no_o_id").ok());
+    assert(t.AddForeignKey({"no_o_id", "orders", "o_id", 1.0}).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("order_line", kW * 300000);
+    AddColumnOrDie(&t, Column("ol_o_id", ColumnType::kInt,
+                              Attr(kW * 30000, 0.1)));
+    AddColumnOrDie(&t, Column("ol_d_id", ColumnType::kInt, Attr(kW * 10, 0.2)));
+    AddColumnOrDie(&t, Column("ol_i_id", ColumnType::kInt, Attr(100000, 0.9)));
+    AddColumnOrDie(&t, Column("ol_amount", ColumnType::kDecimal,
+                              Attr(100000, 0.4, 0, 10000)));
+    AddColumnOrDie(&t, Column("ol_quantity", ColumnType::kInt,
+                              Attr(10, 0.2, 1, 10)));
+    assert(t.AddIndex("ol_o_id").ok());
+    assert(t.AddForeignKey({"ol_o_id", "orders", "o_id", 1.2}).ok());
+    assert(t.AddForeignKey({"ol_i_id", "item", "i_id", 2.0}).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("item", 100000);
+    AddColumnOrDie(&t, Column("i_id", ColumnType::kInt, Key(100000)));
+    AddColumnOrDie(&t, Column("i_price", ColumnType::kDecimal,
+                              Attr(10000, 0.2, 1, 100)));
+    AddColumnOrDie(&t, Column("i_im_id", ColumnType::kInt, Attr(10000, 0.3)));
+    assert(t.AddIndex("i_id", true).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("stock", kW * 100000);
+    AddColumnOrDie(&t, Column("s_i_id", ColumnType::kInt, Attr(100000, 0.0)));
+    AddColumnOrDie(&t, Column("s_w_id", ColumnType::kInt, Attr(kW, 0.0)));
+    AddColumnOrDie(&t, Column("s_quantity", ColumnType::kInt,
+                              Attr(100, 0.3, 0, 100)));
+    assert(t.AddIndex("s_i_id").ok());
+    assert(t.AddForeignKey({"s_i_id", "item", "i_id", 1.0}).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("history", kW * 30000);
+    AddColumnOrDie(&t, Column("h_c_id", ColumnType::kInt,
+                              Attr(kW * 30000, 0.5)));
+    AddColumnOrDie(&t, Column("h_amount", ColumnType::kDecimal,
+                              Attr(10000, 0.3, 0, 5000)));
+    assert(t.AddForeignKey({"h_c_id", "customer", "c_id", 1.2}).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  return cat;
+}
+
+// The 12 TPC-C read-path families. Each entry builds one query shape.
+constexpr int kNumTpccFamilies = 12;
+
+class TpccGenerator : public WorkloadGenerator {
+ public:
+  TpccGenerator() : name_("TPC-C"), catalog_(BuildTpccCatalog()) {}
+
+  const std::string& name() const override { return name_; }
+  const catalog::Catalog& catalog() const override { return catalog_; }
+  int num_families() const override { return kNumTpccFamilies; }
+
+  Result<sql::Query> GenerateQuery(int family_id, Rng* rng) const override {
+    if (family_id < 0 || family_id >= kNumTpccFamilies) {
+      return Status::InvalidArgument("bad TPC-C family id");
+    }
+    switch (family_id) {
+      case 0:  // NewOrder: item price lookup
+        return PointLookup("item", {"i_price"}, "i_id", rng);
+      case 1:  // NewOrder: stock quantity
+        return TwoPredLookup("stock", {"s_quantity"}, "s_i_id", "s_w_id", rng);
+      case 2:  // NewOrder/Payment: customer by id
+        return PointLookup("customer", {"c_balance", "c_credit"}, "c_id", rng);
+      case 3: {  // Payment: customers by last name, ordered
+        sql::Query q;
+        q.from.push_back({"customer", ""});
+        q.select_list.push_back(sql::SelectItem::Col({"", "c_id"}));
+        q.select_list.push_back(sql::SelectItem::Col({"", "c_balance"}));
+        WMP_ASSIGN_OR_RETURN(sql::Predicate pred,
+                             SampleEqPredicate(*Table("customer"), "",
+                                               "c_last", rng));
+        q.where.push_back(std::move(pred));
+        q.order_by.push_back({"", "c_id"});
+        return q;
+      }
+      case 4:  // Payment: warehouse tax
+        return PointLookup("warehouse", {"w_tax"}, "w_id", rng);
+      case 5:  // Payment/NewOrder: district
+        return PointLookup("district", {"d_next_o_id"}, "d_id", rng);
+      case 6: {  // OrderStatus: latest order of a customer
+        sql::Query q;
+        q.from.push_back({"orders", ""});
+        q.select_list.push_back(sql::SelectItem::Col({"", "o_id"}));
+        q.select_list.push_back(sql::SelectItem::Col({"", "o_carrier_id"}));
+        WMP_ASSIGN_OR_RETURN(
+            sql::Predicate pred,
+            SampleEqPredicate(*Table("orders"), "", "o_c_id", rng));
+        q.where.push_back(std::move(pred));
+        q.order_by.push_back({"", "o_id"});
+        q.limit = 1;
+        return q;
+      }
+      case 7: {  // OrderStatus: lines of one order
+        sql::Query q;
+        q.from.push_back({"order_line", ""});
+        q.select_list.push_back(sql::SelectItem::Col({"", "ol_i_id"}));
+        q.select_list.push_back(sql::SelectItem::Col({"", "ol_amount"}));
+        WMP_ASSIGN_OR_RETURN(
+            sql::Predicate pred,
+            SampleEqPredicate(*Table("order_line"), "", "ol_o_id", rng));
+        q.where.push_back(std::move(pred));
+        return q;
+      }
+      case 8: {  // Delivery: order total
+        sql::Query q;
+        q.from.push_back({"order_line", ""});
+        q.select_list.push_back(
+            sql::SelectItem::Agg(sql::AggFunc::kSum, {"", "ol_amount"}));
+        WMP_ASSIGN_OR_RETURN(
+            sql::Predicate pred,
+            SampleEqPredicate(*Table("order_line"), "", "ol_o_id", rng));
+        q.where.push_back(std::move(pred));
+        return q;
+      }
+      case 9: {  // Delivery: oldest undelivered order of a district
+        sql::Query q;
+        q.from.push_back({"new_order", ""});
+        q.select_list.push_back(
+            sql::SelectItem::Agg(sql::AggFunc::kMin, {"", "no_o_id"}));
+        WMP_ASSIGN_OR_RETURN(
+            sql::Predicate pred,
+            SampleEqPredicate(*Table("new_order"), "", "no_d_id", rng));
+        q.where.push_back(std::move(pred));
+        return q;
+      }
+      case 10: {  // StockLevel: distinct recently-sold items low on stock
+        sql::Query q;
+        q.distinct = true;
+        q.from.push_back({"order_line", "ol"});
+        q.from.push_back({"stock", "s"});
+        q.select_list.push_back(sql::SelectItem::Col({"ol", "ol_i_id"}));
+        q.where.push_back(sql::Predicate::Join({"ol", "ol_i_id"}, {"s", "s_i_id"}));
+        WMP_ASSIGN_OR_RETURN(
+            sql::Predicate recency,
+            SampleRangePredicate(*Table("order_line"), "ol", "ol_o_id",
+                                 rng->UniformDouble(0.0005, 0.002), rng));
+        q.where.push_back(std::move(recency));
+        WMP_ASSIGN_OR_RETURN(
+            sql::Predicate low,
+            SampleRangePredicate(*Table("stock"), "s", "s_quantity",
+                                 rng->UniformDouble(0.1, 0.2), rng));
+        q.where.push_back(std::move(low));
+        return q;
+      }
+      default: {  // 11 — Payment audit: customer payment history sum
+        sql::Query q;
+        q.from.push_back({"history", ""});
+        q.select_list.push_back(
+            sql::SelectItem::Agg(sql::AggFunc::kSum, {"", "h_amount"}));
+        q.select_list.push_back(sql::SelectItem::CountStar());
+        WMP_ASSIGN_OR_RETURN(
+            sql::Predicate pred,
+            SampleEqPredicate(*Table("history"), "", "h_c_id", rng));
+        q.where.push_back(std::move(pred));
+        return q;
+      }
+    }
+  }
+
+  std::vector<text::TemplateRule> ExpertRules() const override {
+    // One fingerprint per family, written the way a DBA would: by the
+    // tables touched and whether the query aggregates.
+    std::vector<text::TemplateRule> rules(kNumTpccFamilies);
+    auto& r = rules;
+    r[0] = {"item-lookup", {"item"}, 0, 0, false, false};
+    r[1] = {"stock-lookup", {"stock"}, 0, 0, false, false};
+    r[2] = {"customer-by-id", {"customer"}, 0, 0, false, false};
+    r[3] = {"customer-by-lastname", {"customer"}, 0, 0, false, true};
+    r[4] = {"warehouse-tax", {"warehouse"}, 0, 0, false, false};
+    r[5] = {"district-next-oid", {"district"}, 0, 0, false, false};
+    r[6] = {"latest-order", {"orders"}, 0, 0, false, true};
+    r[7] = {"order-lines", {"order_line"}, 0, 0, false, false};
+    r[8] = {"order-total", {"order_line"}, 0, 0, true, false};
+    r[9] = {"oldest-new-order", {"new_order"}, 0, 0, true, false};
+    r[10] = {"stock-level", {"order_line", "stock"}, 1, 1, std::nullopt,
+             std::nullopt};
+    r[11] = {"payment-history", {"history"}, 0, 0, true, false};
+    return rules;
+  }
+
+ private:
+  const catalog::TableDef* Table(const std::string& name) const {
+    return *catalog_.FindTable(name);
+  }
+
+  Result<sql::Query> PointLookup(const std::string& table,
+                                 std::vector<std::string> cols,
+                                 const std::string& key, Rng* rng) const {
+    sql::Query q;
+    q.from.push_back({table, ""});
+    for (const std::string& c : cols) {
+      q.select_list.push_back(sql::SelectItem::Col({"", c}));
+    }
+    WMP_ASSIGN_OR_RETURN(sql::Predicate pred,
+                         SampleEqPredicate(*Table(table), "", key, rng));
+    q.where.push_back(std::move(pred));
+    return q;
+  }
+
+  Result<sql::Query> TwoPredLookup(const std::string& table,
+                                   std::vector<std::string> cols,
+                                   const std::string& key1,
+                                   const std::string& key2, Rng* rng) const {
+    WMP_ASSIGN_OR_RETURN(sql::Query q, PointLookup(table, cols, key1, rng));
+    WMP_ASSIGN_OR_RETURN(sql::Predicate pred,
+                         SampleEqPredicate(*Table(table), "", key2, rng));
+    q.where.push_back(std::move(pred));
+    return q;
+  }
+
+  std::string name_;
+  catalog::Catalog catalog_;
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> MakeTpccGenerator() {
+  return std::make_unique<TpccGenerator>();
+}
+
+}  // namespace wmp::workloads

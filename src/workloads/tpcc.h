@@ -1,0 +1,22 @@
+#ifndef WMP_WORKLOADS_TPCC_H_
+#define WMP_WORKLOADS_TPCC_H_
+
+/// \file tpcc.h
+/// TPC-C-like transactional benchmark generator: the 9-table order-entry
+/// schema (W=100) and 12 query families covering the read paths of the five
+/// TPC-C transactions (NewOrder, Payment, OrderStatus, Delivery,
+/// StockLevel). Queries are short point/range lookups with tiny working
+/// memory — the transactional contrast to the analytic benchmarks.
+
+#include <memory>
+
+#include "workloads/generator.h"
+
+namespace wmp::workloads {
+
+/// Creates the TPC-C-like generator.
+std::unique_ptr<WorkloadGenerator> MakeTpccGenerator();
+
+}  // namespace wmp::workloads
+
+#endif  // WMP_WORKLOADS_TPCC_H_

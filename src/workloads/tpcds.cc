@@ -1,0 +1,524 @@
+#include "workloads/tpcds.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace wmp::workloads {
+
+namespace {
+
+using catalog::Column;
+using catalog::ColumnStats;
+using catalog::ColumnType;
+using catalog::TableDef;
+
+// A dimension reachable from a fact table: the fact-side FK, the dimension
+// PK, predicate columns with their typical covered domain fraction, and a
+// grouping column.
+struct DimSpec {
+  const char* table;
+  const char* fk;  // column on the fact
+  const char* pk;  // column on the dimension
+  std::vector<std::pair<const char*, double>> pred_cols;
+  const char* group_col;
+};
+
+struct FactSpec {
+  const char* table;
+  const char* alias;
+  std::vector<const char*> measures;
+  std::vector<const char*> pred_measures;  // range-predicate targets
+  std::vector<DimSpec> dims;
+};
+
+// One of the 99 query families.
+struct FamilyRecipe {
+  int fact = 0;
+  std::vector<int> dims;     // indices into FactSpec::dims
+  int dim_preds = 1;         // how many dimensions carry a local predicate
+  bool fact_pred = false;    // range predicate on a fact measure
+  int num_aggs = 1;
+  bool group = true;
+  bool order = false;
+  int limit = -1;
+};
+
+void AddColumnOrDie(TableDef* t, Column c) {
+  const Status st = t->AddColumn(std::move(c));
+  assert(st.ok());
+  (void)st;
+}
+
+ColumnStats Key(uint64_t ndv) {
+  return {.ndv = ndv, .min_value = 1, .max_value = static_cast<double>(ndv)};
+}
+
+ColumnStats Attr(uint64_t ndv, double skew, double lo = 1, double hi = -1) {
+  return {.ndv = ndv,
+          .min_value = lo,
+          .max_value = hi < 0 ? static_cast<double>(ndv) : hi,
+          .zipf_skew = skew};
+}
+
+catalog::Catalog BuildTpcdsCatalog() {
+  catalog::Catalog cat;
+
+  // --- dimensions -----------------------------------------------------------
+  {
+    TableDef t("date_dim", 73049);
+    AddColumnOrDie(&t, Column("d_date_sk", ColumnType::kInt, Key(73049)));
+    AddColumnOrDie(&t, Column("d_year", ColumnType::kInt,
+                              Attr(25, 0.3, 1990, 2014)));
+    AddColumnOrDie(&t, Column("d_moy", ColumnType::kInt, Attr(12, 0.0, 1, 12)));
+    AddColumnOrDie(&t, Column("d_qoy", ColumnType::kInt, Attr(4, 0.0, 1, 4)));
+    AddColumnOrDie(&t, Column("d_dow", ColumnType::kInt, Attr(7, 0.0, 1, 7)));
+    assert(t.AddIndex("d_date_sk", true).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("item", 102000);
+    AddColumnOrDie(&t, Column("i_item_sk", ColumnType::kInt, Key(102000)));
+    AddColumnOrDie(&t, Column("i_category", ColumnType::kString, Attr(10, 0.4)));
+    AddColumnOrDie(&t, Column("i_class", ColumnType::kString, Attr(100, 0.5)));
+    AddColumnOrDie(&t, Column("i_brand", ColumnType::kString, Attr(1000, 0.7)));
+    AddColumnOrDie(&t, Column("i_current_price", ColumnType::kDecimal,
+                              Attr(1000, 0.2, 0, 300)));
+    assert(t.AddIndex("i_item_sk", true).ok());
+    assert(t.AddCorrelation("i_category", "i_class", 0.85).ok());
+    assert(t.AddCorrelation("i_class", "i_brand", 0.7).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("customer", 500000);
+    AddColumnOrDie(&t, Column("c_customer_sk", ColumnType::kInt, Key(500000)));
+    AddColumnOrDie(&t, Column("c_birth_year", ColumnType::kInt,
+                              Attr(70, 0.3, 1930, 2000)));
+    AddColumnOrDie(&t, Column("c_birth_country", ColumnType::kString,
+                              Attr(200, 0.8)));
+    AddColumnOrDie(&t, Column("c_preferred", ColumnType::kInt, Attr(2, 0.0, 0, 1)));
+    assert(t.AddIndex("c_customer_sk", true).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("customer_address", 250000);
+    AddColumnOrDie(&t, Column("ca_address_sk", ColumnType::kInt, Key(250000)));
+    AddColumnOrDie(&t, Column("ca_state", ColumnType::kString, Attr(51, 0.8)));
+    AddColumnOrDie(&t, Column("ca_city", ColumnType::kString, Attr(8000, 0.9)));
+    assert(t.AddIndex("ca_address_sk", true).ok());
+    assert(t.AddCorrelation("ca_state", "ca_city", 0.9).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("customer_demographics", 1920800);
+    AddColumnOrDie(&t, Column("cd_demo_sk", ColumnType::kInt, Key(1920800)));
+    AddColumnOrDie(&t, Column("cd_gender", ColumnType::kString, Attr(2, 0.0)));
+    AddColumnOrDie(&t, Column("cd_education", ColumnType::kString, Attr(7, 0.3)));
+    AddColumnOrDie(&t, Column("cd_marital", ColumnType::kString, Attr(5, 0.2)));
+    assert(t.AddIndex("cd_demo_sk", true).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("household_demographics", 7200);
+    AddColumnOrDie(&t, Column("hd_demo_sk", ColumnType::kInt, Key(7200)));
+    AddColumnOrDie(&t, Column("hd_income_band", ColumnType::kInt,
+                              Attr(20, 0.4, 1, 20)));
+    AddColumnOrDie(&t, Column("hd_dep_count", ColumnType::kInt, Attr(10, 0.3, 0, 9)));
+    assert(t.AddIndex("hd_demo_sk", true).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("store", 102);
+    AddColumnOrDie(&t, Column("s_store_sk", ColumnType::kInt, Key(102)));
+    AddColumnOrDie(&t, Column("s_state", ColumnType::kString, Attr(20, 0.9)));
+    AddColumnOrDie(&t, Column("s_market", ColumnType::kInt, Attr(10, 0.4, 1, 10)));
+    assert(t.AddIndex("s_store_sk", true).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("promotion", 500);
+    AddColumnOrDie(&t, Column("p_promo_sk", ColumnType::kInt, Key(500)));
+    AddColumnOrDie(&t, Column("p_channel", ColumnType::kString, Attr(4, 0.5)));
+    assert(t.AddIndex("p_promo_sk", true).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("warehouse", 15);
+    AddColumnOrDie(&t, Column("w_warehouse_sk", ColumnType::kInt, Key(15)));
+    AddColumnOrDie(&t, Column("w_state", ColumnType::kString, Attr(15, 0.3)));
+    assert(t.AddIndex("w_warehouse_sk", true).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("time_dim", 86400);
+    AddColumnOrDie(&t, Column("t_time_sk", ColumnType::kInt, Key(86400)));
+    AddColumnOrDie(&t, Column("t_hour", ColumnType::kInt, Attr(24, 0.2, 0, 23)));
+    assert(t.AddIndex("t_time_sk", true).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("ship_mode", 20);
+    AddColumnOrDie(&t, Column("sm_ship_mode_sk", ColumnType::kInt, Key(20)));
+    AddColumnOrDie(&t, Column("sm_type", ColumnType::kString, Attr(6, 0.3)));
+    assert(t.AddIndex("sm_ship_mode_sk", true).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+
+  // --- facts ----------------------------------------------------------------
+  auto add_fact_fk = [](TableDef* t, const char* col, uint64_t ndv,
+                        double skew, const char* ref_table,
+                        const char* ref_col, double fanout_skew) {
+    AddColumnOrDie(t, Column(col, ColumnType::kInt, Attr(ndv, skew)));
+    assert(t->AddForeignKey({col, ref_table, ref_col, fanout_skew}).ok());
+  };
+  {
+    TableDef t("store_sales", 2880000);
+    add_fact_fk(&t, "ss_sold_date_sk", 1823, 0.3, "date_dim", "d_date_sk", 1.4);
+    add_fact_fk(&t, "ss_item_sk", 102000, 0.9, "item", "i_item_sk", 2.2);
+    add_fact_fk(&t, "ss_customer_sk", 500000, 0.8, "customer",
+                "c_customer_sk", 1.8);
+    add_fact_fk(&t, "ss_store_sk", 102, 0.5, "store", "s_store_sk", 1.3);
+    add_fact_fk(&t, "ss_promo_sk", 500, 1.0, "promotion", "p_promo_sk", 2.5);
+    add_fact_fk(&t, "ss_addr_sk", 250000, 0.7, "customer_address",
+                "ca_address_sk", 1.6);
+    add_fact_fk(&t, "ss_cdemo_sk", 1920800, 0.4, "customer_demographics",
+                "cd_demo_sk", 1.2);
+    add_fact_fk(&t, "ss_hdemo_sk", 7200, 0.6, "household_demographics",
+                "hd_demo_sk", 1.5);
+    AddColumnOrDie(&t, Column("ss_quantity", ColumnType::kInt,
+                              Attr(100, 0.4, 1, 100)));
+    AddColumnOrDie(&t, Column("ss_sales_price", ColumnType::kDecimal,
+                              Attr(20000, 0.6, 0, 200)));
+    AddColumnOrDie(&t, Column("ss_ext_discount_amt", ColumnType::kDecimal,
+                              Attr(10000, 0.8, 0, 1000)));
+    AddColumnOrDie(&t, Column("ss_net_profit", ColumnType::kDecimal,
+                              Attr(100000, 0.5, -5000, 5000)));
+    assert(t.AddIndex("ss_sold_date_sk").ok());
+    assert(t.AddIndex("ss_item_sk").ok());
+    assert(t.AddCorrelation("ss_quantity", "ss_sales_price", 0.6).ok());
+    assert(t.AddCorrelation("ss_item_sk", "ss_promo_sk", 0.5).ok());
+    assert(t.AddCorrelation("ss_sales_price", "ss_net_profit", 0.8).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("catalog_sales", 1440000);
+    add_fact_fk(&t, "cs_sold_date_sk", 1823, 0.3, "date_dim", "d_date_sk", 1.4);
+    add_fact_fk(&t, "cs_item_sk", 102000, 0.9, "item", "i_item_sk", 2.0);
+    add_fact_fk(&t, "cs_customer_sk", 500000, 0.8, "customer",
+                "c_customer_sk", 1.7);
+    add_fact_fk(&t, "cs_warehouse_sk", 15, 0.4, "warehouse",
+                "w_warehouse_sk", 1.2);
+    add_fact_fk(&t, "cs_promo_sk", 500, 1.0, "promotion", "p_promo_sk", 2.2);
+    add_fact_fk(&t, "cs_ship_mode_sk", 20, 0.5, "ship_mode",
+                "sm_ship_mode_sk", 1.3);
+    AddColumnOrDie(&t, Column("cs_quantity", ColumnType::kInt,
+                              Attr(100, 0.4, 1, 100)));
+    AddColumnOrDie(&t, Column("cs_sales_price", ColumnType::kDecimal,
+                              Attr(20000, 0.6, 0, 300)));
+    AddColumnOrDie(&t, Column("cs_net_profit", ColumnType::kDecimal,
+                              Attr(100000, 0.5, -5000, 8000)));
+    assert(t.AddIndex("cs_sold_date_sk").ok());
+    assert(t.AddCorrelation("cs_quantity", "cs_sales_price", 0.6).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("web_sales", 720000);
+    add_fact_fk(&t, "ws_sold_date_sk", 1823, 0.3, "date_dim", "d_date_sk", 1.3);
+    add_fact_fk(&t, "ws_sold_time_sk", 86400, 0.5, "time_dim", "t_time_sk", 1.2);
+    add_fact_fk(&t, "ws_item_sk", 102000, 0.9, "item", "i_item_sk", 2.0);
+    add_fact_fk(&t, "ws_customer_sk", 500000, 0.8, "customer",
+                "c_customer_sk", 1.6);
+    add_fact_fk(&t, "ws_promo_sk", 500, 1.0, "promotion", "p_promo_sk", 2.0);
+    AddColumnOrDie(&t, Column("ws_quantity", ColumnType::kInt,
+                              Attr(100, 0.4, 1, 100)));
+    AddColumnOrDie(&t, Column("ws_sales_price", ColumnType::kDecimal,
+                              Attr(20000, 0.6, 0, 300)));
+    AddColumnOrDie(&t, Column("ws_net_profit", ColumnType::kDecimal,
+                              Attr(100000, 0.5, -5000, 8000)));
+    assert(t.AddIndex("ws_sold_date_sk").ok());
+    assert(t.AddCorrelation("ws_quantity", "ws_sales_price", 0.6).ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  {
+    TableDef t("inventory", 11700000);
+    add_fact_fk(&t, "inv_date_sk", 261, 0.1, "date_dim", "d_date_sk", 1.1);
+    add_fact_fk(&t, "inv_item_sk", 102000, 0.2, "item", "i_item_sk", 1.2);
+    add_fact_fk(&t, "inv_warehouse_sk", 15, 0.1, "warehouse",
+                "w_warehouse_sk", 1.1);
+    AddColumnOrDie(&t, Column("inv_quantity_on_hand", ColumnType::kInt,
+                              Attr(1000, 0.2, 0, 1000)));
+    assert(t.AddIndex("inv_date_sk").ok());
+    assert(cat.AddTable(std::move(t)).ok());
+  }
+  return cat;
+}
+
+std::vector<FactSpec> BuildFactSpecs() {
+  std::vector<FactSpec> facts;
+  facts.push_back(FactSpec{
+      "store_sales",
+      "ss",
+      {"ss_quantity", "ss_sales_price", "ss_ext_discount_amt", "ss_net_profit"},
+      {"ss_sales_price", "ss_net_profit"},
+      {
+          {"date_dim", "ss_sold_date_sk", "d_date_sk",
+           {{"d_year", 0.08}, {"d_moy", 0.1}, {"d_qoy", 0.25}},
+           "d_year"},
+          {"item", "ss_item_sk", "i_item_sk",
+           {{"i_category", 0.1}, {"i_brand", 0.002}, {"i_current_price", 0.2}},
+           "i_category"},
+          {"customer", "ss_customer_sk", "c_customer_sk",
+           {{"c_birth_year", 0.1}, {"c_birth_country", 0.01}},
+           "c_birth_year"},
+          {"store", "ss_store_sk", "s_store_sk",
+           {{"s_state", 0.05}, {"s_market", 0.1}},
+           "s_state"},
+          {"promotion", "ss_promo_sk", "p_promo_sk",
+           {{"p_channel", 0.25}},
+           "p_channel"},
+          {"customer_address", "ss_addr_sk", "ca_address_sk",
+           {{"ca_state", 0.04}},
+           "ca_state"},
+          {"household_demographics", "ss_hdemo_sk", "hd_demo_sk",
+           {{"hd_income_band", 0.1}, {"hd_dep_count", 0.2}},
+           "hd_income_band"},
+      }});
+  facts.push_back(FactSpec{
+      "catalog_sales",
+      "cs",
+      {"cs_quantity", "cs_sales_price", "cs_net_profit"},
+      {"cs_sales_price", "cs_net_profit"},
+      {
+          {"date_dim", "cs_sold_date_sk", "d_date_sk",
+           {{"d_year", 0.08}, {"d_moy", 0.1}},
+           "d_year"},
+          {"item", "cs_item_sk", "i_item_sk",
+           {{"i_category", 0.1}, {"i_class", 0.02}},
+           "i_category"},
+          {"customer", "cs_customer_sk", "c_customer_sk",
+           {{"c_birth_year", 0.1}},
+           "c_birth_year"},
+          {"warehouse", "cs_warehouse_sk", "w_warehouse_sk",
+           {{"w_state", 0.2}},
+           "w_state"},
+          {"ship_mode", "cs_ship_mode_sk", "sm_ship_mode_sk",
+           {{"sm_type", 0.3}},
+           "sm_type"},
+      }});
+  facts.push_back(FactSpec{
+      "web_sales",
+      "ws",
+      {"ws_quantity", "ws_sales_price", "ws_net_profit"},
+      {"ws_sales_price", "ws_net_profit"},
+      {
+          {"date_dim", "ws_sold_date_sk", "d_date_sk",
+           {{"d_year", 0.08}, {"d_dow", 0.3}},
+           "d_year"},
+          {"time_dim", "ws_sold_time_sk", "t_time_sk",
+           {{"t_hour", 0.15}},
+           "t_hour"},
+          {"item", "ws_item_sk", "i_item_sk",
+           {{"i_category", 0.1}, {"i_brand", 0.002}},
+           "i_category"},
+          {"customer", "ws_customer_sk", "c_customer_sk",
+           {{"c_preferred", 0.5}},
+           "c_preferred"},
+      }});
+  facts.push_back(FactSpec{
+      "inventory",
+      "inv",
+      {"inv_quantity_on_hand"},
+      {"inv_quantity_on_hand"},
+      {
+          {"date_dim", "inv_date_sk", "d_date_sk",
+           {{"d_moy", 0.1}, {"d_qoy", 0.25}},
+           "d_moy"},
+          {"item", "inv_item_sk", "i_item_sk",
+           {{"i_category", 0.1}},
+           "i_category"},
+          {"warehouse", "inv_warehouse_sk", "w_warehouse_sk",
+           {{"w_state", 0.2}},
+           "w_state"},
+      }});
+  return facts;
+}
+
+// Enumerates 99 structurally distinct family recipes.
+std::vector<FamilyRecipe> BuildFamilies(const std::vector<FactSpec>& facts) {
+  std::vector<FamilyRecipe> families;
+  // Sweep: fact x dim-count x rotation x (group, order) until 99 recipes.
+  for (int spin = 0; families.size() < 99 && spin < 8; ++spin) {
+    for (size_t f = 0; f < facts.size() && families.size() < 99; ++f) {
+      const int avail = static_cast<int>(facts[f].dims.size());
+      for (int ndims = 1; ndims <= std::min(4, avail) && families.size() < 99;
+           ++ndims) {
+        FamilyRecipe recipe;
+        recipe.fact = static_cast<int>(f);
+        for (int d = 0; d < ndims; ++d) {
+          recipe.dims.push_back((spin + d) % avail);
+        }
+        // De-duplicate rotations landing on the same dim set.
+        std::sort(recipe.dims.begin(), recipe.dims.end());
+        recipe.dims.erase(
+            std::unique(recipe.dims.begin(), recipe.dims.end()),
+            recipe.dims.end());
+        recipe.dim_preds = 1 + (spin + ndims) % 2;
+        recipe.fact_pred = ((spin + static_cast<int>(f)) % 2) == 0;
+        recipe.num_aggs = 1 + (spin + ndims) % 3;
+        recipe.group = (spin % 3) != 2;
+        recipe.order = recipe.group ? ((spin + ndims) % 2 == 0)
+                                    : true;  // top-k reports sort raw rows
+        recipe.limit = !recipe.group ? 100 : (spin % 4 == 0 ? 100 : -1);
+        families.push_back(std::move(recipe));
+      }
+    }
+  }
+  families.resize(99);
+  return families;
+}
+
+class TpcdsGenerator : public WorkloadGenerator {
+ public:
+  TpcdsGenerator()
+      : name_("TPC-DS"),
+        catalog_(BuildTpcdsCatalog()),
+        facts_(BuildFactSpecs()),
+        families_(BuildFamilies(facts_)) {}
+
+  const std::string& name() const override { return name_; }
+  const catalog::Catalog& catalog() const override { return catalog_; }
+  int num_families() const override {
+    return static_cast<int>(families_.size());
+  }
+
+  Result<sql::Query> GenerateQuery(int family_id, Rng* rng) const override {
+    if (family_id < 0 || family_id >= num_families()) {
+      return Status::InvalidArgument("bad TPC-DS family id");
+    }
+    const FamilyRecipe& recipe = families_[static_cast<size_t>(family_id)];
+    const FactSpec& fact = facts_[static_cast<size_t>(recipe.fact)];
+    WMP_ASSIGN_OR_RETURN(const catalog::TableDef* fact_table,
+                         catalog_.FindTable(fact.table));
+
+    sql::Query q;
+    q.from.push_back({fact.table, fact.alias});
+    std::vector<std::string> dim_aliases;
+    for (size_t i = 0; i < recipe.dims.size(); ++i) {
+      const DimSpec& dim = fact.dims[static_cast<size_t>(recipe.dims[i])];
+      const std::string alias = StrFormat("d%zu", i);
+      q.from.push_back({dim.table, alias});
+      dim_aliases.push_back(alias);
+      q.where.push_back(sql::Predicate::Join({fact.alias, dim.fk},
+                                             {alias, dim.pk}));
+    }
+
+    // Local predicates on the first `dim_preds` dimensions.
+    const int npreds =
+        std::min<int>(recipe.dim_preds, static_cast<int>(recipe.dims.size()));
+    for (int i = 0; i < npreds; ++i) {
+      const DimSpec& dim = fact.dims[static_cast<size_t>(recipe.dims[i])];
+      WMP_ASSIGN_OR_RETURN(const catalog::TableDef* dim_table,
+                           catalog_.FindTable(dim.table));
+      const auto& [col, fraction] = dim.pred_cols[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(dim.pred_cols.size()) - 1))];
+      WMP_ASSIGN_OR_RETURN(const catalog::Column* column,
+                           dim_table->FindColumn(col));
+      sql::Predicate pred;
+      if (column->stats().ndv <= 30 || rng->Bernoulli(0.4)) {
+        // Small domains and 40% of large ones: IN / equality.
+        if (rng->Bernoulli(0.5)) {
+          WMP_ASSIGN_OR_RETURN(
+              pred, SampleInPredicate(*dim_table, dim_aliases[i], col,
+                                      static_cast<int>(rng->UniformInt(2, 4)),
+                                      rng));
+        } else {
+          WMP_ASSIGN_OR_RETURN(
+              pred, SampleEqPredicate(*dim_table, dim_aliases[i], col, rng));
+        }
+      } else {
+        const double jitter = rng->LogNormal(0.0, 0.4);
+        WMP_ASSIGN_OR_RETURN(
+            pred, SampleRangePredicate(*dim_table, dim_aliases[i], col,
+                                       fraction * jitter, rng));
+      }
+      q.where.push_back(std::move(pred));
+    }
+    if (recipe.fact_pred) {
+      const char* col = fact.pred_measures[static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(fact.pred_measures.size()) - 1))];
+      WMP_ASSIGN_OR_RETURN(
+          sql::Predicate pred,
+          SampleRangePredicate(*fact_table, fact.alias, col,
+                               rng->UniformDouble(0.1, 0.6), rng));
+      q.where.push_back(std::move(pred));
+    }
+
+    // SELECT list, GROUP BY, ORDER BY.
+    if (recipe.group) {
+      const size_t group_cols = std::min<size_t>(2, recipe.dims.size());
+      for (size_t i = 0; i < group_cols; ++i) {
+        const DimSpec& dim = fact.dims[static_cast<size_t>(recipe.dims[i])];
+        sql::ColumnRef ref{dim_aliases[i], dim.group_col};
+        q.select_list.push_back(sql::SelectItem::Col(ref));
+        q.group_by.push_back(ref);
+      }
+      static const sql::AggFunc kAggs[] = {sql::AggFunc::kSum,
+                                           sql::AggFunc::kAvg,
+                                           sql::AggFunc::kMin,
+                                           sql::AggFunc::kMax};
+      for (int a = 0; a < recipe.num_aggs; ++a) {
+        const char* measure = fact.measures[static_cast<size_t>(a) %
+                                            fact.measures.size()];
+        q.select_list.push_back(sql::SelectItem::Agg(
+            kAggs[static_cast<size_t>(a) % 4], {fact.alias, measure}));
+      }
+      q.select_list.push_back(sql::SelectItem::CountStar());
+      if (recipe.order) q.order_by = q.group_by;
+    } else {
+      // Top-k report over raw joined rows: wide sort input.
+      for (const char* measure : fact.measures) {
+        q.select_list.push_back(sql::SelectItem::Col({fact.alias, measure}));
+      }
+      const DimSpec& dim = fact.dims[static_cast<size_t>(recipe.dims[0])];
+      q.select_list.push_back(sql::SelectItem::Col({dim_aliases[0], dim.group_col}));
+      q.order_by.push_back({fact.alias, fact.measures[0]});
+    }
+    q.limit = recipe.limit;
+    return q;
+  }
+
+  std::vector<text::TemplateRule> ExpertRules() const override {
+    std::vector<text::TemplateRule> rules;
+    rules.reserve(families_.size());
+    for (size_t i = 0; i < families_.size(); ++i) {
+      const FamilyRecipe& recipe = families_[i];
+      const FactSpec& fact = facts_[static_cast<size_t>(recipe.fact)];
+      text::TemplateRule rule;
+      rule.name = StrFormat("tpcds-f%zu", i);
+      rule.required_tables.push_back(fact.table);
+      for (int d : recipe.dims) {
+        rule.required_tables.push_back(fact.dims[static_cast<size_t>(d)].table);
+      }
+      rule.min_joins = static_cast<int>(recipe.dims.size());
+      rule.max_joins = static_cast<int>(recipe.dims.size());
+      rule.requires_aggregation = recipe.group;
+      rules.push_back(std::move(rule));
+    }
+    return rules;
+  }
+
+ private:
+  std::string name_;
+  catalog::Catalog catalog_;
+  std::vector<FactSpec> facts_;
+  std::vector<FamilyRecipe> families_;
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> MakeTpcdsGenerator() {
+  return std::make_unique<TpcdsGenerator>();
+}
+
+}  // namespace wmp::workloads

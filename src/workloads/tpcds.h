@@ -1,0 +1,21 @@
+#ifndef WMP_WORKLOADS_TPCDS_H_
+#define WMP_WORKLOADS_TPCDS_H_
+
+/// \file tpcds.h
+/// TPC-DS-like analytic benchmark generator: a retail star schema
+/// (4 fact tables, 11 dimensions, scale ~SF10) and 99 query families —
+/// multi-way star joins with selective dimension predicates, aggregation,
+/// and top-k sorts — matching the 99 seed templates of the real benchmark.
+
+#include <memory>
+
+#include "workloads/generator.h"
+
+namespace wmp::workloads {
+
+/// Creates the TPC-DS-like generator.
+std::unique_ptr<WorkloadGenerator> MakeTpcdsGenerator();
+
+}  // namespace wmp::workloads
+
+#endif  // WMP_WORKLOADS_TPCDS_H_

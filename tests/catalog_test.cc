@@ -1,0 +1,127 @@
+// Unit tests for the catalog substrate.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace wmp::catalog {
+namespace {
+
+TableDef MakeOrders() {
+  TableDef t("orders", 100000);
+  EXPECT_TRUE(t.AddColumn(Column("o_id", ColumnType::kBigInt,
+                                 {.ndv = 100000, .min_value = 1,
+                                  .max_value = 100000}))
+                  .ok());
+  EXPECT_TRUE(t.AddColumn(Column("o_cust", ColumnType::kInt,
+                                 {.ndv = 5000, .min_value = 1,
+                                  .max_value = 5000, .zipf_skew = 0.8}))
+                  .ok());
+  EXPECT_TRUE(t.AddColumn(Column("o_status", ColumnType::kString,
+                                 {.ndv = 5, .min_value = 0, .max_value = 5}))
+                  .ok());
+  return t;
+}
+
+TEST(ColumnTest, WidthDefaultsByType) {
+  Column c("x", ColumnType::kString);
+  EXPECT_EQ(c.width(), 24u);
+  Column d("y", ColumnType::kInt);
+  EXPECT_EQ(d.width(), 4u);
+  Column e("z", ColumnType::kDouble, {.avg_width = 16});
+  EXPECT_EQ(e.width(), 16u);  // explicit override wins
+}
+
+TEST(ColumnTest, TypeNames) {
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kInt), "INT");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kString), "VARCHAR");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kDate), "DATE");
+}
+
+TEST(TableTest, DuplicateColumnRejected) {
+  TableDef t("t", 10);
+  EXPECT_TRUE(t.AddColumn(Column("a", ColumnType::kInt)).ok());
+  EXPECT_TRUE(t.AddColumn(Column("a", ColumnType::kInt)).code() ==
+              StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, FindColumn) {
+  TableDef t = MakeOrders();
+  auto col = t.FindColumn("o_cust");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->stats().ndv, 5000u);
+  EXPECT_TRUE(t.FindColumn("nope").status().IsNotFound());
+}
+
+TEST(TableTest, IndexRequiresColumn) {
+  TableDef t = MakeOrders();
+  EXPECT_TRUE(t.AddIndex("o_id", /*unique=*/true).ok());
+  EXPECT_TRUE(t.HasIndexOn("o_id"));
+  EXPECT_FALSE(t.HasIndexOn("o_cust"));
+  EXPECT_TRUE(t.AddIndex("ghost").IsNotFound());
+}
+
+TEST(TableTest, ForeignKeyRequiresLocalColumn) {
+  TableDef t = MakeOrders();
+  EXPECT_TRUE(
+      t.AddForeignKey({"o_cust", "customer", "c_id", /*fanout_skew=*/2.0}).ok());
+  const ForeignKey* fk = t.FindForeignKey("o_cust");
+  ASSERT_NE(fk, nullptr);
+  EXPECT_EQ(fk->ref_table, "customer");
+  EXPECT_DOUBLE_EQ(fk->fanout_skew, 2.0);
+  EXPECT_EQ(t.FindForeignKey("o_id"), nullptr);
+  EXPECT_TRUE(t.AddForeignKey({"ghost", "x", "y", 1.0}).IsNotFound());
+}
+
+TEST(TableTest, CorrelationSymmetricLookup) {
+  TableDef t = MakeOrders();
+  ASSERT_TRUE(t.AddCorrelation("o_cust", "o_status", 0.7).ok());
+  EXPECT_DOUBLE_EQ(t.CorrelationBetween("o_cust", "o_status"), 0.7);
+  EXPECT_DOUBLE_EQ(t.CorrelationBetween("o_status", "o_cust"), 0.7);
+  EXPECT_DOUBLE_EQ(t.CorrelationBetween("o_id", "o_cust"), 0.0);
+  EXPECT_TRUE(t.AddCorrelation("o_cust", "o_status", 1.5).IsInvalidArgument());
+  EXPECT_TRUE(t.AddCorrelation("o_cust", "ghost", 0.5).IsNotFound());
+}
+
+TEST(TableTest, RowWidthSumsColumns) {
+  TableDef t = MakeOrders();
+  EXPECT_EQ(t.row_width(), 8u + 4u + 24u);
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeOrders()).ok());
+  EXPECT_TRUE(cat.HasTable("orders"));
+  auto t = cat.FindTable("orders");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->row_count(), 100000u);
+  EXPECT_TRUE(cat.FindTable("ghost").status().IsNotFound());
+  EXPECT_EQ(cat.num_tables(), 1u);
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeOrders()).ok());
+  EXPECT_EQ(cat.AddTable(MakeOrders()).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, MutableLookupAdjustsStats) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeOrders()).ok());
+  auto t = cat.FindMutableTable("orders");
+  ASSERT_TRUE(t.ok());
+  (*t)->set_row_count(42);
+  EXPECT_EQ((*cat.FindTable("orders"))->row_count(), 42u);
+}
+
+TEST(CatalogTest, TableNamesPreserveOrder) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(TableDef("zzz", 1)).ok());
+  ASSERT_TRUE(cat.AddTable(TableDef("aaa", 1)).ok());
+  ASSERT_EQ(cat.table_names().size(), 2u);
+  EXPECT_EQ(cat.table_names()[0], "zzz");
+  EXPECT_EQ(cat.table_names()[1], "aaa");
+}
+
+}  // namespace
+}  // namespace wmp::catalog

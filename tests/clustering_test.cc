@@ -1,0 +1,200 @@
+// Unit and property tests for k-means and DBSCAN.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ml/dbscan.h"
+#include "ml/kmeans.h"
+#include "util/io.h"
+#include "util/random.h"
+
+namespace wmp::ml {
+namespace {
+
+// Three well-separated Gaussian blobs in 2-D.
+Matrix ThreeBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 10.0}, {-10.0, 8.0}};
+  Matrix x(per_blob * 3, 2);
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      const size_t r = b * per_blob + i;
+      x.At(r, 0) = centers[b][0] + rng.Normal(0, 0.5);
+      x.At(r, 1) = centers[b][1] + rng.Normal(0, 0.5);
+    }
+  }
+  return x;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Matrix x = ThreeBlobs(60, 3);
+  KMeans km;
+  ASSERT_TRUE(km.Fit(x, {.num_clusters = 3, .seed = 1}).ok());
+  auto labels = km.AssignAll(x).value();
+  // All points of one blob share a label, and the three blobs get three
+  // distinct labels.
+  std::set<int> blob_labels;
+  for (size_t b = 0; b < 3; ++b) {
+    const int l0 = labels[b * 60];
+    for (size_t i = 0; i < 60; ++i) EXPECT_EQ(labels[b * 60 + i], l0);
+    blob_labels.insert(l0);
+  }
+  EXPECT_EQ(blob_labels.size(), 3u);
+}
+
+TEST(KMeansTest, AssignReturnsNearestCentroid) {
+  Matrix x = ThreeBlobs(40, 5);
+  KMeans km;
+  ASSERT_TRUE(km.Fit(x, {.num_clusters = 3, .seed = 2}).ok());
+  // A point exactly at a centroid must be assigned to it.
+  for (int c = 0; c < km.num_clusters(); ++c) {
+    auto centroid = km.centroids().RowVec(static_cast<size_t>(c));
+    EXPECT_EQ(km.Assign(centroid).value(), c);
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Matrix x = ThreeBlobs(50, 7);
+  auto inertias = KMeansElbowCurve(x, {1, 2, 3, 5, 8}, {.seed = 3}).value();
+  for (size_t i = 1; i < inertias.size(); ++i) {
+    EXPECT_LE(inertias[i], inertias[i - 1] + 1e-9);
+  }
+}
+
+TEST(KMeansTest, ElbowFindsTrueClusterCount) {
+  Matrix x = ThreeBlobs(50, 9);
+  std::vector<int> ks{1, 2, 3, 4, 5, 6, 7, 8};
+  auto inertias = KMeansElbowCurve(x, ks, {.seed = 4}).value();
+  // The max-distance-to-chord elbow should land at or next to k=3.
+  size_t elbow = PickElbow(inertias);
+  EXPECT_GE(ks[elbow], 2);
+  EXPECT_LE(ks[elbow], 4);
+}
+
+TEST(KMeansTest, MoreClustersThanRowsCollapses) {
+  auto x = Matrix::FromRows({{0, 0}, {1, 1}}).value();
+  KMeans km;
+  ASSERT_TRUE(km.Fit(x, {.num_clusters = 10, .seed = 5}).ok());
+  EXPECT_LE(km.num_clusters(), 2);
+}
+
+TEST(KMeansTest, ErrorsOnBadInput) {
+  KMeans km;
+  Matrix empty;
+  EXPECT_TRUE(km.Fit(empty, {}).IsInvalidArgument());
+  Matrix x = ThreeBlobs(5, 1);
+  EXPECT_TRUE(km.Fit(x, {.num_clusters = 0}).IsInvalidArgument());
+  EXPECT_TRUE(km.Assign({1.0, 2.0}).status().IsFailedPrecondition());
+}
+
+TEST(KMeansTest, DeterministicForSameSeed) {
+  Matrix x = ThreeBlobs(30, 11);
+  KMeans a, b;
+  ASSERT_TRUE(a.Fit(x, {.num_clusters = 3, .seed = 42}).ok());
+  ASSERT_TRUE(b.Fit(x, {.num_clusters = 3, .seed = 42}).ok());
+  EXPECT_EQ(a.centroids().data(), b.centroids().data());
+}
+
+TEST(KMeansTest, SerializationRoundTrip) {
+  Matrix x = ThreeBlobs(30, 13);
+  KMeans km;
+  ASSERT_TRUE(km.Fit(x, {.num_clusters = 3, .seed = 6}).ok());
+  BinaryWriter w;
+  km.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto restored = KMeans::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->centroids().data(), km.centroids().data());
+  EXPECT_DOUBLE_EQ(restored->inertia(), km.inertia());
+  // Restored model assigns identically.
+  for (size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_EQ(restored->Assign(x.RowVec(i)).value(),
+              km.Assign(x.RowVec(i)).value());
+  }
+}
+
+// Property: every point's assigned centroid is at least as close as any
+// other centroid, across k values.
+class KMeansAssignmentProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansAssignmentProperty, NearestCentroidInvariant) {
+  const int k = GetParam();
+  Matrix x = ThreeBlobs(40, static_cast<uint64_t>(k) + 100);
+  KMeans km;
+  ASSERT_TRUE(km.Fit(x, {.num_clusters = k, .seed = 77}).ok());
+  for (size_t i = 0; i < x.rows(); i += 7) {
+    auto row = x.RowVec(i);
+    const int assigned = km.Assign(row).value();
+    const double d_assigned = SquaredDistance(
+        row.data(), km.centroids().RowPtr(static_cast<size_t>(assigned)), 2);
+    for (int c = 0; c < km.num_clusters(); ++c) {
+      const double d = SquaredDistance(
+          row.data(), km.centroids().RowPtr(static_cast<size_t>(c)), 2);
+      EXPECT_GE(d + 1e-12, d_assigned);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansAssignmentProperty,
+                         ::testing::Values(1, 2, 3, 4, 6, 10, 20));
+
+// ---------- DBSCAN ----------
+
+TEST(DbscanTest, FindsDenseBlobsAndNoise) {
+  Rng rng(31);
+  std::vector<std::vector<double>> rows;
+  // Two dense blobs.
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({rng.Normal(0, 0.2), rng.Normal(0, 0.2)});
+    rows.push_back({rng.Normal(5, 0.2), rng.Normal(5, 0.2)});
+  }
+  // A single far-away outlier.
+  rows.push_back({100.0, 100.0});
+  Matrix x = Matrix::FromRows(rows).value();
+
+  Dbscan db;
+  ASSERT_TRUE(db.Fit(x, {.eps = 1.0, .min_points = 4}).ok());
+  EXPECT_EQ(db.num_clusters(), 2);
+  EXPECT_EQ(db.labels().back(), -1);  // outlier flagged as noise
+}
+
+TEST(DbscanTest, AllPointsOneClusterWhenEpsLarge) {
+  Matrix x = ThreeBlobs(20, 33);
+  Dbscan db;
+  ASSERT_TRUE(db.Fit(x, {.eps = 100.0, .min_points = 3}).ok());
+  EXPECT_EQ(db.num_clusters(), 1);
+  for (int l : db.labels()) EXPECT_EQ(l, 0);
+}
+
+TEST(DbscanTest, AllNoiseWhenEpsTiny) {
+  Matrix x = ThreeBlobs(20, 35);
+  Dbscan db;
+  ASSERT_TRUE(db.Fit(x, {.eps = 1e-6, .min_points = 3}).ok());
+  EXPECT_EQ(db.num_clusters(), 0);
+  for (int l : db.labels()) EXPECT_EQ(l, -1);
+}
+
+TEST(DbscanTest, CentroidsAreClusterMeans) {
+  Rng rng(37);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({rng.Normal(2, 0.1)});
+  Matrix x = Matrix::FromRows(rows).value();
+  Dbscan db;
+  ASSERT_TRUE(db.Fit(x, {.eps = 0.5, .min_points = 3}).ok());
+  ASSERT_EQ(db.num_clusters(), 1);
+  EXPECT_NEAR(db.centroids().At(0, 0), 2.0, 0.1);
+}
+
+TEST(DbscanTest, ErrorsOnBadParams) {
+  Matrix x = ThreeBlobs(5, 39);
+  Dbscan db;
+  EXPECT_TRUE(db.Fit(x, {.eps = 0.0, .min_points = 3}).IsInvalidArgument());
+  EXPECT_TRUE(db.Fit(x, {.eps = 1.0, .min_points = 0}).IsInvalidArgument());
+  Matrix empty;
+  EXPECT_TRUE(db.Fit(empty, {}).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace wmp::ml

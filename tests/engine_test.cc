@@ -1,0 +1,241 @@
+// Unit tests for the execution-memory model, pipeline analysis, simulator,
+// and the DBMS heuristic estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/dbms_estimator.h"
+#include "engine/memory_model.h"
+#include "engine/pipeline.h"
+#include "engine/simulator.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+#include "test_schema.h"
+
+namespace wmp::engine {
+namespace {
+
+using plan::OperatorType;
+using plan::PlanNode;
+using testing_support::MakeStarCatalog;
+
+SimulatorOptions SimOpts(double sigma, uint64_t seed = 7) {
+  SimulatorOptions opt;
+  opt.noise_sigma = sigma;
+  opt.seed = seed;
+  return opt;
+}
+
+std::unique_ptr<PlanNode> Leaf(OperatorType op, double card, double width,
+                               double true_card = -1.0) {
+  auto node = std::make_unique<PlanNode>(op);
+  node->input_card = node->output_card = card;
+  node->true_input_card = node->true_output_card = true_card;
+  node->row_width = width;
+  return node;
+}
+
+TEST(MemoryModelTest, ScansUseConstantBuffers) {
+  MemoryModelConfig cfg;
+  auto scan = Leaf(OperatorType::kTbScan, 1e6, 50);
+  auto mem = ComputeOperatorMemory(*scan, cfg, CardTrack::kEstimated);
+  EXPECT_DOUBLE_EQ(mem.build_bytes, cfg.scan_buffer_bytes);
+  EXPECT_FALSE(mem.spills);
+}
+
+TEST(MemoryModelTest, SortScalesWithInputAndOverhead) {
+  MemoryModelConfig cfg;
+  auto sort = Leaf(OperatorType::kSort, 1e5, 100);
+  auto mem = ComputeOperatorMemory(*sort, cfg, CardTrack::kEstimated);
+  EXPECT_NEAR(mem.build_bytes, 1e5 * 100 * cfg.sort_overhead_factor, 1.0);
+  EXPECT_FALSE(mem.spills);
+}
+
+TEST(MemoryModelTest, OversizedSortSpillsToHeapCap) {
+  MemoryModelConfig cfg;
+  auto sort = Leaf(OperatorType::kSort, 1e8, 100);  // 10 GB >> heap
+  auto mem = ComputeOperatorMemory(*sort, cfg, CardTrack::kEstimated);
+  EXPECT_TRUE(mem.spills);
+  EXPECT_DOUBLE_EQ(mem.build_bytes, cfg.sort_heap_bytes);
+  EXPECT_LT(mem.resident_bytes, cfg.sort_heap_bytes);  // merge buffers only
+}
+
+TEST(MemoryModelTest, HashJoinBilledOnBuildSide) {
+  MemoryModelConfig cfg;
+  auto join = std::make_unique<PlanNode>(OperatorType::kHsJoin);
+  join->children.push_back(Leaf(OperatorType::kTbScan, 1e6, 40));  // probe
+  join->children.push_back(Leaf(OperatorType::kTbScan, 1e4, 20));  // build
+  auto mem = ComputeOperatorMemory(*join, cfg, CardTrack::kEstimated);
+  const double expected =
+      1e4 * (20 + cfg.hash_entry_overhead) / cfg.hash_table_load_factor;
+  EXPECT_NEAR(mem.build_bytes, expected, 1.0);
+}
+
+TEST(MemoryModelTest, HashGroupByScalesWithGroups) {
+  MemoryModelConfig cfg;
+  auto grpby = Leaf(OperatorType::kGroupBy, 1e6, 32);
+  grpby->output_card = 5000;  // groups
+  grpby->hash_mode = true;
+  auto mem = ComputeOperatorMemory(*grpby, cfg, CardTrack::kEstimated);
+  EXPECT_GT(mem.build_bytes, 5000 * 32);
+  EXPECT_LT(mem.build_bytes, cfg.group_heap_bytes);
+
+  grpby->hash_mode = false;  // streaming over sorted input is cheap
+  auto stream_mem = ComputeOperatorMemory(*grpby, cfg, CardTrack::kEstimated);
+  EXPECT_LT(stream_mem.build_bytes, mem.build_bytes);
+}
+
+TEST(MemoryModelTest, TrueTrackReadsTrueCards) {
+  MemoryModelConfig cfg;
+  auto sort = Leaf(OperatorType::kSort, /*card=*/1000, /*width=*/100,
+                   /*true_card=*/50000);
+  auto est = ComputeOperatorMemory(*sort, cfg, CardTrack::kEstimated);
+  auto tru = ComputeOperatorMemory(*sort, cfg, CardTrack::kTrue);
+  EXPECT_NEAR(tru.build_bytes / est.build_bytes, 50.0, 0.01);
+}
+
+TEST(MemoryModelTest, TrueTrackFallsBackWhenUnannotated) {
+  MemoryModelConfig cfg;
+  auto sort = Leaf(OperatorType::kSort, 1000, 100);  // true_card = -1
+  auto est = ComputeOperatorMemory(*sort, cfg, CardTrack::kEstimated);
+  auto tru = ComputeOperatorMemory(*sort, cfg, CardTrack::kTrue);
+  EXPECT_DOUBLE_EQ(tru.build_bytes, est.build_bytes);
+}
+
+// ---------- pipeline analysis ----------
+
+TEST(PipelineTest, SortPhasesDoNotStack) {
+  // SORT over a scan: peak = scan + sort build, not scan + 2x sort.
+  MemoryModelConfig cfg;
+  auto sort = std::make_unique<PlanNode>(OperatorType::kSort);
+  sort->input_card = sort->output_card = 1e5;
+  sort->row_width = 100;
+  sort->children.push_back(Leaf(OperatorType::kTbScan, 1e5, 100));
+  auto profile = AnalyzePlanMemory(*sort, cfg, CardTrack::kEstimated);
+  const double sort_bytes = 1e5 * 100 * cfg.sort_overhead_factor;
+  EXPECT_NEAR(profile.peak_bytes,
+              sort_bytes + cfg.scan_buffer_bytes + cfg.executor_base_bytes,
+              1.0);
+}
+
+TEST(PipelineTest, TwoSortsOnSameSpineDoNotCoexist) {
+  // SORT(SORT(scan)): the inner sort's buffer is freed before the outer
+  // one finishes building only partially — our model keeps inner resident
+  // while outer builds, so peak = inner_resident + outer_build + base.
+  MemoryModelConfig cfg;
+  auto inner = std::make_unique<PlanNode>(OperatorType::kSort);
+  inner->input_card = inner->output_card = 1e5;
+  inner->row_width = 100;
+  inner->children.push_back(Leaf(OperatorType::kTbScan, 1e5, 100));
+  auto outer = std::make_unique<PlanNode>(OperatorType::kSort);
+  outer->input_card = outer->output_card = 1e5;
+  outer->row_width = 100;
+  outer->children.push_back(std::move(inner));
+  auto profile = AnalyzePlanMemory(*outer, cfg, CardTrack::kEstimated);
+  const double sort_bytes = 1e5 * 100 * cfg.sort_overhead_factor;
+  EXPECT_NEAR(profile.peak_bytes,
+              2 * sort_bytes + cfg.executor_base_bytes, 1.0);
+}
+
+TEST(PipelineTest, HashJoinProbePhaseHoldsTableAndProbePipeline) {
+  MemoryModelConfig cfg;
+  auto join = std::make_unique<PlanNode>(OperatorType::kHsJoin);
+  join->children.push_back(Leaf(OperatorType::kTbScan, 1e6, 40));
+  join->children.push_back(Leaf(OperatorType::kTbScan, 1e4, 20));
+  auto profile = AnalyzePlanMemory(*join, cfg, CardTrack::kEstimated);
+  const double table =
+      1e4 * (20 + cfg.hash_entry_overhead) / cfg.hash_table_load_factor;
+  EXPECT_NEAR(profile.peak_bytes,
+              table + cfg.scan_buffer_bytes + cfg.executor_base_bytes, 1.0);
+}
+
+TEST(PipelineTest, SpillCountAggregates) {
+  MemoryModelConfig cfg;
+  auto sort = std::make_unique<PlanNode>(OperatorType::kSort);
+  sort->input_card = sort->output_card = 1e8;  // spills
+  sort->row_width = 100;
+  sort->children.push_back(Leaf(OperatorType::kTbScan, 1e8, 100));
+  auto profile = AnalyzePlanMemory(*sort, cfg, CardTrack::kEstimated);
+  EXPECT_EQ(profile.spill_count, 1);
+}
+
+// ---------- simulator + DBMS estimator on real plans ----------
+
+class EngineOnPlansTest : public ::testing::Test {
+ protected:
+  EngineOnPlansTest() : cat_(MakeStarCatalog()), planner_(&cat_) {}
+
+  std::unique_ptr<PlanNode> Plan(const std::string& sql) {
+    auto query = sql::Parse(sql);
+    EXPECT_TRUE(query.ok());
+    auto plan = planner_.CreatePlan(*query);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return std::move(plan).value();
+  }
+
+  catalog::Catalog cat_;
+  plan::Planner planner_;
+};
+
+TEST_F(EngineOnPlansTest, BiggerQueriesNeedMoreMemory) {
+  Simulator sim(SimOpts(0.0));
+  auto small = Plan("SELECT s_id FROM sales WHERE s_date = 7");
+  auto big = Plan(
+      "SELECT c.c_region, SUM(s.s_price) FROM sales s, customer c "
+      "WHERE s.s_cust = c.c_id GROUP BY c.c_region ORDER BY c.c_region");
+  EXPECT_GT(sim.SimulatePeakMemoryMb(*big), sim.SimulatePeakMemoryMb(*small));
+}
+
+TEST_F(EngineOnPlansTest, NoiseIsBoundedAndCentered) {
+  auto plan = Plan(
+      "SELECT c.c_region, SUM(s.s_price) FROM sales s, customer c "
+      "WHERE s.s_cust = c.c_id GROUP BY c.c_region");
+  Simulator noiseless(SimOpts(0.0));
+  const double base = noiseless.SimulatePeakMemoryMb(*plan);
+  Simulator noisy(SimOpts(0.06, 3));
+  double sum = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double m = noisy.SimulatePeakMemoryMb(*plan);
+    EXPECT_GT(m, base * std::exp(-3 * 0.07));
+    EXPECT_LT(m, base * std::exp(3 * 0.07));
+    sum += m;
+  }
+  EXPECT_NEAR(sum / 500.0, base, base * 0.02);
+}
+
+TEST_F(EngineOnPlansTest, DbmsEstimateDivergesFromTruth) {
+  // On the skewed/correlated star schema the optimizer's cardinalities are
+  // wrong, so its memory estimate must systematically miss the simulated
+  // truth for join+agg queries.
+  Simulator sim(SimOpts(0.0));
+  auto plan = Plan(
+      "SELECT c.c_region, SUM(s.s_price) FROM sales s, customer c "
+      "WHERE s.s_cust = c.c_id AND s.s_qty = 5 GROUP BY c.c_region");
+  const double truth = sim.SimulatePeakMemoryMb(*plan);
+  const double estimate = DbmsEstimateMemoryMb(*plan);
+  EXPECT_GT(std::fabs(estimate - truth) / truth, 0.10);
+}
+
+TEST_F(EngineOnPlansTest, DbmsEstimateIsPositiveAndFinite) {
+  for (const char* sql : {
+           "SELECT s_id FROM sales",
+           "SELECT DISTINCT c_region FROM customer",
+           "SELECT s_id FROM sales ORDER BY s_id",
+       }) {
+    auto plan = Plan(sql);
+    const double est = DbmsEstimateMemoryMb(*plan);
+    EXPECT_GT(est, 0.0) << sql;
+    EXPECT_TRUE(std::isfinite(est)) << sql;
+  }
+}
+
+TEST_F(EngineOnPlansTest, SimulatorDeterministicNoiselessly) {
+  auto plan = Plan("SELECT s_id FROM sales ORDER BY s_id");
+  Simulator a(SimOpts(0.0)), b(SimOpts(0.0));
+  EXPECT_DOUBLE_EQ(a.SimulatePeakMemoryMb(*plan),
+                   b.SimulatePeakMemoryMb(*plan));
+}
+
+}  // namespace
+}  // namespace wmp::engine

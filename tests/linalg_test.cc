@@ -1,0 +1,169 @@
+// Unit and property tests for src/ml/linalg.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/linalg.h"
+#include "util/random.h"
+
+namespace wmp::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.At(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(MatrixTest, AppendRowFixesWidth) {
+  Matrix m;
+  ASSERT_TRUE(m.AppendRow({1, 2, 3}).ok());
+  ASSERT_TRUE(m.AppendRow({4, 5, 6}).ok());
+  EXPECT_TRUE(m.AppendRow({7}).IsInvalidArgument());
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.RowVec(1), (std::vector<double>{4, 5, 6}));
+}
+
+TEST(MatrixTest, FromRowsRejectsRagged) {
+  EXPECT_FALSE(Matrix::FromRows({{1, 2}, {3}}).ok());
+  auto m = Matrix::FromRows({{1, 2}, {3, 4}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(5);
+  Matrix m(4, 7);
+  for (double& v : m.data()) v = rng.Normal();
+  Matrix tt = m.Transposed().Transposed();
+  EXPECT_EQ(tt.data(), m.data());
+}
+
+TEST(LinalgTest, MatVecKnownValues) {
+  auto m = Matrix::FromRows({{1, 2}, {3, 4}}).value();
+  auto y = MatVec(m, {1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(LinalgTest, MatTVecMatchesTransposedMatVec) {
+  Rng rng(9);
+  Matrix m(5, 3);
+  for (double& v : m.data()) v = rng.Normal();
+  std::vector<double> x{1.0, -2.0, 0.5, 3.0, -1.5};
+  auto a = MatTVec(m, x);
+  auto b = MatVec(m.Transposed(), x);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(LinalgTest, MatMulIdentity) {
+  Rng rng(11);
+  Matrix m(3, 3);
+  for (double& v : m.data()) v = rng.Normal();
+  Matrix eye(3, 3);
+  for (size_t i = 0; i < 3; ++i) eye.At(i, i) = 1.0;
+  Matrix prod = MatMul(m, eye);
+  for (size_t i = 0; i < m.data().size(); ++i) {
+    EXPECT_NEAR(prod.data()[i], m.data()[i], 1e-12);
+  }
+}
+
+TEST(LinalgTest, MatMulKnownValues) {
+  auto a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}}).value();
+  auto b = Matrix::FromRows({{7, 8}, {9, 10}, {11, 12}}).value();
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(LinalgTest, GramMatchesExplicitProduct) {
+  Rng rng(13);
+  Matrix m(6, 4);
+  for (double& v : m.data()) v = rng.Normal();
+  Matrix g = Gram(m);
+  Matrix expected = MatMul(m.Transposed(), m);
+  ASSERT_EQ(g.rows(), expected.rows());
+  for (size_t i = 0; i < g.data().size(); ++i) {
+    EXPECT_NEAR(g.data()[i], expected.data()[i], 1e-10);
+  }
+}
+
+TEST(LinalgTest, DotNormAxpy) {
+  std::vector<double> a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+  std::vector<double> y{1.0, 1.0};
+  Axpy(2.0, a, &y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+}
+
+TEST(LinalgTest, SquaredDistance) {
+  double a[] = {0.0, 0.0};
+  double b[] = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b, 2), 25.0);
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  // SPD matrix [[4,2],[2,3]], b = [8, 7] -> x = [1.25, 1.5]
+  auto a = Matrix::FromRows({{4, 2}, {2, 3}}).value();
+  auto chol = CholeskySolver::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  auto x = chol->Solve({8, 7});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.25, 1e-10);
+  EXPECT_NEAR((*x)[1], 1.5, 1e-10);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_TRUE(CholeskySolver::Factor(a).status().IsInvalidArgument());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  auto a = Matrix::FromRows({{1, 2}, {2, 1}}).value();  // eigenvalues 3, -1
+  EXPECT_TRUE(CholeskySolver::Factor(a).status().IsFailedPrecondition());
+}
+
+TEST(CholeskyTest, RejectsWrongRhsSize) {
+  auto a = Matrix::FromRows({{2, 0}, {0, 2}}).value();
+  auto chol = CholeskySolver::Factor(a).value();
+  EXPECT_TRUE(chol.Solve({1, 2, 3}).status().IsInvalidArgument());
+}
+
+// Property: for random SPD systems A = B^T B + I, solving returns x with
+// A x ~= b, across dimensions.
+class CholeskyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyPropertyTest, SolveSatisfiesSystem) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 31 + 7);
+  Matrix b(static_cast<size_t>(n), static_cast<size_t>(n));
+  for (double& v : b.data()) v = rng.Normal();
+  Matrix a = Gram(b);
+  for (int i = 0; i < n; ++i) a.At(static_cast<size_t>(i), static_cast<size_t>(i)) += 1.0;
+
+  std::vector<double> rhs(static_cast<size_t>(n));
+  for (double& v : rhs) v = rng.Normal();
+
+  auto chol = CholeskySolver::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  auto x = chol->Solve(rhs);
+  ASSERT_TRUE(x.ok());
+  auto ax = MatVec(a, *x);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[static_cast<size_t>(i)], rhs[static_cast<size_t>(i)], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace wmp::ml

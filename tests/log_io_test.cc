@@ -1,0 +1,134 @@
+// Tests for query-log text IO — the deployment ingestion path — and for
+// generator-free training from an ingested log.
+
+#include <gtest/gtest.h>
+
+#include "core/featurizer.h"
+#include "core/learned_wmp.h"
+#include "plan/explain.h"
+#include "workloads/dataset.h"
+#include "workloads/log_io.h"
+
+namespace wmp::workloads {
+namespace {
+
+Dataset SmallDataset() {
+  DatasetOptions opt;
+  opt.num_queries = 80;
+  opt.seed = 31;
+  auto d = BuildDataset(Benchmark::kTpcc, opt);
+  EXPECT_TRUE(d.ok());
+  return std::move(*d);
+}
+
+TEST(LogIoTest, SerializeParseRoundTrip) {
+  Dataset dataset = SmallDataset();
+  const std::string text = SerializeQueryLog(dataset.records);
+  auto parsed = ParseQueryLog(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), dataset.records.size());
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    const QueryRecord& a = dataset.records[i];
+    const QueryRecord& b = (*parsed)[i];
+    EXPECT_EQ(a.sql_text, b.sql_text);
+    EXPECT_DOUBLE_EQ(a.actual_memory_mb, b.actual_memory_mb);
+    EXPECT_DOUBLE_EQ(a.dbms_estimate_mb, b.dbms_estimate_mb);
+    EXPECT_EQ(a.family_id, b.family_id);
+    // Plans reconstruct exactly (EXPLAIN uses %.17g).
+    EXPECT_EQ(plan::Explain(*a.plan), plan::Explain(*b.plan));
+    EXPECT_EQ(a.plan_features, b.plan_features);
+  }
+}
+
+TEST(LogIoTest, FileRoundTrip) {
+  Dataset dataset = SmallDataset();
+  const std::string path = ::testing::TempDir() + "/wmp_querylog.txt";
+  ASSERT_TRUE(WriteQueryLog(dataset.records, path).ok());
+  auto loaded = LoadQueryLog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), dataset.records.size());
+}
+
+TEST(LogIoTest, OptionalFieldsDefault) {
+  const std::string text =
+      "-- query: SELECT a FROM t\n"
+      "-- memory_mb: 12.5\n"
+      "RETURN in=1 out=1 width=8\n"
+      "  TBSCAN(t) in=10 out=1 width=8\n"
+      "\n";
+  auto parsed = ParseQueryLog(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_DOUBLE_EQ((*parsed)[0].actual_memory_mb, 12.5);
+  EXPECT_DOUBLE_EQ((*parsed)[0].dbms_estimate_mb, 0.0);
+  EXPECT_EQ((*parsed)[0].family_id, -1);
+  EXPECT_EQ((*parsed)[0].query.from[0].table, "t");
+}
+
+TEST(LogIoTest, MalformedLogsRejected) {
+  // No records at all.
+  EXPECT_TRUE(ParseQueryLog("").status().IsInvalidArgument());
+  // EXPLAIN block without a query header.
+  EXPECT_TRUE(ParseQueryLog("RETURN in=1 out=1 width=8\n\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Query without a plan.
+  EXPECT_TRUE(ParseQueryLog("-- query: SELECT a FROM t\n\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Unknown directive.
+  EXPECT_TRUE(ParseQueryLog("-- bogus: 1\n").status().IsInvalidArgument());
+  // Broken SQL inside an otherwise valid record.
+  EXPECT_FALSE(ParseQueryLog("-- query: SELECT FROM\n"
+                             "RETURN in=1 out=1 width=8\n\n")
+                   .ok());
+  // Duplicate query header in one record.
+  EXPECT_TRUE(ParseQueryLog("-- query: SELECT a FROM t\n"
+                            "-- query: SELECT b FROM t\n"
+                            "RETURN in=1 out=1 width=8\n\n")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(LogIoTest, WriteRejectsPlanlessRecords) {
+  std::vector<QueryRecord> records(1);
+  records[0].sql_text = "SELECT a FROM t";
+  EXPECT_TRUE(WriteQueryLog(records, "/tmp/never_written.txt")
+                  .IsInvalidArgument());
+}
+
+TEST(LogIoTest, TrainFromIngestedLogEndToEnd) {
+  // The wmpctl workflow: generate -> serialize -> parse -> train -> predict,
+  // with no generator available on the training side.
+  DatasetOptions opt;
+  opt.num_queries = 400;
+  opt.seed = 33;
+  auto dataset = BuildDataset(Benchmark::kTpcc, opt);
+  ASSERT_TRUE(dataset.ok());
+  auto reloaded = ParseQueryLog(SerializeQueryLog(dataset->records));
+  ASSERT_TRUE(reloaded.ok());
+
+  core::LearnedWmpOptions lopt;
+  lopt.templates.num_templates = 8;
+  auto model = core::LearnedWmpModel::Train(
+      *reloaded, core::AllIndices(reloaded->size()), lopt);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  std::vector<uint32_t> batch{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto pred = model->PredictWorkload(*reloaded, batch);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GT(*pred, 0.0);
+}
+
+TEST(LogIoTest, GeneratorFreeTrainingRejectsRuleBased) {
+  Dataset dataset = SmallDataset();
+  core::LearnedWmpOptions opt;
+  opt.templates.method = core::TemplateMethod::kRuleBased;
+  opt.batch_size = 5;
+  auto model = core::LearnedWmpModel::Train(
+      dataset.records, core::AllIndices(dataset.records.size()), opt);
+  EXPECT_TRUE(model.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace wmp::workloads

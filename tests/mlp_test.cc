@@ -1,0 +1,265 @@
+// Unit tests for the MLP regressor and the L-BFGS minimizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/lbfgs.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "util/io.h"
+#include "util/random.h"
+
+namespace wmp::ml {
+namespace {
+
+void LinearData(size_t n, uint64_t seed, Matrix* x, std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 3);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < 3; ++c) x->At(i, c) = rng.UniformDouble(-1, 1);
+    (*y)[i] = 2.0 * x->At(i, 0) - 1.0 * x->At(i, 1) + 0.5 * x->At(i, 2) + 3.0;
+  }
+}
+
+void NonlinearData(size_t n, uint64_t seed, Matrix* x,
+                   std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x->At(i, 0) = rng.UniformDouble(-2, 2);
+    x->At(i, 1) = rng.UniformDouble(-2, 2);
+    (*y)[i] = x->At(i, 0) * x->At(i, 0) + std::sin(2.0 * x->At(i, 1));
+  }
+}
+
+// ---------- L-BFGS on analytic objectives ----------
+
+TEST(LbfgsTest, MinimizesQuadraticBowl) {
+  // f(x) = (x0-3)^2 + 10 (x1+1)^2
+  ObjectiveFn f = [](const std::vector<double>& x, std::vector<double>* g) {
+    g->assign(2, 0.0);
+    (*g)[0] = 2.0 * (x[0] - 3.0);
+    (*g)[1] = 20.0 * (x[1] + 1.0);
+    return (x[0] - 3.0) * (x[0] - 3.0) + 10.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  auto result = MinimizeLbfgs(f, {0.0, 0.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->x[0], 3.0, 1e-4);
+  EXPECT_NEAR(result->x[1], -1.0, 1e-4);
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(LbfgsTest, MinimizesRosenbrock) {
+  // Classic ill-conditioned valley; optimum at (1, 1).
+  ObjectiveFn f = [](const std::vector<double>& x, std::vector<double>* g) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    g->assign(2, 0.0);
+    (*g)[0] = -2.0 * a - 400.0 * x[0] * b;
+    (*g)[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  LbfgsOptions opt;
+  opt.max_iters = 500;
+  auto result = MinimizeLbfgs(f, {-1.2, 1.0}, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result->x[1], 1.0, 1e-3);
+}
+
+TEST(LbfgsTest, EmptyStartRejected) {
+  ObjectiveFn f = [](const std::vector<double>&, std::vector<double>* g) {
+    g->clear();
+    return 0.0;
+  };
+  EXPECT_TRUE(MinimizeLbfgs(f, {}).status().IsInvalidArgument());
+}
+
+// ---------- MLP ----------
+
+TEST(MlpTest, LearnsLinearFunctionWithIdentityActivation) {
+  Matrix x;
+  std::vector<double> y;
+  LinearData(600, 1, &x, &y);
+  MlpOptions opt;
+  opt.hidden_layers = {8};
+  opt.activation = Activation::kIdentity;
+  opt.solver = MlpSolver::kAdam;
+  opt.max_iter = 200;
+  MlpRegressor model(opt);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(Rmse(y, model.Predict(x).value()), 0.1);
+}
+
+TEST(MlpTest, LearnsNonlinearFunctionWithRelu) {
+  Matrix x;
+  std::vector<double> y;
+  NonlinearData(1200, 3, &x, &y);
+  MlpOptions opt;
+  opt.hidden_layers = {32, 16};
+  opt.activation = Activation::kRelu;
+  opt.solver = MlpSolver::kAdam;
+  opt.learning_rate = 3e-3;
+  opt.max_iter = 300;
+  opt.n_iter_no_change = 30;
+  MlpRegressor model(opt);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  // Target spread is ~2.1; a fit below 0.5 RMSE demonstrates real learning.
+  EXPECT_LT(Rmse(y, model.Predict(x).value()), 0.5);
+}
+
+TEST(MlpTest, SgdSolverLearns) {
+  Matrix x;
+  std::vector<double> y;
+  LinearData(400, 5, &x, &y);
+  MlpOptions opt;
+  opt.hidden_layers = {8};
+  opt.activation = Activation::kIdentity;
+  opt.solver = MlpSolver::kSgd;
+  opt.learning_rate = 1e-2;
+  opt.max_iter = 200;
+  MlpRegressor model(opt);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(Rmse(y, model.Predict(x).value()), 0.2);
+}
+
+TEST(MlpTest, LbfgsSolverLearnsSmallDataset) {
+  // The paper observes L-BFGS is the better optimizer on small datasets.
+  Matrix x;
+  std::vector<double> y;
+  LinearData(150, 7, &x, &y);
+  MlpOptions opt;
+  opt.hidden_layers = {6};
+  opt.activation = Activation::kIdentity;
+  opt.solver = MlpSolver::kLbfgs;
+  opt.max_iter = 300;
+  MlpRegressor model(opt);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(Rmse(y, model.Predict(x).value()), 0.1);
+}
+
+TEST(MlpTest, TanhActivationWorks) {
+  Matrix x;
+  std::vector<double> y;
+  NonlinearData(500, 9, &x, &y);
+  MlpOptions opt;
+  opt.hidden_layers = {16};
+  opt.activation = Activation::kTanh;
+  opt.max_iter = 200;
+  MlpRegressor model(opt);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(Rmse(y, model.Predict(x).value()), 1.0);
+}
+
+TEST(MlpTest, DefaultArchitectureIsPaperNet) {
+  MlpRegressor model;
+  EXPECT_EQ(model.options().hidden_layers,
+            (std::vector<int>{48, 39, 27, 16, 7, 5}));
+}
+
+TEST(MlpTest, EarlyStoppingTerminatesBeforeMaxIter) {
+  Matrix x;
+  std::vector<double> y;
+  LinearData(200, 11, &x, &y);
+  MlpOptions opt;
+  opt.hidden_layers = {4};
+  opt.activation = Activation::kIdentity;
+  opt.max_iter = 5000;
+  opt.tol = 1e-3;
+  opt.n_iter_no_change = 5;
+  MlpRegressor model(opt);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(model.iterations_run(), 5000);
+}
+
+TEST(MlpTest, ErrorsOnMisuse) {
+  MlpRegressor model;
+  EXPECT_TRUE(model.PredictOne({1.0}).status().IsFailedPrecondition());
+  Matrix x(10, 2);
+  EXPECT_TRUE(model.Fit(x, {1.0}).IsInvalidArgument());
+  MlpOptions bad;
+  bad.hidden_layers = {0};
+  MlpRegressor bad_model(bad);
+  std::vector<double> y(10, 1.0);
+  EXPECT_TRUE(bad_model.Fit(x, y).IsInvalidArgument());
+}
+
+TEST(MlpTest, PredictDimensionChecked) {
+  Matrix x;
+  std::vector<double> y;
+  LinearData(100, 13, &x, &y);
+  MlpOptions opt;
+  opt.hidden_layers = {4};
+  opt.max_iter = 10;
+  MlpRegressor model(opt);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_TRUE(model.PredictOne({1.0}).status().IsInvalidArgument());
+}
+
+TEST(MlpTest, DeterministicForSameSeed) {
+  Matrix x;
+  std::vector<double> y;
+  LinearData(200, 17, &x, &y);
+  MlpOptions opt;
+  opt.hidden_layers = {8};
+  opt.max_iter = 30;
+  opt.seed = 99;
+  MlpRegressor a(opt), b(opt);
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(a.PredictOne(x.RowVec(0)).value(),
+                   b.PredictOne(x.RowVec(0)).value());
+}
+
+TEST(MlpTest, SerializationRoundTrip) {
+  Matrix x;
+  std::vector<double> y;
+  NonlinearData(300, 19, &x, &y);
+  MlpOptions opt;
+  opt.hidden_layers = {12, 6};
+  opt.max_iter = 50;
+  MlpRegressor model(opt);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  BinaryWriter w;
+  ASSERT_TRUE(model.Serialize(&w).ok());
+  BinaryReader r(w.buffer());
+  auto restored = MlpRegressor::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    auto probe = x.RowVec(i);
+    EXPECT_NEAR((*restored)->PredictOne(probe).value(),
+                model.PredictOne(probe).value(), 1e-10);
+  }
+}
+
+// Property: all three solvers reach a reasonable fit on the same small task.
+class MlpSolverProperty : public ::testing::TestWithParam<MlpSolver> {};
+
+TEST_P(MlpSolverProperty, SolverFitsLinearTarget) {
+  Matrix x;
+  std::vector<double> y;
+  LinearData(250, 23, &x, &y);
+  MlpOptions opt;
+  opt.hidden_layers = {8};
+  opt.activation = Activation::kIdentity;
+  opt.solver = GetParam();
+  opt.max_iter = 250;
+  opt.learning_rate = opt.solver == MlpSolver::kSgd ? 1e-2 : 1e-3;
+  MlpRegressor model(opt);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(Rmse(y, model.Predict(x).value()), 0.3)
+      << MlpSolverName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, MlpSolverProperty,
+                         ::testing::Values(MlpSolver::kSgd, MlpSolver::kAdam,
+                                           MlpSolver::kLbfgs),
+                         [](const ::testing::TestParamInfo<MlpSolver>& info) {
+                           return MlpSolverName(info.param);
+                         });
+
+}  // namespace
+}  // namespace wmp::ml

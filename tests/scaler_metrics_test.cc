@@ -1,0 +1,150 @@
+// Unit tests for StandardScaler and the evaluation metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+#include "util/io.h"
+#include "util/random.h"
+
+namespace wmp::ml {
+namespace {
+
+Matrix RandomMatrix(size_t n, size_t d, uint64_t seed, double scale = 1.0,
+                    double offset = 0.0) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (double& v : m.data()) v = rng.Normal() * scale + offset;
+  return m;
+}
+
+TEST(ScalerTest, TransformedColumnsAreStandardized) {
+  Matrix x = RandomMatrix(500, 4, 3, /*scale=*/7.0, /*offset=*/100.0);
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  Matrix t = scaler.Transform(x).value();
+  for (size_t c = 0; c < 4; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (size_t r = 0; r < t.rows(); ++r) mean += t.At(r, c);
+    mean /= static_cast<double>(t.rows());
+    for (size_t r = 0; r < t.rows(); ++r) {
+      var += (t.At(r, c) - mean) * (t.At(r, c) - mean);
+    }
+    var /= static_cast<double>(t.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(ScalerTest, ConstantColumnCentersOnly) {
+  auto x = Matrix::FromRows({{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}}).value();
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  Matrix t = scaler.Transform(x).value();
+  for (size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(t.At(r, 0), 0.0);
+}
+
+TEST(ScalerTest, RowRoundTrip) {
+  Matrix x = RandomMatrix(100, 3, 5, 4.0, -2.0);
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  std::vector<double> row{1.5, -3.0, 0.25};
+  std::vector<double> orig = row;
+  ASSERT_TRUE(scaler.TransformRow(&row).ok());
+  ASSERT_TRUE(scaler.InverseTransformRow(&row).ok());
+  for (size_t i = 0; i < row.size(); ++i) EXPECT_NEAR(row[i], orig[i], 1e-10);
+}
+
+TEST(ScalerTest, ErrorsOnMisuse) {
+  StandardScaler scaler;
+  Matrix empty;
+  EXPECT_TRUE(scaler.Fit(empty).IsInvalidArgument());
+  Matrix x = RandomMatrix(10, 2, 1);
+  EXPECT_TRUE(scaler.Transform(x).status().IsFailedPrecondition());
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  Matrix wrong = RandomMatrix(5, 3, 2);
+  EXPECT_TRUE(scaler.Transform(wrong).status().IsInvalidArgument());
+}
+
+TEST(ScalerTest, SerializationRoundTrip) {
+  Matrix x = RandomMatrix(50, 6, 7, 3.0, 10.0);
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  BinaryWriter w;
+  scaler.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto restored = StandardScaler::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->mean(), scaler.mean());
+  EXPECT_EQ(restored->std_dev(), scaler.std_dev());
+}
+
+// ---------- metrics ----------
+
+TEST(MetricsTest, RmseKnownValue) {
+  // errors: 1, -1, 2 -> mse = 2 -> rmse = sqrt(2)
+  EXPECT_NEAR(Rmse({1, 2, 3}, {2, 1, 5}), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Rmse({4, 4}, {4, 4}), 0.0);
+}
+
+TEST(MetricsTest, MaeKnownValue) {
+  EXPECT_NEAR(MeanAbsError({1, 2, 3}, {2, 1, 5}), 4.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, MapeKnownValue) {
+  // |10-11|/10 = 0.1, |20-18|/20 = 0.1 -> 10%
+  EXPECT_NEAR(Mape({10, 20}, {11, 18}), 10.0, 1e-9);
+}
+
+TEST(MetricsTest, MapeSkipsNearZeroTargets) {
+  EXPECT_NEAR(Mape({0.0, 10.0}, {5.0, 12.0}), 20.0, 1e-9);
+}
+
+TEST(MetricsTest, ResidualsAreSigned) {
+  auto r = Residuals({10, 10}, {12, 7});
+  EXPECT_DOUBLE_EQ(r[0], 2.0);   // overestimate
+  EXPECT_DOUBLE_EQ(r[1], -3.0);  // underestimate
+}
+
+TEST(MetricsTest, QuantileInterpolates) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.75);
+}
+
+TEST(MetricsTest, QuantileClampsOutOfRangeQ) {
+  std::vector<double> v{5, 6};
+  EXPECT_DOUBLE_EQ(Quantile(v, -0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.5), 6.0);
+}
+
+TEST(MetricsTest, SummaryOfSymmetricResidualsIsUnskewed) {
+  Rng rng(21);
+  std::vector<double> res(20001);
+  for (double& v : res) v = rng.Normal(0.0, 3.0);
+  ResidualSummary s = SummarizeResiduals(res);
+  EXPECT_NEAR(s.mean, 0.0, 0.1);
+  EXPECT_NEAR(s.median, 0.0, 0.1);
+  EXPECT_NEAR(s.skewness, 0.0, 0.1);
+  EXPECT_NEAR(s.iqr, 2.0 * 0.6745 * 3.0, 0.15);  // normal IQR = 1.349 sigma
+  EXPECT_LT(s.p25, s.median);
+  EXPECT_LT(s.median, s.p75);
+  EXPECT_LT(s.p5, s.p25);
+  EXPECT_GT(s.p95, s.p75);
+}
+
+TEST(MetricsTest, SummaryDetectsSkew) {
+  Rng rng(23);
+  std::vector<double> res(10000);
+  for (double& v : res) v = rng.LogNormal(0.0, 1.0);  // right-skewed
+  ResidualSummary s = SummarizeResiduals(res);
+  EXPECT_GT(s.skewness, 1.0);
+  EXPECT_GT(s.mean, s.median);
+}
+
+}  // namespace
+}  // namespace wmp::ml

@@ -1,0 +1,116 @@
+// Unit tests for train/test splitting, k-fold indices, and randomized search.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ml/ridge.h"
+#include "ml/search.h"
+#include "util/random.h"
+
+namespace wmp::ml {
+namespace {
+
+TEST(SplitTest, TrainTestPartitionIsExactAndDisjoint) {
+  IndexSplit split = TrainTestSplitIndices(100, 0.2, 7);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.size(), 80u);
+  std::set<uint32_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitTest, DeterministicPerSeed) {
+  IndexSplit a = TrainTestSplitIndices(50, 0.3, 11);
+  IndexSplit b = TrainTestSplitIndices(50, 0.3, 11);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+  IndexSplit c = TrainTestSplitIndices(50, 0.3, 12);
+  EXPECT_NE(a.test, c.test);
+}
+
+TEST(SplitTest, AtLeastOneTestRow) {
+  IndexSplit split = TrainTestSplitIndices(10, 0.001, 1);
+  EXPECT_GE(split.test.size(), 1u);
+}
+
+TEST(KFoldTest, FoldsCoverEveryRowExactlyOnce) {
+  auto folds = KFoldIndices(53, 5, 3);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> seen(53, 0);
+  for (const auto& f : folds) {
+    for (uint32_t i : f.test) ++seen[i];
+    EXPECT_EQ(f.train.size() + f.test.size(), 53u);
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(TakeRowsTest, SelectsRequestedRows) {
+  auto x = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}}).value();
+  std::vector<double> y{10, 20, 30};
+  Matrix xs;
+  std::vector<double> ys;
+  TakeRows(x, y, {2, 0}, &xs, &ys);
+  EXPECT_EQ(xs.RowVec(0), (std::vector<double>{5, 6}));
+  EXPECT_EQ(xs.RowVec(1), (std::vector<double>{1, 2}));
+  EXPECT_EQ(ys, (std::vector<double>{30, 10}));
+}
+
+TEST(RandomizedSearchTest, PicksBetterRegularization) {
+  // Very noisy target with few informative rows: huge alpha should lose to
+  // a moderate one, and the search must identify the winner by validation
+  // RMSE.
+  Rng rng(5);
+  Matrix x(200, 3);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t c = 0; c < 3; ++c) x.At(i, c) = rng.UniformDouble(-1, 1);
+    y[i] = 4.0 * x.At(i, 0) + rng.Normal(0, 0.1);
+  }
+  std::vector<SearchCandidate> candidates;
+  for (double alpha : {1e-4, 1.0, 1e6}) {
+    candidates.push_back(
+        {"alpha=" + std::to_string(alpha), [alpha] {
+           return std::make_unique<RidgeRegressor>(RidgeOptions{.alpha = alpha});
+         }});
+  }
+  auto outcome = RandomizedSearch(x, y, candidates, {.seed = 9});
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->rmse.size(), 3u);
+  // The evaluated order equals candidate order when num_samples == 0.
+  EXPECT_NE(outcome->evaluated[outcome->best_index], 2u);  // not alpha=1e6
+  EXPECT_GT(outcome->rmse[2], outcome->best_rmse);
+}
+
+TEST(RandomizedSearchTest, SamplesSubset) {
+  Rng rng(7);
+  Matrix x(100, 2);
+  std::vector<double> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x.At(i, 0) = rng.UniformDouble();
+    x.At(i, 1) = rng.UniformDouble();
+    y[i] = x.At(i, 0);
+  }
+  std::vector<SearchCandidate> candidates;
+  for (int i = 0; i < 10; ++i) {
+    candidates.push_back({"c", [] {
+                            return std::make_unique<RidgeRegressor>();
+                          }});
+  }
+  auto outcome =
+      RandomizedSearch(x, y, candidates, {.num_samples = 4, .seed = 3});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->rmse.size(), 4u);
+  std::set<size_t> uniq(outcome->evaluated.begin(), outcome->evaluated.end());
+  EXPECT_EQ(uniq.size(), 4u);  // sampled without replacement
+}
+
+TEST(RandomizedSearchTest, ErrorsOnEmptyCandidates) {
+  Matrix x(10, 1);
+  std::vector<double> y(10, 0.0);
+  EXPECT_TRUE(RandomizedSearch(x, y, {}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace wmp::ml

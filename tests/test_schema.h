@@ -1,0 +1,85 @@
+#ifndef WMP_TESTS_TEST_SCHEMA_H_
+#define WMP_TESTS_TEST_SCHEMA_H_
+
+// Shared miniature star schema for planner/engine/core tests:
+// a fact table `sales` joined to dimensions `customer` and `dates`.
+
+#include "catalog/catalog.h"
+
+namespace wmp::testing_support {
+
+inline catalog::Catalog MakeStarCatalog() {
+  using catalog::Column;
+  using catalog::ColumnType;
+  catalog::Catalog cat;
+
+  catalog::TableDef sales("sales", 1000000);
+  EXPECT_TRUE(sales
+                  .AddColumn(Column("s_id", ColumnType::kBigInt,
+                                    {.ndv = 1000000, .min_value = 1,
+                                     .max_value = 1000000}))
+                  .ok());
+  EXPECT_TRUE(sales
+                  .AddColumn(Column("s_cust", ColumnType::kInt,
+                                    {.ndv = 50000, .min_value = 1,
+                                     .max_value = 50000, .zipf_skew = 0.9}))
+                  .ok());
+  EXPECT_TRUE(sales
+                  .AddColumn(Column("s_date", ColumnType::kInt,
+                                    {.ndv = 2000, .min_value = 1,
+                                     .max_value = 2000, .zipf_skew = 0.4}))
+                  .ok());
+  EXPECT_TRUE(sales
+                  .AddColumn(Column("s_qty", ColumnType::kInt,
+                                    {.ndv = 100, .min_value = 1,
+                                     .max_value = 100, .zipf_skew = 0.6}))
+                  .ok());
+  EXPECT_TRUE(sales
+                  .AddColumn(Column("s_price", ColumnType::kDouble,
+                                    {.ndv = 10000, .min_value = 0,
+                                     .max_value = 10000}))
+                  .ok());
+  EXPECT_TRUE(sales.AddIndex("s_id", /*unique=*/true).ok());
+  EXPECT_TRUE(sales.AddIndex("s_date").ok());
+  EXPECT_TRUE(
+      sales.AddForeignKey({"s_cust", "customer", "c_id", 2.5}).ok());
+  EXPECT_TRUE(sales.AddForeignKey({"s_date", "dates", "d_id", 1.2}).ok());
+  EXPECT_TRUE(sales.AddCorrelation("s_qty", "s_price", 0.8).ok());
+
+  catalog::TableDef customer("customer", 50000);
+  EXPECT_TRUE(customer
+                  .AddColumn(Column("c_id", ColumnType::kInt,
+                                    {.ndv = 50000, .min_value = 1,
+                                     .max_value = 50000}))
+                  .ok());
+  EXPECT_TRUE(customer
+                  .AddColumn(Column("c_region", ColumnType::kInt,
+                                    {.ndv = 25, .min_value = 1,
+                                     .max_value = 25, .zipf_skew = 0.7}))
+                  .ok());
+  EXPECT_TRUE(customer.AddColumn(Column("c_name", ColumnType::kString,
+                                        {.ndv = 50000})).ok());
+  EXPECT_TRUE(customer.AddIndex("c_id", /*unique=*/true).ok());
+
+  catalog::TableDef dates("dates", 2000);
+  EXPECT_TRUE(dates
+                  .AddColumn(Column("d_id", ColumnType::kInt,
+                                    {.ndv = 2000, .min_value = 1,
+                                     .max_value = 2000}))
+                  .ok());
+  EXPECT_TRUE(dates
+                  .AddColumn(Column("d_year", ColumnType::kInt,
+                                    {.ndv = 6, .min_value = 1998,
+                                     .max_value = 2004}))
+                  .ok());
+  EXPECT_TRUE(dates.AddIndex("d_id", /*unique=*/true).ok());
+
+  EXPECT_TRUE(cat.AddTable(std::move(sales)).ok());
+  EXPECT_TRUE(cat.AddTable(std::move(customer)).ok());
+  EXPECT_TRUE(cat.AddTable(std::move(dates)).ok());
+  return cat;
+}
+
+}  // namespace wmp::testing_support
+
+#endif  // WMP_TESTS_TEST_SCHEMA_H_

@@ -1,0 +1,216 @@
+// Unit tests for the text-based template-learning substrate: tokenizer,
+// bag-of-words, schema-aware vectorizer, word embeddings, and rules.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "sql/parser.h"
+#include "text/bow.h"
+#include "text/embeddings.h"
+#include "text/rules.h"
+#include "text/text_mining.h"
+#include "text/tokenizer.h"
+
+namespace wmp::text {
+namespace {
+
+// ---------- tokenizer ----------
+
+TEST(TokenizerTest, LowercasesAndFoldsLiterals) {
+  auto tokens = TokenizeSql("SELECT Qty FROM Sales WHERE price > 10.5");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"select", "qty", "from", "sales",
+                                              "where", "price", "#num"}));
+}
+
+TEST(TokenizerTest, StringsFoldToPlaceholder) {
+  auto tokens = TokenizeSql("SELECT a FROM t WHERE b LIKE '%x%'");
+  EXPECT_EQ(tokens.back(), "#str");
+}
+
+TEST(TokenizerTest, FoldingCanBeDisabled) {
+  TokenizerOptions opt;
+  opt.fold_numbers = false;
+  opt.fold_strings = false;
+  auto tokens = TokenizeSql("a = 42 AND b = 'x'", opt);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"a", "and", "b"}));
+}
+
+TEST(TokenizerTest, PunctuationDropped) {
+  auto tokens = TokenizeSql("f(a), g.h");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"f", "a", "g", "h"}));
+}
+
+// ---------- bag of words ----------
+
+TEST(BowTest, CountsTokensInVocabulary) {
+  BowVectorizer bow;
+  ASSERT_TRUE(bow.Fit({"select a from t", "select b from t"}).ok());
+  auto vec = bow.Transform("select a, a from t").value();
+  EXPECT_EQ(vec.size(), bow.vocab_size());
+  EXPECT_DOUBLE_EQ(vec[static_cast<size_t>(bow.WordIndex("a"))], 2.0);
+  EXPECT_DOUBLE_EQ(vec[static_cast<size_t>(bow.WordIndex("select"))], 1.0);
+}
+
+TEST(BowTest, OutOfVocabularyDropped) {
+  BowVectorizer bow;
+  ASSERT_TRUE(bow.Fit({"select a from t"}).ok());
+  EXPECT_EQ(bow.WordIndex("zebra"), -1);
+  auto vec = bow.Transform("zebra zebra").value();
+  double total = 0;
+  for (double v : vec) total += v;
+  EXPECT_DOUBLE_EQ(total, 0.0);
+}
+
+TEST(BowTest, MaxVocabKeepsMostFrequent) {
+  BowOptions opt;
+  opt.max_vocab = 2;
+  BowVectorizer bow;
+  ASSERT_TRUE(bow.Fit({"aa aa aa bb bb cc"}, opt).ok());
+  EXPECT_EQ(bow.vocab_size(), 2u);
+  EXPECT_GE(bow.WordIndex("aa"), 0);
+  EXPECT_GE(bow.WordIndex("bb"), 0);
+  EXPECT_EQ(bow.WordIndex("cc"), -1);
+}
+
+TEST(BowTest, ErrorsOnMisuse) {
+  BowVectorizer bow;
+  EXPECT_TRUE(bow.Fit({}).IsInvalidArgument());
+  EXPECT_TRUE(bow.Transform("x").status().IsFailedPrecondition());
+}
+
+// ---------- schema-aware (text mining) ----------
+
+TEST(SchemaVectorizerTest, VocabularyFromCatalogOnly) {
+  catalog::Catalog cat;
+  catalog::TableDef t("orders", 10);
+  ASSERT_TRUE(t.AddColumn(catalog::Column("o_id", catalog::ColumnType::kInt)).ok());
+  ASSERT_TRUE(cat.AddTable(std::move(t)).ok());
+
+  SchemaAwareVectorizer vectorizer;
+  ASSERT_TRUE(vectorizer.Fit(cat).ok());
+  // Clause keywords + "orders" + "o_id".
+  EXPECT_EQ(vectorizer.vocab_size(),
+            SchemaAwareVectorizer::ClauseKeywords().size() + 2);
+  auto vec =
+      vectorizer.Transform("select o_id from orders where zebra = 1").value();
+  double total = 0;
+  for (double v : vec) total += v;
+  // select, o_id, from, orders, where -> 5 hits; zebra ignored.
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+TEST(SchemaVectorizerTest, EmptyCatalogRejected) {
+  catalog::Catalog cat;
+  SchemaAwareVectorizer vectorizer;
+  EXPECT_TRUE(vectorizer.Fit(cat).IsInvalidArgument());
+}
+
+// ---------- embeddings ----------
+
+TEST(EmbeddingsTest, CoOccurringWordsAreCloserThanUnrelated) {
+  // "alpha beta" always co-occur; "gamma" lives in different contexts.
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 60; ++i) {
+    corpus.push_back("select alpha beta from t_one");
+    corpus.push_back("select gamma from t_two where x");
+  }
+  WordEmbeddings emb;
+  EmbeddingOptions opt;
+  opt.dim = 8;
+  ASSERT_TRUE(emb.Fit(corpus, opt).ok());
+  const double close = emb.Similarity("alpha", "beta").value();
+  const double far = emb.Similarity("alpha", "gamma").value();
+  EXPECT_GT(close, far);
+}
+
+TEST(EmbeddingsTest, TransformAveragesKnownTokens) {
+  WordEmbeddings emb;
+  EmbeddingOptions opt;
+  opt.dim = 4;
+  ASSERT_TRUE(emb.Fit({"a b c", "a b d", "c d a"}, opt).ok());
+  auto vec = emb.Transform("a b").value();
+  EXPECT_EQ(vec.size(), 4u);
+  auto va = emb.WordVector("a").value();
+  auto vb = emb.WordVector("b").value();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(vec[i], 0.5 * (va[i] + vb[i]), 1e-9);
+  }
+}
+
+TEST(EmbeddingsTest, UnknownWordHandling) {
+  WordEmbeddings emb;
+  ASSERT_TRUE(emb.Fit({"a b", "b c"}).ok());
+  EXPECT_TRUE(emb.WordVector("zzz").status().IsNotFound());
+  auto vec = emb.Transform("zzz").value();  // zero vector, not an error
+  for (double v : vec) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EmbeddingsTest, DimCappedByVocab) {
+  WordEmbeddings emb;
+  EmbeddingOptions opt;
+  opt.dim = 64;
+  ASSERT_TRUE(emb.Fit({"a b", "a b"}, opt).ok());
+  EXPECT_LE(emb.dim(), 2);
+}
+
+TEST(EmbeddingsTest, ErrorsOnBadInput) {
+  WordEmbeddings emb;
+  EXPECT_TRUE(emb.Fit({}).IsInvalidArgument());
+  EmbeddingOptions opt;
+  opt.dim = 0;
+  EXPECT_TRUE(emb.Fit({"a"}, opt).IsInvalidArgument());
+}
+
+// ---------- rules ----------
+
+sql::Query Q(const std::string& text) {
+  auto q = sql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+TEST(RulesTest, FirstMatchWinsAndCatchAll) {
+  std::vector<TemplateRule> rules;
+  rules.push_back({"agg-orders", {"orders"}, -1, -1, true, std::nullopt});
+  rules.push_back({"any-orders", {"orders"}, -1, -1, std::nullopt, std::nullopt});
+  RuleBasedClassifier clf(rules);
+  EXPECT_EQ(clf.num_templates(), 3);
+  EXPECT_EQ(clf.Classify(Q("SELECT COUNT(*) FROM orders")), 0);
+  EXPECT_EQ(clf.Classify(Q("SELECT a FROM orders")), 1);
+  EXPECT_EQ(clf.Classify(Q("SELECT a FROM lineitem")), 2);  // catch-all
+}
+
+TEST(RulesTest, JoinCountBounds) {
+  TemplateRule rule{"two-way", {}, 1, 1, std::nullopt, std::nullopt};
+  EXPECT_TRUE(RuleBasedClassifier::Matches(
+      rule, Q("SELECT a.x FROM a, b WHERE a.id = b.id")));
+  EXPECT_FALSE(RuleBasedClassifier::Matches(rule, Q("SELECT x FROM a")));
+  EXPECT_FALSE(RuleBasedClassifier::Matches(
+      rule,
+      Q("SELECT a.x FROM a, b, c WHERE a.id = b.id AND b.id2 = c.id")));
+}
+
+TEST(RulesTest, RequiredTablesAllMustAppear) {
+  TemplateRule rule{"ab", {"a", "b"}, -1, -1, std::nullopt, std::nullopt};
+  EXPECT_TRUE(RuleBasedClassifier::Matches(
+      rule, Q("SELECT a.x FROM a, b WHERE a.id = b.id")));
+  EXPECT_FALSE(RuleBasedClassifier::Matches(rule, Q("SELECT x FROM a")));
+}
+
+TEST(RulesTest, OrderByConstraint) {
+  TemplateRule rule{"sorted", {}, -1, -1, std::nullopt, true};
+  EXPECT_TRUE(
+      RuleBasedClassifier::Matches(rule, Q("SELECT x FROM a ORDER BY x")));
+  EXPECT_FALSE(RuleBasedClassifier::Matches(rule, Q("SELECT x FROM a")));
+}
+
+TEST(RulesTest, GroupByCountsAsAggregation) {
+  TemplateRule rule{"agg", {}, -1, -1, true, std::nullopt};
+  EXPECT_TRUE(RuleBasedClassifier::Matches(
+      rule, Q("SELECT x FROM a GROUP BY x")));
+  EXPECT_TRUE(RuleBasedClassifier::Matches(rule, Q("SELECT SUM(x) FROM a")));
+  EXPECT_FALSE(RuleBasedClassifier::Matches(rule, Q("SELECT x FROM a")));
+}
+
+}  // namespace
+}  // namespace wmp::text

@@ -1,0 +1,212 @@
+// wmpctl — command-line front end for the LearnedWMP library.
+//
+// The operational workflow of the paper's "DBMS Integration" section as a
+// tool:
+//
+//   wmpctl generate --benchmark=tpcc --queries=2000 --out=log.txt
+//       Fabricate a query log (SQL + EXPLAIN + observed memory) with one
+//       of the built-in benchmark simulators. A real deployment replaces
+//       this step with a dump from its DBMS in the same text format.
+//
+//   wmpctl train --log=log.txt --model=model.wmp [--templates=K] [--batch=S]
+//       Train a LearnedWMP model from a query log and persist it.
+//
+//   wmpctl evaluate --log=log.txt --model=model.wmp [--batch=S]
+//       Score a model against a labeled log (RMSE / MAPE over workloads).
+//
+//   wmpctl predict --log=workload.txt --model=model.wmp
+//       Treat the whole log file as one workload and predict its memory.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/featurizer.h"
+#include "core/learned_wmp.h"
+#include "core/single_wmp.h"
+#include "ml/metrics.h"
+#include "util/strings.h"
+#include "workloads/dataset.h"
+#include "workloads/log_io.h"
+
+using namespace wmp;
+
+namespace {
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--", 2) != 0) continue;
+    const char* eq = std::strchr(a, '=');
+    if (eq == nullptr) {
+      flags[a + 2] = "1";
+    } else {
+      flags[std::string(a + 2, eq)] = eq + 1;
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  wmpctl generate --benchmark=tpcds|job|tpcc --queries=N "
+               "--out=PATH [--seed=N]\n"
+               "  wmpctl train    --log=PATH --model=PATH [--templates=K] "
+               "[--batch=S] [--seed=N]\n"
+               "  wmpctl evaluate --log=PATH --model=PATH [--batch=S]\n"
+               "  wmpctl predict  --log=PATH --model=PATH\n");
+  return 2;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string name = FlagOr(flags, "benchmark", "tpcc");
+  workloads::Benchmark benchmark;
+  if (name == "tpcds") {
+    benchmark = workloads::Benchmark::kTpcds;
+  } else if (name == "job") {
+    benchmark = workloads::Benchmark::kJob;
+  } else if (name == "tpcc") {
+    benchmark = workloads::Benchmark::kTpcc;
+  } else {
+    std::fprintf(stderr, "unknown benchmark: %s\n", name.c_str());
+    return 2;
+  }
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) return Usage();
+
+  workloads::DatasetOptions opt;
+  opt.num_queries =
+      static_cast<size_t>(std::atoll(FlagOr(flags, "queries", "1000").c_str()));
+  opt.seed = std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  auto dataset = workloads::BuildDataset(benchmark, opt);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (Status st = workloads::WriteQueryLog(dataset->records, out); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %zu %s queries to %s\n", dataset->records.size(),
+              dataset->benchmark_name.c_str(), out.c_str());
+  return 0;
+}
+
+int CmdTrain(const std::map<std::string, std::string>& flags) {
+  const std::string log_path = FlagOr(flags, "log", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  if (log_path.empty() || model_path.empty()) return Usage();
+
+  auto records = workloads::LoadQueryLog(log_path);
+  if (!records.ok()) return Fail(records.status());
+
+  core::LearnedWmpOptions opt;
+  opt.templates.num_templates =
+      std::atoi(FlagOr(flags, "templates", "0").c_str());
+  opt.batch_size = std::atoi(FlagOr(flags, "batch", "10").c_str());
+  opt.seed = std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const auto indices = core::AllIndices(records->size());
+  if (opt.templates.num_templates <= 0) {
+    // Elbow-tune k over a standard candidate grid.
+    std::vector<int> ks;
+    for (int k = 10; k <= 100; k += 10) ks.push_back(k);
+    auto chosen = core::ChooseNumTemplates(*records, indices, ks, opt.seed);
+    if (!chosen.ok()) return Fail(chosen.status());
+    opt.templates.num_templates = *chosen;
+    std::printf("elbow-tuned k = %d\n", opt.templates.num_templates);
+  }
+  auto model = core::LearnedWmpModel::Train(*records, indices, opt);
+  if (!model.ok()) return Fail(model.status());
+  if (Status st = model->SaveToFile(model_path); !st.ok()) return Fail(st);
+  std::printf(
+      "trained on %zu queries (%zu workloads of %d), saved %zu bytes to %s\n",
+      records->size(), model->train_stats().num_workloads, opt.batch_size,
+      model->SerializedSize().ValueOr(0), model_path.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const std::map<std::string, std::string>& flags) {
+  const std::string log_path = FlagOr(flags, "log", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  if (log_path.empty() || model_path.empty()) return Usage();
+
+  auto records = workloads::LoadQueryLog(log_path);
+  if (!records.ok()) return Fail(records.status());
+  auto model = core::LearnedWmpModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+
+  core::WorkloadSetOptions wopt;
+  wopt.batch_size = std::atoi(FlagOr(flags, "batch", "10").c_str());
+  auto batches = core::BuildWorkloads(*records, core::AllIndices(records->size()),
+                                      wopt);
+  if (batches.empty()) {
+    std::fprintf(stderr, "log too small for one workload of %d queries\n",
+                 wopt.batch_size);
+    return 1;
+  }
+  std::vector<double> labels, learned, dbms;
+  for (const auto& b : batches) {
+    labels.push_back(b.label_mb);
+    auto p = model->PredictWorkload(*records, b.query_indices);
+    if (!p.ok()) return Fail(p.status());
+    learned.push_back(*p);
+    dbms.push_back(core::DbmsWorkloadEstimate(*records, b.query_indices));
+  }
+  std::printf("%zu workloads of %d queries\n", batches.size(), wopt.batch_size);
+  std::printf("LearnedWMP      RMSE %.1f MB   MAPE %.1f%%\n",
+              ml::Rmse(labels, learned), ml::Mape(labels, learned));
+  const bool has_dbms =
+      std::any_of(dbms.begin(), dbms.end(), [](double v) { return v > 0; });
+  if (has_dbms) {
+    std::printf("SingleWMP-DBMS  RMSE %.1f MB   MAPE %.1f%%\n",
+                ml::Rmse(labels, dbms), ml::Mape(labels, dbms));
+  }
+  return 0;
+}
+
+int CmdPredict(const std::map<std::string, std::string>& flags) {
+  const std::string log_path = FlagOr(flags, "log", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  if (log_path.empty() || model_path.empty()) return Usage();
+
+  auto records = workloads::LoadQueryLog(log_path);
+  if (!records.ok()) return Fail(records.status());
+  auto model = core::LearnedWmpModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+
+  const auto batch = core::AllIndices(records->size());
+  auto prediction = model->PredictWorkload(*records, batch);
+  if (!prediction.ok()) return Fail(prediction.status());
+  std::printf("workload of %zu queries -> predicted %.1f MB\n",
+              records->size(), *prediction);
+  double actual = 0.0;
+  for (const auto& r : *records) actual += r.actual_memory_mb;
+  if (actual > 0.0) {
+    std::printf("labeled actual: %.1f MB (error %+.1f%%)\n", actual,
+                100.0 * (*prediction - actual) / actual);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const auto flags = ParseFlags(argc, argv);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "evaluate") return CmdEvaluate(flags);
+  if (cmd == "predict") return CmdPredict(flags);
+  return Usage();
+}
