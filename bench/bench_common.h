@@ -28,6 +28,7 @@ struct BenchArgs {
   uint64_t seed = 42;
   int batch_size = 10;
   int num_templates = 0;  // 0 = per-benchmark default
+  std::string json_path;  // --json=PATH: machine-readable results (throughput)
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -42,9 +43,12 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.batch_size = std::atoi(a + 8);
     } else if (std::strncmp(a, "--templates=", 12) == 0) {
       args.num_templates = std::atoi(a + 12);
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      args.json_path = a + 7;
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
-          "flags: --scale=<f> --seed=<n> --batch=<n> --templates=<n>\n");
+          "flags: --scale=<f> --seed=<n> --batch=<n> --templates=<n> "
+          "--json=<path>\n");
       std::exit(0);
     }
   }

@@ -1,23 +1,116 @@
 // Fig. 7 reproduction: inference time per workload (µs) of LearnedWMP vs
-// SingleWMP per model family.
+// SingleWMP per model family — plus a batch-throughput sweep of the new
+// serving path.
 //
 // Expected shape (paper §IV-B): LearnedWMP achieves 3x-10x faster
 // inference — it evaluates the regressor once per workload on a k-dim
 // histogram instead of once per member query.
+//
+// The throughput sweep scores each benchmark's full query set through
+// engine::BatchScorer at batch sizes {1, 10, 100, 1000} and thread counts
+// {1, hardware_concurrency}, against the seed's scalar PredictWorkload loop
+// as the baseline. Results print as a table and, with --json=PATH (or by
+// default at the end of stdout), as JSON records for the bench trajectory.
 
+#include <cstdio>
 #include <iostream>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "engine/batch_scorer.h"
+#include "util/parallel.h"
+#include "util/timer.h"
 
 using namespace wmp;
+
+namespace {
+
+struct ThroughputRow {
+  std::string benchmark;
+  std::string mode;  // "scalar" or "batch"
+  int batch_size = 0;
+  int threads = 0;
+  size_t queries = 0;
+  double ms = 0.0;
+  double qps = 0.0;
+};
+
+std::string ToJson(const ThroughputRow& r) {
+  return StrFormat(
+      "{\"figure\":\"fig7_batch_throughput\",\"benchmark\":\"%s\","
+      "\"mode\":\"%s\",\"batch_size\":%d,\"threads\":%d,\"queries\":%zu,"
+      "\"ms\":%.3f,\"queries_per_sec\":%.1f}",
+      r.benchmark.c_str(), r.mode.c_str(), r.batch_size, r.threads, r.queries,
+      r.ms, r.qps);
+}
+
+// Scores the whole dataset through the scalar per-query loop (the seed's
+// inference path) once and reports queries/sec. A failed prediction zeroes
+// the throughput (mirroring BatchRun) instead of reporting an inflated
+// rate over unscored queries.
+ThroughputRow ScalarBaseline(const core::ExperimentData& data,
+                             const core::LearnedWmpModel& model,
+                             int batch_size) {
+  const auto batches = engine::MakeConsecutiveBatches(
+      data.dataset.records.size(), batch_size);
+  Stopwatch sw;
+  bool ok = true;
+  for (const auto& b : batches) {
+    auto p = model.PredictWorkload(data.dataset.records, b.query_indices);
+    if (!p.ok()) {
+      ok = false;
+      break;
+    }
+  }
+  ThroughputRow row;
+  row.mode = "scalar";
+  row.batch_size = batch_size;
+  row.threads = 1;
+  row.queries = data.dataset.records.size();
+  row.ms = sw.ElapsedMillis();
+  row.qps = ok && row.ms > 0
+                ? 1e3 * static_cast<double>(row.queries) / row.ms
+                : 0.0;
+  return row;
+}
+
+ThroughputRow BatchRun(const core::ExperimentData& data,
+                       const core::LearnedWmpModel& model, int batch_size,
+                       int threads) {
+  engine::BatchScorerOptions opt;
+  opt.num_threads = threads;
+  engine::BatchScorer scorer(&model, opt);
+  auto p = scorer.ScoreLog(data.dataset.records, batch_size);
+  ThroughputRow row;
+  row.mode = "batch";
+  row.batch_size = batch_size;
+  row.threads = threads;
+  row.queries = scorer.stats().num_queries;
+  row.ms = scorer.stats().elapsed_ms;
+  row.qps = scorer.stats().queries_per_sec;
+  if (!p.ok()) row.qps = 0.0;
+  return row;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseArgs(argc, argv);
   bench::PrintRunBanner("Fig. 7", "inference time per workload (µs)", args);
 
+  std::vector<ThroughputRow> throughput;
   for (workloads::Benchmark benchmark : workloads::AllBenchmarks()) {
-    auto result = core::RunCoreExperiment(bench::MakeConfig(benchmark, args));
+    const core::ExperimentConfig cfg = bench::MakeConfig(benchmark, args);
+    // One dataset build per benchmark, shared by the Fig. 7 sweep and the
+    // batch-throughput sweep below.
+    auto data = core::PrepareExperiment(cfg);
+    if (!data.ok()) {
+      std::cerr << "prepare failed: " << data.status() << "\n";
+      return 1;
+    }
+    auto result = core::RunCoreExperiment(*data);
     if (!result.ok()) {
       std::cerr << "experiment failed: " << result.status() << "\n";
       return 1;
@@ -41,6 +134,60 @@ int main(int argc, char** argv) {
     }
     table.Print(std::cout);
     std::cout << "\n";
+
+    // --- Batch-throughput sweep over the same data ---
+    core::LearnedWmpOptions lopt;
+    lopt.templates.num_templates = result->num_templates;
+    lopt.batch_size = cfg.batch_size;
+    lopt.seed = cfg.seed;
+    auto model = core::LearnedWmpModel::Train(
+        data->dataset.records, data->train_indices, *data->dataset.generator,
+        lopt);
+    if (!model.ok()) {
+      std::cerr << "train failed: " << model.status() << "\n";
+      return 1;
+    }
+    const int hw = static_cast<int>(util::HardwareThreads());
+    TablePrinter tput(StrFormat("%s batch throughput (queries/sec)",
+                                result->benchmark.c_str()));
+    tput.SetHeader({"batch", "scalar 1t", "batch 1t",
+                    StrFormat("batch %dt", hw), "speedup"});
+    for (int batch_size : {1, 10, 100, 1000}) {
+      ThroughputRow scalar = ScalarBaseline(*data, *model, batch_size);
+      ThroughputRow batch1 = BatchRun(*data, *model, batch_size, 1);
+      ThroughputRow batch_hw = hw > 1 ? BatchRun(*data, *model, batch_size, hw)
+                                      : batch1;
+      scalar.benchmark = batch1.benchmark = batch_hw.benchmark =
+          result->benchmark;
+      tput.AddRow({StrFormat("%d", batch_size), StrFormat("%.0f", scalar.qps),
+                   StrFormat("%.0f", batch1.qps),
+                   StrFormat("%.0f", batch_hw.qps),
+                   scalar.qps > 0.0
+                       ? StrFormat("%.1fx", batch_hw.qps / scalar.qps)
+                       : std::string("n/a")});
+      throughput.push_back(scalar);
+      throughput.push_back(batch1);
+      if (hw > 1) throughput.push_back(batch_hw);
+    }
+    tput.Print(std::cout);
+    std::cout << "\n";
   }
+
+  // Machine-readable trajectory: one JSON record per run.
+  FILE* out = stdout;
+  if (!args.json_path.empty()) {
+    out = std::fopen(args.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::cerr << "cannot open " << args.json_path << "\n";
+      return 1;
+    }
+  }
+  std::fprintf(out, "[\n");
+  for (size_t i = 0; i < throughput.size(); ++i) {
+    std::fprintf(out, "  %s%s\n", ToJson(throughput[i]).c_str(),
+                 i + 1 < throughput.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  if (out != stdout) std::fclose(out);
   return 0;
 }

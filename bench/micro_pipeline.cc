@@ -1,18 +1,27 @@
 // Micro-benchmarks (google-benchmark) of the hot pipeline components:
 // SQL parsing, planning, plan featurization (TR2), EXPLAIN round-trip,
-// template assignment (IN3), histogram construction (IN4), and the
-// end-to-end LearnedWMP inference path (IN1-IN5).
+// template assignment (IN3), histogram construction (IN4), the end-to-end
+// LearnedWMP inference path (IN1-IN5), and the batched serving path
+// (engine::BatchScorer) vs the scalar per-query loop.
+//
+// The serving benchmarks sweep batch sizes {1, 10, 100, 1000} and thread
+// counts {1, hardware_concurrency}; `items_per_second` is queries/sec.
+// Run with `--benchmark_format=json` (optionally
+// `--benchmark_out=FILE --benchmark_out_format=json`) to emit the JSON
+// trajectory.
 
 #include <benchmark/benchmark.h>
 
 #include "core/featurizer.h"
 #include "core/histogram.h"
 #include "core/learned_wmp.h"
+#include "engine/batch_scorer.h"
 #include "plan/explain.h"
 #include "plan/features.h"
 #include "plan/plan_parser.h"
 #include "plan/planner.h"
 #include "sql/parser.h"
+#include "util/parallel.h"
 #include "workloads/dataset.h"
 
 namespace {
@@ -109,6 +118,55 @@ void BM_PredictWorkload(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictWorkload);
+
+// ---------------------------------------------------------------------------
+// Batched serving throughput. Arg 0 is the workload batch size; arg 1 the
+// worker-thread count. Both paths score the whole 2000-query dataset per
+// iteration, so `items_per_second` reads directly as queries/sec.
+// ---------------------------------------------------------------------------
+
+// The seed's scalar loop: one PredictWorkload (featurize -> assign ->
+// histogram -> regress, one query at a time) per workload.
+void BM_ScoreDatasetScalarLoop(benchmark::State& state) {
+  PipelineState& s = PipelineState::Get();
+  const auto batches = engine::MakeConsecutiveBatches(
+      s.dataset.records.size(), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (const auto& b : batches) {
+      benchmark::DoNotOptimize(
+          s.model.PredictWorkload(s.dataset.records, b.query_indices));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(s.dataset.records.size()));
+}
+
+// The batched path: one BatchScorer session scoring every workload in a
+// single featurize -> assign -> histogram -> regress matrix pass.
+void BM_ScoreDatasetBatchScorer(benchmark::State& state) {
+  PipelineState& s = PipelineState::Get();
+  const auto batches = engine::MakeConsecutiveBatches(
+      s.dataset.records.size(), static_cast<int>(state.range(0)));
+  engine::BatchScorerOptions opt;
+  opt.num_threads = static_cast<int>(state.range(1));
+  engine::BatchScorer scorer(&s.model, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.ScoreWorkloads(s.dataset.records, batches));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(s.dataset.records.size()));
+}
+
+void ServingArgs(benchmark::internal::Benchmark* b) {
+  const int hw = static_cast<int>(wmp::util::HardwareThreads());
+  for (int batch_size : {1, 10, 100, 1000}) {
+    b->Args({batch_size, 1});
+    if (hw > 1) b->Args({batch_size, hw});
+  }
+}
+
+BENCHMARK(BM_ScoreDatasetScalarLoop)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_ScoreDatasetBatchScorer)->Apply(ServingArgs);
 
 }  // namespace
 

@@ -140,7 +140,10 @@ ModelReport EvaluateDbmsBaseline(const ExperimentData& data) {
 
 Result<ExperimentResult> RunCoreExperiment(const ExperimentConfig& config) {
   WMP_ASSIGN_OR_RETURN(ExperimentData data, PrepareExperiment(config));
+  return RunCoreExperiment(data);
+}
 
+Result<ExperimentResult> RunCoreExperiment(const ExperimentData& data) {
   ExperimentResult result;
   result.benchmark = data.dataset.benchmark_name;
   result.num_queries = data.dataset.records.size();

@@ -93,6 +93,11 @@ ModelReport EvaluateDbmsBaseline(const ExperimentData& data);
 /// families — the data behind Figs. 4-8.
 Result<ExperimentResult> RunCoreExperiment(const ExperimentConfig& config);
 
+/// Same sweep over already-prepared data, for harnesses that reuse the
+/// dataset for further measurements (e.g. fig7's batch-throughput sweep) —
+/// the dataset and split are built exactly once.
+Result<ExperimentResult> RunCoreExperiment(const ExperimentData& data);
+
 }  // namespace wmp::core
 
 #endif  // WMP_CORE_EXPERIMENT_H_

@@ -1,5 +1,9 @@
 #include "core/histogram.h"
 
+#include <atomic>
+#include <limits>
+
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace wmp::core {
@@ -16,6 +20,45 @@ Result<std::vector<double>> BuildHistogram(const std::vector<int>& template_ids,
           StrFormat("template id %d outside [0, %d)", id, num_templates));
     }
     h[static_cast<size_t>(id)] += 1.0;
+  }
+  return h;
+}
+
+Result<ml::Matrix> BuildHistogramMatrix(const std::vector<int>& template_ids,
+                                        const std::vector<size_t>& offsets,
+                                        int num_templates) {
+  if (num_templates < 1) {
+    return Status::InvalidArgument("histogram needs >= 1 bin");
+  }
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != template_ids.size()) {
+    return Status::InvalidArgument("histogram offsets do not cover the ids");
+  }
+  for (size_t w = 0; w + 1 < offsets.size(); ++w) {
+    if (offsets[w] > offsets[w + 1]) {
+      return Status::InvalidArgument("histogram offsets must be monotone");
+    }
+  }
+  const size_t num_workloads = offsets.size() - 1;
+  ml::Matrix h(num_workloads, static_cast<size_t>(num_templates));
+  constexpr int kNoBadId = std::numeric_limits<int>::min();
+  std::atomic<int> bad_id{kNoBadId};
+  util::ParallelFor(num_workloads, 16, [&](size_t begin, size_t end) {
+    for (size_t w = begin; w < end; ++w) {
+      double* row = h.RowPtr(w);
+      for (size_t q = offsets[w]; q < offsets[w + 1]; ++q) {
+        const int id = template_ids[q];
+        if (id < 0 || id >= num_templates) {
+          bad_id.store(id, std::memory_order_relaxed);
+          return;
+        }
+        row[static_cast<size_t>(id)] += 1.0;
+      }
+    }
+  });
+  if (const int id = bad_id.load(std::memory_order_relaxed); id != kNoBadId) {
+    return Status::OutOfRange(
+        StrFormat("template id %d outside [0, %d)", id, num_templates));
   }
   return h;
 }

@@ -7,8 +7,10 @@
 /// distribute over the query templates. Sum of bins == workload size
 /// (paper eq. 4/8).
 
+#include <cstddef>
 #include <vector>
 
+#include "ml/linalg.h"
 #include "util/status.h"
 
 namespace wmp::core {
@@ -18,6 +20,19 @@ namespace wmp::core {
 /// Fails if any id lies outside `[0, num_templates)`.
 Result<std::vector<double>> BuildHistogram(const std::vector<int>& template_ids,
                                            int num_templates);
+
+/// \brief Batched histogram construction (IN4 over many workloads at once).
+///
+/// `template_ids` holds the assignments of every query of every workload in
+/// workload-major order; workload `w` owns the slice
+/// `[offsets[w], offsets[w+1])`. Returns a `(offsets.size()-1) x
+/// num_templates` count matrix with one histogram per row. Rows are filled
+/// in parallel (each worker writes only its own rows). Fails if any id lies
+/// outside `[0, num_templates)` or the offsets are not monotone and bounded
+/// by `template_ids.size()`.
+Result<ml::Matrix> BuildHistogramMatrix(const std::vector<int>& template_ids,
+                                        const std::vector<size_t>& offsets,
+                                        int num_templates);
 
 /// Sum of all bins (== number of queries binned).
 double HistogramMass(const std::vector<double>& histogram);

@@ -129,17 +129,13 @@ Result<LearnedWmpModel> LearnedWmpModel::Train(
     return Status::InvalidArgument(
         "variable-length workloads require the sum label");
   }
-  ml::Matrix h(batches.size(),
-               static_cast<size_t>(model.templates_.num_templates()));
+  WMP_ASSIGN_OR_RETURN(ml::Matrix h, model.BinWorkloads(records, batches));
   std::vector<double> y(batches.size());
   const double s = static_cast<double>(options.batch_size);
+  if (options.variable_length) {
+    for (double& c : h.data()) c /= s;  // distribution over templates
+  }
   for (size_t b = 0; b < batches.size(); ++b) {
-    WMP_ASSIGN_OR_RETURN(std::vector<double> hist,
-                         model.BinWorkload(records, batches[b].query_indices));
-    if (options.variable_length) {
-      for (double& c : hist) c /= s;  // distribution over templates
-    }
-    std::copy(hist.begin(), hist.end(), h.RowPtr(b));
     y[b] = options.variable_length ? batches[b].label_mb / s
                                    : batches[b].label_mb;
   }
@@ -171,15 +167,55 @@ Result<double> LearnedWmpModel::PredictWorkload(
   return PredictFromHistogram(hist);
 }
 
+Result<ml::Matrix> LearnedWmpModel::BinWorkloads(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<WorkloadBatch>& batches) const {
+  // Flatten every workload's member queries into one index vector so the
+  // whole eval set is featurized and template-assigned in a single batched
+  // pass, then scatter the assignments back into per-workload histograms.
+  std::vector<size_t> offsets(batches.size() + 1, 0);
+  for (size_t b = 0; b < batches.size(); ++b) {
+    offsets[b + 1] = offsets[b] + batches[b].query_indices.size();
+  }
+  std::vector<uint32_t> flat;
+  flat.reserve(offsets.back());
+  for (const WorkloadBatch& b : batches) {
+    flat.insert(flat.end(), b.query_indices.begin(), b.query_indices.end());
+  }
+  WMP_ASSIGN_OR_RETURN(std::vector<int> ids,
+                       templates_.AssignBatch(records, flat));
+  return BuildHistogramMatrix(ids, offsets, templates_.num_templates());
+}
+
 Result<std::vector<double>> LearnedWmpModel::PredictWorkloads(
     const std::vector<workloads::QueryRecord>& records,
     const std::vector<WorkloadBatch>& batches) const {
-  std::vector<double> out(batches.size());
-  for (size_t b = 0; b < batches.size(); ++b) {
-    WMP_ASSIGN_OR_RETURN(out[b],
-                         PredictWorkload(records, batches[b].query_indices));
+  if (regressor_ == nullptr) {
+    return Status::FailedPrecondition("LearnedWmpModel not trained");
   }
-  return out;
+  if (batches.empty()) return std::vector<double>{};
+  WMP_ASSIGN_OR_RETURN(ml::Matrix h, BinWorkloads(records, batches));
+  if (!options_.variable_length) {
+    return regressor_->Predict(h);
+  }
+  // Variable-length mode: normalize each histogram row to a distribution,
+  // predict per-query demand for all rows at once, rescale by each
+  // workload's size — the batched mirror of PredictFromHistogram.
+  std::vector<double> mass(h.rows());
+  for (size_t b = 0; b < h.rows(); ++b) {
+    const double* row = h.RowPtr(b);
+    double m = 0.0;
+    for (size_t c = 0; c < h.cols(); ++c) m += row[c];
+    if (m <= 0.0) {
+      return Status::InvalidArgument("empty workload histogram");
+    }
+    mass[b] = m;
+    double* mut = h.RowPtr(b);
+    for (size_t c = 0; c < h.cols(); ++c) mut[c] /= m;
+  }
+  WMP_ASSIGN_OR_RETURN(std::vector<double> per_query, regressor_->Predict(h));
+  for (size_t b = 0; b < per_query.size(); ++b) per_query[b] *= mass[b];
+  return per_query;
 }
 
 Result<double> LearnedWmpModel::PredictFromHistogram(

@@ -68,7 +68,12 @@ class LearnedWmpModel {
       const std::vector<workloads::QueryRecord>& records,
       const std::vector<uint32_t>& batch) const;
 
-  /// Predicts many workloads.
+  /// Predicts many workloads in one batched pass — the production-serving
+  /// hot path. The whole eval set is featurized, template-assigned
+  /// (TemplateModel::AssignBatch), histogrammed (BuildHistogramMatrix), and
+  /// regressed (Regressor::Predict) as contiguous matrices; row blocks run
+  /// on the shared worker pool. Results agree with a PredictWorkload loop
+  /// to within 1e-9 per workload (asserted in tests).
   Result<std::vector<double>> PredictWorkloads(
       const std::vector<workloads::QueryRecord>& records,
       const std::vector<WorkloadBatch>& batches) const;
@@ -80,6 +85,14 @@ class LearnedWmpModel {
   Result<std::vector<double>> BinWorkload(
       const std::vector<workloads::QueryRecord>& records,
       const std::vector<uint32_t>& batch) const;
+
+  /// Batched IN1-IN4: builds every workload's histogram in one pass and
+  /// returns them as a `batches.size() x num_templates` matrix (one row per
+  /// workload, in order). Both training (TR4-TR5) and PredictWorkloads are
+  /// built on top of this.
+  Result<ml::Matrix> BinWorkloads(
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<WorkloadBatch>& batches) const;
 
   const TemplateModel& templates() const { return templates_; }
   const ml::Regressor& regressor() const { return *regressor_; }

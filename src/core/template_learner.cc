@@ -1,9 +1,11 @@
 #include "core/template_learner.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "core/featurizer.h"
+#include "util/parallel.h"
 
 namespace wmp::core {
 
@@ -83,14 +85,13 @@ Result<TemplateModel> TemplateModel::Learn(
       break;  // plan features need no featurizer training
   }
 
-  // Assemble the feature matrix (Alg. 1 lines 4-8).
-  ml::Matrix z;
-  for (uint32_t i : train_indices) {
-    WMP_ASSIGN_OR_RETURN(std::vector<double> row, model.Featurize(records[i]));
-    WMP_RETURN_IF_ERROR(z.AppendRow(row));
-  }
-  WMP_RETURN_IF_ERROR(model.scaler_.Fit(z));
-  WMP_ASSIGN_OR_RETURN(ml::Matrix scaled, model.scaler_.Transform(z));
+  // Assemble the feature matrix (Alg. 1 lines 4-8) in one batch pass, then
+  // standardize it in place — training featurization shares the batched
+  // pipeline with inference.
+  WMP_ASSIGN_OR_RETURN(ml::Matrix scaled,
+                       model.FeaturizeBatch(records, train_indices));
+  WMP_RETURN_IF_ERROR(model.scaler_.Fit(scaled));
+  WMP_RETURN_IF_ERROR(model.scaler_.TransformInPlace(&scaled));
 
   if (options.method == TemplateMethod::kPlanDbscan) {
     ml::Dbscan dbscan;
@@ -160,6 +161,86 @@ Result<int> TemplateModel::Assign(
     return best_c;
   }
   return kmeans_.Assign(row);
+}
+
+Result<ml::Matrix> TemplateModel::FeaturizeBatch(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<uint32_t>& indices) const {
+  const size_t n = indices.size();
+  switch (options_.method) {
+    case TemplateMethod::kPlanKMeans:
+    case TemplateMethod::kPlanDbscan: {
+      // Fast path: plan features are precomputed per record, so batching is
+      // a parallel gather into contiguous rows (plus the optional log1p).
+      if (n == 0) return Status::InvalidArgument("FeaturizeBatch: no rows");
+      const size_t d = records[indices[0]].plan_features.size();
+      ml::Matrix z(n, d);
+      std::atomic<bool> mismatch{false};
+      const bool log_cards = options_.log_transform_cards;
+      util::ParallelFor(n, 512, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const std::vector<double>& f = records[indices[i]].plan_features;
+          if (f.size() != d) {
+            mismatch.store(true, std::memory_order_relaxed);
+            return;
+          }
+          double* row = z.RowPtr(i);
+          std::copy(f.begin(), f.end(), row);
+          if (log_cards) {
+            // Odd slots hold summed cardinalities (plan/features.h layout).
+            for (size_t c = 1; c < d; c += 2) row[c] = std::log1p(row[c]);
+          }
+        }
+      });
+      if (mismatch.load(std::memory_order_relaxed)) {
+        return Status::InvalidArgument(
+            "records disagree on plan-feature length");
+      }
+      return z;
+    }
+    default: {
+      // Text-based ablation methods: their vectorizers are not declared
+      // thread-safe, so keep the row loop serial.
+      ml::Matrix z;
+      for (uint32_t i : indices) {
+        WMP_ASSIGN_OR_RETURN(std::vector<double> row, Featurize(records[i]));
+        WMP_RETURN_IF_ERROR(z.AppendRow(row));
+      }
+      return z;
+    }
+  }
+}
+
+Result<std::vector<int>> TemplateModel::AssignBatch(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<uint32_t>& indices) const {
+  if (num_templates_ == 0) {
+    return Status::FailedPrecondition("TemplateModel not learned");
+  }
+  if (indices.empty()) return std::vector<int>{};
+
+  if (options_.method == TemplateMethod::kRuleBased) {
+    std::vector<int> ids(indices.size());
+    util::ParallelFor(indices.size(), 64, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        ids[i] = rules_.Classify(records[indices[i]].query);
+      }
+    });
+    return ids;
+  }
+
+  WMP_ASSIGN_OR_RETURN(ml::Matrix z, FeaturizeBatch(records, indices));
+  WMP_RETURN_IF_ERROR(scaler_.TransformInPlace(&z));
+
+  if (options_.method == TemplateMethod::kPlanDbscan) {
+    std::vector<int> ids(indices.size());
+    util::ParallelFor(z.rows(), 256, [&](size_t begin, size_t end) {
+      ml::NearestCentroids(z.RowPtr(begin), end - begin, dbscan_centroids_,
+                           ids.data() + begin);
+    });
+    return ids;
+  }
+  return kmeans_.AssignAll(z);
 }
 
 size_t TemplateModel::SerializedBytes() const {

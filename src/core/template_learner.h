@@ -79,6 +79,18 @@ class TemplateModel {
   /// `[0, num_templates())`.
   Result<int> Assign(const workloads::QueryRecord& record) const;
 
+  /// Batch counterpart of Assign — the IN3 hot path over a whole eval set.
+  ///
+  /// Featurizes the selected records into one contiguous `ml::Matrix`,
+  /// standardizes it in place, and assigns every row in a single pass; row
+  /// blocks run on the shared worker pool (util/parallel.h). Returns one
+  /// template id per entry of `indices`, in order, each agreeing exactly
+  /// with what Assign() would return for that record. Thread-safe after
+  /// Learn()/Deserialize(): const and lock-free.
+  Result<std::vector<int>> AssignBatch(
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<uint32_t>& indices) const;
+
   /// Number of learned templates (histogram length k).
   int num_templates() const { return num_templates_; }
   TemplateMethod method() const { return options_.method; }
@@ -100,6 +112,13 @@ class TemplateModel {
   // Feature vector of a record under the configured method.
   Result<std::vector<double>> Featurize(
       const workloads::QueryRecord& record) const;
+
+  // Featurizes the selected records into one matrix (one row per index).
+  // Plan-feature methods fill rows in parallel; the text-based ablation
+  // methods fall back to a serial Featurize loop.
+  Result<ml::Matrix> FeaturizeBatch(
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<uint32_t>& indices) const;
 
   TemplateLearnerOptions options_;
   int num_templates_ = 0;

@@ -1,0 +1,78 @@
+#include "engine/batch_scorer.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace wmp::engine {
+
+BatchScorer::BatchScorer(const core::LearnedWmpModel* model,
+                         BatchScorerOptions options)
+    : model_(model), options_(options) {}
+
+BatchScorer::BatchScorer(std::unique_ptr<core::LearnedWmpModel> owned,
+                         BatchScorerOptions options)
+    : owned_(std::move(owned)), model_(owned_.get()), options_(options) {}
+
+Result<BatchScorer> BatchScorer::FromFile(const std::string& path,
+                                          BatchScorerOptions options) {
+  WMP_ASSIGN_OR_RETURN(core::LearnedWmpModel model,
+                       core::LearnedWmpModel::LoadFromFile(path));
+  return BatchScorer(
+      std::make_unique<core::LearnedWmpModel>(std::move(model)), options);
+}
+
+Result<std::vector<double>> BatchScorer::ScoreWorkloads(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<core::WorkloadBatch>& batches) {
+  util::ScopedParallelism scope(options_.num_threads);
+  stats_ = BatchScorerStats{};  // a failed call must not leave stale stats
+  Stopwatch sw;
+  WMP_ASSIGN_OR_RETURN(std::vector<double> predictions,
+                       model_->PredictWorkloads(records, batches));
+  const double elapsed_ms = sw.ElapsedMillis();
+
+  size_t num_queries = 0;
+  for (const core::WorkloadBatch& b : batches) {
+    num_queries += b.query_indices.size();
+  }
+  stats_.num_workloads = batches.size();
+  stats_.num_queries = num_queries;
+  stats_.elapsed_ms = elapsed_ms;
+  const double elapsed_s = elapsed_ms / 1e3;
+  stats_.queries_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(num_queries) / elapsed_s : 0.0;
+  stats_.workloads_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(batches.size()) / elapsed_s : 0.0;
+  return predictions;
+}
+
+Result<std::vector<double>> BatchScorer::ScoreLog(
+    const std::vector<workloads::QueryRecord>& records, int batch_size) {
+  if (batch_size < 1) {
+    return Status::InvalidArgument("ScoreLog batch_size must be >= 1");
+  }
+  return ScoreWorkloads(records,
+                        MakeConsecutiveBatches(records.size(), batch_size));
+}
+
+std::vector<core::WorkloadBatch> MakeConsecutiveBatches(size_t num_queries,
+                                                        int batch_size) {
+  std::vector<core::WorkloadBatch> batches;
+  if (batch_size < 1) return batches;
+  const size_t s = static_cast<size_t>(batch_size);
+  batches.reserve((num_queries + s - 1) / s);
+  for (size_t begin = 0; begin < num_queries; begin += s) {
+    core::WorkloadBatch batch;
+    const size_t end = std::min(begin + s, num_queries);
+    batch.query_indices.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      batch.query_indices.push_back(static_cast<uint32_t>(i));
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace wmp::engine

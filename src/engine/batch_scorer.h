@@ -1,0 +1,99 @@
+#ifndef WMP_ENGINE_BATCH_SCORER_H_
+#define WMP_ENGINE_BATCH_SCORER_H_
+
+/// \file batch_scorer.h
+/// Batched, parallel inference sessions over a trained LearnedWMP model —
+/// the serving-side entry point the per-query pipeline lacked.
+///
+/// A `BatchScorer` wraps a `core::LearnedWmpModel` and scores whole eval
+/// sets in one pass: queries are featurized into contiguous matrices,
+/// template-assigned (`TemplateModel::AssignBatch`), histogrammed
+/// (`core::BuildHistogramMatrix`), and regressed (`ml::Regressor::Predict`)
+/// with row blocks distributed over the shared worker pool
+/// (util/parallel.h). Predictions agree with the scalar
+/// `PredictWorkload` loop to within 1e-9 per workload.
+///
+/// Threading model
+///  * The scorer itself is cheap: it borrows (or owns) the model and keeps
+///    only per-call statistics. `ScoreWorkloads` is reentrant with respect
+///    to the model (const, lock-free) but mutates the scorer's stats, so
+///    share a model across scorers, not one scorer across threads.
+///  * `BatchScorerOptions::num_threads` bounds the workers used for this
+///    session's calls via a thread-local override (util::ScopedParallelism)
+///    installed for the duration of each call — concurrent sessions on
+///    different threads cannot race each other's budgets.
+///
+/// This is the layer later serving work builds on (async admission,
+/// sharded scoring, histogram cache reuse — see ROADMAP "Open items").
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/learned_wmp.h"
+#include "core/workload.h"
+
+namespace wmp::engine {
+
+/// Session configuration for a BatchScorer.
+struct BatchScorerOptions {
+  /// Worker threads for this session's calls; 0 = library default (all
+  /// hardware threads, or whatever util::SetDefaultParallelism chose).
+  int num_threads = 0;
+};
+
+/// Timing and throughput of the most recent ScoreWorkloads call.
+struct BatchScorerStats {
+  size_t num_workloads = 0;
+  size_t num_queries = 0;
+  double elapsed_ms = 0.0;
+  double queries_per_sec = 0.0;
+  double workloads_per_sec = 0.0;
+};
+
+/// \brief A scoring session over one trained model.
+class BatchScorer {
+ public:
+  /// Borrows `model`; it must outlive the scorer and already be trained.
+  explicit BatchScorer(const core::LearnedWmpModel* model,
+                       BatchScorerOptions options = {});
+
+  /// Loads a persisted model (LearnedWmpModel::SaveToFile) and owns it.
+  static Result<BatchScorer> FromFile(const std::string& path,
+                                      BatchScorerOptions options = {});
+
+  /// Predicts the memory demand (MB) of every workload in one batched pass;
+  /// one output per entry of `batches`, in order. Updates stats().
+  Result<std::vector<double>> ScoreWorkloads(
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<core::WorkloadBatch>& batches);
+
+  /// Convenience: chops `[0, records.size())` into consecutive workloads of
+  /// `batch_size` queries (the final partial workload included) and scores
+  /// them all. Label fields of the implied batches are unset.
+  Result<std::vector<double>> ScoreLog(
+      const std::vector<workloads::QueryRecord>& records, int batch_size);
+
+  const core::LearnedWmpModel& model() const { return *model_; }
+  const BatchScorerStats& stats() const { return stats_; }
+  const BatchScorerOptions& options() const { return options_; }
+
+ private:
+  BatchScorer(std::unique_ptr<core::LearnedWmpModel> owned,
+              BatchScorerOptions options);
+
+  std::unique_ptr<core::LearnedWmpModel> owned_;  // set iff FromFile
+  const core::LearnedWmpModel* model_ = nullptr;
+  BatchScorerOptions options_;
+  BatchScorerStats stats_;
+};
+
+/// Consecutive (unshuffled, unlabeled) workloads of `batch_size` over
+/// `num_queries` queries; the final partial workload is kept. The batching
+/// used by ScoreLog and the serving benches.
+std::vector<core::WorkloadBatch> MakeConsecutiveBatches(size_t num_queries,
+                                                        int batch_size);
+
+}  // namespace wmp::engine
+
+#endif  // WMP_ENGINE_BATCH_SCORER_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace wmp::engine {
 
 namespace {
@@ -21,6 +23,24 @@ double Simulator::SimulatePeakMemoryMb(const plan::PlanNode& root) {
     // Bounded log-normal: clamp to +-3 sigma to keep labels physical.
     const double z = std::clamp(rng_.Normal(0.0, 1.0), -3.0, 3.0);
     mb *= std::exp(options_.noise_sigma * z);
+  }
+  return mb;
+}
+
+std::vector<double> Simulator::SimulatePeakMemoryMbBatch(
+    const std::vector<const plan::PlanNode*>& plans) {
+  std::vector<double> mb(plans.size());
+  util::ParallelFor(plans.size(), 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      mb[i] = NoiselessPeakMemoryMb(*plans[i]);
+    }
+  });
+  if (options_.noise_sigma > 0.0) {
+    // Serial: the noise stream order is part of the dataset's determinism.
+    for (double& m : mb) {
+      const double z = std::clamp(rng_.Normal(0.0, 1.0), -3.0, 3.0);
+      m *= std::exp(options_.noise_sigma * z);
+    }
   }
   return mb;
 }

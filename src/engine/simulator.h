@@ -13,6 +13,8 @@
 /// the resulting (plan, m) pairs, the same interface a DBMS query log
 /// provides (paper step TR1).
 
+#include <vector>
+
 #include "engine/pipeline.h"
 #include "util/random.h"
 
@@ -36,6 +38,14 @@ class Simulator {
   /// cardinality annotations (falls back to estimates otherwise, which is
   /// only appropriate in tests).
   double SimulatePeakMemoryMb(const plan::PlanNode& root);
+
+  /// Batched simulation over many plans: the deterministic peaks are
+  /// computed in parallel on the worker pool (the analysis is pure), then
+  /// run-to-run noise is applied serially in index order — so the result is
+  /// bitwise identical to calling SimulatePeakMemoryMb in a loop, while the
+  /// expensive part scales with cores. Null plan entries are not allowed.
+  std::vector<double> SimulatePeakMemoryMbBatch(
+      const std::vector<const plan::PlanNode*>& plans);
 
   /// Deterministic component (no noise), for tests and calibration.
   double NoiselessPeakMemoryMb(const plan::PlanNode& root) const;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "util/parallel.h"
+
 namespace wmp::ml {
 
 Status FeatureBinner::Fit(const Matrix& x, int max_bins) {
@@ -265,6 +267,18 @@ Result<double> DecisionTreeRegressor::PredictOne(
     const std::vector<double>& x) const {
   if (!tree_.fitted()) return Status::FailedPrecondition("DT not fitted");
   return tree_.Predict(x);
+}
+
+Result<std::vector<double>> DecisionTreeRegressor::Predict(
+    const Matrix& x) const {
+  if (!tree_.fitted()) return Status::FailedPrecondition("DT not fitted");
+  std::vector<double> out(x.rows());
+  util::ParallelFor(x.rows(), 256, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = tree_.Predict(x.RowPtr(i), x.cols());
+    }
+  });
+  return out;
 }
 
 Status DecisionTreeRegressor::Serialize(BinaryWriter* writer) const {

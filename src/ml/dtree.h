@@ -115,6 +115,9 @@ class DecisionTreeRegressor : public Regressor {
   std::string Name() const override { return "DT"; }
   Status Fit(const Matrix& x, const std::vector<double>& y) override;
   Result<double> PredictOne(const std::vector<double>& x) const override;
+  /// Batch prediction walking the tree once per contiguous row (no per-row
+  /// vector copies), parallelized over row blocks.
+  Result<std::vector<double>> Predict(const Matrix& x) const override;
   Status Serialize(BinaryWriter* writer) const override;
 
   static Result<std::unique_ptr<DecisionTreeRegressor>> Deserialize(

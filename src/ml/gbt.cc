@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/parallel.h"
+
 namespace wmp::ml {
 
 namespace {
@@ -210,6 +212,22 @@ Result<double> GbtRegressor::PredictOne(const std::vector<double>& x) const {
     acc += options_.learning_rate * tree.Predict(x);
   }
   return acc;
+}
+
+Result<std::vector<double>> GbtRegressor::Predict(const Matrix& x) const {
+  if (trees_.empty()) return Status::FailedPrecondition("GBT not fitted");
+  std::vector<double> out(x.rows());
+  util::ParallelFor(x.rows(), 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* row = x.RowPtr(i);
+      double acc = base_score_;
+      for (const auto& tree : trees_) {
+        acc += options_.learning_rate * tree.Predict(row, x.cols());
+      }
+      out[i] = acc;
+    }
+  });
+  return out;
 }
 
 Status GbtRegressor::Serialize(BinaryWriter* writer) const {

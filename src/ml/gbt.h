@@ -41,6 +41,9 @@ class GbtRegressor : public Regressor {
   std::string Name() const override { return "XGB"; }
   Status Fit(const Matrix& x, const std::vector<double>& y) override;
   Result<double> PredictOne(const std::vector<double>& x) const override;
+  /// Batch prediction: each contiguous row accumulates over all trees in
+  /// round order (bitwise-identical to PredictOne), rows parallelized.
+  Result<std::vector<double>> Predict(const Matrix& x) const override;
   Status Serialize(BinaryWriter* writer) const override;
 
   static Result<std::unique_ptr<GbtRegressor>> Deserialize(BinaryReader* reader);

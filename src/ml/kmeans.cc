@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "ml/regressor.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace wmp::ml {
@@ -147,10 +148,14 @@ Result<std::vector<int>> KMeans::AssignAll(const Matrix& x) const {
   if (x.cols() != centroids_.cols()) {
     return Status::InvalidArgument("KMeans::AssignAll dimension mismatch");
   }
+  // Register-blocked nearest-centroid over contiguous rows (no per-row
+  // copies), row blocks on the worker pool. Same per-pair arithmetic as
+  // Assign, so labels agree exactly.
   std::vector<int> labels(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) {
-    WMP_ASSIGN_OR_RETURN(labels[i], Assign(x.RowVec(i)));
-  }
+  util::ParallelFor(x.rows(), 256, [&](size_t begin, size_t end) {
+    NearestCentroids(x.RowPtr(begin), end - begin, centroids_,
+                     labels.data() + begin);
+  });
   return labels;
 }
 

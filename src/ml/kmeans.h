@@ -39,7 +39,9 @@ class KMeans {
   /// Index of the nearest centroid for `row`. Requires a prior Fit().
   Result<int> Assign(const std::vector<double>& row) const;
 
-  /// Nearest-centroid labels for every row of `x`.
+  /// Nearest-centroid labels for every row of `x`. Operates on contiguous
+  /// rows and runs row blocks on the worker pool; agrees with per-row
+  /// Assign() exactly.
   Result<std::vector<int>> AssignAll(const Matrix& x) const;
 
   /// Sum of squared distances of training points to their centroid.

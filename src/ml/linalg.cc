@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace wmp::ml {
 
@@ -118,6 +119,69 @@ double SquaredDistance(const double* a, const double* b, size_t n) {
     acc += d * d;
   }
   return acc;
+}
+
+namespace {
+
+// Four rows against every centroid: the four accumulator chains are
+// independent, so they interleave in the pipeline instead of serializing on
+// one `sum += t*t` dependency. Accumulation order per (row, centroid) pair
+// is exactly SquaredDistance's.
+void NearestCentroids4(const double* x0, const double* x1, const double* x2,
+                       const double* x3, const Matrix& centroids,
+                       int* labels) {
+  const size_t k = centroids.rows(), d = centroids.cols();
+  double b0 = std::numeric_limits<double>::max(), b1 = b0, b2 = b0, b3 = b0;
+  int l0 = 0, l1 = 0, l2 = 0, l3 = 0;
+  for (size_t c = 0; c < k; ++c) {
+    const double* cc = centroids.RowPtr(c);
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double cj = cc[j];
+      const double t0 = x0[j] - cj;
+      s0 += t0 * t0;
+      const double t1 = x1[j] - cj;
+      s1 += t1 * t1;
+      const double t2 = x2[j] - cj;
+      s2 += t2 * t2;
+      const double t3 = x3[j] - cj;
+      s3 += t3 * t3;
+    }
+    const int ci = static_cast<int>(c);
+    if (s0 < b0) { b0 = s0; l0 = ci; }
+    if (s1 < b1) { b1 = s1; l1 = ci; }
+    if (s2 < b2) { b2 = s2; l2 = ci; }
+    if (s3 < b3) { b3 = s3; l3 = ci; }
+  }
+  labels[0] = l0;
+  labels[1] = l1;
+  labels[2] = l2;
+  labels[3] = l3;
+}
+
+}  // namespace
+
+void NearestCentroids(const double* rows, size_t n, const Matrix& centroids,
+                      int* labels) {
+  const size_t k = centroids.rows(), d = centroids.cols();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    NearestCentroids4(rows + i * d, rows + (i + 1) * d, rows + (i + 2) * d,
+                      rows + (i + 3) * d, centroids, labels + i);
+  }
+  for (; i < n; ++i) {
+    const double* row = rows + i * d;
+    double best = std::numeric_limits<double>::max();
+    int best_c = 0;
+    for (size_t c = 0; c < k; ++c) {
+      const double dist = SquaredDistance(row, centroids.RowPtr(c), d);
+      if (dist < best) {
+        best = dist;
+        best_c = static_cast<int>(c);
+      }
+    }
+    labels[i] = best_c;
+  }
 }
 
 Result<CholeskySolver> CholeskySolver::Factor(const Matrix& a) {

@@ -84,6 +84,17 @@ void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
 /// Squared Euclidean distance between two equal-length buffers.
 double SquaredDistance(const double* a, const double* b, size_t n);
 
+/// \brief Nearest-centroid labels for a contiguous row block — the batch
+/// assignment kernel shared by k-means and DBSCAN template assignment.
+///
+/// `rows` is a row-major `n x centroids.cols()` block. Rows are processed
+/// four at a time so the four independent distance accumulations interleave
+/// in the pipeline (the serial `sum += t*t` chain is the scalar kernel's
+/// bottleneck); the per-(row, centroid) accumulation order is exactly
+/// SquaredDistance's, so labels are bitwise identical to a naive scan.
+void NearestCentroids(const double* rows, size_t n, const Matrix& centroids,
+                      int* labels);
+
 /// \brief Cholesky factorization/solve for symmetric positive-definite
 /// systems. Used by Ridge regression (`(X^T X + aI) w = X^T y`).
 class CholeskySolver {

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "ml/lbfgs.h"
+#include "util/parallel.h"
 
 namespace wmp::ml {
 
@@ -353,11 +354,20 @@ Result<std::vector<double>> MlpRegressor::Predict(const Matrix& x) const {
   if (x.cols() != layer_dims_.front()) {
     return Status::InvalidArgument("MLP::Predict dimension mismatch");
   }
-  std::vector<Matrix> acts = Forward(x);
+  // Row-blocked forward passes: bounds activation memory and lets blocks run
+  // on the worker pool. Per-row results are independent of block shape (each
+  // output element is one fixed-order dot product), so this agrees with the
+  // whole-matrix pass and with PredictOne bitwise.
   std::vector<double> out(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) {
-    out[i] = acts.back().At(i, 0) * y_std_ + y_mean_;
-  }
+  util::ParallelFor(x.rows(), 256, [&](size_t begin, size_t end) {
+    Matrix block(end - begin, x.cols());
+    std::copy(x.RowPtr(begin), x.RowPtr(begin) + (end - begin) * x.cols(),
+              block.data().begin());
+    const std::vector<Matrix> acts = Forward(block);
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = acts.back().At(i - begin, 0) * y_std_ + y_mean_;
+    }
+  });
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace wmp::ml {
 
 Status RandomForestRegressor::Fit(const Matrix& x,
@@ -40,6 +42,21 @@ Result<double> RandomForestRegressor::PredictOne(
   double acc = 0.0;
   for (const auto& tree : trees_) acc += tree.Predict(x);
   return acc / static_cast<double>(trees_.size());
+}
+
+Result<std::vector<double>> RandomForestRegressor::Predict(
+    const Matrix& x) const {
+  if (trees_.empty()) return Status::FailedPrecondition("RF not fitted");
+  std::vector<double> out(x.rows());
+  util::ParallelFor(x.rows(), 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* row = x.RowPtr(i);
+      double acc = 0.0;
+      for (const auto& tree : trees_) acc += tree.Predict(row, x.cols());
+      out[i] = acc / static_cast<double>(trees_.size());
+    }
+  });
+  return out;
 }
 
 Status RandomForestRegressor::Serialize(BinaryWriter* writer) const {

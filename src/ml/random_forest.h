@@ -33,6 +33,9 @@ class RandomForestRegressor : public Regressor {
   std::string Name() const override { return "RF"; }
   Status Fit(const Matrix& x, const std::vector<double>& y) override;
   Result<double> PredictOne(const std::vector<double>& x) const override;
+  /// Batch prediction: each contiguous row averages over all trees in
+  /// ensemble order (bitwise-identical to PredictOne), rows parallelized.
+  Result<std::vector<double>> Predict(const Matrix& x) const override;
   Status Serialize(BinaryWriter* writer) const override;
 
   static Result<std::unique_ptr<RandomForestRegressor>> Deserialize(

@@ -49,7 +49,15 @@ class Regressor {
   /// Predicts a single example. Requires a prior successful Fit().
   virtual Result<double> PredictOne(const std::vector<double>& x) const = 0;
 
-  /// Predicts every row of `x`. Default implementation loops PredictOne().
+  /// Predicts every row of `x`.
+  ///
+  /// This is the batched inference hot path: every concrete model overrides
+  /// it with a vectorized implementation that reads contiguous rows via
+  /// `Matrix::RowPtr` and distributes row blocks over the shared worker
+  /// pool (util/parallel.h). Overrides must agree with a PredictOne() loop
+  /// to within 1e-9 per row (the tests assert bitwise-or-better agreement).
+  /// Thread-safe after Fit(): Predict is const and takes no locks. The
+  /// default implementation loops PredictOne().
   virtual Result<std::vector<double>> Predict(const Matrix& x) const;
 
   /// Serializes the fitted model. The byte count of the stream is the

@@ -1,5 +1,7 @@
 #include "ml/ridge.h"
 
+#include "util/parallel.h"
+
 namespace wmp::ml {
 
 Status RidgeRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
@@ -53,6 +55,24 @@ Result<double> RidgeRegressor::PredictOne(const std::vector<double>& x) const {
     return Status::InvalidArgument("Ridge::PredictOne dimension mismatch");
   }
   return intercept_ + Dot(x, coef_);
+}
+
+Result<std::vector<double>> RidgeRegressor::Predict(const Matrix& x) const {
+  if (!fitted()) return Status::FailedPrecondition("Ridge not fitted");
+  if (x.cols() != coef_.size()) {
+    return Status::InvalidArgument("Ridge::Predict dimension mismatch");
+  }
+  std::vector<double> out(x.rows());
+  util::ParallelFor(x.rows(), 512, [&](size_t begin, size_t end) {
+    const size_t d = coef_.size();
+    for (size_t i = begin; i < end; ++i) {
+      const double* row = x.RowPtr(i);
+      double acc = 0.0;
+      for (size_t c = 0; c < d; ++c) acc += row[c] * coef_[c];
+      out[i] = intercept_ + acc;
+    }
+  });
+  return out;
 }
 
 Status RidgeRegressor::Serialize(BinaryWriter* writer) const {

@@ -27,6 +27,10 @@ class RidgeRegressor : public Regressor {
   std::string Name() const override { return "Ridge"; }
   Status Fit(const Matrix& x, const std::vector<double>& y) override;
   Result<double> PredictOne(const std::vector<double>& x) const override;
+  /// Vectorized batch prediction: one dot product per contiguous row,
+  /// parallelized over row blocks. Agrees with PredictOne bitwise (same
+  /// accumulation order).
+  Result<std::vector<double>> Predict(const Matrix& x) const override;
   Status Serialize(BinaryWriter* writer) const override;
 
   static Result<std::unique_ptr<RidgeRegressor>> Deserialize(

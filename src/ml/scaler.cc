@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ml/regressor.h"
+#include "util/parallel.h"
 
 namespace wmp::ml {
 
@@ -38,12 +39,30 @@ Result<Matrix> StandardScaler::Transform(const Matrix& x) const {
     return Status::InvalidArgument("scaler column count mismatch");
   }
   Matrix out(x.rows(), x.cols());
-  for (size_t r = 0; r < x.rows(); ++r) {
-    const double* in = x.RowPtr(r);
-    double* o = out.RowPtr(r);
-    for (size_t c = 0; c < x.cols(); ++c) o[c] = (in[c] - mean_[c]) / std_[c];
-  }
+  util::ParallelFor(x.rows(), 1024, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      const double* in = x.RowPtr(r);
+      double* o = out.RowPtr(r);
+      for (size_t c = 0; c < x.cols(); ++c) o[c] = (in[c] - mean_[c]) / std_[c];
+    }
+  });
   return out;
+}
+
+Status StandardScaler::TransformInPlace(Matrix* x) const {
+  if (!fitted()) return Status::FailedPrecondition("scaler not fitted");
+  if (x->cols() != mean_.size()) {
+    return Status::InvalidArgument("scaler column count mismatch");
+  }
+  util::ParallelFor(x->rows(), 1024, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      double* row = x->RowPtr(r);
+      for (size_t c = 0; c < x->cols(); ++c) {
+        row[c] = (row[c] - mean_[c]) / std_[c];
+      }
+    }
+  });
+  return Status::OK();
 }
 
 Status StandardScaler::TransformRow(std::vector<double>* row) const {

@@ -26,8 +26,12 @@ class StandardScaler {
   Status Fit(const Matrix& x);
 
   /// Returns the standardized copy of `x`. Requires a prior Fit() with the
-  /// same column count.
+  /// same column count. Row blocks are processed on the worker pool.
   Result<Matrix> Transform(const Matrix& x) const;
+
+  /// Standardizes every row of `x` in place — the batch pipeline's
+  /// allocation-free variant of Transform. Parallelized over row blocks.
+  Status TransformInPlace(Matrix* x) const;
 
   /// Standardizes a single row in place.
   Status TransformRow(std::vector<double>* row) const;

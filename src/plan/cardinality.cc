@@ -30,13 +30,19 @@ double HarmonicApprox(double n, double theta) {
   if (theta == 0.0) return n;
   // The exact prefix sum is O(min(n, 2048)) per call, and workload
   // generation evaluates it millions of times over a handful of distinct
-  // (ndv, skew) pairs — memoize.
+  // (ndv, skew) pairs — memoize. The cache is thread_local (each worker of
+  // the parallel batch path keeps its own; no sharing, no locks) and
+  // bounded: real workloads see a few dozen distinct keys, so when an
+  // adversarial key stream fills a cache up, dropping it wholesale and
+  // rebuilding is cheaper than tracking recency per entry.
+  constexpr size_t kMaxEntries = 4096;
   thread_local std::map<std::pair<double, double>, double> cache;
   const auto key = std::make_pair(n, theta);
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;
   const double value = HarmonicUncached(n, theta);
-  if (cache.size() < 100000) cache.emplace(key, value);
+  if (cache.size() >= kMaxEntries) cache.clear();
+  cache.emplace(key, value);
   return value;
 }
 

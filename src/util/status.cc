@@ -1,5 +1,8 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace wmp {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -33,5 +36,15 @@ std::string Status::ToString() const {
   s += state_->message;
   return s;
 }
+
+namespace internal {
+
+void CheckOkFailed(const char* expr, const Status& status) {
+  std::fprintf(stderr, "WMP_CHECK_OK failed: %s\n  status: %s\n", expr,
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
 
 }  // namespace wmp

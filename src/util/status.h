@@ -166,6 +166,24 @@ namespace internal {
     if (!_st.ok()) return _st;                 \
   } while (0)
 
+namespace internal {
+/// Prints the failed expression + status and aborts. Out of line so the
+/// macro below stays cheap at every call site.
+[[noreturn]] void CheckOkFailed(const char* expr, const Status& status);
+}  // namespace internal
+
+/// Always-on invariant check for Status-returning setup code (catalog
+/// construction, static model registration): evaluates `expr` in every
+/// build mode and aborts with a diagnostic on failure. Unlike
+/// `assert(expr.ok())`, the call is NOT compiled out under NDEBUG — wrapping
+/// side-effecting calls in plain assert silently skips them in release
+/// builds.
+#define WMP_CHECK_OK(expr)                                  \
+  do {                                                      \
+    ::wmp::Status _st = (expr);                             \
+    if (!_st.ok()) ::wmp::internal::CheckOkFailed(#expr, _st); \
+  } while (0)
+
 /// Evaluates a Result-returning expression; on success binds the value to
 /// `lhs`, on failure propagates the error Status.
 #define WMP_ASSIGN_OR_RETURN(lhs, rexpr)                       \

@@ -2,6 +2,7 @@
 
 #include "plan/features.h"
 #include "sql/printer.h"
+#include "util/parallel.h"
 
 namespace wmp::workloads {
 
@@ -63,6 +64,8 @@ Result<Dataset> BuildDataset(Benchmark benchmark,
   sim_options.seed ^= options.seed;
   engine::Simulator simulator(sim_options);
 
+  // Phase 1 (serial — the RNG draw order defines the dataset): sample the
+  // family, generate the query, and plan it.
   Rng rng(options.seed);
   dataset.records.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -72,11 +75,28 @@ Result<Dataset> BuildDataset(Benchmark benchmark,
         record.query, dataset.generator->GenerateQuery(record.family_id, &rng));
     record.sql_text = sql::Print(record.query);
     WMP_ASSIGN_OR_RETURN(record.plan, planner.CreatePlan(record.query));
-    record.plan_features = plan::ExtractPlanFeatures(*record.plan);
-    record.actual_memory_mb = simulator.SimulatePeakMemoryMb(*record.plan);
-    record.dbms_estimate_mb =
-        engine::DbmsEstimateMemoryMb(*record.plan, options.dbms);
     dataset.records.push_back(std::move(record));
+  }
+
+  // Phase 2 (parallel — pure per-plan analyses): TR2 featurization and the
+  // DBMS heuristic estimate run on the worker pool.
+  util::ParallelFor(n, 32, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      QueryRecord& record = dataset.records[i];
+      record.plan_features = plan::ExtractPlanFeatures(*record.plan);
+      record.dbms_estimate_mb =
+          engine::DbmsEstimateMemoryMb(*record.plan, options.dbms);
+    }
+  });
+
+  // Phase 3 (parallel analysis + serial noise stream inside the batch
+  // call): simulated memory labels, bitwise identical to the per-query
+  // loop.
+  std::vector<const plan::PlanNode*> plans(n);
+  for (size_t i = 0; i < n; ++i) plans[i] = dataset.records[i].plan.get();
+  const std::vector<double> labels = simulator.SimulatePeakMemoryMbBatch(plans);
+  for (size_t i = 0; i < n; ++i) {
+    dataset.records[i].actual_memory_mb = labels[i];
   }
   return dataset;
 }

@@ -29,8 +29,7 @@ ColumnStats Attr(uint64_t ndv, double skew, double lo = 1, double hi = -1) {
 
 void AddColumnOrDie(TableDef* t, Column c) {
   const Status st = t->AddColumn(std::move(c));
-  assert(st.ok());
-  (void)st;
+  WMP_CHECK_OK(st);
 }
 
 catalog::Catalog BuildJobCatalog() {
@@ -42,10 +41,10 @@ catalog::Catalog BuildJobCatalog() {
     AddColumnOrDie(&t, Column("production_year", ColumnType::kInt,
                               Attr(133, 0.8, 1880, 2012)));
     AddColumnOrDie(&t, Column("title", ColumnType::kString, Attr(2400000, 0.0)));
-    assert(t.AddIndex("id", true).ok());
-    assert(t.AddForeignKey({"kind_id", "kind_type", "id", 1.0}).ok());
-    assert(t.AddCorrelation("kind_id", "production_year", 0.5).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("id", true));
+    WMP_CHECK_OK(t.AddForeignKey({"kind_id", "kind_type", "id", 1.0}));
+    WMP_CHECK_OK(t.AddCorrelation("kind_id", "production_year", 0.5));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   auto add_link_table = [&](const char* name, uint64_t rows,
                             double movie_skew,
@@ -56,13 +55,13 @@ catalog::Catalog BuildJobCatalog() {
     AddColumnOrDie(&t, Column("movie_id", ColumnType::kInt,
                               Attr(std::min<uint64_t>(rows, 2528312),
                                    movie_skew)));
-    assert(t.AddForeignKey({"movie_id", "title", "id", movie_fanout}).ok());
-    assert(t.AddIndex("movie_id").ok());
+    WMP_CHECK_OK(t.AddForeignKey({"movie_id", "title", "id", movie_fanout}));
+    WMP_CHECK_OK(t.AddIndex("movie_id"));
     for (Column& c : extra_cols) AddColumnOrDie(&t, std::move(c));
     for (catalog::ForeignKey& fk : extra_fks) {
-      assert(t.AddForeignKey(std::move(fk)).ok());
+      WMP_CHECK_OK(t.AddForeignKey(std::move(fk)));
     }
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   };
 
   add_link_table("movie_companies", 2609129, 1.0,
@@ -101,9 +100,9 @@ catalog::Catalog BuildJobCatalog() {
                         std::vector<Column> cols) {
     TableDef t(name, rows);
     AddColumnOrDie(&t, Column("id", ColumnType::kInt, Key(rows)));
-    assert(t.AddIndex("id", true).ok());
+    WMP_CHECK_OK(t.AddIndex("id", true));
     for (Column& c : cols) AddColumnOrDie(&t, std::move(c));
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   };
   add_entity("company_name", 234997,
              {Column("country_code", ColumnType::kString, Attr(112, 1.0)),
@@ -131,18 +130,18 @@ catalog::Catalog BuildJobCatalog() {
   {
     TableDef t("aka_name", 901343);
     AddColumnOrDie(&t, Column("person_id", ColumnType::kInt, Attr(901343, 0.8)));
-    assert(t.AddForeignKey({"person_id", "name", "id", 1.4}).ok());
-    assert(t.AddIndex("person_id").ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddForeignKey({"person_id", "name", "id", 1.4}));
+    WMP_CHECK_OK(t.AddIndex("person_id"));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("person_info", 2963664);
     AddColumnOrDie(&t, Column("person_id", ColumnType::kInt, Attr(2963664, 0.9)));
     AddColumnOrDie(&t, Column("info_type_id", ColumnType::kInt, Attr(40, 1.0)));
-    assert(t.AddForeignKey({"person_id", "name", "id", 1.8}).ok());
-    assert(t.AddForeignKey({"info_type_id", "info_type", "id", 1.0}).ok());
-    assert(t.AddIndex("person_id").ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddForeignKey({"person_id", "name", "id", 1.8}));
+    WMP_CHECK_OK(t.AddForeignKey({"info_type_id", "info_type", "id", 1.0}));
+    WMP_CHECK_OK(t.AddIndex("person_id"));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   return cat;
 }

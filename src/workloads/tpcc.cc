@@ -26,8 +26,7 @@ ColumnStats Attr(uint64_t ndv, double skew, double lo = 1, double hi = -1) {
 
 void AddColumnOrDie(TableDef* t, Column c) {
   const Status st = t->AddColumn(std::move(c));
-  assert(st.ok());
-  (void)st;
+  WMP_CHECK_OK(st);
 }
 
 catalog::Catalog BuildTpccCatalog() {
@@ -38,8 +37,8 @@ catalog::Catalog BuildTpccCatalog() {
     AddColumnOrDie(&t, Column("w_id", ColumnType::kInt, Key(kW)));
     AddColumnOrDie(&t, Column("w_tax", ColumnType::kDecimal,
                               Attr(100, 0.0, 0, 0.2)));
-    assert(t.AddIndex("w_id", true).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("w_id", true));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("district", kW * 10);
@@ -47,9 +46,9 @@ catalog::Catalog BuildTpccCatalog() {
     AddColumnOrDie(&t, Column("d_w_id", ColumnType::kInt, Attr(kW, 0.0)));
     AddColumnOrDie(&t, Column("d_next_o_id", ColumnType::kInt,
                               Attr(30000, 0.0, 1, 30000)));
-    assert(t.AddIndex("d_id", true).ok());
-    assert(t.AddForeignKey({"d_w_id", "warehouse", "w_id", 1.0}).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("d_id", true));
+    WMP_CHECK_OK(t.AddForeignKey({"d_w_id", "warehouse", "w_id", 1.0}));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("customer", kW * 30000);
@@ -59,10 +58,10 @@ catalog::Catalog BuildTpccCatalog() {
     AddColumnOrDie(&t, Column("c_balance", ColumnType::kDecimal,
                               Attr(100000, 0.3, -10000, 10000)));
     AddColumnOrDie(&t, Column("c_credit", ColumnType::kString, Attr(2, 0.2)));
-    assert(t.AddIndex("c_id", true).ok());
-    assert(t.AddIndex("c_last").ok());
-    assert(t.AddForeignKey({"c_d_id", "district", "d_id", 1.0}).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("c_id", true));
+    WMP_CHECK_OK(t.AddIndex("c_last"));
+    WMP_CHECK_OK(t.AddForeignKey({"c_d_id", "district", "d_id", 1.0}));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("orders", kW * 30000);
@@ -72,19 +71,19 @@ catalog::Catalog BuildTpccCatalog() {
     AddColumnOrDie(&t, Column("o_d_id", ColumnType::kInt, Attr(kW * 10, 0.2)));
     AddColumnOrDie(&t, Column("o_carrier_id", ColumnType::kInt,
                               Attr(10, 0.3, 1, 10)));
-    assert(t.AddIndex("o_id", true).ok());
-    assert(t.AddIndex("o_c_id").ok());
-    assert(t.AddForeignKey({"o_c_id", "customer", "c_id", 1.3}).ok());
-    assert(t.AddForeignKey({"o_d_id", "district", "d_id", 1.0}).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("o_id", true));
+    WMP_CHECK_OK(t.AddIndex("o_c_id"));
+    WMP_CHECK_OK(t.AddForeignKey({"o_c_id", "customer", "c_id", 1.3}));
+    WMP_CHECK_OK(t.AddForeignKey({"o_d_id", "district", "d_id", 1.0}));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("new_order", kW * 9000);
     AddColumnOrDie(&t, Column("no_o_id", ColumnType::kInt, Attr(kW * 9000, 0.0)));
     AddColumnOrDie(&t, Column("no_d_id", ColumnType::kInt, Attr(kW * 10, 0.1)));
-    assert(t.AddIndex("no_o_id").ok());
-    assert(t.AddForeignKey({"no_o_id", "orders", "o_id", 1.0}).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("no_o_id"));
+    WMP_CHECK_OK(t.AddForeignKey({"no_o_id", "orders", "o_id", 1.0}));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("order_line", kW * 300000);
@@ -96,10 +95,10 @@ catalog::Catalog BuildTpccCatalog() {
                               Attr(100000, 0.4, 0, 10000)));
     AddColumnOrDie(&t, Column("ol_quantity", ColumnType::kInt,
                               Attr(10, 0.2, 1, 10)));
-    assert(t.AddIndex("ol_o_id").ok());
-    assert(t.AddForeignKey({"ol_o_id", "orders", "o_id", 1.2}).ok());
-    assert(t.AddForeignKey({"ol_i_id", "item", "i_id", 2.0}).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("ol_o_id"));
+    WMP_CHECK_OK(t.AddForeignKey({"ol_o_id", "orders", "o_id", 1.2}));
+    WMP_CHECK_OK(t.AddForeignKey({"ol_i_id", "item", "i_id", 2.0}));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("item", 100000);
@@ -107,8 +106,8 @@ catalog::Catalog BuildTpccCatalog() {
     AddColumnOrDie(&t, Column("i_price", ColumnType::kDecimal,
                               Attr(10000, 0.2, 1, 100)));
     AddColumnOrDie(&t, Column("i_im_id", ColumnType::kInt, Attr(10000, 0.3)));
-    assert(t.AddIndex("i_id", true).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("i_id", true));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("stock", kW * 100000);
@@ -116,9 +115,9 @@ catalog::Catalog BuildTpccCatalog() {
     AddColumnOrDie(&t, Column("s_w_id", ColumnType::kInt, Attr(kW, 0.0)));
     AddColumnOrDie(&t, Column("s_quantity", ColumnType::kInt,
                               Attr(100, 0.3, 0, 100)));
-    assert(t.AddIndex("s_i_id").ok());
-    assert(t.AddForeignKey({"s_i_id", "item", "i_id", 1.0}).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("s_i_id"));
+    WMP_CHECK_OK(t.AddForeignKey({"s_i_id", "item", "i_id", 1.0}));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("history", kW * 30000);
@@ -126,8 +125,8 @@ catalog::Catalog BuildTpccCatalog() {
                               Attr(kW * 30000, 0.5)));
     AddColumnOrDie(&t, Column("h_amount", ColumnType::kDecimal,
                               Attr(10000, 0.3, 0, 5000)));
-    assert(t.AddForeignKey({"h_c_id", "customer", "c_id", 1.2}).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddForeignKey({"h_c_id", "customer", "c_id", 1.2}));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   return cat;
 }

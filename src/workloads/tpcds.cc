@@ -47,8 +47,7 @@ struct FamilyRecipe {
 
 void AddColumnOrDie(TableDef* t, Column c) {
   const Status st = t->AddColumn(std::move(c));
-  assert(st.ok());
-  (void)st;
+  WMP_CHECK_OK(st);
 }
 
 ColumnStats Key(uint64_t ndv) {
@@ -74,8 +73,8 @@ catalog::Catalog BuildTpcdsCatalog() {
     AddColumnOrDie(&t, Column("d_moy", ColumnType::kInt, Attr(12, 0.0, 1, 12)));
     AddColumnOrDie(&t, Column("d_qoy", ColumnType::kInt, Attr(4, 0.0, 1, 4)));
     AddColumnOrDie(&t, Column("d_dow", ColumnType::kInt, Attr(7, 0.0, 1, 7)));
-    assert(t.AddIndex("d_date_sk", true).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("d_date_sk", true));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("item", 102000);
@@ -85,10 +84,10 @@ catalog::Catalog BuildTpcdsCatalog() {
     AddColumnOrDie(&t, Column("i_brand", ColumnType::kString, Attr(1000, 0.7)));
     AddColumnOrDie(&t, Column("i_current_price", ColumnType::kDecimal,
                               Attr(1000, 0.2, 0, 300)));
-    assert(t.AddIndex("i_item_sk", true).ok());
-    assert(t.AddCorrelation("i_category", "i_class", 0.85).ok());
-    assert(t.AddCorrelation("i_class", "i_brand", 0.7).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("i_item_sk", true));
+    WMP_CHECK_OK(t.AddCorrelation("i_category", "i_class", 0.85));
+    WMP_CHECK_OK(t.AddCorrelation("i_class", "i_brand", 0.7));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("customer", 500000);
@@ -98,17 +97,17 @@ catalog::Catalog BuildTpcdsCatalog() {
     AddColumnOrDie(&t, Column("c_birth_country", ColumnType::kString,
                               Attr(200, 0.8)));
     AddColumnOrDie(&t, Column("c_preferred", ColumnType::kInt, Attr(2, 0.0, 0, 1)));
-    assert(t.AddIndex("c_customer_sk", true).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("c_customer_sk", true));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("customer_address", 250000);
     AddColumnOrDie(&t, Column("ca_address_sk", ColumnType::kInt, Key(250000)));
     AddColumnOrDie(&t, Column("ca_state", ColumnType::kString, Attr(51, 0.8)));
     AddColumnOrDie(&t, Column("ca_city", ColumnType::kString, Attr(8000, 0.9)));
-    assert(t.AddIndex("ca_address_sk", true).ok());
-    assert(t.AddCorrelation("ca_state", "ca_city", 0.9).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("ca_address_sk", true));
+    WMP_CHECK_OK(t.AddCorrelation("ca_state", "ca_city", 0.9));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("customer_demographics", 1920800);
@@ -116,8 +115,8 @@ catalog::Catalog BuildTpcdsCatalog() {
     AddColumnOrDie(&t, Column("cd_gender", ColumnType::kString, Attr(2, 0.0)));
     AddColumnOrDie(&t, Column("cd_education", ColumnType::kString, Attr(7, 0.3)));
     AddColumnOrDie(&t, Column("cd_marital", ColumnType::kString, Attr(5, 0.2)));
-    assert(t.AddIndex("cd_demo_sk", true).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("cd_demo_sk", true));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("household_demographics", 7200);
@@ -125,44 +124,44 @@ catalog::Catalog BuildTpcdsCatalog() {
     AddColumnOrDie(&t, Column("hd_income_band", ColumnType::kInt,
                               Attr(20, 0.4, 1, 20)));
     AddColumnOrDie(&t, Column("hd_dep_count", ColumnType::kInt, Attr(10, 0.3, 0, 9)));
-    assert(t.AddIndex("hd_demo_sk", true).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("hd_demo_sk", true));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("store", 102);
     AddColumnOrDie(&t, Column("s_store_sk", ColumnType::kInt, Key(102)));
     AddColumnOrDie(&t, Column("s_state", ColumnType::kString, Attr(20, 0.9)));
     AddColumnOrDie(&t, Column("s_market", ColumnType::kInt, Attr(10, 0.4, 1, 10)));
-    assert(t.AddIndex("s_store_sk", true).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("s_store_sk", true));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("promotion", 500);
     AddColumnOrDie(&t, Column("p_promo_sk", ColumnType::kInt, Key(500)));
     AddColumnOrDie(&t, Column("p_channel", ColumnType::kString, Attr(4, 0.5)));
-    assert(t.AddIndex("p_promo_sk", true).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("p_promo_sk", true));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("warehouse", 15);
     AddColumnOrDie(&t, Column("w_warehouse_sk", ColumnType::kInt, Key(15)));
     AddColumnOrDie(&t, Column("w_state", ColumnType::kString, Attr(15, 0.3)));
-    assert(t.AddIndex("w_warehouse_sk", true).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("w_warehouse_sk", true));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("time_dim", 86400);
     AddColumnOrDie(&t, Column("t_time_sk", ColumnType::kInt, Key(86400)));
     AddColumnOrDie(&t, Column("t_hour", ColumnType::kInt, Attr(24, 0.2, 0, 23)));
-    assert(t.AddIndex("t_time_sk", true).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("t_time_sk", true));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("ship_mode", 20);
     AddColumnOrDie(&t, Column("sm_ship_mode_sk", ColumnType::kInt, Key(20)));
     AddColumnOrDie(&t, Column("sm_type", ColumnType::kString, Attr(6, 0.3)));
-    assert(t.AddIndex("sm_ship_mode_sk", true).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("sm_ship_mode_sk", true));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
 
   // --- facts ----------------------------------------------------------------
@@ -170,7 +169,7 @@ catalog::Catalog BuildTpcdsCatalog() {
                         double skew, const char* ref_table,
                         const char* ref_col, double fanout_skew) {
     AddColumnOrDie(t, Column(col, ColumnType::kInt, Attr(ndv, skew)));
-    assert(t->AddForeignKey({col, ref_table, ref_col, fanout_skew}).ok());
+    WMP_CHECK_OK(t->AddForeignKey({col, ref_table, ref_col, fanout_skew}));
   };
   {
     TableDef t("store_sales", 2880000);
@@ -194,12 +193,12 @@ catalog::Catalog BuildTpcdsCatalog() {
                               Attr(10000, 0.8, 0, 1000)));
     AddColumnOrDie(&t, Column("ss_net_profit", ColumnType::kDecimal,
                               Attr(100000, 0.5, -5000, 5000)));
-    assert(t.AddIndex("ss_sold_date_sk").ok());
-    assert(t.AddIndex("ss_item_sk").ok());
-    assert(t.AddCorrelation("ss_quantity", "ss_sales_price", 0.6).ok());
-    assert(t.AddCorrelation("ss_item_sk", "ss_promo_sk", 0.5).ok());
-    assert(t.AddCorrelation("ss_sales_price", "ss_net_profit", 0.8).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("ss_sold_date_sk"));
+    WMP_CHECK_OK(t.AddIndex("ss_item_sk"));
+    WMP_CHECK_OK(t.AddCorrelation("ss_quantity", "ss_sales_price", 0.6));
+    WMP_CHECK_OK(t.AddCorrelation("ss_item_sk", "ss_promo_sk", 0.5));
+    WMP_CHECK_OK(t.AddCorrelation("ss_sales_price", "ss_net_profit", 0.8));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("catalog_sales", 1440000);
@@ -218,9 +217,9 @@ catalog::Catalog BuildTpcdsCatalog() {
                               Attr(20000, 0.6, 0, 300)));
     AddColumnOrDie(&t, Column("cs_net_profit", ColumnType::kDecimal,
                               Attr(100000, 0.5, -5000, 8000)));
-    assert(t.AddIndex("cs_sold_date_sk").ok());
-    assert(t.AddCorrelation("cs_quantity", "cs_sales_price", 0.6).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("cs_sold_date_sk"));
+    WMP_CHECK_OK(t.AddCorrelation("cs_quantity", "cs_sales_price", 0.6));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("web_sales", 720000);
@@ -236,9 +235,9 @@ catalog::Catalog BuildTpcdsCatalog() {
                               Attr(20000, 0.6, 0, 300)));
     AddColumnOrDie(&t, Column("ws_net_profit", ColumnType::kDecimal,
                               Attr(100000, 0.5, -5000, 8000)));
-    assert(t.AddIndex("ws_sold_date_sk").ok());
-    assert(t.AddCorrelation("ws_quantity", "ws_sales_price", 0.6).ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("ws_sold_date_sk"));
+    WMP_CHECK_OK(t.AddCorrelation("ws_quantity", "ws_sales_price", 0.6));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   {
     TableDef t("inventory", 11700000);
@@ -248,8 +247,8 @@ catalog::Catalog BuildTpcdsCatalog() {
                 "w_warehouse_sk", 1.1);
     AddColumnOrDie(&t, Column("inv_quantity_on_hand", ColumnType::kInt,
                               Attr(1000, 0.2, 0, 1000)));
-    assert(t.AddIndex("inv_date_sk").ok());
-    assert(cat.AddTable(std::move(t)).ok());
+    WMP_CHECK_OK(t.AddIndex("inv_date_sk"));
+    WMP_CHECK_OK(cat.AddTable(std::move(t)));
   }
   return cat;
 }

@@ -25,7 +25,9 @@
 #include "core/featurizer.h"
 #include "core/learned_wmp.h"
 #include "core/single_wmp.h"
+#include "engine/batch_scorer.h"
 #include "ml/metrics.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "workloads/dataset.h"
 #include "workloads/log_io.h"
@@ -63,7 +65,8 @@ int Usage() {
                "  wmpctl train    --log=PATH --model=PATH [--templates=K] "
                "[--batch=S] [--seed=N]\n"
                "  wmpctl evaluate --log=PATH --model=PATH [--batch=S]\n"
-               "  wmpctl predict  --log=PATH --model=PATH\n");
+               "  wmpctl predict  --log=PATH --model=PATH\n"
+               "common: --threads=N caps the worker pool (0 = all cores)\n");
   return 2;
 }
 
@@ -154,15 +157,20 @@ int CmdEvaluate(const std::map<std::string, std::string>& flags) {
                  wopt.batch_size);
     return 1;
   }
-  std::vector<double> labels, learned, dbms;
+  // One batched scoring session over the whole eval set.
+  engine::BatchScorer scorer(&*model);
+  auto learned_result = scorer.ScoreWorkloads(*records, batches);
+  if (!learned_result.ok()) return Fail(learned_result.status());
+  const std::vector<double>& learned = *learned_result;
+  std::vector<double> labels, dbms;
   for (const auto& b : batches) {
     labels.push_back(b.label_mb);
-    auto p = model->PredictWorkload(*records, b.query_indices);
-    if (!p.ok()) return Fail(p.status());
-    learned.push_back(*p);
     dbms.push_back(core::DbmsWorkloadEstimate(*records, b.query_indices));
   }
   std::printf("%zu workloads of %d queries\n", batches.size(), wopt.batch_size);
+  std::printf("scored %zu queries in %.1f ms (%.0f queries/sec, %zu threads)\n",
+              scorer.stats().num_queries, scorer.stats().elapsed_ms,
+              scorer.stats().queries_per_sec, util::DefaultParallelism());
   std::printf("LearnedWMP      RMSE %.1f MB   MAPE %.1f%%\n",
               ml::Rmse(labels, learned), ml::Mape(labels, learned));
   const bool has_dbms =
@@ -184,16 +192,19 @@ int CmdPredict(const std::map<std::string, std::string>& flags) {
   auto model = core::LearnedWmpModel::LoadFromFile(model_path);
   if (!model.ok()) return Fail(model.status());
 
-  const auto batch = core::AllIndices(records->size());
-  auto prediction = model->PredictWorkload(*records, batch);
-  if (!prediction.ok()) return Fail(prediction.status());
+  // The whole log is one workload; score it through the batched session.
+  engine::BatchScorer scorer(&*model);
+  auto predictions =
+      scorer.ScoreLog(*records, static_cast<int>(records->size()));
+  if (!predictions.ok()) return Fail(predictions.status());
+  const double prediction = predictions->front();
   std::printf("workload of %zu queries -> predicted %.1f MB\n",
-              records->size(), *prediction);
+              records->size(), prediction);
   double actual = 0.0;
   for (const auto& r : *records) actual += r.actual_memory_mb;
   if (actual > 0.0) {
     std::printf("labeled actual: %.1f MB (error %+.1f%%)\n", actual,
-                100.0 * (*prediction - actual) / actual);
+                100.0 * (prediction - actual) / actual);
   }
   return 0;
 }
@@ -204,6 +215,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   const auto flags = ParseFlags(argc, argv);
+  util::SetDefaultParallelism(std::atoi(FlagOr(flags, "threads", "0").c_str()));
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "evaluate") return CmdEvaluate(flags);
