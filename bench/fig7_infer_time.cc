@@ -87,10 +87,11 @@ ThroughputRow BatchRun(const core::ExperimentData& data,
   row.mode = "batch";
   row.batch_size = batch_size;
   row.threads = threads;
-  row.queries = scorer.stats().num_queries;
-  row.ms = scorer.stats().elapsed_ms;
-  row.qps = scorer.stats().queries_per_sec;
-  if (!p.ok()) row.qps = 0.0;
+  if (p.ok()) {
+    row.queries = p->stats.num_queries;
+    row.ms = p->stats.elapsed_ms;
+    row.qps = p->stats.queries_per_sec;
+  }
   return row;
 }
 

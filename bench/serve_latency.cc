@@ -1,0 +1,328 @@
+// Serving-path benchmark: p50/p99 request latency and sustained
+// queries/sec of engine::ScoringService vs client count x shard count,
+// plus the histogram-cache payoff on a repeated-workload stream.
+//
+// Phases per configuration grid point:
+//   baseline        one synchronous BatchScorer::ScoreLog at batch 1000 —
+//                   the PR 1 offline-batch throughput the async service
+//                   must sustain.
+//   cold_sync       C closed-loop clients (block on every future) over a
+//                   fresh stream: per-request latency of the micro-batching
+//                   path with only C workloads ever in flight.
+//   cold_pipelined  C open-loop clients submit their whole slice, then
+//                   drain the futures — the async API used as intended, so
+//                   the dispatcher sees deep queues and flushes full
+//                   batches.
+//   repeat          the pipelined stream submitted R times (drained
+//                   between passes); from the second pass on every
+//                   histogram is a cache hit, and hit-path predictions are
+//                   checked bitwise against pass one.
+//
+// Output: human tables plus JSON records (stdout, or --json=PATH):
+//   {"figure":"serve_latency","mode":"repeat","clients":8,"shards":2,
+//    "queries_per_sec":...,"p50_us":...,"p99_us":...,
+//    "cache_hit_rate":...,"bitwise_identical":true}
+// Latency percentiles are client-observed submit -> resolve times; in the
+// pipelined modes they are completion (sojourn) times, queueing included.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/batch_scorer.h"
+#include "engine/scoring_service.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+#include "util/sync.h"
+#include "util/timer.h"
+
+using namespace wmp;
+
+namespace {
+
+struct ServeRow {
+  std::string mode;  // "baseline", "cold", "repeat"
+  int clients = 0;
+  int shards = 0;
+  size_t workloads = 0;
+  size_t queries = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double hit_rate = 0.0;
+  bool bitwise_identical = true;
+};
+
+std::string ToJson(const ServeRow& r) {
+  return StrFormat(
+      "{\"figure\":\"serve_latency\",\"mode\":\"%s\",\"clients\":%d,"
+      "\"shards\":%d,\"workloads\":%zu,\"queries\":%zu,\"seconds\":%.3f,"
+      "\"queries_per_sec\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+      "\"cache_hit_rate\":%.4f,\"bitwise_identical\":%s}",
+      r.mode.c_str(), r.clients, r.shards, r.workloads, r.queries, r.seconds,
+      r.qps, r.p50_us, r.p99_us, r.hit_rate,
+      r.bitwise_identical ? "true" : "false");
+}
+
+// Drives `clients` threads, each submitting its slice of `batches`
+// `repeat` times, and fills latency + prediction outputs. Predictions are
+// recorded per (pass, workload) for the bitwise check.
+struct DriveResult {
+  double seconds = 0.0;
+  std::vector<double> latencies_us;
+  std::vector<std::vector<double>> pass_predictions;  // [repeat][workload]
+  uint64_t errors = 0;
+};
+
+DriveResult Drive(engine::ScoringService* service,
+                  const std::vector<workloads::QueryRecord>& records,
+                  const std::vector<core::WorkloadBatch>& batches,
+                  int clients, int repeat, bool pipelined) {
+  DriveResult out;
+  out.pass_predictions.assign(
+      static_cast<size_t>(repeat),
+      std::vector<double>(batches.size(), 0.0));
+  std::vector<std::vector<double>> per_client_lat(
+      static_cast<size_t>(clients));
+  std::atomic<uint64_t> errors{0};
+  util::Latch start(static_cast<size_t>(clients) + 1);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::string tenant = StrFormat("client-%d", c);
+      auto& lat = per_client_lat[static_cast<size_t>(c)];
+      // Strided slice: client c owns workloads c, c+clients, ... — clients
+      // never submit each other's workloads, so a pass can re-hit its own
+      // pass-1 cache entries without cross-client coordination.
+      std::vector<size_t> slice;
+      for (size_t w = static_cast<size_t>(c); w < batches.size();
+           w += static_cast<size_t>(clients)) {
+        slice.push_back(w);
+      }
+      start.ArriveAndWait();
+      for (int r = 0; r < repeat; ++r) {
+        auto& preds = out.pass_predictions[static_cast<size_t>(r)];
+        if (pipelined) {
+          // Open loop: submit the whole slice, then drain. Latency is the
+          // client-observed completion (sojourn) time per request.
+          std::vector<std::chrono::steady_clock::time_point> t0(slice.size());
+          std::vector<std::future<Result<double>>> futures;
+          futures.reserve(slice.size());
+          for (size_t i = 0; i < slice.size(); ++i) {
+            t0[i] = std::chrono::steady_clock::now();
+            futures.push_back(service->Submit(
+                tenant, records, batches[slice[i]].query_indices));
+          }
+          for (size_t i = 0; i < slice.size(); ++i) {
+            auto got = futures[i].get();
+            lat.push_back(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0[i])
+                    .count());
+            if (got.ok()) {
+              preds[slice[i]] = *got;
+            } else {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        } else {
+          // Closed loop: one request in flight per client.
+          for (size_t w : slice) {
+            Stopwatch sw;
+            auto fut =
+                service->Submit(tenant, records, batches[w].query_indices);
+            auto got = fut.get();
+            lat.push_back(sw.ElapsedMicros());
+            if (got.ok()) {
+              preds[w] = *got;
+            } else {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  Stopwatch wall;
+  start.ArriveAndWait();
+  for (auto& t : threads) t.join();
+  out.seconds = wall.ElapsedSeconds();
+  out.errors = errors.load();
+  for (auto& v : per_client_lat) {
+    out.latencies_us.insert(out.latencies_us.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("serve_latency",
+                        "async service latency/throughput vs clients x shards",
+                        args);
+
+  // One TPC-C model serves every configuration; the serving layer, not the
+  // model, is under test.
+  const core::ExperimentConfig cfg =
+      bench::MakeConfig(workloads::Benchmark::kTpcc, args);
+  auto data = core::PrepareExperiment(cfg);
+  if (!data.ok()) {
+    std::cerr << "prepare failed: " << data.status() << "\n";
+    return 1;
+  }
+  core::LearnedWmpOptions lopt;
+  lopt.templates.num_templates = 16;
+  lopt.batch_size = cfg.batch_size;
+  lopt.seed = cfg.seed;
+  auto model = core::LearnedWmpModel::Train(
+      data->dataset.records, data->train_indices, *data->dataset.generator,
+      lopt);
+  if (!model.ok()) {
+    std::cerr << "train failed: " << model.status() << "\n";
+    return 1;
+  }
+  const auto& records = data->dataset.records;
+  const auto batches =
+      engine::MakeConsecutiveBatches(records.size(), cfg.batch_size);
+
+  std::vector<ServeRow> rows;
+
+  // --- Baseline: the PR 1 offline path, batch 1000, all cores ---
+  {
+    engine::BatchScorer scorer(&*model);
+    auto warmup = scorer.ScoreLog(records, 1000);  // touch pool + caches
+    auto res = scorer.ScoreLog(records, 1000);
+    ServeRow row;
+    row.mode = "baseline";
+    if (res.ok()) {
+      row.workloads = res->stats.num_workloads;
+      row.queries = res->stats.num_queries;
+      row.seconds = res->stats.elapsed_ms / 1e3;
+      row.qps = res->stats.queries_per_sec;
+    } else {
+      std::cerr << "baseline failed: " << res.status() << "\n";
+      return 1;
+    }
+    (void)warmup;
+    rows.push_back(row);
+  }
+
+  const int repeat = 10;  // repeated-stream passes; hits = (repeat-1)/repeat
+  const auto run_row = [&](const char* mode, int clients, int shards,
+                           int passes, bool pipelined,
+                           const std::vector<core::WorkloadBatch>& batches) {
+    engine::ScoringServiceOptions sopt;
+    if (pipelined) {
+      // Open-loop clients build deep queues; let the dispatcher flush them
+      // in full-size scoring passes, and keep the delay window small so
+      // the per-pass drain barrier doesn't idle the service.
+      sopt.max_batch = 1024;
+      sopt.max_delay_us = 25;
+    }
+    engine::ScoringService service(
+        std::vector<const core::LearnedWmpModel*>(
+            static_cast<size_t>(shards), &*model),
+        sopt);
+    DriveResult d =
+        Drive(&service, records, batches, clients, passes, pipelined);
+    service.Stop();
+    const engine::ServiceStats st = service.stats();
+    ServeRow row;
+    row.mode = mode;
+    row.clients = clients;
+    row.shards = shards;
+    row.workloads = st.completed;
+    // The clients' strided slices partition the stream, so each pass
+    // submits every workload exactly once.
+    size_t pass_queries = 0;
+    for (const auto& b : batches) pass_queries += b.query_indices.size();
+    row.queries = pass_queries * static_cast<size_t>(passes);
+    row.seconds = d.seconds;
+    row.qps =
+        d.seconds > 0 ? static_cast<double>(row.queries) / d.seconds : 0.0;
+    row.p50_us = util::PercentileInPlace(&d.latencies_us, 0.50);
+    row.p99_us = util::PercentileInPlace(&d.latencies_us, 0.99);
+    row.hit_rate = st.cache_hit_rate();
+    row.bitwise_identical = d.errors == 0;
+    for (int r = 1; r < passes && row.bitwise_identical; ++r) {
+      for (size_t w = 0; w < batches.size(); ++w) {
+        if (d.pass_predictions[static_cast<size_t>(r)][w] !=
+            d.pass_predictions[0][w]) {
+          row.bitwise_identical = false;
+          break;
+        }
+      }
+    }
+    rows.push_back(row);
+    return row;
+  };
+
+  for (int shards : {1, 2, 4}) {
+    TablePrinter table(StrFormat("serve_latency — %d shard(s)", shards));
+    table.SetHeader({"clients", "sync qps", "sync p50/p99 us", "piped qps",
+                     "repeat qps", "hit rate", "bitwise"});
+    for (int clients : {1, 2, 4, 8}) {
+      const ServeRow sync =
+          run_row("cold_sync", clients, shards, 1, false, batches);
+      const ServeRow piped =
+          run_row("cold_pipelined", clients, shards, 1, true, batches);
+      const ServeRow rep =
+          run_row("repeat", clients, shards, repeat, true, batches);
+      table.AddRow({StrFormat("%d", clients), StrFormat("%.0f", sync.qps),
+                    StrFormat("%.0f / %.0f", sync.p50_us, sync.p99_us),
+                    StrFormat("%.0f", piped.qps), StrFormat("%.0f", rep.qps),
+                    StrFormat("%.1f%%", 100.0 * rep.hit_rate),
+                    rep.bitwise_identical ? "yes" : "NO"});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- Apples-to-apples vs the baseline: serve the SAME batch-1000
+  // workloads through the async service, 8 concurrent clients, repeated
+  // stream. This is the acceptance bar: the serving layer (queues,
+  // futures, micro-batching, cache) must sustain the offline batch-1000
+  // throughput, not tax it away.
+  {
+    const auto batches_1000 =
+        engine::MakeConsecutiveBatches(records.size(), 1000);
+    TablePrinter table("serve_latency — batch-1000 stream, 8 clients");
+    table.SetHeader(
+        {"shards", "qps", "baseline qps", "ratio", "hit rate", "bitwise"});
+    for (int shards : {1, 2}) {
+      const ServeRow row =
+          run_row("serve_batch1000", 8, shards, 50, true, batches_1000);
+      table.AddRow({StrFormat("%d", shards), StrFormat("%.0f", row.qps),
+                    StrFormat("%.0f", rows[0].qps),
+                    StrFormat("%.2fx", row.qps / std::max(rows[0].qps, 1.0)),
+                    StrFormat("%.1f%%", 100.0 * row.hit_rate),
+                    row.bitwise_identical ? "yes" : "NO"});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  FILE* out = stdout;
+  if (!args.json_path.empty()) {
+    out = std::fopen(args.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::cerr << "cannot open " << args.json_path << "\n";
+      return 1;
+    }
+  }
+  std::fprintf(out, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out, "  %s%s\n", ToJson(rows[i]).c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/histogram.h"
 
+#include <algorithm>
 #include <atomic>
 #include <limits>
 
@@ -24,9 +25,12 @@ Result<std::vector<double>> BuildHistogram(const std::vector<int>& template_ids,
   return h;
 }
 
-Result<ml::Matrix> BuildHistogramMatrix(const std::vector<int>& template_ids,
-                                        const std::vector<size_t>& offsets,
-                                        int num_templates) {
+namespace {
+
+// Shared (ids, offsets) validation of the batched builders.
+Status ValidateHistogramLayout(const std::vector<int>& template_ids,
+                               const std::vector<size_t>& offsets,
+                               int num_templates) {
   if (num_templates < 1) {
     return Status::InvalidArgument("histogram needs >= 1 bin");
   }
@@ -39,6 +43,16 @@ Result<ml::Matrix> BuildHistogramMatrix(const std::vector<int>& template_ids,
       return Status::InvalidArgument("histogram offsets must be monotone");
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ml::Matrix> BuildHistogramMatrix(const std::vector<int>& template_ids,
+                                        const std::vector<size_t>& offsets,
+                                        int num_templates) {
+  WMP_RETURN_IF_ERROR(
+      ValidateHistogramLayout(template_ids, offsets, num_templates));
   const size_t num_workloads = offsets.size() - 1;
   ml::Matrix h(num_workloads, static_cast<size_t>(num_templates));
   constexpr int kNoBadId = std::numeric_limits<int>::min();
@@ -61,6 +75,53 @@ Result<ml::Matrix> BuildHistogramMatrix(const std::vector<int>& template_ids,
         StrFormat("template id %d outside [0, %d)", id, num_templates));
   }
   return h;
+}
+
+Status BuildHistogramRows(const std::vector<int>& template_ids,
+                          const std::vector<size_t>& offsets,
+                          int num_templates,
+                          const std::vector<size_t>& row_map,
+                          ml::Matrix* out) {
+  WMP_RETURN_IF_ERROR(
+      ValidateHistogramLayout(template_ids, offsets, num_templates));
+  if (offsets.size() - 1 != row_map.size()) {
+    return Status::InvalidArgument("row_map size != number of workloads");
+  }
+  if (out == nullptr || out->cols() != static_cast<size_t>(num_templates)) {
+    return Status::InvalidArgument("output matrix has wrong width");
+  }
+  std::vector<bool> target(out->rows(), false);
+  for (size_t r : row_map) {
+    if (r >= out->rows()) {
+      return Status::OutOfRange("row_map entry outside the output matrix");
+    }
+    // Rows are filled concurrently, so two workloads may not share one.
+    if (target[r]) {
+      return Status::InvalidArgument("row_map entries must be distinct");
+    }
+    target[r] = true;
+  }
+  constexpr int kNoBadId = std::numeric_limits<int>::min();
+  std::atomic<int> bad_id{kNoBadId};
+  util::ParallelFor(row_map.size(), 16, [&](size_t begin, size_t end) {
+    for (size_t w = begin; w < end; ++w) {
+      double* row = out->RowPtr(row_map[w]);
+      std::fill(row, row + out->cols(), 0.0);
+      for (size_t q = offsets[w]; q < offsets[w + 1]; ++q) {
+        const int id = template_ids[q];
+        if (id < 0 || id >= num_templates) {
+          bad_id.store(id, std::memory_order_relaxed);
+          return;
+        }
+        row[static_cast<size_t>(id)] += 1.0;
+      }
+    }
+  });
+  if (const int id = bad_id.load(std::memory_order_relaxed); id != kNoBadId) {
+    return Status::OutOfRange(
+        StrFormat("template id %d outside [0, %d)", id, num_templates));
+  }
+  return Status::OK();
 }
 
 double HistogramMass(const std::vector<double>& histogram) {

@@ -34,6 +34,23 @@ Result<ml::Matrix> BuildHistogramMatrix(const std::vector<int>& template_ids,
                                         const std::vector<size_t>& offsets,
                                         int num_templates);
 
+/// \brief Cache-aware scatter variant of BuildHistogramMatrix.
+///
+/// Fills only the rows `row_map[w]` of the preallocated `*out` (zeroing
+/// each before accumulating); rows not listed are left untouched. This is
+/// the histogram-cache miss path: the serving layer copies cached
+/// histograms into their rows directly and asks this function to compute
+/// just the missed workloads, whose assignments arrive as the same
+/// flattened `(template_ids, offsets)` layout BuildHistogramMatrix takes
+/// (`offsets.size() - 1 == row_map.size()`). Target rows must be distinct —
+/// they are filled concurrently. Fails without touching `*out` beyond
+/// already-written rows if any id, offset, or target row is out of range
+/// or duplicated.
+Status BuildHistogramRows(const std::vector<int>& template_ids,
+                          const std::vector<size_t>& offsets,
+                          int num_templates,
+                          const std::vector<size_t>& row_map, ml::Matrix* out);
+
 /// Sum of all bins (== number of queries binned).
 double HistogramMass(const std::vector<double>& histogram);
 

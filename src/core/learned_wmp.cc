@@ -187,6 +187,30 @@ Result<ml::Matrix> LearnedWmpModel::BinWorkloads(
   return BuildHistogramMatrix(ids, offsets, templates_.num_templates());
 }
 
+Status LearnedWmpModel::BinWorkloadsInto(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<WorkloadBatch>& batches,
+    const std::vector<size_t>& rows, ml::Matrix* out) const {
+  if (rows.empty()) return Status::OK();
+  std::vector<size_t> offsets(rows.size() + 1, 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] >= batches.size()) {
+      return Status::OutOfRange("row index outside the batch set");
+    }
+    offsets[i + 1] = offsets[i] + batches[rows[i]].query_indices.size();
+  }
+  std::vector<uint32_t> flat;
+  flat.reserve(offsets.back());
+  for (size_t r : rows) {
+    const auto& q = batches[r].query_indices;
+    flat.insert(flat.end(), q.begin(), q.end());
+  }
+  WMP_ASSIGN_OR_RETURN(std::vector<int> ids,
+                       templates_.AssignBatch(records, flat));
+  return BuildHistogramRows(ids, offsets, templates_.num_templates(), rows,
+                            out);
+}
+
 Result<std::vector<double>> LearnedWmpModel::PredictWorkloads(
     const std::vector<workloads::QueryRecord>& records,
     const std::vector<WorkloadBatch>& batches) const {
@@ -195,6 +219,18 @@ Result<std::vector<double>> LearnedWmpModel::PredictWorkloads(
   }
   if (batches.empty()) return std::vector<double>{};
   WMP_ASSIGN_OR_RETURN(ml::Matrix h, BinWorkloads(records, batches));
+  return PredictFromHistogramMatrix(std::move(h));
+}
+
+Result<std::vector<double>> LearnedWmpModel::PredictFromHistogramMatrix(
+    ml::Matrix h) const {
+  if (regressor_ == nullptr) {
+    return Status::FailedPrecondition("LearnedWmpModel not trained");
+  }
+  if (h.cols() != static_cast<size_t>(templates_.num_templates())) {
+    return Status::InvalidArgument("histogram width != num templates");
+  }
+  if (h.rows() == 0) return std::vector<double>{};
   if (!options_.variable_length) {
     return regressor_->Predict(h);
   }

@@ -81,6 +81,15 @@ class LearnedWmpModel {
   /// Predicts directly from a precomputed histogram (length k).
   Result<double> PredictFromHistogram(const std::vector<double>& histogram) const;
 
+  /// Batched IN5: predicts every row of a precomputed count-histogram
+  /// matrix (one workload per row, k columns). This is PredictWorkloads
+  /// with the histogram-building front half factored out, so a serving
+  /// layer that sources histograms from a cache reaches the regressor
+  /// through the exact same arithmetic — cached rows score
+  /// bitwise-identically to freshly-binned ones. Takes the matrix by value
+  /// because variable-length mode normalizes rows in place.
+  Result<std::vector<double>> PredictFromHistogramMatrix(ml::Matrix h) const;
+
   /// Builds the histogram of a workload (IN1-IN4; BinWorkload in Alg. 2).
   Result<std::vector<double>> BinWorkload(
       const std::vector<workloads::QueryRecord>& records,
@@ -93,6 +102,19 @@ class LearnedWmpModel {
   Result<ml::Matrix> BinWorkloads(
       const std::vector<workloads::QueryRecord>& records,
       const std::vector<WorkloadBatch>& batches) const;
+
+  /// Cache-miss variant of BinWorkloads: bins only the workloads
+  /// `batches[r]` for each `r` in `rows` (distinct, ascending or not),
+  /// scattering each histogram into row `r` of `*out` and leaving every
+  /// other row untouched. The serving layer's histogram cache fills hit
+  /// rows directly and routes just the miss rows through here, skipping
+  /// featurize/assign for everything cached — no per-workload copies of
+  /// the untouched batches. `*out` must be `batches.size()` rows by
+  /// num_templates columns.
+  Status BinWorkloadsInto(const std::vector<workloads::QueryRecord>& records,
+                          const std::vector<WorkloadBatch>& batches,
+                          const std::vector<size_t>& rows,
+                          ml::Matrix* out) const;
 
   const TemplateModel& templates() const { return templates_; }
   const ml::Regressor& regressor() const { return *regressor_; }

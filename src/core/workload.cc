@@ -2,7 +2,33 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace wmp::core {
+
+using util::Mix64;
+
+uint64_t QueryFingerprint(const workloads::QueryRecord& record) {
+  // The dataset builder and log loader memoize the content hash at ingest;
+  // records from other sources fall back to hashing here.
+  return record.content_fingerprint != 0
+             ? record.content_fingerprint
+             : workloads::ContentFingerprint(record);
+}
+
+uint64_t WorkloadFingerprint(const std::vector<workloads::QueryRecord>& records,
+                             const std::vector<uint32_t>& batch) {
+  // Histograms are order-invariant, so combine with commutative ops. Sum
+  // and xor-of-mixed together keep multiset multiplicity (xor alone cancels
+  // duplicate pairs; sum alone is weak against crafted splits).
+  uint64_t sum = 0, xr = 0;
+  for (uint32_t i : batch) {
+    const uint64_t h = QueryFingerprint(records[i]);
+    sum += h;
+    xr ^= Mix64(h);
+  }
+  return Mix64(sum ^ Mix64(xr + static_cast<uint64_t>(batch.size())));
+}
 
 double ComputeWorkloadLabel(const std::vector<workloads::QueryRecord>& records,
                             const std::vector<uint32_t>& batch,

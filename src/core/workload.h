@@ -47,6 +47,28 @@ double ComputeWorkloadLabel(const std::vector<workloads::QueryRecord>& records,
                             const std::vector<uint32_t>& batch,
                             WorkloadLabel label);
 
+/// \name Workload fingerprints — the histogram-cache key.
+///
+/// Steady-state workloads re-submit the same query sets (same SQL, same
+/// plans), so their histograms are identical and rebuilding them repeats
+/// the featurize + template-assign work for nothing. These fingerprints
+/// give the serving layer a content-addressed key: a workload's fingerprint
+/// depends only on the *multiset* of member-query contents (SQL text, plan
+/// features, generator family — everything any template method reads), not
+/// on member order or on the queries' positions in the log.
+///
+/// 64-bit keys collide with birthday probability (~2^-32 per pair at cache
+/// scale), the standard content-addressed-cache tradeoff.
+/// @{
+
+/// Canonical 64-bit hash of one query's template-relevant content.
+uint64_t QueryFingerprint(const workloads::QueryRecord& record);
+
+/// Order-invariant combination of the member queries' fingerprints.
+uint64_t WorkloadFingerprint(const std::vector<workloads::QueryRecord>& records,
+                             const std::vector<uint32_t>& batch);
+/// @}
+
 }  // namespace wmp::core
 
 #endif  // WMP_CORE_WORKLOAD_H_

@@ -1,7 +1,9 @@
 #include "engine/batch_scorer.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "engine/histogram_cache.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -9,11 +11,16 @@ namespace wmp::engine {
 
 BatchScorer::BatchScorer(const core::LearnedWmpModel* model,
                          BatchScorerOptions options)
-    : model_(model), options_(options) {}
+    : model_(model),
+      options_(options),
+      stats_mutex_(std::make_unique<std::mutex>()) {}
 
 BatchScorer::BatchScorer(std::unique_ptr<core::LearnedWmpModel> owned,
                          BatchScorerOptions options)
-    : owned_(std::move(owned)), model_(owned_.get()), options_(options) {}
+    : owned_(std::move(owned)),
+      model_(owned_.get()),
+      options_(options),
+      stats_mutex_(std::make_unique<std::mutex>()) {}
 
 Result<BatchScorer> BatchScorer::FromFile(const std::string& path,
                                           BatchScorerOptions options) {
@@ -23,33 +30,89 @@ Result<BatchScorer> BatchScorer::FromFile(const std::string& path,
       std::make_unique<core::LearnedWmpModel>(std::move(model)), options);
 }
 
-Result<std::vector<double>> BatchScorer::ScoreWorkloads(
+BatchScorerStats BatchScorer::stats() const {
+  std::lock_guard<std::mutex> lock(*stats_mutex_);
+  return stats_;
+}
+
+Result<std::vector<double>> BatchScorer::ScoreWithCache(
     const std::vector<workloads::QueryRecord>& records,
-    const std::vector<core::WorkloadBatch>& batches) {
+    const std::vector<core::WorkloadBatch>& batches,
+    BatchScorerStats* stats) const {
+  const size_t k = static_cast<size_t>(model_->templates().num_templates());
+  ml::Matrix h(batches.size(), k);
+  // Fingerprinting hashes every member query's content; on large flushes
+  // it rivals featurize/assign, so spread it over the worker pool instead
+  // of serializing the dispatcher on it.
+  std::vector<uint64_t> keys(batches.size());
+  // Grain 1: a flush of few-but-large workloads (batch-1000 streams) still
+  // spreads its hashing across workers.
+  util::ParallelFor(batches.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t w = begin; w < end; ++w) {
+      keys[w] = core::WorkloadFingerprint(records, batches[w].query_indices);
+    }
+  });
+  std::vector<size_t> miss_rows;
+  for (size_t w = 0; w < batches.size(); ++w) {
+    if (options_.cache->Lookup(keys[w], h.RowPtr(w), k)) {
+      ++stats->cache_hits;
+    } else {
+      ++stats->cache_misses;
+      miss_rows.push_back(w);
+    }
+  }
+  if (!miss_rows.empty()) {
+    WMP_RETURN_IF_ERROR(
+        model_->BinWorkloadsInto(records, batches, miss_rows, &h));
+    for (size_t w : miss_rows) {
+      options_.cache->Insert(keys[w], h.RowPtr(w), k);
+    }
+  }
+  return model_->PredictFromHistogramMatrix(std::move(h));
+}
+
+Result<BatchScoreResult> BatchScorer::ScoreWorkloads(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<core::WorkloadBatch>& batches) const {
   util::ScopedParallelism scope(options_.num_threads);
-  stats_ = BatchScorerStats{};  // a failed call must not leave stale stats
+  {
+    // A failed call must not leave the legacy last-call getter reporting a
+    // previous call's throughput.
+    std::lock_guard<std::mutex> lock(*stats_mutex_);
+    stats_ = BatchScorerStats{};
+  }
+  BatchScoreResult result;
   Stopwatch sw;
-  WMP_ASSIGN_OR_RETURN(std::vector<double> predictions,
-                       model_->PredictWorkloads(records, batches));
+  if (options_.cache != nullptr && !batches.empty()) {
+    WMP_ASSIGN_OR_RETURN(result.predictions,
+                         ScoreWithCache(records, batches, &result.stats));
+  } else {
+    WMP_ASSIGN_OR_RETURN(result.predictions,
+                         model_->PredictWorkloads(records, batches));
+  }
   const double elapsed_ms = sw.ElapsedMillis();
 
   size_t num_queries = 0;
   for (const core::WorkloadBatch& b : batches) {
     num_queries += b.query_indices.size();
   }
-  stats_.num_workloads = batches.size();
-  stats_.num_queries = num_queries;
-  stats_.elapsed_ms = elapsed_ms;
+  result.stats.num_workloads = batches.size();
+  result.stats.num_queries = num_queries;
+  result.stats.elapsed_ms = elapsed_ms;
   const double elapsed_s = elapsed_ms / 1e3;
-  stats_.queries_per_sec =
+  result.stats.queries_per_sec =
       elapsed_s > 0.0 ? static_cast<double>(num_queries) / elapsed_s : 0.0;
-  stats_.workloads_per_sec =
+  result.stats.workloads_per_sec =
       elapsed_s > 0.0 ? static_cast<double>(batches.size()) / elapsed_s : 0.0;
-  return predictions;
+  {
+    std::lock_guard<std::mutex> lock(*stats_mutex_);
+    stats_ = result.stats;
+  }
+  return result;
 }
 
-Result<std::vector<double>> BatchScorer::ScoreLog(
-    const std::vector<workloads::QueryRecord>& records, int batch_size) {
+Result<BatchScoreResult> BatchScorer::ScoreLog(
+    const std::vector<workloads::QueryRecord>& records, int batch_size) const {
   if (batch_size < 1) {
     return Status::InvalidArgument("ScoreLog batch_size must be >= 1");
   }

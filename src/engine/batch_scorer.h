@@ -14,19 +14,28 @@
 /// `PredictWorkload` loop to within 1e-9 per workload.
 ///
 /// Threading model
-///  * The scorer itself is cheap: it borrows (or owns) the model and keeps
-///    only per-call statistics. `ScoreWorkloads` is reentrant with respect
-///    to the model (const, lock-free) but mutates the scorer's stats, so
-///    share a model across scorers, not one scorer across threads.
+///  * `ScoreWorkloads` is reentrant: the model is read const and lock-free,
+///    per-call statistics are returned by value in the `BatchScoreResult`,
+///    and the legacy last-call `stats()` snapshot is mutex-guarded — so one
+///    scorer may be shared across threads (the ScoringService shares one
+///    per shard).
 ///  * `BatchScorerOptions::num_threads` bounds the workers used for this
 ///    session's calls via a thread-local override (util::ScopedParallelism)
 ///    installed for the duration of each call — concurrent sessions on
 ///    different threads cannot race each other's budgets.
+///  * `BatchScorerOptions::cache` (optional, borrowed) short-circuits the
+///    featurize/assign/histogram front half for workloads whose
+///    fingerprint is cached; the regressor sees bit-identical histogram
+///    rows, so hit-path predictions are bitwise equal to cold-path ones.
+///    The cache is itself thread-safe and may be shared across scorers
+///    serving the SAME model.
 ///
-/// This is the layer later serving work builds on (async admission,
-/// sharded scoring, histogram cache reuse — see ROADMAP "Open items").
+/// This is the layer the serving work builds on: engine::ScoringService
+/// micro-batches concurrent client requests into ScoreWorkloads calls,
+/// one scorer per model shard (see scoring_service.h).
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,20 +44,38 @@
 
 namespace wmp::engine {
 
+class HistogramCache;
+
 /// Session configuration for a BatchScorer.
 struct BatchScorerOptions {
   /// Worker threads for this session's calls; 0 = library default (all
   /// hardware threads, or whatever util::SetDefaultParallelism chose).
   int num_threads = 0;
+  /// Optional histogram cache (borrowed; must outlive the scorer). When
+  /// set, ScoreWorkloads skips featurize/assign for fingerprint hits and
+  /// inserts every freshly-binned histogram. Share one cache only among
+  /// scorers over the same model.
+  HistogramCache* cache = nullptr;
 };
 
-/// Timing and throughput of the most recent ScoreWorkloads call.
+/// Timing and throughput of one ScoreWorkloads call.
 struct BatchScorerStats {
   size_t num_workloads = 0;
   size_t num_queries = 0;
   double elapsed_ms = 0.0;
   double queries_per_sec = 0.0;
   double workloads_per_sec = 0.0;
+  /// Histogram-cache outcome of this call (both 0 when no cache attached).
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+/// What one scoring call produced: per-workload predictions (MB), in input
+/// order, plus that call's own stats — returned by value so concurrent
+/// callers never observe each other's numbers.
+struct BatchScoreResult {
+  std::vector<double> predictions;
+  BatchScorerStats stats;
 };
 
 /// \brief A scoring session over one trained model.
@@ -62,30 +89,43 @@ class BatchScorer {
   static Result<BatchScorer> FromFile(const std::string& path,
                                       BatchScorerOptions options = {});
 
-  /// Predicts the memory demand (MB) of every workload in one batched pass;
-  /// one output per entry of `batches`, in order. Updates stats().
-  Result<std::vector<double>> ScoreWorkloads(
+  /// Predicts the memory demand (MB) of every workload in one batched
+  /// pass; one prediction per entry of `batches`, in order. Reentrant —
+  /// stats come back by value (and are also mirrored into the last-call
+  /// stats() snapshot).
+  Result<BatchScoreResult> ScoreWorkloads(
       const std::vector<workloads::QueryRecord>& records,
-      const std::vector<core::WorkloadBatch>& batches);
+      const std::vector<core::WorkloadBatch>& batches) const;
 
   /// Convenience: chops `[0, records.size())` into consecutive workloads of
   /// `batch_size` queries (the final partial workload included) and scores
   /// them all. Label fields of the implied batches are unset.
-  Result<std::vector<double>> ScoreLog(
-      const std::vector<workloads::QueryRecord>& records, int batch_size);
+  Result<BatchScoreResult> ScoreLog(
+      const std::vector<workloads::QueryRecord>& records, int batch_size) const;
 
   const core::LearnedWmpModel& model() const { return *model_; }
-  const BatchScorerStats& stats() const { return stats_; }
+  /// Last-call stats snapshot, kept for existing single-threaded callers;
+  /// concurrent callers should read the returned BatchScoreResult::stats.
+  BatchScorerStats stats() const;
   const BatchScorerOptions& options() const { return options_; }
 
  private:
   BatchScorer(std::unique_ptr<core::LearnedWmpModel> owned,
               BatchScorerOptions options);
 
+  // Cache-aware front half: histogram rows from the cache where
+  // fingerprints hit, BinWorkloadsInto for the misses.
+  Result<std::vector<double>> ScoreWithCache(
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<core::WorkloadBatch>& batches,
+      BatchScorerStats* stats) const;
+
   std::unique_ptr<core::LearnedWmpModel> owned_;  // set iff FromFile
   const core::LearnedWmpModel* model_ = nullptr;
   BatchScorerOptions options_;
-  BatchScorerStats stats_;
+  // Heap-held so the scorer stays movable (FromFile returns by value).
+  mutable std::unique_ptr<std::mutex> stats_mutex_;
+  mutable BatchScorerStats stats_;
 };
 
 /// Consecutive (unshuffled, unlabeled) workloads of `batch_size` over

@@ -1,0 +1,86 @@
+#include "engine/histogram_cache.h"
+
+#include <algorithm>
+
+namespace wmp::engine {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+HistogramCache::HistogramCache(HistogramCacheOptions options)
+    : capacity_(options.capacity) {
+  const size_t shards = RoundUpPow2(std::max<size_t>(options.num_shards, 1));
+  shard_mask_ = shards - 1;
+  shards_ = std::make_unique<Shard[]>(shards);
+  // Split the budget evenly; round up so small capacities still admit one
+  // entry per shard rather than zero.
+  per_shard_capacity_ = capacity_ == 0 ? 0 : (capacity_ + shards - 1) / shards;
+}
+
+bool HistogramCache::Lookup(uint64_t key, double* out, size_t len) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end() && it->second->bins.size() == len) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      std::copy(it->second->bins.begin(), it->second->bins.end(), out);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void HistogramCache::Insert(uint64_t key, const double* histogram, size_t len) {
+  if (per_shard_capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh: same fingerprint means same content; just bump recency (and
+    // overwrite defensively in case of a width change).
+    it->second->bins.assign(histogram, histogram + len);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::vector<double>(histogram, histogram + len)});
+  shard.index.emplace(key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  size_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void HistogramCache::Clear() {
+  for (size_t s = 0; s <= shard_mask_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    size_.fetch_sub(shards_[s].lru.size(), std::memory_order_relaxed);
+    shards_[s].lru.clear();
+    shards_[s].index.clear();
+  }
+}
+
+HistogramCacheStats HistogramCache::stats() const {
+  HistogramCacheStats st;
+  st.hits = hits_.load(std::memory_order_relaxed);
+  st.misses = misses_.load(std::memory_order_relaxed);
+  st.insertions = insertions_.load(std::memory_order_relaxed);
+  st.evictions = evictions_.load(std::memory_order_relaxed);
+  st.size = size_.load(std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace wmp::engine

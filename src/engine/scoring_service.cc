@@ -1,0 +1,233 @@
+#include "engine/scoring_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace wmp::engine {
+
+namespace {
+
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t current = target->load(std::memory_order_relaxed);
+  while (current < value &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ScoringService::ScoringService(
+    std::vector<const core::LearnedWmpModel*> models,
+    ScoringServiceOptions options)
+    : options_(options) {
+  if (models.empty()) models.push_back(nullptr);  // degenerate, errors at use
+  options_.max_batch = std::max<size_t>(options_.max_batch, 1);
+  options_.max_delay_us = std::max<int64_t>(options_.max_delay_us, 0);
+  shards_.reserve(models.size());
+  for (const core::LearnedWmpModel* model : models) {
+    auto shard = std::make_unique<Shard>();
+    shard->model = model;
+    if (options_.cache_capacity > 0) {
+      HistogramCacheOptions copt;
+      copt.capacity = options_.cache_capacity;
+      copt.num_shards = options_.cache_shards;
+      shard->cache = std::make_unique<HistogramCache>(copt);
+    }
+    BatchScorerOptions sopt;
+    sopt.num_threads = options_.num_threads;
+    sopt.cache = shard->cache.get();
+    shard->scorer = std::make_unique<BatchScorer>(model, sopt);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->dispatcher =
+        std::thread([this, s = shard.get()] { DispatcherLoop(s); });
+  }
+}
+
+ScoringService::~ScoringService() { Stop(); }
+
+size_t ScoringService::ShardForTenant(std::string_view tenant) const {
+  return static_cast<size_t>(util::HashString(tenant) % shards_.size());
+}
+
+std::future<Result<double>> ScoringService::Submit(
+    std::string_view tenant,
+    const std::vector<workloads::QueryRecord>& records,
+    std::vector<uint32_t> query_indices) {
+  return SubmitToShard(ShardForTenant(tenant), records,
+                       std::move(query_indices));
+}
+
+std::future<Result<double>> ScoringService::SubmitToShard(
+    size_t shard_index, const std::vector<workloads::QueryRecord>& records,
+    std::vector<uint32_t> query_indices) {
+  auto request = std::make_unique<Request>();
+  request->records = &records;
+  request->batch.query_indices = std::move(query_indices);
+  request->submit_time = std::chrono::steady_clock::now();
+  std::future<Result<double>> future = request->promise.get_future();
+  if (shard_index >= shards_.size()) {
+    request->promise.set_value(
+        Status::InvalidArgument("shard index out of range"));
+    return future;
+  }
+  // Validate at the trust boundary: downstream featurization indexes the
+  // log unchecked (its callers own their batches), and one bad client
+  // request must not take down the dispatcher.
+  for (uint32_t qi : request->batch.query_indices) {
+    if (qi >= records.size()) {
+      request->promise.set_value(Status::OutOfRange(
+          "workload query index outside the submitted log"));
+      return future;
+    }
+  }
+  Shard& shard = *shards_[shard_index];
+  // Count before Push: the dispatcher may complete the request the moment
+  // it lands, and stats() must never show completed > submitted.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!shard.queue.Push(std::move(request))) {
+    // Queue closed: the service is stopping. The rejected request (and its
+    // promise) is gone, so hand back a fresh, already-resolved future.
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    std::promise<Result<double>> dead;
+    dead.set_value(Status::FailedPrecondition("scoring service stopped"));
+    return dead.get_future();
+  }
+  AtomicMax(&max_queue_depth_, shard.queue.size());
+  return future;
+}
+
+void ScoringService::Fulfill(Request* request, Result<double> outcome) {
+  const auto now = std::chrono::steady_clock::now();
+  const uint64_t latency_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now - request->submit_time)
+          .count());
+  total_latency_us_.fetch_add(latency_us, std::memory_order_relaxed);
+  AtomicMax(&max_latency_us_, latency_us);
+  if (outcome.ok()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  request->promise.set_value(std::move(outcome));
+}
+
+void ScoringService::Flush(Shard* shard,
+                           std::vector<std::unique_ptr<Request>>* requests) {
+  if (requests->empty()) return;
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  if (shard->model == nullptr) {
+    for (auto& req : *requests) {
+      Fulfill(req.get(),
+              Status::FailedPrecondition("scoring service has no model"));
+    }
+    return;
+  }
+  // Group by query-log vector: one ScoreWorkloads call per distinct log in
+  // the flush (clients of one deployment share a log, so normally exactly
+  // one group — the single micro-batched scoring call per shard and flush).
+  std::vector<const std::vector<workloads::QueryRecord>*> logs;
+  std::vector<std::vector<std::unique_ptr<Request>>> groups;
+  for (auto& req : *requests) {
+    size_t g = 0;
+    while (g < logs.size() && logs[g] != req->records) ++g;
+    if (g == logs.size()) {
+      logs.push_back(req->records);
+      groups.emplace_back();
+    }
+    groups[g].push_back(std::move(req));
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    std::vector<core::WorkloadBatch> batches;
+    batches.reserve(groups[g].size());
+    // Move, don't copy: the requests no longer need their index lists, and
+    // the rare rescore path below reads batches[m] (still in scope).
+    for (auto& req : groups[g]) batches.push_back(std::move(req->batch));
+    auto result = shard->scorer->ScoreWorkloads(*logs[g], batches);
+    if (result.ok()) {
+      cache_hits_.fetch_add(result->stats.cache_hits,
+                            std::memory_order_relaxed);
+      cache_misses_.fetch_add(result->stats.cache_misses,
+                              std::memory_order_relaxed);
+      for (size_t m = 0; m < groups[g].size(); ++m) {
+        Fulfill(groups[g][m].get(), result->predictions[m]);
+      }
+    } else {
+      // Batch-level failure (e.g. one empty workload fails a
+      // variable-length model's whole histogram pass, or the model itself
+      // errors): isolate it by rescoring one by one so only the offending
+      // futures carry the error. The rescore's cache lookups are NOT
+      // counted: they would re-hit histograms the failed attempt just
+      // inserted and report a bogus 100% hit rate for a cold flush (and an
+      // errored call returns no stats to forward), so failed flushes
+      // simply contribute nothing to the cache counters.
+      for (size_t m = 0; m < groups[g].size(); ++m) {
+        auto one = shard->scorer->ScoreWorkloads(*logs[g], {batches[m]});
+        if (one.ok()) {
+          Fulfill(groups[g][m].get(), one->predictions.front());
+        } else {
+          Fulfill(groups[g][m].get(), one.status());
+        }
+      }
+    }
+  }
+}
+
+void ScoringService::DispatcherLoop(Shard* shard) {
+  std::vector<std::unique_ptr<Request>> batch;
+  for (;;) {
+    batch.clear();
+    if (shard->queue.WaitNonEmpty() == util::QueueWait::kClosed) break;
+    // Collect until the flush fills or its delay budget runs out. The
+    // budget starts at first arrival, so an idle service adds no latency
+    // to a lone request beyond one max_delay_us window.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(options_.max_delay_us);
+    shard->queue.PopSome(options_.max_batch, &batch);
+    while (batch.size() < options_.max_batch) {
+      const util::QueueWait wait = shard->queue.WaitNonEmptyUntil(deadline);
+      if (wait != util::QueueWait::kReady) break;
+      shard->queue.PopSome(options_.max_batch - batch.size(), &batch);
+    }
+    Flush(shard, &batch);
+  }
+  // Closed: drain whatever raced in before Close and score it.
+  batch.clear();
+  while (shard->queue.PopSome(options_.max_batch, &batch) > 0) {
+    Flush(shard, &batch);
+    batch.clear();
+  }
+}
+
+void ScoringService::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  stopped_.store(true, std::memory_order_relaxed);
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->dispatcher.joinable()) shard->dispatcher.join();
+  }
+}
+
+ServiceStats ScoringService::stats() const {
+  ServiceStats st;
+  st.submitted = submitted_.load(std::memory_order_relaxed);
+  st.completed = completed_.load(std::memory_order_relaxed);
+  st.failed = failed_.load(std::memory_order_relaxed);
+  st.flushes = flushes_.load(std::memory_order_relaxed);
+  st.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  st.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  st.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  st.total_latency_us = total_latency_us_.load(std::memory_order_relaxed);
+  st.max_latency_us = max_latency_us_.load(std::memory_order_relaxed);
+  uint64_t depth = 0;
+  for (const auto& shard : shards_) depth += shard->queue.size();
+  st.queue_depth = depth;
+  return st;
+}
+
+}  // namespace wmp::engine

@@ -1,0 +1,195 @@
+#ifndef WMP_ENGINE_SCORING_SERVICE_H_
+#define WMP_ENGINE_SCORING_SERVICE_H_
+
+/// \file scoring_service.h
+/// Asynchronous, sharded scoring service: the serving layer between
+/// concurrent clients (a DBMS admission controller, the paper's §I
+/// deployment story) and the batched inference path (engine::BatchScorer).
+///
+/// Architecture
+///
+///     clients ──Submit()──▶ router ──▶ per-shard MPSC queue ──▶ dispatcher
+///                                                                   │
+///                          future ◀── promise ◀── BatchScorer ◀─────┘
+///                                        (histogram cache in front)
+///
+///  * **Async submission.** `Submit` enqueues one workload and returns a
+///    `std::future<Result<double>>` immediately; clients overlap their own
+///    work (or thousands of peers) with scoring.
+///  * **Sharded scoring.** The service hosts one trained model per shard —
+///    per tenant, per benchmark, or replicas of one model — with a
+///    dedicated dispatcher thread and `BatchScorer` each. The router hashes
+///    the tenant/model key to a shard, so multiple models serve
+///    concurrently. Dispatchers issue their parallel work through the
+///    process-wide util/parallel.h pool, so shards share worker threads
+///    instead of oversubscribing cores.
+///  * **Cross-client micro-batching.** A dispatcher drains its queue into
+///    one flush when either `max_batch` workloads are pending or
+///    `max_delay_us` has elapsed since the flush began collecting — the
+///    classic throughput/latency admission knob. Every flush is scored by a
+///    single `BatchScorer::ScoreWorkloads` call (per distinct query-log
+///    vector), so requests from unrelated clients amortize featurization
+///    and regression exactly like one big offline batch.
+///  * **Histogram cache.** Each shard owns a sharded-LRU
+///    `engine::HistogramCache` keyed by `core::WorkloadFingerprint`;
+///    steady-state repeated workloads skip featurize/assign entirely, and
+///    hit-path predictions are bitwise identical to cold-path ones.
+///  * **Clean shutdown.** `Stop` (or the destructor) closes the queues,
+///    scores everything already accepted, fulfills every promise, and joins
+///    the dispatchers — no future is ever abandoned. Submissions after Stop
+///    resolve immediately with FailedPrecondition.
+///  * **Failure isolation.** Requests are validated at the Submit trust
+///    boundary (query indices must lie inside the submitted log — the
+///    featurizers index it unchecked). If a flush still fails as a batch
+///    (e.g. an empty workload poisons a variable-length model's histogram
+///    pass), the dispatcher rescores that flush request-by-request so only
+///    the offending futures carry the error.
+///
+/// Thread-safety: `Submit`/`SubmitToShard`/`stats` are safe from any number
+/// of threads for the service's whole lifetime.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/learned_wmp.h"
+#include "core/workload.h"
+#include "engine/batch_scorer.h"
+#include "engine/histogram_cache.h"
+#include "util/mpsc_queue.h"
+
+namespace wmp::engine {
+
+/// Serving knobs. Defaults favor throughput under concurrency while
+/// keeping worst-case added latency at a fraction of a typical flush.
+struct ScoringServiceOptions {
+  /// Flush a shard's pending requests once this many are collected.
+  size_t max_batch = 64;
+  /// ... or once this many microseconds passed since the flush started
+  /// collecting, whichever comes first.
+  int64_t max_delay_us = 200;
+  /// Histogram-cache entries per shard; 0 disables caching.
+  size_t cache_capacity = 4096;
+  /// Lock shards inside each per-shard cache.
+  size_t cache_shards = 8;
+  /// Worker-pool budget for each dispatcher's scoring calls; 0 = library
+  /// default. Shards share the process-wide pool either way.
+  int num_threads = 0;
+};
+
+/// Point-in-time service counters (monotonic except queue_depth).
+struct ServiceStats {
+  uint64_t submitted = 0;   ///< requests accepted into a queue
+  uint64_t completed = 0;   ///< futures fulfilled with a prediction
+  uint64_t failed = 0;      ///< futures fulfilled with an error
+  uint64_t flushes = 0;     ///< dispatcher scoring cycles
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t max_queue_depth = 0;  ///< high-water mark of any shard queue
+  uint64_t queue_depth = 0;      ///< currently pending across shards
+  uint64_t total_latency_us = 0; ///< sum of submit→fulfill times
+  uint64_t max_latency_us = 0;
+
+  double avg_batch() const {
+    return flushes > 0 ? static_cast<double>(completed + failed) /
+                             static_cast<double>(flushes)
+                       : 0.0;
+  }
+  double avg_latency_us() const {
+    const uint64_t n = completed + failed;
+    return n > 0 ? static_cast<double>(total_latency_us) /
+                       static_cast<double>(n)
+                 : 0.0;
+  }
+  double cache_hit_rate() const {
+    const uint64_t n = cache_hits + cache_misses;
+    return n > 0 ? static_cast<double>(cache_hits) / static_cast<double>(n)
+                 : 0.0;
+  }
+};
+
+/// \brief Async sharded scoring front end over one or more trained models.
+class ScoringService {
+ public:
+  /// One shard per entry of `models` (at least one): distinct per-tenant
+  /// models, or the same pointer repeated to spread one model's dispatch
+  /// over several queues. Models are borrowed and must be trained and
+  /// outlive the service.
+  explicit ScoringService(std::vector<const core::LearnedWmpModel*> models,
+                          ScoringServiceOptions options = {});
+  ~ScoringService();
+  ScoringService(const ScoringService&) = delete;
+  ScoringService& operator=(const ScoringService&) = delete;
+
+  /// Enqueues one workload (member rows of `records`) for the shard
+  /// `ShardForTenant(tenant)` and returns a future for its predicted
+  /// memory demand (MB). `records` is borrowed and must stay alive and
+  /// unmodified until the future resolves.
+  std::future<Result<double>> Submit(
+      std::string_view tenant,
+      const std::vector<workloads::QueryRecord>& records,
+      std::vector<uint32_t> query_indices);
+
+  /// Same, addressed straight to a shard (callers that already routed).
+  std::future<Result<double>> SubmitToShard(
+      size_t shard, const std::vector<workloads::QueryRecord>& records,
+      std::vector<uint32_t> query_indices);
+
+  /// Stable tenant/model-key router: util::HashString(tenant) mod shards.
+  size_t ShardForTenant(std::string_view tenant) const;
+
+  /// Closes the queues, scores everything accepted, joins the dispatchers.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  ServiceStats stats() const;
+  bool stopped() const { return stopped_.load(std::memory_order_relaxed); }
+  size_t num_shards() const { return shards_.size(); }
+  const core::LearnedWmpModel& model(size_t shard) const {
+    return *shards_[shard]->model;
+  }
+
+ private:
+  struct Request {
+    const std::vector<workloads::QueryRecord>* records;
+    core::WorkloadBatch batch;
+    std::promise<Result<double>> promise;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+  struct Shard {
+    const core::LearnedWmpModel* model = nullptr;
+    std::unique_ptr<HistogramCache> cache;  // null when caching disabled
+    std::unique_ptr<BatchScorer> scorer;
+    util::MpscQueue<std::unique_ptr<Request>> queue;
+    std::thread dispatcher;
+  };
+
+  void DispatcherLoop(Shard* shard);
+  void Flush(Shard* shard, std::vector<std::unique_ptr<Request>>* requests);
+  void Fulfill(Request* request, Result<double> outcome);
+
+  ScoringServiceOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex stop_mutex_;  // serializes Stop vs destructor
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};
+  std::atomic<uint64_t> total_latency_us_{0};
+  std::atomic<uint64_t> max_latency_us_{0};
+};
+
+}  // namespace wmp::engine
+
+#endif  // WMP_ENGINE_SCORING_SERVICE_H_

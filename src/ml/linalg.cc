@@ -112,21 +112,40 @@ void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
   for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
 }
 
+// Register-blocked: four independent accumulator chains over the dimension
+// axis, so the adds interleave in the pipeline (and vectorize cleanly)
+// instead of serializing on one `acc += d*d` dependency. The kmeans
+// assignment scan — the batch-inference profile's hot spot — spends nearly
+// all its time here. The (s0+s1)+(s2+s3)+tail reduction order is fixed and
+// shared with NearestCentroids below, which is what keeps batch and scalar
+// template assignments bitwise identical.
 double SquaredDistance(const double* a, const double* b, size_t n) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - b[i];
+    s0 += d0 * d0;
+    const double d1 = a[i + 1] - b[i + 1];
+    s1 += d1 * d1;
+    const double d2 = a[i + 2] - b[i + 2];
+    s2 += d2 * d2;
+    const double d3 = a[i + 3] - b[i + 3];
+    s3 += d3 * d3;
   }
-  return acc;
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    tail += d * d;
+  }
+  return ((s0 + s1) + (s2 + s3)) + tail;
 }
 
 namespace {
 
-// Four rows against every centroid: the four accumulator chains are
-// independent, so they interleave in the pipeline instead of serializing on
-// one `sum += t*t` dependency. Accumulation order per (row, centroid) pair
-// is exactly SquaredDistance's.
+// Four rows against every centroid: the centroid row streams through cache
+// once per 4-row block, and each (row, centroid) distance runs through
+// SquaredDistance itself — same 4-wide kernel, same accumulation order —
+// so labels agree bitwise with a naive per-row scan.
 void NearestCentroids4(const double* x0, const double* x1, const double* x2,
                        const double* x3, const Matrix& centroids,
                        int* labels) {
@@ -135,18 +154,10 @@ void NearestCentroids4(const double* x0, const double* x1, const double* x2,
   int l0 = 0, l1 = 0, l2 = 0, l3 = 0;
   for (size_t c = 0; c < k; ++c) {
     const double* cc = centroids.RowPtr(c);
-    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      const double cj = cc[j];
-      const double t0 = x0[j] - cj;
-      s0 += t0 * t0;
-      const double t1 = x1[j] - cj;
-      s1 += t1 * t1;
-      const double t2 = x2[j] - cj;
-      s2 += t2 * t2;
-      const double t3 = x3[j] - cj;
-      s3 += t3 * t3;
-    }
+    const double s0 = SquaredDistance(x0, cc, d);
+    const double s1 = SquaredDistance(x1, cc, d);
+    const double s2 = SquaredDistance(x2, cc, d);
+    const double s3 = SquaredDistance(x3, cc, d);
     const int ci = static_cast<int>(c);
     if (s0 < b0) { b0 = s0; l0 = ci; }
     if (s1 < b1) { b1 = s1; l1 = ci; }

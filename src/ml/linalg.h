@@ -82,16 +82,21 @@ double Norm2(const std::vector<double>& v);
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
 
 /// Squared Euclidean distance between two equal-length buffers.
+///
+/// Register-blocked: the inner loop runs four independent accumulator
+/// chains over the dimension axis (SIMD-friendly; the compiler's
+/// vectorizer maps them onto packed lanes) with a fixed reduction order,
+/// so repeated calls on the same buffers are bitwise reproducible.
 double SquaredDistance(const double* a, const double* b, size_t n);
 
 /// \brief Nearest-centroid labels for a contiguous row block — the batch
 /// assignment kernel shared by k-means and DBSCAN template assignment.
 ///
 /// `rows` is a row-major `n x centroids.cols()` block. Rows are processed
-/// four at a time so the four independent distance accumulations interleave
-/// in the pipeline (the serial `sum += t*t` chain is the scalar kernel's
-/// bottleneck); the per-(row, centroid) accumulation order is exactly
-/// SquaredDistance's, so labels are bitwise identical to a naive scan.
+/// four at a time so each centroid row streams through cache once per
+/// block; every (row, centroid) distance goes through SquaredDistance's
+/// 4-wide kernel with its fixed reduction order, so labels are bitwise
+/// identical to a naive per-row scan.
 void NearestCentroids(const double* rows, size_t n, const Matrix& centroids,
                       int* labels);
 

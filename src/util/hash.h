@@ -1,0 +1,52 @@
+#ifndef WMP_UTIL_HASH_H_
+#define WMP_UTIL_HASH_H_
+
+/// \file hash.h
+/// Shared non-cryptographic hashing primitives for the serving layer:
+/// query/workload content fingerprints (the histogram-cache key) and
+/// tenant routing. In-process stability is the only contract — nothing
+/// here is persisted or sent over a wire.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace wmp::util {
+
+/// splitmix64 finalizer: cheap, well-mixed, and stable across platforms.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Word-at-a-time content hash: one splitmix64 round per 8-byte chunk.
+/// Fingerprinting sits on the serving hot path (every submitted workload
+/// keys the histogram cache off its member queries), so bytes are consumed
+/// eight at a time rather than with a byte-loop FNV.
+inline uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ (0x9E3779B97F4A7C15ull * (len + 1));
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, p + i, sizeof(word));
+    h = Mix64(h ^ word);
+  }
+  uint64_t tail = 0;
+  for (size_t shift = 0; i < len; ++i, shift += 8) {
+    tail |= static_cast<uint64_t>(p[i]) << shift;
+  }
+  return Mix64(h ^ tail);
+}
+
+/// Convenience overload for string keys (tenant routing).
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+}  // namespace wmp::util
+
+#endif  // WMP_UTIL_HASH_H_

@@ -1,0 +1,124 @@
+#ifndef WMP_UTIL_MPSC_QUEUE_H_
+#define WMP_UTIL_MPSC_QUEUE_H_
+
+/// \file mpsc_queue.h
+/// Multi-producer / single-consumer request queue for the async serving
+/// layer (engine::ScoringService).
+///
+/// Producers (client threads calling Submit) push from any thread; one
+/// dispatcher thread drains. The consumer-side API is shaped for
+/// micro-batching: wait until something is pending (optionally with a
+/// deadline, the dispatcher's `max_delay` flush knob), then pop up to
+/// `max_batch` items in one call.
+///
+/// Close() makes further pushes fail and wakes the consumer so it can drain
+/// the remaining items and exit — the service's clean-shutdown path: every
+/// queued request is still scored, no future is ever abandoned.
+///
+/// Implementation: mutex + condition variable over a deque. The queue
+/// carries pointers/requests, not work; scoring dominates end-to-end cost,
+/// so a lock-free MPSC list would buy nothing measurable here while losing
+/// the timed-wait the dispatcher needs.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace wmp::util {
+
+/// Outcome of a consumer-side wait.
+enum class QueueWait {
+  kReady,    ///< at least one item is pending
+  kTimeout,  ///< deadline passed with the queue still empty
+  kClosed,   ///< queue closed and fully drained — consumer should exit
+};
+
+/// \brief Unbounded MPSC queue. `T` must be movable.
+///
+/// Thread-safety: Push/Close/size from any thread; the blocking waits and
+/// PopSome are intended for the single consumer (they are mutually
+/// thread-safe too, but batching semantics assume one drainer).
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() = default;
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueues `value`. Returns false (dropping nothing but accepting
+  /// nothing) iff the queue is closed.
+  bool Push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Closes the queue: subsequent pushes fail, waiting consumers wake.
+  /// Items already queued remain poppable (drain-then-exit shutdown).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until an item is pending or the queue is closed-and-empty.
+  QueueWait WaitNonEmpty() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return items_.empty() ? QueueWait::kClosed : QueueWait::kReady;
+  }
+
+  /// Blocks until an item is pending, `deadline` passes, or the queue is
+  /// closed-and-empty.
+  QueueWait WaitNonEmptyUntil(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool signalled = cv_.wait_until(
+        lock, deadline, [&] { return !items_.empty() || closed_; });
+    if (!items_.empty()) return QueueWait::kReady;
+    return signalled ? QueueWait::kClosed : QueueWait::kTimeout;
+  }
+
+  /// Pops up to `max` items, appending them to `*out`. Non-blocking.
+  /// Returns the number popped.
+  size_t PopSome(size_t max, std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t popped = 0;
+    while (popped < max && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++popped;
+    }
+    return popped;
+  }
+
+  /// Items currently pending (racy by nature; for stats/monitoring).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace wmp::util
+
+#endif  // WMP_UTIL_MPSC_QUEUE_H_

@@ -1,0 +1,28 @@
+#ifndef WMP_UTIL_STATS_H_
+#define WMP_UTIL_STATS_H_
+
+/// \file stats.h
+/// Tiny sample-statistics helpers shared by the serving benches and
+/// wmpctl's serve-bench reporter, so the percentile convention (nearest
+/// rank) lives in exactly one place.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace wmp::util {
+
+/// Nearest-rank percentile (`p` in [0, 1]) of a sample; sorts `*samples`
+/// in place and returns 0 for an empty sample.
+inline double PercentileInPlace(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  const size_t i =
+      std::min(samples->size() - 1,
+               static_cast<size_t>(p * static_cast<double>(samples->size())));
+  return (*samples)[i];
+}
+
+}  // namespace wmp::util
+
+#endif  // WMP_UTIL_STATS_H_

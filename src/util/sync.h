@@ -1,0 +1,56 @@
+#ifndef WMP_UTIL_SYNC_H_
+#define WMP_UTIL_SYNC_H_
+
+/// \file sync.h
+/// Small synchronization helpers for the serving layer and its harnesses.
+///
+/// `Latch` is a single-use countdown barrier (the shape of C++20's
+/// std::latch, kept local so the toolchain floor stays what CMake already
+/// requires): the serve benches and concurrency tests use it to release N
+/// client threads simultaneously so the dispatcher sees genuinely
+/// concurrent submissions rather than a staggered trickle.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace wmp::util {
+
+/// \brief Single-use countdown latch.
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  /// Decrements the count; at zero, releases all waiters.
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  /// Blocks until the count reaches zero.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  /// CountDown() then Wait() — the "start line" idiom for worker threads.
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (count_ > 0 && --count_ == 0) {
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+}  // namespace wmp::util
+
+#endif  // WMP_UTIL_SYNC_H_

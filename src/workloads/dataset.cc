@@ -78,14 +78,16 @@ Result<Dataset> BuildDataset(Benchmark benchmark,
     dataset.records.push_back(std::move(record));
   }
 
-  // Phase 2 (parallel — pure per-plan analyses): TR2 featurization and the
-  // DBMS heuristic estimate run on the worker pool.
+  // Phase 2 (parallel — pure per-plan analyses): TR2 featurization, the
+  // DBMS heuristic estimate, and the serving-layer content fingerprint run
+  // on the worker pool.
   util::ParallelFor(n, 32, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       QueryRecord& record = dataset.records[i];
       record.plan_features = plan::ExtractPlanFeatures(*record.plan);
       record.dbms_estimate_mb =
           engine::DbmsEstimateMemoryMb(*record.plan, options.dbms);
+      record.content_fingerprint = ContentFingerprint(record);
     }
   });
 

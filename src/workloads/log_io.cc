@@ -117,6 +117,8 @@ Result<std::vector<QueryRecord>> ParseQueryLog(const std::string& text) {
   if (records.empty()) {
     return Status::InvalidArgument("query log contains no records");
   }
+  // Memoize the serving-layer content hash while the rows are hot.
+  FingerprintRecords(&records);
   return records;
 }
 

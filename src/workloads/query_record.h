@@ -32,6 +32,12 @@ struct QueryRecord {
   /// Generator family the query was instantiated from (for rule-based
   /// templates and diagnostics; the learned pipeline never reads it).
   int family_id = -1;
+  /// Memoized ContentFingerprint() (0 = not yet computed). The dataset
+  /// builder and log loader fill it once so the serving layer's workload
+  /// fingerprints (core::WorkloadFingerprint, the histogram-cache key)
+  /// combine precomputed words instead of re-hashing query text per
+  /// submission.
+  uint64_t content_fingerprint = 0;
 
   QueryRecord() = default;
   QueryRecord(QueryRecord&&) = default;
@@ -42,6 +48,15 @@ struct QueryRecord {
 
 /// One-line diagnostic summary ("family=12 mem=38.2MB est=12.1MB ops=9").
 std::string SummarizeRecord(const QueryRecord& record);
+
+/// Canonical 64-bit hash of the record's template-relevant content: SQL
+/// text, plan features (by bit pattern), and generator family — everything
+/// any template method reads. Ignores the memoized field; stable within a
+/// process, which is all a cache key needs.
+uint64_t ContentFingerprint(const QueryRecord& record);
+
+/// Fills `content_fingerprint` for every record (parallel over rows).
+void FingerprintRecords(std::vector<QueryRecord>* records);
 
 }  // namespace wmp::workloads
 

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/featurizer.h"
@@ -17,6 +18,7 @@
 #include "core/learned_wmp.h"
 #include "core/template_learner.h"
 #include "engine/batch_scorer.h"
+#include "engine/histogram_cache.h"
 #include "ml/regressor.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -155,6 +157,27 @@ TEST(HistogramMatrixTest, MatchesPerWorkloadBuildHistogram) {
       EXPECT_DOUBLE_EQ(h->At(w, c), (*expected)[c]) << "w=" << w << " c=" << c;
     }
   }
+}
+
+TEST(HistogramMatrixTest, BuildHistogramRowsScattersAndValidates) {
+  const std::vector<int> ids = {0, 2, 1, 2};
+  const std::vector<size_t> offsets = {0, 2, 4};
+  ml::Matrix out(4, 3);
+  out.At(1, 0) = 99.0;  // must stay untouched (not a target row)
+  // Scatter workload 0 -> row 3, workload 1 -> row 0.
+  ASSERT_TRUE(core::BuildHistogramRows(ids, offsets, 3, {3, 0}, &out).ok());
+  EXPECT_DOUBLE_EQ(out.At(3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out.At(3, 2), 1.0);
+  EXPECT_DOUBLE_EQ(out.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(out.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(out.At(1, 0), 99.0);
+  // Target rows are filled concurrently: duplicates and out-of-range rows
+  // are rejected, as are row_map/offsets size mismatches.
+  EXPECT_FALSE(core::BuildHistogramRows(ids, offsets, 3, {2, 2}, &out).ok());
+  EXPECT_FALSE(core::BuildHistogramRows(ids, offsets, 3, {9, 0}, &out).ok());
+  EXPECT_FALSE(core::BuildHistogramRows(ids, offsets, 3, {0}, &out).ok());
+  ml::Matrix narrow(4, 2);
+  EXPECT_FALSE(core::BuildHistogramRows(ids, offsets, 3, {3, 0}, &narrow).ok());
 }
 
 TEST(HistogramMatrixTest, RejectsBadIdsAndOffsets) {
@@ -301,17 +324,23 @@ TEST_F(BatchPipelineTest, BatchScorerMatchesScalarLoopAndReportsStats) {
   engine::BatchScorer scorer(&model);
   auto scores = scorer.ScoreLog(dataset_->records, 10);
   ASSERT_TRUE(scores.ok()) << scores.status().ToString();
-  EXPECT_EQ(scores->size(), 40u);
+  EXPECT_EQ(scores->predictions.size(), 40u);
+  // Stats arrive by value with the result...
+  EXPECT_EQ(scores->stats.num_workloads, 40u);
+  EXPECT_EQ(scores->stats.num_queries, 400u);
+  EXPECT_GT(scores->stats.queries_per_sec, 0.0);
+  EXPECT_EQ(scores->stats.cache_hits, 0u);  // no cache attached
+  EXPECT_EQ(scores->stats.cache_misses, 0u);
+  // ...and the legacy last-call getter still mirrors them.
   EXPECT_EQ(scorer.stats().num_workloads, 40u);
   EXPECT_EQ(scorer.stats().num_queries, 400u);
-  EXPECT_GT(scorer.stats().queries_per_sec, 0.0);
 
   const auto batches = engine::MakeConsecutiveBatches(400, 10);
   for (size_t b = 0; b < batches.size(); ++b) {
     auto one =
         model.PredictWorkload(dataset_->records, batches[b].query_indices);
     ASSERT_TRUE(one.ok());
-    EXPECT_NEAR((*scores)[b], *one, 1e-9);
+    EXPECT_NEAR(scores->predictions[b], *one, 1e-9);
   }
 }
 
@@ -326,9 +355,80 @@ TEST_F(BatchPipelineTest, BatchScorerThreadOptionsAgree) {
   auto pn = sn.ScoreLog(dataset_->records, 25);
   ASSERT_TRUE(p1.ok());
   ASSERT_TRUE(pn.ok());
-  ASSERT_EQ(p1->size(), pn->size());
-  for (size_t i = 0; i < p1->size(); ++i) {
-    EXPECT_NEAR((*p1)[i], (*pn)[i], 1e-9) << i;
+  ASSERT_EQ(p1->predictions.size(), pn->predictions.size());
+  for (size_t i = 0; i < p1->predictions.size(); ++i) {
+    EXPECT_NEAR(p1->predictions[i], pn->predictions[i], 1e-9) << i;
+  }
+}
+
+// One scorer shared by concurrent threads: ScoreWorkloads is const and
+// returns stats by value, so per-call numbers never interleave.
+TEST_F(BatchPipelineTest, BatchScorerIsReentrant) {
+  const core::LearnedWmpModel model = TrainSmall(ml::RegressorKind::kRidge);
+  const engine::BatchScorer scorer(&model);
+  auto baseline = scorer.ScoreLog(dataset_->records, 10);
+  ASSERT_TRUE(baseline.ok());
+
+  constexpr int kThreads = 4, kReps = 5;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    // Distinct batch sizes per thread so concurrent calls produce
+    // different stats — interleaving would be visible.
+    const int batch_size = 10 + t * 5;
+    threads.emplace_back([&, batch_size] {
+      for (int r = 0; r < kReps; ++r) {
+        auto res = scorer.ScoreLog(dataset_->records, batch_size);
+        if (!res.ok() ||
+            res->stats.num_workloads != res->predictions.size() ||
+            res->stats.num_queries != 400u) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        if (batch_size == 10) {
+          for (size_t i = 0; i < res->predictions.size(); ++i) {
+            if (res->predictions[i] != baseline->predictions[i]) {
+              mismatches.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// With a histogram cache attached, a repeated scoring pass hits for every
+// workload and reproduces the cold pass bitwise.
+TEST_F(BatchPipelineTest, BatchScorerCacheHitsAreBitwiseIdentical) {
+  const core::LearnedWmpModel model = TrainSmall(ml::RegressorKind::kGbt);
+  engine::HistogramCache cache({.capacity = 256, .num_shards = 4});
+  engine::BatchScorerOptions opt;
+  opt.cache = &cache;
+  engine::BatchScorer scorer(&model, opt);
+
+  auto cold = scorer.ScoreLog(dataset_->records, 10);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->stats.cache_hits, 0u);
+  EXPECT_EQ(cold->stats.cache_misses, 40u);
+
+  auto warm = scorer.ScoreLog(dataset_->records, 10);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats.cache_hits, 40u);
+  EXPECT_EQ(warm->stats.cache_misses, 0u);
+  ASSERT_EQ(warm->predictions.size(), cold->predictions.size());
+  for (size_t i = 0; i < warm->predictions.size(); ++i) {
+    EXPECT_EQ(warm->predictions[i], cold->predictions[i]) << i;  // bitwise
+  }
+
+  // An uncached scorer over the same model agrees bitwise with the cold
+  // pass too: the cache-aware front half is arithmetically the same path.
+  engine::BatchScorer plain(&model);
+  auto uncached = plain.ScoreLog(dataset_->records, 10);
+  ASSERT_TRUE(uncached.ok());
+  for (size_t i = 0; i < uncached->predictions.size(); ++i) {
+    EXPECT_EQ(uncached->predictions[i], cold->predictions[i]) << i;
   }
 }
 
@@ -361,7 +461,8 @@ TEST_F(BatchPipelineTest, LoadFromFilePredictsInBatch) {
     auto one =
         model.PredictWorkload(dataset_->records, batches[b].query_indices);
     ASSERT_TRUE(one.ok());
-    EXPECT_NEAR((*restored_scores)[b], *one, 1e-9) << "workload " << b;
+    EXPECT_NEAR(restored_scores->predictions[b], *one, 1e-9)
+        << "workload " << b;
   }
   std::remove(path.c_str());
 }

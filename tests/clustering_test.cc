@@ -115,6 +115,31 @@ TEST(KMeansTest, SerializationRoundTrip) {
   }
 }
 
+// The register-blocked SquaredDistance kernel (4-wide accumulators) and the
+// 4-row-blocked AssignAll path must produce assignments identical to the
+// scalar per-row Assign, across dimensions that exercise every unroll
+// remainder (d % 4 in {0,1,2,3}) and row-block remainder (n % 4 != 0).
+TEST(KMeansTest, AssignAllMatchesAssignIdentically) {
+  for (size_t d : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 11u}) {
+    Rng rng(1000 + d);
+    const size_t n = 203;  // not a multiple of the 4-row block
+    Matrix x(n, d);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) x.At(i, j) = rng.Normal(0, 2.0);
+    }
+    KMeans km;
+    ASSERT_TRUE(km.Fit(x, {.num_clusters = 11, .seed = d}).ok());
+    auto all = km.AssignAll(x);
+    ASSERT_TRUE(all.ok());
+    ASSERT_EQ(all->size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      auto one = km.Assign(x.RowVec(i));
+      ASSERT_TRUE(one.ok());
+      ASSERT_EQ((*all)[i], *one) << "d=" << d << " row " << i;
+    }
+  }
+}
+
 // Property: every point's assigned centroid is at least as close as any
 // other centroid, across k values.
 class KMeansAssignmentProperty : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,414 @@
+// Concurrency tests for the async serving layer: util::MpscQueue wiring,
+// engine::HistogramCache, and engine::ScoringService — many client threads
+// hammering Submit() against multi-shard services. The core properties:
+// every future resolves, async predictions equal the scalar path within
+// 1e-9, and cache hits are bitwise identical to cold scores.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/featurizer.h"
+#include "core/learned_wmp.h"
+#include "core/workload.h"
+#include "engine/histogram_cache.h"
+#include "engine/scoring_service.h"
+#include "util/sync.h"
+#include "workloads/dataset.h"
+
+namespace wmp {
+namespace {
+
+// ---------- Workload fingerprints ----------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workloads::DatasetOptions opt;
+    opt.num_queries = 400;
+    opt.seed = 71;
+    auto d = workloads::BuildDataset(workloads::Benchmark::kTpcc, opt);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    dataset_ = new workloads::Dataset(std::move(*d));
+    indices_ = new std::vector<uint32_t>(
+        core::AllIndices(dataset_->records.size()));
+
+    core::LearnedWmpOptions lopt;
+    lopt.templates.num_templates = 8;
+    lopt.regressor = ml::RegressorKind::kGbt;
+    auto model = core::LearnedWmpModel::Train(dataset_->records, *indices_,
+                                              *dataset_->generator, lopt);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = new core::LearnedWmpModel(std::move(*model));
+
+    core::LearnedWmpOptions lopt2 = lopt;
+    lopt2.regressor = ml::RegressorKind::kRidge;
+    auto model2 = core::LearnedWmpModel::Train(dataset_->records, *indices_,
+                                               *dataset_->generator, lopt2);
+    ASSERT_TRUE(model2.ok()) << model2.status().ToString();
+    model2_ = new core::LearnedWmpModel(std::move(*model2));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete indices_;
+    delete model_;
+    delete model2_;
+    dataset_ = nullptr;
+    indices_ = nullptr;
+    model_ = nullptr;
+    model2_ = nullptr;
+  }
+
+  static std::vector<uint32_t> Workload(size_t start, size_t size) {
+    std::vector<uint32_t> w;
+    for (size_t q = 0; q < size; ++q) {
+      w.push_back(static_cast<uint32_t>((start + q) % dataset_->records.size()));
+    }
+    return w;
+  }
+
+  static workloads::Dataset* dataset_;
+  static std::vector<uint32_t>* indices_;
+  static core::LearnedWmpModel* model_;
+  static core::LearnedWmpModel* model2_;
+};
+
+workloads::Dataset* ServiceTest::dataset_ = nullptr;
+std::vector<uint32_t>* ServiceTest::indices_ = nullptr;
+core::LearnedWmpModel* ServiceTest::model_ = nullptr;
+core::LearnedWmpModel* ServiceTest::model2_ = nullptr;
+
+TEST_F(ServiceTest, WorkloadFingerprintIsOrderInvariantAndContentSensitive) {
+  const std::vector<uint32_t> a = {0, 1, 2, 3};
+  const std::vector<uint32_t> a_shuffled = {3, 1, 0, 2};
+  const std::vector<uint32_t> b = {0, 1, 2, 4};
+  const std::vector<uint32_t> a_dup = {0, 1, 2, 3, 3};
+  const auto& r = dataset_->records;
+  EXPECT_EQ(core::WorkloadFingerprint(r, a),
+            core::WorkloadFingerprint(r, a_shuffled));
+  EXPECT_NE(core::WorkloadFingerprint(r, a), core::WorkloadFingerprint(r, b));
+  EXPECT_NE(core::WorkloadFingerprint(r, a),
+            core::WorkloadFingerprint(r, a_dup));
+  EXPECT_NE(core::WorkloadFingerprint(r, {}), 0u);
+}
+
+// ---------- HistogramCache ----------
+
+TEST(HistogramCacheTest, LookupInsertEvictLru) {
+  engine::HistogramCache cache({.capacity = 2, .num_shards = 1});
+  const double h1[] = {1.0, 2.0};
+  const double h2[] = {3.0, 4.0};
+  const double h3[] = {5.0, 6.0};
+  double out[2] = {0, 0};
+  EXPECT_FALSE(cache.Lookup(1, out, 2));
+  cache.Insert(1, h1, 2);
+  cache.Insert(2, h2, 2);
+  ASSERT_TRUE(cache.Lookup(1, out, 2));  // refreshes key 1
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], 2.0);
+  cache.Insert(3, h3, 2);  // evicts key 2 (LRU)
+  EXPECT_FALSE(cache.Lookup(2, out, 2));
+  EXPECT_TRUE(cache.Lookup(1, out, 2));
+  EXPECT_TRUE(cache.Lookup(3, out, 2));
+  const auto st = cache.stats();
+  EXPECT_EQ(st.size, 2u);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.insertions, 3u);
+  // Width mismatch is a miss, never a smeared row.
+  double wide[3] = {0, 0, 0};
+  EXPECT_FALSE(cache.Lookup(1, wide, 3));
+  cache.Clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_FALSE(cache.Lookup(1, out, 2));
+}
+
+TEST(HistogramCacheTest, ZeroCapacityNeverStores) {
+  engine::HistogramCache cache({.capacity = 0});
+  const double h[] = {1.0};
+  double out[1];
+  cache.Insert(7, h, 1);
+  EXPECT_FALSE(cache.Lookup(7, out, 1));
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(HistogramCacheTest, ConcurrentMixedUseIsSafe) {
+  engine::HistogramCache cache({.capacity = 64, .num_shards = 4});
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      double out[4];
+      for (uint64_t i = 0; i < 2000; ++i) {
+        const uint64_t key = (i * 2654435761u + static_cast<uint64_t>(t)) % 128;
+        const double bins[4] = {static_cast<double>(key), 1, 2, 3};
+        if (i % 3 == 0) {
+          cache.Insert(key, bins, 4);
+        } else if (cache.Lookup(key, out, 4)) {
+          // An entry's content must always match its key.
+          if (out[0] != static_cast<double>(key)) bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  const auto st = cache.stats();
+  EXPECT_LE(st.size, 64u + 4u);  // per-shard rounding slack
+  EXPECT_GT(st.hits + st.misses, 0u);
+}
+
+// ---------- ScoringService ----------
+
+TEST_F(ServiceTest, SingleShardMatchesScalarPath) {
+  engine::ScoringService service({model_});
+  const auto batches = engine::MakeConsecutiveBatches(400, 10);
+  std::vector<std::future<Result<double>>> futures;
+  for (const auto& b : batches) {
+    futures.push_back(service.Submit("tenant", dataset_->records,
+                                     b.query_indices));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto want =
+        model_->PredictWorkload(dataset_->records, batches[i].query_indices);
+    ASSERT_TRUE(want.ok());
+    EXPECT_NEAR(*got, *want, 1e-9) << "workload " << i;
+  }
+  service.Stop();
+  const auto st = service.stats();
+  EXPECT_EQ(st.submitted, batches.size());
+  EXPECT_EQ(st.completed, batches.size());
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GE(st.flushes, 1u);
+  EXPECT_EQ(st.queue_depth, 0u);
+}
+
+TEST_F(ServiceTest, ManyClientsManyShardsEveryFutureResolvesCorrectly) {
+  // Two distinct models + a replica shard: the router must keep tenant ->
+  // model assignments stable while clients hammer all shards at once.
+  engine::ScoringServiceOptions opt;
+  opt.max_batch = 16;
+  opt.max_delay_us = 100;
+  engine::ScoringService service({model_, model2_, model_}, opt);
+
+  constexpr size_t kClients = 8, kPerClient = 60;
+  util::Latch start(kClients);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      start.ArriveAndWait();
+      for (size_t i = 0; i < kPerClient; ++i) {
+        const size_t shard = (c + i) % service.num_shards();
+        auto w = Workload(c * 37 + i * 11, 5 + (i % 7));
+        auto fut = service.SubmitToShard(shard, dataset_->records, w);
+        auto got = fut.get();
+        if (!got.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto want = service.model(shard).PredictWorkload(dataset_->records, w);
+        if (!want.ok() || std::abs(*got - *want) > 1e-9) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  service.Stop();
+  const auto st = service.stats();
+  EXPECT_EQ(st.submitted, kClients * kPerClient);
+  EXPECT_EQ(st.completed, kClients * kPerClient);
+  EXPECT_EQ(st.failed, 0u);
+}
+
+TEST_F(ServiceTest, RepeatedWorkloadsHitTheCacheBitwise) {
+  engine::ScoringServiceOptions opt;
+  opt.cache_capacity = 256;
+  engine::ScoringService service({model_}, opt);
+  const auto batches = engine::MakeConsecutiveBatches(400, 10);
+
+  std::vector<double> cold;
+  for (const auto& b : batches) {
+    auto got = service.Submit("t", dataset_->records, b.query_indices).get();
+    ASSERT_TRUE(got.ok());
+    cold.push_back(*got);
+  }
+  const auto cold_stats = service.stats();
+  EXPECT_EQ(cold_stats.cache_hits, 0u);
+  EXPECT_EQ(cold_stats.cache_misses, batches.size());
+
+  // Second pass: the same workloads, shuffled member order — fingerprints
+  // are order-invariant, so every one hits, and scores are bitwise equal.
+  for (size_t i = 0; i < batches.size(); ++i) {
+    std::vector<uint32_t> shuffled = batches[i].query_indices;
+    std::reverse(shuffled.begin(), shuffled.end());
+    auto got = service.Submit("t", dataset_->records, shuffled).get();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, cold[i]) << "workload " << i;  // bitwise
+  }
+  const auto warm_stats = service.stats();
+  EXPECT_EQ(warm_stats.cache_hits, batches.size());
+  EXPECT_EQ(warm_stats.cache_misses, batches.size());
+  EXPECT_DOUBLE_EQ(warm_stats.cache_hit_rate(), 0.5);
+}
+
+TEST_F(ServiceTest, BadRequestFailsAloneGoodNeighborsSucceed) {
+  engine::ScoringServiceOptions opt;
+  opt.max_batch = 64;
+  opt.max_delay_us = 5000;  // wide window so the good pair share a flush
+  engine::ScoringService service({model_}, opt);
+
+  auto good1 = service.Submit("t", dataset_->records, Workload(0, 10));
+  // Out-of-range query index: rejected at the Submit trust boundary, before
+  // it can poison the dispatcher's batch.
+  auto bad = service.Submit("t", dataset_->records, {4000000000u});
+  auto good2 = service.Submit("t", dataset_->records, Workload(20, 10));
+
+  auto g1 = good1.get();
+  auto b = bad.get();
+  auto g2 = good2.get();
+  EXPECT_TRUE(g1.ok()) << g1.status().ToString();
+  EXPECT_TRUE(b.status().IsOutOfRange());
+  EXPECT_TRUE(g2.ok()) << g2.status().ToString();
+  service.Stop();
+  const auto st = service.stats();
+  EXPECT_EQ(st.completed, 2u);
+  EXPECT_EQ(st.failed, 0u);  // never entered a queue
+}
+
+// The reachable batch-poisoning case: an empty workload fails a
+// variable-length model's whole histogram pass (zero mass), and the
+// dispatcher's request-by-request fallback isolates the error to the
+// offending future while its flush-mates still score correctly.
+TEST_F(ServiceTest, EmptyWorkloadFailsAloneUnderVariableLengthModel) {
+  core::LearnedWmpOptions lopt;
+  lopt.templates.num_templates = 8;
+  lopt.regressor = ml::RegressorKind::kRidge;
+  lopt.variable_length = true;
+  auto model = core::LearnedWmpModel::Train(dataset_->records, *indices_,
+                                            *dataset_->generator, lopt);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  engine::ScoringServiceOptions opt;
+  opt.max_delay_us = 5000;  // wide window so all three share a flush
+  engine::ScoringService service({&*model}, opt);
+  auto good1 = service.Submit("t", dataset_->records, Workload(0, 10));
+  auto empty = service.Submit("t", dataset_->records, {});
+  auto good2 = service.Submit("t", dataset_->records, Workload(50, 25));
+
+  auto g1 = good1.get();
+  auto e = empty.get();
+  auto g2 = good2.get();
+  ASSERT_TRUE(g1.ok()) << g1.status().ToString();
+  EXPECT_TRUE(e.status().IsInvalidArgument()) << e.status().ToString();
+  ASSERT_TRUE(g2.ok()) << g2.status().ToString();
+  auto want1 = model->PredictWorkload(dataset_->records, Workload(0, 10));
+  auto want2 = model->PredictWorkload(dataset_->records, Workload(50, 25));
+  ASSERT_TRUE(want1.ok());
+  ASSERT_TRUE(want2.ok());
+  EXPECT_NEAR(*g1, *want1, 1e-9);
+  EXPECT_NEAR(*g2, *want2, 1e-9);
+  service.Stop();
+  EXPECT_EQ(service.stats().failed, 1u);
+  EXPECT_EQ(service.stats().completed, 2u);
+}
+
+// Batch-level scoring failures (here: an untrained model, so every
+// ScoreWorkloads call errors) resolve every future with the error instead
+// of abandoning promises or crashing the dispatcher.
+TEST_F(ServiceTest, ScoringFailureResolvesEveryFutureWithError) {
+  const core::LearnedWmpModel untrained;
+  engine::ScoringService service({&untrained});
+  std::vector<std::future<Result<double>>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(
+        service.Submit("t", dataset_->records, Workload(i * 10, 10)));
+  }
+  for (auto& f : futures) {
+    auto got = f.get();
+    EXPECT_TRUE(got.status().IsFailedPrecondition()) << got.status();
+  }
+  service.Stop();
+  const auto st = service.stats();
+  EXPECT_EQ(st.failed, 10u);
+  EXPECT_EQ(st.completed, 0u);
+}
+
+TEST_F(ServiceTest, StopDrainsAcceptedWorkAndRejectsNewWork) {
+  engine::ScoringServiceOptions opt;
+  opt.max_delay_us = 20000;  // requests sit in the queue when Stop arrives
+  auto service = std::make_unique<engine::ScoringService>(
+      std::vector<const core::LearnedWmpModel*>{model_}, opt);
+  std::vector<std::future<Result<double>>> futures;
+  for (int i = 0; i < 30; ++i) {
+    futures.push_back(
+        service->Submit("t", dataset_->records, Workload(i * 10, 10)));
+  }
+  service->Stop();
+  for (auto& f : futures) {
+    auto got = f.get();
+    EXPECT_TRUE(got.ok()) << got.status().ToString();  // drained, not dropped
+  }
+  auto late = service->Submit("t", dataset_->records, Workload(0, 10)).get();
+  EXPECT_TRUE(late.status().IsFailedPrecondition());
+  service.reset();  // destructor after explicit Stop is safe
+}
+
+TEST_F(ServiceTest, RouterIsStableAndCoversShards) {
+  engine::ScoringService service({model_, model2_, model_, model2_});
+  std::set<size_t> seen;
+  for (int t = 0; t < 64; ++t) {
+    const std::string tenant = "tenant-" + std::to_string(t);
+    const size_t s = service.ShardForTenant(tenant);
+    EXPECT_LT(s, service.num_shards());
+    EXPECT_EQ(s, service.ShardForTenant(tenant));  // stable
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), service.num_shards());  // 64 tenants cover 4 shards
+  auto bad = service.SubmitToShard(99, dataset_->records, Workload(0, 5));
+  EXPECT_TRUE(bad.get().status().IsInvalidArgument());
+}
+
+TEST_F(ServiceTest, MicroBatchingActuallyBatches) {
+  engine::ScoringServiceOptions opt;
+  opt.max_batch = 128;
+  opt.max_delay_us = 20000;
+  engine::ScoringService service({model_}, opt);
+  constexpr size_t kClients = 4, kPerClient = 25;
+  util::Latch start(kClients);
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::future<Result<double>>>> futures(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      start.ArriveAndWait();
+      for (size_t i = 0; i < kPerClient; ++i) {
+        futures[c].push_back(
+            service.Submit("t", dataset_->records, Workload(c * 100 + i, 10)));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (auto& fs : futures) {
+    for (auto& f : fs) EXPECT_TRUE(f.get().ok());
+  }
+  service.Stop();
+  const auto st = service.stats();
+  EXPECT_EQ(st.completed, kClients * kPerClient);
+  // Cross-client micro-batching: far fewer flushes than requests.
+  EXPECT_LT(st.flushes, st.completed / 2);
+  EXPECT_GT(st.avg_batch(), 2.0);
+  EXPECT_GE(st.max_queue_depth, 1u);
+}
+
+}  // namespace
+}  // namespace wmp

@@ -1,16 +1,22 @@
 // Unit tests for src/util: Status/Result, RNG + Zipf, binary IO, strings,
-// and the table printer.
+// the table printer, and the serving-layer primitives (MPSC queue, latch).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/io.h"
+#include "util/mpsc_queue.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/sync.h"
 #include "util/table_printer.h"
 
 namespace wmp {
@@ -341,6 +347,90 @@ TEST(TablePrinterTest, NumericRowFormatting) {
   tp.Print(os);
   EXPECT_NE(os.str().find("1.235"), std::string::npos);
   EXPECT_NE(os.str().find("7.000"), std::string::npos);
+}
+
+// ---------- MpscQueue ----------
+
+TEST(MpscQueueTest, FifoAndPopSomeBounds) {
+  util::MpscQueue<int> q;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 5u);
+  std::vector<int> out;
+  EXPECT_EQ(q.PopSome(3, &out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.PopSome(10, &out), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.PopSome(1, &out), 0u);
+}
+
+TEST(MpscQueueTest, CloseRejectsPushesButDrains) {
+  util::MpscQueue<int> q;
+  EXPECT_TRUE(q.Push(1));
+  q.Close();
+  EXPECT_FALSE(q.Push(2));
+  EXPECT_TRUE(q.closed());
+  // Queued item is still poppable; the wait reports ready, then closed.
+  EXPECT_EQ(q.WaitNonEmpty(), util::QueueWait::kReady);
+  std::vector<int> out;
+  EXPECT_EQ(q.PopSome(10, &out), 1u);
+  EXPECT_EQ(q.WaitNonEmpty(), util::QueueWait::kClosed);
+}
+
+TEST(MpscQueueTest, WaitUntilTimesOutWhenEmpty) {
+  util::MpscQueue<int> q;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  EXPECT_EQ(q.WaitNonEmptyUntil(deadline), util::QueueWait::kTimeout);
+}
+
+TEST(MpscQueueTest, ManyProducersOneConsumerLosesNothing) {
+  util::MpscQueue<int> q;
+  constexpr int kProducers = 6, kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> got;
+  while (got.size() < kProducers * kPerProducer) {
+    if (q.WaitNonEmpty() == util::QueueWait::kClosed) break;
+    q.PopSome(64, &got);
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_EQ(got.size(), static_cast<size_t>(kProducers * kPerProducer));
+  std::set<int> unique(got.begin(), got.end());
+  EXPECT_EQ(unique.size(), got.size());  // every value exactly once
+}
+
+// ---------- Latch ----------
+
+TEST(LatchTest, ReleasesAllWaitersTogether) {
+  constexpr size_t kThreads = 4;
+  util::Latch latch(kThreads + 1);
+  std::atomic<int> released{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      latch.ArriveAndWait();
+      released.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(released.load(), 0);  // all parked until the last arrival
+  latch.ArriveAndWait();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(released.load(), static_cast<int>(kThreads));
+  latch.Wait();  // post-release waits return immediately
+}
+
+TEST(LatchTest, CountDownThenWait) {
+  util::Latch latch(2);
+  latch.CountDown();
+  std::thread t([&] { latch.CountDown(); });
+  latch.Wait();
+  t.join();
 }
 
 }  // namespace

@@ -16,19 +16,36 @@
 //
 //   wmpctl predict --log=workload.txt --model=model.wmp
 //       Treat the whole log file as one workload and predict its memory.
+//
+//   wmpctl serve-bench --log=log.txt --model=model.wmp [--clients=8]
+//                      [--shards=1] [--batch=S] [--repeat=3]
+//       Drive N concurrent client threads against the async scoring
+//       service (engine::ScoringService): each client submits every
+//       workload of the log `repeat` times, so the second pass onward
+//       exercises the histogram cache. Reports throughput, latency, and
+//       cache hit rate.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/featurizer.h"
 #include "core/learned_wmp.h"
 #include "core/single_wmp.h"
 #include "engine/batch_scorer.h"
+#include "engine/scoring_service.h"
 #include "ml/metrics.h"
 #include "util/parallel.h"
+#include "util/stats.h"
 #include "util/strings.h"
+#include "util/sync.h"
+#include "util/timer.h"
 #include "workloads/dataset.h"
 #include "workloads/log_io.h"
 
@@ -66,6 +83,10 @@ int Usage() {
                "[--batch=S] [--seed=N]\n"
                "  wmpctl evaluate --log=PATH --model=PATH [--batch=S]\n"
                "  wmpctl predict  --log=PATH --model=PATH\n"
+               "  wmpctl serve-bench --log=PATH --model=PATH [--clients=8] "
+               "[--shards=1]\n"
+               "                 [--batch=S] [--repeat=3] [--max-batch=64] "
+               "[--max-delay-us=200]\n"
                "common: --threads=N caps the worker pool (0 = all cores)\n");
   return 2;
 }
@@ -161,7 +182,8 @@ int CmdEvaluate(const std::map<std::string, std::string>& flags) {
   engine::BatchScorer scorer(&*model);
   auto learned_result = scorer.ScoreWorkloads(*records, batches);
   if (!learned_result.ok()) return Fail(learned_result.status());
-  const std::vector<double>& learned = *learned_result;
+  const std::vector<double>& learned = learned_result->predictions;
+  const engine::BatchScorerStats& sstats = learned_result->stats;
   std::vector<double> labels, dbms;
   for (const auto& b : batches) {
     labels.push_back(b.label_mb);
@@ -169,8 +191,8 @@ int CmdEvaluate(const std::map<std::string, std::string>& flags) {
   }
   std::printf("%zu workloads of %d queries\n", batches.size(), wopt.batch_size);
   std::printf("scored %zu queries in %.1f ms (%.0f queries/sec, %zu threads)\n",
-              scorer.stats().num_queries, scorer.stats().elapsed_ms,
-              scorer.stats().queries_per_sec, util::DefaultParallelism());
+              sstats.num_queries, sstats.elapsed_ms, sstats.queries_per_sec,
+              util::DefaultParallelism());
   std::printf("LearnedWMP      RMSE %.1f MB   MAPE %.1f%%\n",
               ml::Rmse(labels, learned), ml::Mape(labels, learned));
   const bool has_dbms =
@@ -197,7 +219,7 @@ int CmdPredict(const std::map<std::string, std::string>& flags) {
   auto predictions =
       scorer.ScoreLog(*records, static_cast<int>(records->size()));
   if (!predictions.ok()) return Fail(predictions.status());
-  const double prediction = predictions->front();
+  const double prediction = predictions->predictions.front();
   std::printf("workload of %zu queries -> predicted %.1f MB\n",
               records->size(), prediction);
   double actual = 0.0;
@@ -207,6 +229,106 @@ int CmdPredict(const std::map<std::string, std::string>& flags) {
                 100.0 * (prediction - actual) / actual);
   }
   return 0;
+}
+
+// Drives N concurrent clients against the async scoring service and
+// reports what an operator tuning the admission path wants to see:
+// sustained queries/sec, client-observed latency, and cache effectiveness.
+int CmdServeBench(const std::map<std::string, std::string>& flags) {
+  const std::string log_path = FlagOr(flags, "log", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  if (log_path.empty() || model_path.empty()) return Usage();
+
+  auto records = workloads::LoadQueryLog(log_path);
+  if (!records.ok()) return Fail(records.status());
+  auto model = core::LearnedWmpModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+
+  const int clients = std::max(std::atoi(FlagOr(flags, "clients", "8").c_str()), 1);
+  const int num_shards = std::max(std::atoi(FlagOr(flags, "shards", "1").c_str()), 1);
+  const int batch_size = std::max(std::atoi(FlagOr(flags, "batch", "10").c_str()), 1);
+  const int repeat = std::max(std::atoi(FlagOr(flags, "repeat", "3").c_str()), 1);
+
+  engine::ScoringServiceOptions sopt;
+  sopt.max_batch = static_cast<size_t>(
+      std::max(std::atoi(FlagOr(flags, "max-batch", "64").c_str()), 1));
+  sopt.max_delay_us = std::atoll(FlagOr(flags, "max-delay-us", "200").c_str());
+  // All shards serve the one trained model; sharding spreads dispatch.
+  engine::ScoringService service(
+      std::vector<const core::LearnedWmpModel*>(
+          static_cast<size_t>(num_shards), &*model),
+      sopt);
+
+  const auto batches = engine::MakeConsecutiveBatches(records->size(), batch_size);
+  if (batches.empty()) {
+    std::fprintf(stderr, "log too small for one workload of %d queries\n",
+                 batch_size);
+    return 1;
+  }
+
+  std::vector<double> latencies_us;  // merged after the run
+  std::vector<std::vector<double>> per_client(static_cast<size_t>(clients));
+  util::Latch start(static_cast<size_t>(clients) + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  std::atomic<uint64_t> errors{0};
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double>& lat = per_client[static_cast<size_t>(c)];
+      lat.reserve(batches.size() * static_cast<size_t>(repeat));
+      const std::string tenant = StrFormat("client-%d", c);
+      start.ArriveAndWait();
+      for (int r = 0; r < repeat; ++r) {
+        for (const auto& b : batches) {
+          Stopwatch sw;
+          auto fut = service.Submit(tenant, *records, b.query_indices);
+          auto outcome = fut.get();
+          lat.push_back(sw.ElapsedMicros());
+          if (!outcome.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  Stopwatch wall;
+  start.ArriveAndWait();
+  for (auto& t : threads) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+  service.Stop();
+
+  for (auto& v : per_client) {
+    latencies_us.insert(latencies_us.end(), v.begin(), v.end());
+  }
+  const auto pct = [&](double p) {
+    return util::PercentileInPlace(&latencies_us, p);
+  };
+  const engine::ServiceStats st = service.stats();
+  // Every client submits every workload once per repeat pass, so scale the
+  // per-pass query count (the tail workload may be partial) by completed
+  // workloads rather than assuming `batch_size` queries each.
+  size_t pass_queries = 0;
+  for (const auto& b : batches) pass_queries += b.query_indices.size();
+  const uint64_t queries =
+      st.completed * static_cast<uint64_t>(pass_queries) / batches.size();
+  std::printf("serve-bench: %d clients x %d shards, batch=%d, repeat=%d\n",
+              clients, num_shards, batch_size, repeat);
+  std::printf("  %llu workloads (%llu queries) in %.2f s -> %.0f queries/sec\n",
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(queries), wall_s,
+              wall_s > 0 ? static_cast<double>(queries) / wall_s : 0.0);
+  // Named locals: printf argument evaluation order is unspecified, and
+  // back() is only the max after a pct() call has sorted the sample.
+  const double p50 = pct(0.50), p99 = pct(0.99);
+  const double lat_max = latencies_us.empty() ? 0.0 : latencies_us.back();
+  std::printf("  latency p50 %.0f us   p99 %.0f us   max %.0f us\n", p50, p99,
+              lat_max);
+  std::printf("  flushes %llu (avg batch %.1f)   cache hit rate %.1f%% "
+              "(%llu/%llu)   errors %llu\n",
+              static_cast<unsigned long long>(st.flushes), st.avg_batch(),
+              100.0 * st.cache_hit_rate(),
+              static_cast<unsigned long long>(st.cache_hits),
+              static_cast<unsigned long long>(st.cache_hits + st.cache_misses),
+              static_cast<unsigned long long>(errors.load()));
+  return errors.load() == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -220,5 +342,6 @@ int main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "evaluate") return CmdEvaluate(flags);
   if (cmd == "predict") return CmdPredict(flags);
+  if (cmd == "serve-bench") return CmdServeBench(flags);
   return Usage();
 }
