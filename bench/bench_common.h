@@ -29,6 +29,7 @@ struct BenchArgs {
   int batch_size = 10;
   int num_templates = 0;  // 0 = per-benchmark default
   std::string json_path;  // --json=PATH: machine-readable results (throughput)
+  bool quick = false;  // --quick: shrink sweeps to a CI smoke-test size
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -45,10 +46,12 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.num_templates = std::atoi(a + 12);
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       args.json_path = a + 7;
+    } else if (std::strcmp(a, "--quick") == 0) {
+      args.quick = true;
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "flags: --scale=<f> --seed=<n> --batch=<n> --templates=<n> "
-          "--json=<path>\n");
+          "--json=<path> --quick\n");
       std::exit(0);
     }
   }

@@ -9,10 +9,17 @@
 //   * Submit() returns a future immediately — sessions overlap their own
 //     work with scoring.
 //   * Concurrent requests are micro-batched into one scoring pass per
-//     flush (see flushes vs requests in the stats printout).
+//     flush; the adaptive controller flushes early whenever no further
+//     arrival can be pending, so closed-loop sessions skip the delay
+//     window (see the flush-reason breakdown in the stats printout).
 //   * A steady-state session re-submitting the same workload hits the
 //     histogram cache and skips featurize/assign entirely, with
-//     bit-identical predictions.
+//     bit-identical predictions — and a *novel* workload made of known
+//     queries still skips per-query featurize/assign via the template-id
+//     cache.
+//   * Retraining publishes into the live service (PublishModel): traffic
+//     keeps flowing across the swap and both caches version on the model
+//     epoch, so no stale prediction can leak.
 //
 // Run: ./build/online_serving
 
@@ -91,14 +98,69 @@ int main() {
     });
   }
   for (auto& t : sessions) t.join();
+
+  // A novel workload assembled from queries session-0 already scored:
+  // the caches are per shard, so only queries routed through the same
+  // tenant are memoized there. Its fingerprint is new (histogram cache
+  // miss) but every member's template id is memoized, so featurize/assign
+  // is skipped per query. Session 0's slice is workloads 0, 4, 8, ... —
+  // take one query from each of its first ten workloads.
+  std::vector<uint32_t> novel;
+  for (uint32_t k = 0; k < 10; ++k) novel.push_back(k * 40 + k);
+  auto novel_before = service.stats();
+  auto novel_got = service.Submit("session-0", dataset->records, novel).get();
+  auto novel_after = service.stats();
+  if (novel_got.ok()) {
+    std::printf(
+        "\nnovel workload of known queries: %.2f MB "
+        "(histogram cache +%llu hits, template cache +%llu hits)\n",
+        *novel_got,
+        static_cast<unsigned long long>(novel_after.cache_hits -
+                                        novel_before.cache_hits),
+        static_cast<unsigned long long>(novel_after.template_cache_hits -
+                                        novel_before.template_cache_hits));
+  }
+
+  // Retrain (here: a different seed stands in for fresh log data) and
+  // publish into the live service — the paper's "ship the model into the
+  // DBMS" step, without a restart.
+  core::LearnedWmpOptions opt2 = opt;
+  opt2.seed = 99;
+  auto retrained = core::LearnedWmpModel::Train(
+      dataset->records, core::AllIndices(dataset->records.size()),
+      *dataset->generator, opt2);
+  if (retrained.ok()) {
+    auto fresh =
+        std::make_shared<const core::LearnedWmpModel>(std::move(*retrained));
+    for (size_t shard = 0; shard < service.num_shards(); ++shard) {
+      if (Status st = service.PublishModel(shard, fresh); !st.ok()) {
+        std::fprintf(stderr, "publish: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    auto before = service.Submit("session-0", dataset->records,
+                                 batches[0].query_indices)
+                      .get();
+    if (before.ok()) {
+      std::printf("after hot-swap, workload 0 scores %.2f MB on the "
+                  "retrained model (no restart, no failed requests)\n",
+                  *before);
+    }
+  }
   service.Stop();
 
   const engine::ServiceStats st = service.stats();
   std::printf(
-      "\nservice: %llu requests -> %llu flushes (avg batch %.1f), "
-      "cache hit rate %.1f%%, avg latency %.0f us\n",
+      "\nservice: %llu requests -> %llu flushes (avg batch %.1f; "
+      "%llu full, %llu adaptive, %llu deadline), hist cache %.1f%%, "
+      "template cache %.1f%%, %llu models published, avg latency %.0f us\n",
       static_cast<unsigned long long>(st.completed),
       static_cast<unsigned long long>(st.flushes), st.avg_batch(),
-      100.0 * st.cache_hit_rate(), st.avg_latency_us());
+      static_cast<unsigned long long>(st.flushes_full),
+      static_cast<unsigned long long>(st.flushes_adaptive),
+      static_cast<unsigned long long>(st.flushes_deadline),
+      100.0 * st.cache_hit_rate(), 100.0 * st.template_cache_hit_rate(),
+      static_cast<unsigned long long>(st.models_published),
+      st.avg_latency_us());
   return st.failed == 0 ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include "core/histogram.h"
 #include "ml/dtree.h"
+#include "util/parallel.h"
 #include "ml/gbt.h"
 #include "ml/mlp.h"
 #include "ml/random_forest.h"
@@ -169,7 +170,8 @@ Result<double> LearnedWmpModel::PredictWorkload(
 
 Result<ml::Matrix> LearnedWmpModel::BinWorkloads(
     const std::vector<workloads::QueryRecord>& records,
-    const std::vector<WorkloadBatch>& batches) const {
+    const std::vector<WorkloadBatch>& batches,
+    TemplateIdResolver* resolver) const {
   // Flatten every workload's member queries into one index vector so the
   // whole eval set is featurized and template-assigned in a single batched
   // pass, then scatter the assignments back into per-workload histograms.
@@ -183,14 +185,15 @@ Result<ml::Matrix> LearnedWmpModel::BinWorkloads(
     flat.insert(flat.end(), b.query_indices.begin(), b.query_indices.end());
   }
   WMP_ASSIGN_OR_RETURN(std::vector<int> ids,
-                       templates_.AssignBatch(records, flat));
+                       AssignTemplateIds(records, flat, resolver));
   return BuildHistogramMatrix(ids, offsets, templates_.num_templates());
 }
 
 Status LearnedWmpModel::BinWorkloadsInto(
     const std::vector<workloads::QueryRecord>& records,
     const std::vector<WorkloadBatch>& batches,
-    const std::vector<size_t>& rows, ml::Matrix* out) const {
+    const std::vector<size_t>& rows, ml::Matrix* out,
+    TemplateIdResolver* resolver) const {
   if (rows.empty()) return Status::OK();
   std::vector<size_t> offsets(rows.size() + 1, 0);
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -206,9 +209,55 @@ Status LearnedWmpModel::BinWorkloadsInto(
     flat.insert(flat.end(), q.begin(), q.end());
   }
   WMP_ASSIGN_OR_RETURN(std::vector<int> ids,
-                       templates_.AssignBatch(records, flat));
+                       AssignTemplateIds(records, flat, resolver));
   return BuildHistogramRows(ids, offsets, templates_.num_templates(), rows,
                             out);
+}
+
+Result<std::vector<int>> LearnedWmpModel::AssignTemplateIds(
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<uint32_t>& indices,
+    TemplateIdResolver* resolver) const {
+  if (resolver == nullptr || indices.empty()) {
+    return templates_.AssignBatch(records, indices);
+  }
+  const size_t n = indices.size();
+  // Resolve: per-query content fingerprints (memoized at ingest; records
+  // from other sources hash here), then one batched memo probe.
+  std::vector<uint64_t> keys(n);
+  util::ParallelFor(n, 512, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      keys[i] = QueryFingerprint(records[indices[i]]);
+    }
+  });
+  std::vector<int> ids(n);
+  std::vector<uint8_t> hit(n, 0);
+  const size_t hits = resolver->Resolve(keys.data(), n, ids.data(), hit.data());
+  if (hits == n) return ids;
+  // Featurize misses: only the unknown subset pays featurize + scale +
+  // assign. Duplicate misses within one flush are assigned redundantly
+  // rather than deduplicated — the memo absorbs them from the next call on,
+  // and dedup bookkeeping would cost more than the rare double assign.
+  std::vector<uint32_t> miss;
+  std::vector<size_t> miss_pos;
+  miss.reserve(n - hits);
+  miss_pos.reserve(n - hits);
+  for (size_t i = 0; i < n; ++i) {
+    if (!hit[i]) {
+      miss.push_back(indices[i]);
+      miss_pos.push_back(i);
+    }
+  }
+  WMP_ASSIGN_OR_RETURN(std::vector<int> miss_ids,
+                       templates_.AssignBatch(records, miss));
+  // Backfill the gaps and teach the memo the fresh assignments.
+  std::vector<uint64_t> miss_keys(miss.size());
+  for (size_t j = 0; j < miss.size(); ++j) {
+    ids[miss_pos[j]] = miss_ids[j];
+    miss_keys[j] = keys[miss_pos[j]];
+  }
+  resolver->Learn(miss_keys.data(), miss_ids.data(), miss_ids.size());
+  return ids;
 }
 
 Result<std::vector<double>> LearnedWmpModel::PredictWorkloads(

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/template_learner.h"
+#include "core/template_resolver.h"
 #include "core/workload.h"
 #include "ml/regressor.h"
 
@@ -98,10 +99,13 @@ class LearnedWmpModel {
   /// Batched IN1-IN4: builds every workload's histogram in one pass and
   /// returns them as a `batches.size() x num_templates` matrix (one row per
   /// workload, in order). Both training (TR4-TR5) and PredictWorkloads are
-  /// built on top of this.
+  /// built on top of this. With a `resolver`, member queries whose
+  /// fingerprints it knows contribute their memoized template ids and only
+  /// the rest are featurized/assigned (see AssignTemplateIds).
   Result<ml::Matrix> BinWorkloads(
       const std::vector<workloads::QueryRecord>& records,
-      const std::vector<WorkloadBatch>& batches) const;
+      const std::vector<WorkloadBatch>& batches,
+      TemplateIdResolver* resolver = nullptr) const;
 
   /// Cache-miss variant of BinWorkloads: bins only the workloads
   /// `batches[r]` for each `r` in `rows` (distinct, ascending or not),
@@ -110,11 +114,26 @@ class LearnedWmpModel {
   /// rows directly and routes just the miss rows through here, skipping
   /// featurize/assign for everything cached — no per-workload copies of
   /// the untouched batches. `*out` must be `batches.size()` rows by
-  /// num_templates columns.
+  /// num_templates columns. An optional `resolver` adds the second cache
+  /// level: known member queries skip featurize/assign individually.
   Status BinWorkloadsInto(const std::vector<workloads::QueryRecord>& records,
                           const std::vector<WorkloadBatch>& batches,
-                          const std::vector<size_t>& rows,
-                          ml::Matrix* out) const;
+                          const std::vector<size_t>& rows, ml::Matrix* out,
+                          TemplateIdResolver* resolver = nullptr) const;
+
+  /// IN3 with a per-query memo — the resolve-hits / featurize-misses /
+  /// backfill pipeline. Queries whose content fingerprints the resolver
+  /// knows take their template ids from it; only the miss subset goes
+  /// through TemplateModel::AssignBatch (featurize + scale + assign), and
+  /// the freshly computed (fingerprint, id) pairs are taught back. With a
+  /// null resolver this is exactly AssignBatch. Returns one id per entry
+  /// of `indices`, in order; memoized ids are bitwise the ids AssignBatch
+  /// would produce (asserted in tests), so the downstream histogram — and
+  /// prediction — is unchanged by the memo.
+  Result<std::vector<int>> AssignTemplateIds(
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<uint32_t>& indices,
+      TemplateIdResolver* resolver) const;
 
   const TemplateModel& templates() const { return templates_; }
   const ml::Regressor& regressor() const { return *regressor_; }

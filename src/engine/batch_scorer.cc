@@ -1,9 +1,12 @@
 #include "engine/batch_scorer.h"
 
 #include <algorithm>
+#include <numeric>
+#include <optional>
 #include <utility>
 
 #include "engine/histogram_cache.h"
+#include "engine/template_cache.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -11,15 +14,17 @@ namespace wmp::engine {
 
 BatchScorer::BatchScorer(const core::LearnedWmpModel* model,
                          BatchScorerOptions options)
-    : model_(model),
-      options_(options),
+    : options_(options),
+      model_mutex_(std::make_unique<std::mutex>()),
+      // Non-owning: empty control block, never deletes the borrowed model.
+      model_(std::shared_ptr<const void>(), model),
       stats_mutex_(std::make_unique<std::mutex>()) {}
 
-BatchScorer::BatchScorer(std::unique_ptr<core::LearnedWmpModel> owned,
+BatchScorer::BatchScorer(std::shared_ptr<const core::LearnedWmpModel> model,
                          BatchScorerOptions options)
-    : owned_(std::move(owned)),
-      model_(owned_.get()),
-      options_(options),
+    : options_(options),
+      model_mutex_(std::make_unique<std::mutex>()),
+      model_(std::move(model)),
       stats_mutex_(std::make_unique<std::mutex>()) {}
 
 Result<BatchScorer> BatchScorer::FromFile(const std::string& path,
@@ -27,7 +32,39 @@ Result<BatchScorer> BatchScorer::FromFile(const std::string& path,
   WMP_ASSIGN_OR_RETURN(core::LearnedWmpModel model,
                        core::LearnedWmpModel::LoadFromFile(path));
   return BatchScorer(
-      std::make_unique<core::LearnedWmpModel>(std::move(model)), options);
+      std::make_shared<const core::LearnedWmpModel>(std::move(model)),
+      options);
+}
+
+void BatchScorer::PublishModel(
+    std::shared_ptr<const core::LearnedWmpModel> model) {
+  if (model == nullptr) return;  // a scorer never goes back to model-less
+  // The retired snapshot's shared_ptr drops outside the lock: if this is
+  // the last reference, the old model's destructor must not run under the
+  // mutex that in-flight pinners are about to take.
+  std::shared_ptr<const core::LearnedWmpModel> retired;
+  {
+    std::lock_guard<std::mutex> lock(*model_mutex_);
+    retired = std::move(model_);
+    model_ = std::move(model);
+    ++epoch_;  // implicitly invalidates both caches' entries
+  }
+}
+
+BatchScorer::Snapshot BatchScorer::PinSnapshot() const {
+  std::lock_guard<std::mutex> lock(*model_mutex_);
+  return Snapshot{model_, epoch_};
+}
+
+std::shared_ptr<const core::LearnedWmpModel> BatchScorer::model_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(*model_mutex_);
+  return model_;
+}
+
+uint64_t BatchScorer::model_epoch() const {
+  std::lock_guard<std::mutex> lock(*model_mutex_);
+  return epoch_;
 }
 
 BatchScorerStats BatchScorer::stats() const {
@@ -36,39 +73,63 @@ BatchScorerStats BatchScorer::stats() const {
 }
 
 Result<std::vector<double>> BatchScorer::ScoreWithCache(
-    const std::vector<workloads::QueryRecord>& records,
+    const Snapshot& snap, const std::vector<workloads::QueryRecord>& records,
     const std::vector<core::WorkloadBatch>& batches,
     BatchScorerStats* stats) const {
-  const size_t k = static_cast<size_t>(model_->templates().num_templates());
+  const core::LearnedWmpModel& model = *snap.model;
+  const size_t k = static_cast<size_t>(model.templates().num_templates());
   ml::Matrix h(batches.size(), k);
-  // Fingerprinting hashes every member query's content; on large flushes
-  // it rivals featurize/assign, so spread it over the worker pool instead
-  // of serializing the dispatcher on it.
-  std::vector<uint64_t> keys(batches.size());
-  // Grain 1: a flush of few-but-large workloads (batch-1000 streams) still
-  // spreads its hashing across workers.
-  util::ParallelFor(batches.size(), 1, [&](size_t begin, size_t end) {
-    for (size_t w = begin; w < end; ++w) {
-      keys[w] = core::WorkloadFingerprint(records, batches[w].query_indices);
-    }
-  });
+  // Level 1 — whole-workload histograms by fingerprint.
+  std::vector<uint64_t> keys;
   std::vector<size_t> miss_rows;
-  for (size_t w = 0; w < batches.size(); ++w) {
-    if (options_.cache->Lookup(keys[w], h.RowPtr(w), k)) {
-      ++stats->cache_hits;
-    } else {
-      ++stats->cache_misses;
-      miss_rows.push_back(w);
+  if (options_.cache != nullptr) {
+    // Fingerprinting hashes every member query's content; on large flushes
+    // it rivals featurize/assign, so spread it over the worker pool instead
+    // of serializing the dispatcher on it. Grain 1: a flush of
+    // few-but-large workloads (batch-1000 streams) still spreads across
+    // workers.
+    keys.resize(batches.size());
+    util::ParallelFor(batches.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t w = begin; w < end; ++w) {
+        keys[w] = core::WorkloadFingerprint(records, batches[w].query_indices);
+      }
+    });
+    for (size_t w = 0; w < batches.size(); ++w) {
+      if (options_.cache->Lookup(keys[w], h.RowPtr(w), k, snap.epoch)) {
+        ++stats->cache_hits;
+      } else {
+        ++stats->cache_misses;
+        miss_rows.push_back(w);
+      }
     }
+  } else {
+    miss_rows.resize(batches.size());
+    std::iota(miss_rows.begin(), miss_rows.end(), size_t{0});
   }
   if (!miss_rows.empty()) {
+    // Level 2 — per-query template ids by content fingerprint, threaded
+    // through the binning path's resolve/featurize-misses/backfill split.
+    // The view pins this call's epoch so everything resolved and learned
+    // is stamped against the pinned model snapshot.
+    std::optional<TemplateIdCache::View> view;
+    core::TemplateIdResolver* resolver = nullptr;
+    if (options_.template_cache != nullptr) {
+      view.emplace(options_.template_cache, snap.epoch);
+      resolver = &*view;
+    }
     WMP_RETURN_IF_ERROR(
-        model_->BinWorkloadsInto(records, batches, miss_rows, &h));
-    for (size_t w : miss_rows) {
-      options_.cache->Insert(keys[w], h.RowPtr(w), k);
+        model.BinWorkloadsInto(records, batches, miss_rows, &h, resolver));
+    if (view.has_value()) {
+      stats->template_cache_hits += view->hits();
+      stats->template_cache_misses += view->misses();
+    }
+    if (options_.cache != nullptr) {
+      for (size_t w : miss_rows) {
+        options_.cache->Insert(keys[w], h.RowPtr(w), k, snap.epoch);
+      }
     }
   }
-  return model_->PredictFromHistogramMatrix(std::move(h));
+  return model.PredictFromHistogramMatrix(std::move(h));
 }
 
 Result<BatchScoreResult> BatchScorer::ScoreWorkloads(
@@ -81,14 +142,21 @@ Result<BatchScoreResult> BatchScorer::ScoreWorkloads(
     std::lock_guard<std::mutex> lock(*stats_mutex_);
     stats_ = BatchScorerStats{};
   }
+  // RCU read side: pin the (model, epoch) pair once; a concurrent
+  // PublishModel retires the old snapshot without disturbing this call.
+  const Snapshot snap = PinSnapshot();
+  if (snap.model == nullptr) {
+    return Status::FailedPrecondition("BatchScorer has no model");
+  }
   BatchScoreResult result;
   Stopwatch sw;
-  if (options_.cache != nullptr && !batches.empty()) {
+  if ((options_.cache != nullptr || options_.template_cache != nullptr) &&
+      !batches.empty()) {
     WMP_ASSIGN_OR_RETURN(result.predictions,
-                         ScoreWithCache(records, batches, &result.stats));
+                         ScoreWithCache(snap, records, batches, &result.stats));
   } else {
     WMP_ASSIGN_OR_RETURN(result.predictions,
-                         model_->PredictWorkloads(records, batches));
+                         snap.model->PredictWorkloads(records, batches));
   }
   const double elapsed_ms = sw.ElapsedMillis();
 

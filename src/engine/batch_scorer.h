@@ -19,21 +19,36 @@
 ///    and the legacy last-call `stats()` snapshot is mutex-guarded — so one
 ///    scorer may be shared across threads (the ScoringService shares one
 ///    per shard).
+///  * **RCU model hot-swap.** The scorer holds its model as a
+///    `std::shared_ptr<const LearnedWmpModel>` snapshot paired with a
+///    monotonically increasing *epoch*. Each ScoreWorkloads call pins the
+///    (model, epoch) pair once at entry and uses it throughout — the RCU
+///    read side. `PublishModel` swaps in a retrained model and bumps the
+///    epoch — the write side; calls already in flight finish on the old
+///    snapshot (kept alive by their pinned shared_ptr), later calls see
+///    the new one, and nothing blocks on anything. The retired model frees
+///    when its last in-flight call drops the reference.
 ///  * `BatchScorerOptions::num_threads` bounds the workers used for this
 ///    session's calls via a thread-local override (util::ScopedParallelism)
 ///    installed for the duration of each call — concurrent sessions on
 ///    different threads cannot race each other's budgets.
-///  * `BatchScorerOptions::cache` (optional, borrowed) short-circuits the
-///    featurize/assign/histogram front half for workloads whose
-///    fingerprint is cached; the regressor sees bit-identical histogram
-///    rows, so hit-path predictions are bitwise equal to cold-path ones.
-///    The cache is itself thread-safe and may be shared across scorers
-///    serving the SAME model.
+///  * **Two-level caching.** `BatchScorerOptions::cache` (borrowed)
+///    short-circuits whole recurring workloads by fingerprint;
+///    `BatchScorerOptions::template_cache` (borrowed) memoizes per-query
+///    template ids so *novel combinations of known queries* skip
+///    featurize/assign per member query. Either, both, or neither may be
+///    set; the regressor sees bit-identical histogram rows on every hit
+///    path, so hit predictions are bitwise equal to cold ones. Both caches
+///    stamp entries with the scoring call's model epoch, so a hot-swap
+///    implicitly invalidates them — stale entries can never serve the new
+///    model (see histogram_cache.h / template_cache.h). Share caches only
+///    among scorers whose models are published in lockstep.
 ///
 /// This is the layer the serving work builds on: engine::ScoringService
 /// micro-batches concurrent client requests into ScoreWorkloads calls,
 /// one scorer per model shard (see scoring_service.h).
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -45,6 +60,7 @@
 namespace wmp::engine {
 
 class HistogramCache;
+class TemplateIdCache;
 
 /// Session configuration for a BatchScorer.
 struct BatchScorerOptions {
@@ -52,10 +68,14 @@ struct BatchScorerOptions {
   /// hardware threads, or whatever util::SetDefaultParallelism chose).
   int num_threads = 0;
   /// Optional histogram cache (borrowed; must outlive the scorer). When
-  /// set, ScoreWorkloads skips featurize/assign for fingerprint hits and
-  /// inserts every freshly-binned histogram. Share one cache only among
-  /// scorers over the same model.
+  /// set, ScoreWorkloads skips featurize/assign for whole-workload
+  /// fingerprint hits and inserts every freshly-binned histogram.
   HistogramCache* cache = nullptr;
+  /// Optional per-query template-id cache (borrowed; must outlive the
+  /// scorer). When set, member queries with memoized template ids skip
+  /// featurize/assign individually — the win on novel combinations of
+  /// known queries, where the histogram cache cannot hit.
+  TemplateIdCache* template_cache = nullptr;
 };
 
 /// Timing and throughput of one ScoreWorkloads call.
@@ -65,9 +85,15 @@ struct BatchScorerStats {
   double elapsed_ms = 0.0;
   double queries_per_sec = 0.0;
   double workloads_per_sec = 0.0;
-  /// Histogram-cache outcome of this call (both 0 when no cache attached).
+  /// Histogram-cache (level 1, per workload) outcome of this call (both 0
+  /// when no cache attached).
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Template-id-cache (level 2, per query) outcome of this call. Counts
+  /// only queries that reached the binning path — members of workloads the
+  /// histogram cache already served never probe level 2.
+  size_t template_cache_hits = 0;
+  size_t template_cache_misses = 0;
 };
 
 /// What one scoring call produced: per-workload predictions (MB), in input
@@ -78,11 +104,17 @@ struct BatchScoreResult {
   BatchScorerStats stats;
 };
 
-/// \brief A scoring session over one trained model.
+/// \brief A scoring session over one trained (hot-swappable) model.
 class BatchScorer {
  public:
-  /// Borrows `model`; it must outlive the scorer and already be trained.
+  /// Borrows `model`; it must outlive the scorer (or its replacement by
+  /// PublishModel) and already be trained.
   explicit BatchScorer(const core::LearnedWmpModel* model,
+                       BatchScorerOptions options = {});
+
+  /// Shares ownership of `model` — the publishable form: PublishModel can
+  /// later retire it safely under live calls.
+  explicit BatchScorer(std::shared_ptr<const core::LearnedWmpModel> model,
                        BatchScorerOptions options = {});
 
   /// Loads a persisted model (LearnedWmpModel::SaveToFile) and owns it.
@@ -103,27 +135,50 @@ class BatchScorer {
   Result<BatchScoreResult> ScoreLog(
       const std::vector<workloads::QueryRecord>& records, int batch_size) const;
 
-  const core::LearnedWmpModel& model() const { return *model_; }
+  /// RCU write side: atomically installs `model` (non-null, trained) as
+  /// the snapshot for all future calls and bumps the model epoch, which
+  /// implicitly invalidates both attached caches' existing entries. Safe
+  /// from any thread, including while ScoreWorkloads calls are in flight —
+  /// those finish on the snapshot they pinned at entry.
+  void PublishModel(std::shared_ptr<const core::LearnedWmpModel> model);
+
+  /// Current model snapshot (null only if constructed with one). Holding
+  /// the returned shared_ptr keeps the snapshot alive across hot-swaps.
+  std::shared_ptr<const core::LearnedWmpModel> model_snapshot() const;
+  /// Epoch of the current snapshot; bumped by each PublishModel.
+  uint64_t model_epoch() const;
+  /// Legacy reference accessor: valid until the next PublishModel retires
+  /// the snapshot. Prefer model_snapshot() anywhere a swap can happen.
+  const core::LearnedWmpModel& model() const { return *model_snapshot(); }
+
   /// Last-call stats snapshot, kept for existing single-threaded callers;
   /// concurrent callers should read the returned BatchScoreResult::stats.
   BatchScorerStats stats() const;
   const BatchScorerOptions& options() const { return options_; }
 
  private:
-  BatchScorer(std::unique_ptr<core::LearnedWmpModel> owned,
-              BatchScorerOptions options);
+  // The (model, epoch) pair a scoring call pins once at entry.
+  struct Snapshot {
+    std::shared_ptr<const core::LearnedWmpModel> model;
+    uint64_t epoch = 0;
+  };
 
-  // Cache-aware front half: histogram rows from the cache where
-  // fingerprints hit, BinWorkloadsInto for the misses.
+  Snapshot PinSnapshot() const;
+
+  // Cache-aware front half: histogram rows from the caches where
+  // fingerprints hit, BinWorkloadsInto (with the per-query memo) for the
+  // rest.
   Result<std::vector<double>> ScoreWithCache(
+      const Snapshot& snap,
       const std::vector<workloads::QueryRecord>& records,
       const std::vector<core::WorkloadBatch>& batches,
       BatchScorerStats* stats) const;
 
-  std::unique_ptr<core::LearnedWmpModel> owned_;  // set iff FromFile
-  const core::LearnedWmpModel* model_ = nullptr;
   BatchScorerOptions options_;
   // Heap-held so the scorer stays movable (FromFile returns by value).
+  mutable std::unique_ptr<std::mutex> model_mutex_;  // guards model_ + epoch_
+  std::shared_ptr<const core::LearnedWmpModel> model_;
+  uint64_t epoch_ = 0;
   mutable std::unique_ptr<std::mutex> stats_mutex_;
   mutable BatchScorerStats stats_;
 };

@@ -24,35 +24,57 @@ HistogramCache::HistogramCache(HistogramCacheOptions options)
   per_shard_capacity_ = capacity_ == 0 ? 0 : (capacity_ + shards - 1) / shards;
 }
 
-bool HistogramCache::Lookup(uint64_t key, double* out, size_t len) {
+bool HistogramCache::Lookup(uint64_t key, double* out, size_t len,
+                            uint64_t epoch) {
   Shard& shard = ShardFor(key);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.index.find(key);
-    if (it != shard.index.end() && it->second->bins.size() == len) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      std::copy(it->second->bins.begin(), it->second->bins.end(), out);
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return true;
+    if (it != shard.index.end()) {
+      if (it->second->epoch < epoch) {
+        // Stamped under a retired model: a stale histogram must never feed
+        // the new model's regressor. Erase eagerly so the slot is free for
+        // the re-binned entry this miss is about to produce.
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+      } else if (it->second->epoch > epoch) {
+        // The *probe* is the stale side — an in-flight flush still pinned
+        // to a retired snapshot racing a publish. Miss, but leave the new
+        // model's entry alone.
+      } else if (it->second->bins.size() == len) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        std::copy(it->second->bins.begin(), it->second->bins.end(), out);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
-void HistogramCache::Insert(uint64_t key, const double* histogram, size_t len) {
+void HistogramCache::Insert(uint64_t key, const double* histogram, size_t len,
+                            uint64_t epoch) {
   if (per_shard_capacity_ == 0) return;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    // Refresh: same fingerprint means same content; just bump recency (and
-    // overwrite defensively in case of a width change).
-    it->second->bins.assign(histogram, histogram + len);
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    // Refresh: same fingerprint means same content; bump recency (and
+    // overwrite defensively in case of a width change) — unless the
+    // stored entry is from a NEWER epoch, in which case the writer is an
+    // in-flight stale flush and must not clobber the new model's entry.
+    if (it->second->epoch <= epoch) {
+      it->second->bins.assign(histogram, histogram + len);
+      it->second->epoch = epoch;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    }
     return;
   }
-  shard.lru.push_front(Entry{key, std::vector<double>(histogram, histogram + len)});
+  shard.lru.push_front(
+      Entry{key, epoch, std::vector<double>(histogram, histogram + len)});
   shard.index.emplace(key, shard.lru.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
   size_.fetch_add(1, std::memory_order_relaxed);
@@ -79,6 +101,7 @@ HistogramCacheStats HistogramCache::stats() const {
   st.misses = misses_.load(std::memory_order_relaxed);
   st.insertions = insertions_.load(std::memory_order_relaxed);
   st.evictions = evictions_.load(std::memory_order_relaxed);
+  st.invalidations = invalidations_.load(std::memory_order_relaxed);
   st.size = size_.load(std::memory_order_relaxed);
   return st;
 }

@@ -22,6 +22,16 @@
 /// entry's histogram (the standard content-addressed-cache tradeoff,
 /// ~2^-32 per pair). Use one cache per model: histograms are only
 /// meaningful against the template model that produced them.
+///
+/// Model versioning: every entry is stamped with the caller's model
+/// *epoch* (engine::BatchScorer bumps it on each PublishModel hot-swap).
+/// A lookup hits only when the stored epoch matches the caller's, so
+/// entries computed under a retired model can never serve the new model's
+/// predictions. The comparison is directional: a probe newer than the
+/// entry lazily erases it (the model it served is retired), while a probe
+/// *older* than the entry — an in-flight flush still pinned to a retired
+/// snapshot racing a publish — just misses, and a stale writer's insert
+/// is dropped rather than clobbering what the new model already cached.
 
 #include <atomic>
 #include <cstdint>
@@ -47,6 +57,9 @@ struct HistogramCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  /// Entries dropped because their epoch no longer matched a probe's —
+  /// the model was hot-swapped under them.
+  uint64_t invalidations = 0;
   size_t size = 0;
 };
 
@@ -58,12 +71,17 @@ class HistogramCache {
   /// On hit, copies the cached histogram (exactly `len` bins) into `out`
   /// and returns true. A stored entry whose length differs from `len` is
   /// treated as a miss (defensive: one cache, one model — but a mismatch
-  /// must never smear a wrong-width row into the batch matrix).
-  bool Lookup(uint64_t key, double* out, size_t len);
+  /// must never smear a wrong-width row into the batch matrix). An entry
+  /// stamped with a different model epoch is a miss too; older-epoch
+  /// entries are erased, newer ones are left for their own epoch's
+  /// probes.
+  bool Lookup(uint64_t key, double* out, size_t len, uint64_t epoch = 0);
 
-  /// Inserts (or refreshes) `key -> histogram[0..len)`, evicting the
-  /// shard's least-recently-used entry when over budget.
-  void Insert(uint64_t key, const double* histogram, size_t len);
+  /// Inserts (or refreshes) `key -> histogram[0..len)` stamped with the
+  /// caller's model `epoch`, evicting the shard's least-recently-used
+  /// entry when over budget.
+  void Insert(uint64_t key, const double* histogram, size_t len,
+              uint64_t epoch = 0);
 
   /// Drops every entry (stats counters keep accumulating).
   void Clear();
@@ -74,6 +92,7 @@ class HistogramCache {
  private:
   struct Entry {
     uint64_t key;
+    uint64_t epoch;
     std::vector<double> bins;
   };
   struct Shard {
@@ -97,6 +116,7 @@ class HistogramCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
   std::atomic<size_t> size_{0};
 };
 

@@ -20,26 +20,32 @@ void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
 }  // namespace
 
 ScoringService::ScoringService(
-    std::vector<const core::LearnedWmpModel*> models,
+    std::vector<std::shared_ptr<const core::LearnedWmpModel>> models,
     ScoringServiceOptions options)
     : options_(options) {
   if (models.empty()) models.push_back(nullptr);  // degenerate, errors at use
   options_.max_batch = std::max<size_t>(options_.max_batch, 1);
   options_.max_delay_us = std::max<int64_t>(options_.max_delay_us, 0);
   shards_.reserve(models.size());
-  for (const core::LearnedWmpModel* model : models) {
+  for (std::shared_ptr<const core::LearnedWmpModel>& model : models) {
     auto shard = std::make_unique<Shard>();
-    shard->model = model;
     if (options_.cache_capacity > 0) {
       HistogramCacheOptions copt;
       copt.capacity = options_.cache_capacity;
       copt.num_shards = options_.cache_shards;
       shard->cache = std::make_unique<HistogramCache>(copt);
     }
+    if (options_.template_cache_capacity > 0) {
+      TemplateIdCacheOptions topt;
+      topt.capacity = options_.template_cache_capacity;
+      topt.num_shards = options_.cache_shards;
+      shard->template_cache = std::make_unique<TemplateIdCache>(topt);
+    }
     BatchScorerOptions sopt;
     sopt.num_threads = options_.num_threads;
     sopt.cache = shard->cache.get();
-    shard->scorer = std::make_unique<BatchScorer>(model, sopt);
+    sopt.template_cache = shard->template_cache.get();
+    shard->scorer = std::make_unique<BatchScorer>(std::move(model), sopt);
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -47,6 +53,32 @@ ScoringService::ScoringService(
         std::thread([this, s = shard.get()] { DispatcherLoop(s); });
   }
 }
+
+namespace {
+
+std::vector<std::shared_ptr<const core::LearnedWmpModel>> WrapBorrowed(
+    const std::vector<const core::LearnedWmpModel*>& models) {
+  std::vector<std::shared_ptr<const core::LearnedWmpModel>> shared;
+  shared.reserve(models.size());
+  for (const core::LearnedWmpModel* model : models) {
+    // Non-owning: empty control block, never deletes the borrowed model.
+    shared.emplace_back(std::shared_ptr<const void>(), model);
+  }
+  return shared;
+}
+
+}  // namespace
+
+ScoringService::ScoringService(
+    std::vector<const core::LearnedWmpModel*> models,
+    ScoringServiceOptions options)
+    : ScoringService(WrapBorrowed(models), options) {}
+
+ScoringService::ScoringService(
+    std::initializer_list<const core::LearnedWmpModel*> models,
+    ScoringServiceOptions options)
+    : ScoringService(std::vector<const core::LearnedWmpModel*>(models),
+                     options) {}
 
 ScoringService::~ScoringService() { Stop(); }
 
@@ -87,12 +119,16 @@ std::future<Result<double>> ScoringService::SubmitToShard(
   }
   Shard& shard = *shards_[shard_index];
   // Count before Push: the dispatcher may complete the request the moment
-  // it lands, and stats() must never show completed > submitted.
+  // it lands, and stats() must never show completed > submitted. The
+  // inflight increment must also precede Push so the adaptive controller
+  // can never observe a queued request it does not count.
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  shard.inflight.fetch_add(1, std::memory_order_release);
   if (!shard.queue.Push(std::move(request))) {
     // Queue closed: the service is stopping. The rejected request (and its
     // promise) is gone, so hand back a fresh, already-resolved future.
     submitted_.fetch_sub(1, std::memory_order_relaxed);
+    shard.inflight.fetch_sub(1, std::memory_order_release);
     std::promise<Result<double>> dead;
     dead.set_value(Status::FailedPrecondition("scoring service stopped"));
     return dead.get_future();
@@ -101,7 +137,21 @@ std::future<Result<double>> ScoringService::SubmitToShard(
   return future;
 }
 
-void ScoringService::Fulfill(Request* request, Result<double> outcome) {
+Status ScoringService::PublishModel(
+    size_t shard, std::shared_ptr<const core::LearnedWmpModel> model) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  if (model == nullptr) {
+    return Status::InvalidArgument("cannot publish a null model");
+  }
+  shards_[shard]->scorer->PublishModel(std::move(model));
+  models_published_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ScoringService::Fulfill(Shard* shard, Request* request,
+                             Result<double> outcome) {
   const auto now = std::chrono::steady_clock::now();
   const uint64_t latency_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -115,15 +165,35 @@ void ScoringService::Fulfill(Request* request, Result<double> outcome) {
     failed_.fetch_add(1, std::memory_order_relaxed);
   }
   request->promise.set_value(std::move(outcome));
+  // After set_value: the client may already be submitting its next request
+  // on another thread; decrementing last keeps inflight an overcount, and
+  // the adaptive controller errs only toward waiting (never flushes while
+  // a counted arrival is still due).
+  shard->inflight.fetch_sub(1, std::memory_order_release);
 }
 
 void ScoringService::Flush(Shard* shard,
-                           std::vector<std::unique_ptr<Request>>* requests) {
+                           std::vector<std::unique_ptr<Request>>* requests,
+                           FlushReason reason) {
   if (requests->empty()) return;
   flushes_.fetch_add(1, std::memory_order_relaxed);
-  if (shard->model == nullptr) {
+  switch (reason) {
+    case FlushReason::kFull:
+      flushes_full_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kAdaptive:
+      flushes_adaptive_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kDeadline:
+      flushes_deadline_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kDrain:
+      flushes_drain_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (shard->scorer->model_snapshot() == nullptr) {
     for (auto& req : *requests) {
-      Fulfill(req.get(),
+      Fulfill(shard, req.get(),
               Status::FailedPrecondition("scoring service has no model"));
     }
     return;
@@ -154,8 +224,12 @@ void ScoringService::Flush(Shard* shard,
                             std::memory_order_relaxed);
       cache_misses_.fetch_add(result->stats.cache_misses,
                               std::memory_order_relaxed);
+      template_cache_hits_.fetch_add(result->stats.template_cache_hits,
+                                     std::memory_order_relaxed);
+      template_cache_misses_.fetch_add(result->stats.template_cache_misses,
+                                       std::memory_order_relaxed);
       for (size_t m = 0; m < groups[g].size(); ++m) {
-        Fulfill(groups[g][m].get(), result->predictions[m]);
+        Fulfill(shard, groups[g][m].get(), result->predictions[m]);
       }
     } else {
       // Batch-level failure (e.g. one empty workload fails a
@@ -169,9 +243,9 @@ void ScoringService::Flush(Shard* shard,
       for (size_t m = 0; m < groups[g].size(); ++m) {
         auto one = shard->scorer->ScoreWorkloads(*logs[g], {batches[m]});
         if (one.ok()) {
-          Fulfill(groups[g][m].get(), one->predictions.front());
+          Fulfill(shard, groups[g][m].get(), one->predictions.front());
         } else {
-          Fulfill(groups[g][m].get(), one.status());
+          Fulfill(shard, groups[g][m].get(), one.status());
         }
       }
     }
@@ -183,23 +257,45 @@ void ScoringService::DispatcherLoop(Shard* shard) {
   for (;;) {
     batch.clear();
     if (shard->queue.WaitNonEmpty() == util::QueueWait::kClosed) break;
-    // Collect until the flush fills or its delay budget runs out. The
-    // budget starts at first arrival, so an idle service adds no latency
-    // to a lone request beyond one max_delay_us window.
+    // Collect until the flush fills, its delay budget runs out, or (the
+    // adaptive controller) no further arrival can be pending. The budget
+    // starts at first arrival, so an idle service adds no latency to a
+    // lone request beyond one max_delay_us window — and with adaptive
+    // flushing, not even that.
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::microseconds(options_.max_delay_us);
     shard->queue.PopSome(options_.max_batch, &batch);
+    FlushReason reason = FlushReason::kFull;
     while (batch.size() < options_.max_batch) {
+      // Every submitted-but-unfulfilled request is already in hand and the
+      // queue is empty: closed-loop clients are all blocked on this very
+      // flush, so the delay window can only add latency, never batching.
+      // (inflight is incremented before Push, so a racing Submit is seen
+      // here before its request is even visible in the queue — the check
+      // errs only toward waiting.)
+      if (options_.adaptive_flush &&
+          shard->inflight.load(std::memory_order_acquire) <= batch.size() &&
+          shard->queue.size() == 0) {
+        reason = FlushReason::kAdaptive;
+        break;
+      }
       const util::QueueWait wait = shard->queue.WaitNonEmptyUntil(deadline);
-      if (wait != util::QueueWait::kReady) break;
+      if (wait == util::QueueWait::kTimeout) {
+        reason = FlushReason::kDeadline;
+        break;
+      }
+      if (wait == util::QueueWait::kClosed) {
+        reason = FlushReason::kDrain;
+        break;
+      }
       shard->queue.PopSome(options_.max_batch - batch.size(), &batch);
     }
-    Flush(shard, &batch);
+    Flush(shard, &batch, reason);
   }
   // Closed: drain whatever raced in before Close and score it.
   batch.clear();
   while (shard->queue.PopSome(options_.max_batch, &batch) > 0) {
-    Flush(shard, &batch);
+    Flush(shard, &batch, FlushReason::kDrain);
     batch.clear();
   }
 }
@@ -219,8 +315,17 @@ ServiceStats ScoringService::stats() const {
   st.completed = completed_.load(std::memory_order_relaxed);
   st.failed = failed_.load(std::memory_order_relaxed);
   st.flushes = flushes_.load(std::memory_order_relaxed);
+  st.flushes_full = flushes_full_.load(std::memory_order_relaxed);
+  st.flushes_adaptive = flushes_adaptive_.load(std::memory_order_relaxed);
+  st.flushes_deadline = flushes_deadline_.load(std::memory_order_relaxed);
+  st.flushes_drain = flushes_drain_.load(std::memory_order_relaxed);
   st.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   st.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  st.template_cache_hits =
+      template_cache_hits_.load(std::memory_order_relaxed);
+  st.template_cache_misses =
+      template_cache_misses_.load(std::memory_order_relaxed);
+  st.models_published = models_published_.load(std::memory_order_relaxed);
   st.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
   st.total_latency_us = total_latency_us_.load(std::memory_order_relaxed);
   st.max_latency_us = max_latency_us_.load(std::memory_order_relaxed);

@@ -11,7 +11,7 @@
 ///     clients ──Submit()──▶ router ──▶ per-shard MPSC queue ──▶ dispatcher
 ///                                                                   │
 ///                          future ◀── promise ◀── BatchScorer ◀─────┘
-///                                        (histogram cache in front)
+///                               (histogram + template-id caches in front)
 ///
 ///  * **Async submission.** `Submit` enqueues one workload and returns a
 ///    `std::future<Result<double>>` immediately; clients overlap their own
@@ -23,17 +23,30 @@
 ///    concurrently. Dispatchers issue their parallel work through the
 ///    process-wide util/parallel.h pool, so shards share worker threads
 ///    instead of oversubscribing cores.
-///  * **Cross-client micro-batching.** A dispatcher drains its queue into
-///    one flush when either `max_batch` workloads are pending or
-///    `max_delay_us` has elapsed since the flush began collecting — the
-///    classic throughput/latency admission knob. Every flush is scored by a
-///    single `BatchScorer::ScoreWorkloads` call (per distinct query-log
-///    vector), so requests from unrelated clients amortize featurization
-///    and regression exactly like one big offline batch.
-///  * **Histogram cache.** Each shard owns a sharded-LRU
-///    `engine::HistogramCache` keyed by `core::WorkloadFingerprint`;
-///    steady-state repeated workloads skip featurize/assign entirely, and
-///    hit-path predictions are bitwise identical to cold-path ones.
+///  * **Adaptive cross-client micro-batching.** A dispatcher drains its
+///    queue into one flush when `max_batch` workloads are pending, when
+///    `max_delay_us` has elapsed since the flush began collecting — or,
+///    with `adaptive_flush` (default), the moment every
+///    submitted-but-unfulfilled request of the shard is already in hand:
+///    then no further arrival can be pending (closed-loop clients are all
+///    blocked on this very flush), so waiting out the delay window would be
+///    pure added latency. Open-loop clients keep deep queues and still
+///    flush full batches; `ServiceStats` counts each flush's trigger so
+///    the controller's behavior is observable.
+///  * **Two-level caching.** Each shard owns a sharded-LRU
+///    `engine::HistogramCache` (whole workloads, keyed by
+///    `core::WorkloadFingerprint`) and a `engine::TemplateIdCache`
+///    (per-query template ids, keyed by content fingerprint) — so exact
+///    workload repeats skip the entire front half, and *novel combinations
+///    of known queries* skip featurize/assign per member query. Hit-path
+///    predictions are bitwise identical to cold-path ones.
+///  * **RCU model hot-swap.** Shards hold their model as a
+///    `std::shared_ptr<const LearnedWmpModel>` snapshot; `PublishModel`
+///    installs a retrained replacement atomically between flushes while
+///    traffic keeps flowing — in-flight flushes finish on the snapshot they
+///    pinned, and both caches version on model epoch so a stale entry can
+///    never serve the new model's predictions. `wmpctl train --publish`
+///    exercises the full retrain-and-swap loop.
 ///  * **Clean shutdown.** `Stop` (or the destructor) closes the queues,
 ///    scores everything already accepted, fulfills every promise, and joins
 ///    the dispatchers — no future is ever abandoned. Submissions after Stop
@@ -45,8 +58,8 @@
 ///    pass), the dispatcher rescores that flush request-by-request so only
 ///    the offending futures carry the error.
 ///
-/// Thread-safety: `Submit`/`SubmitToShard`/`stats` are safe from any number
-/// of threads for the service's whole lifetime.
+/// Thread-safety: `Submit`/`SubmitToShard`/`PublishModel`/`stats` are safe
+/// from any number of threads for the service's whole lifetime.
 
 #include <atomic>
 #include <chrono>
@@ -62,6 +75,7 @@
 #include "core/workload.h"
 #include "engine/batch_scorer.h"
 #include "engine/histogram_cache.h"
+#include "engine/template_cache.h"
 #include "util/mpsc_queue.h"
 
 namespace wmp::engine {
@@ -74,9 +88,15 @@ struct ScoringServiceOptions {
   /// ... or once this many microseconds passed since the flush started
   /// collecting, whichever comes first.
   int64_t max_delay_us = 200;
-  /// Histogram-cache entries per shard; 0 disables caching.
+  /// ... or as soon as no further arrival can be pending (every submitted
+  /// request of the shard is already collected) — the adaptive controller
+  /// that spares closed-loop clients the fixed delay window.
+  bool adaptive_flush = true;
+  /// Histogram-cache entries per shard; 0 disables level-1 caching.
   size_t cache_capacity = 4096;
-  /// Lock shards inside each per-shard cache.
+  /// Template-id-cache entries per shard; 0 disables level-2 caching.
+  size_t template_cache_capacity = 1 << 16;
+  /// Lock shards inside each per-shard cache (both levels).
   size_t cache_shards = 8;
   /// Worker-pool budget for each dispatcher's scoring calls; 0 = library
   /// default. Shards share the process-wide pool either way.
@@ -89,8 +109,16 @@ struct ServiceStats {
   uint64_t completed = 0;   ///< futures fulfilled with a prediction
   uint64_t failed = 0;      ///< futures fulfilled with an error
   uint64_t flushes = 0;     ///< dispatcher scoring cycles
-  uint64_t cache_hits = 0;
+  /// Why each flush fired (flushes == sum of the four):
+  uint64_t flushes_full = 0;      ///< collected max_batch requests
+  uint64_t flushes_adaptive = 0;  ///< no further arrival could be pending
+  uint64_t flushes_deadline = 0;  ///< waited out the max_delay_us window
+  uint64_t flushes_drain = 0;     ///< shutdown drain after Close
+  uint64_t cache_hits = 0;    ///< level 1: whole-workload histogram cache
   uint64_t cache_misses = 0;
+  uint64_t template_cache_hits = 0;  ///< level 2: per-query template ids
+  uint64_t template_cache_misses = 0;
+  uint64_t models_published = 0;  ///< successful PublishModel hot-swaps
   uint64_t max_queue_depth = 0;  ///< high-water mark of any shard queue
   uint64_t queue_depth = 0;      ///< currently pending across shards
   uint64_t total_latency_us = 0; ///< sum of submit→fulfill times
@@ -112,17 +140,36 @@ struct ServiceStats {
     return n > 0 ? static_cast<double>(cache_hits) / static_cast<double>(n)
                  : 0.0;
   }
+  double template_cache_hit_rate() const {
+    const uint64_t n = template_cache_hits + template_cache_misses;
+    return n > 0 ? static_cast<double>(template_cache_hits) /
+                       static_cast<double>(n)
+                 : 0.0;
+  }
 };
 
 /// \brief Async sharded scoring front end over one or more trained models.
 class ScoringService {
  public:
   /// One shard per entry of `models` (at least one): distinct per-tenant
-  /// models, or the same pointer repeated to spread one model's dispatch
-  /// over several queues. Models are borrowed and must be trained and
-  /// outlive the service.
+  /// models, or the same model repeated to spread one model's dispatch
+  /// over several queues. Shared ownership is the publishable form —
+  /// PublishModel can retire any of them under live traffic.
+  explicit ScoringService(
+      std::vector<std::shared_ptr<const core::LearnedWmpModel>> models,
+      ScoringServiceOptions options = {});
+
+  /// Borrowing overload for callers that own their models for the whole
+  /// service lifetime (models must be trained and outlive the service —
+  /// and outlive any PublishModel that retires them).
   explicit ScoringService(std::vector<const core::LearnedWmpModel*> models,
                           ScoringServiceOptions options = {});
+
+  /// Braced-list convenience for the borrowing form —
+  /// `ScoringService({&m1, &m2})` — which would otherwise be ambiguous
+  /// between the two vector overloads.
+  ScoringService(std::initializer_list<const core::LearnedWmpModel*> models,
+                 ScoringServiceOptions options = {});
   ~ScoringService();
   ScoringService(const ScoringService&) = delete;
   ScoringService& operator=(const ScoringService&) = delete;
@@ -141,6 +188,14 @@ class ScoringService {
       size_t shard, const std::vector<workloads::QueryRecord>& records,
       std::vector<uint32_t> query_indices);
 
+  /// RCU hot-swap: installs `model` (non-null, trained) as shard `shard`'s
+  /// serving snapshot without pausing traffic. Requests in the flush under
+  /// way score on the old snapshot; every later flush scores on the new
+  /// one, with both cache levels implicitly invalidated by the epoch bump.
+  /// Safe from any thread, any time — including under full client load.
+  Status PublishModel(size_t shard,
+                      std::shared_ptr<const core::LearnedWmpModel> model);
+
   /// Stable tenant/model-key router: util::HashString(tenant) mod shards.
   size_t ShardForTenant(std::string_view tenant) const;
 
@@ -151,8 +206,11 @@ class ScoringService {
   ServiceStats stats() const;
   bool stopped() const { return stopped_.load(std::memory_order_relaxed); }
   size_t num_shards() const { return shards_.size(); }
-  const core::LearnedWmpModel& model(size_t shard) const {
-    return *shards_[shard]->model;
+  /// Shard's current model snapshot; holding it keeps the model alive
+  /// across hot-swaps (may be null only for the degenerate no-model
+  /// service).
+  std::shared_ptr<const core::LearnedWmpModel> model(size_t shard) const {
+    return shards_[shard]->scorer->model_snapshot();
   }
 
  private:
@@ -163,16 +221,24 @@ class ScoringService {
     std::chrono::steady_clock::time_point submit_time;
   };
   struct Shard {
-    const core::LearnedWmpModel* model = nullptr;
-    std::unique_ptr<HistogramCache> cache;  // null when caching disabled
+    std::unique_ptr<HistogramCache> cache;          // null when disabled
+    std::unique_ptr<TemplateIdCache> template_cache;  // null when disabled
     std::unique_ptr<BatchScorer> scorer;
     util::MpscQueue<std::unique_ptr<Request>> queue;
+    /// Submitted-but-unfulfilled requests — the adaptive controller's
+    /// signal. Incremented before Push, decremented as each promise is
+    /// fulfilled, so `inflight <= collected batch` proves no further
+    /// arrival can be pending.
+    std::atomic<uint64_t> inflight{0};
     std::thread dispatcher;
   };
+  /// What ended a flush's collection phase (ServiceStats counters).
+  enum class FlushReason { kFull, kAdaptive, kDeadline, kDrain };
 
   void DispatcherLoop(Shard* shard);
-  void Flush(Shard* shard, std::vector<std::unique_ptr<Request>>* requests);
-  void Fulfill(Request* request, Result<double> outcome);
+  void Flush(Shard* shard, std::vector<std::unique_ptr<Request>>* requests,
+             FlushReason reason);
+  void Fulfill(Shard* shard, Request* request, Result<double> outcome);
 
   ScoringServiceOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -183,8 +249,15 @@ class ScoringService {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> flushes_full_{0};
+  std::atomic<uint64_t> flushes_adaptive_{0};
+  std::atomic<uint64_t> flushes_deadline_{0};
+  std::atomic<uint64_t> flushes_drain_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> template_cache_hits_{0};
+  std::atomic<uint64_t> template_cache_misses_{0};
+  std::atomic<uint64_t> models_published_{0};
   std::atomic<uint64_t> max_queue_depth_{0};
   std::atomic<uint64_t> total_latency_us_{0};
   std::atomic<uint64_t> max_latency_us_{0};

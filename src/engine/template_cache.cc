@@ -1,0 +1,126 @@
+#include "engine/template_cache.h"
+
+#include <algorithm>
+
+namespace wmp::engine {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TemplateIdCache::TemplateIdCache(TemplateIdCacheOptions options)
+    : capacity_(options.capacity) {
+  const size_t shards = RoundUpPow2(std::max<size_t>(options.num_shards, 1));
+  shard_mask_ = shards - 1;
+  shards_ = std::make_unique<Shard[]>(shards);
+  // Split the budget evenly; round up so small capacities still admit one
+  // entry per shard rather than zero.
+  per_shard_capacity_ = capacity_ == 0 ? 0 : (capacity_ + shards - 1) / shards;
+}
+
+size_t TemplateIdCache::LookupBatch(const uint64_t* keys, size_t n,
+                                    uint64_t epoch, int* ids, uint8_t* hit) {
+  // One lock acquisition per probe, not per batch: a flush's keys scatter
+  // across shards anyway, and holding several shard locks at once from one
+  // caller would invite ordering deadlocks for zero payoff.
+  size_t hits = 0;
+  uint64_t invalidated = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Shard& shard = ShardFor(keys[i]);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(keys[i]);
+    if (it == shard.index.end()) {
+      hit[i] = 0;
+      continue;
+    }
+    if (it->second->epoch < epoch) {
+      // Assigned under a retired model: never let it shape the new model's
+      // histograms. Erase so the slot frees for the re-assign under way.
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      ++invalidated;
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      hit[i] = 0;
+      continue;
+    }
+    if (it->second->epoch > epoch) {
+      // The probe is the stale side (an in-flight flush pinned to a
+      // retired snapshot): miss without touching the new model's entry.
+      hit[i] = 0;
+      continue;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ids[i] = it->second->id;
+    hit[i] = 1;
+    ++hits;
+  }
+  hits_.fetch_add(hits, std::memory_order_relaxed);
+  misses_.fetch_add(n - hits, std::memory_order_relaxed);
+  if (invalidated > 0) {
+    invalidations_.fetch_add(invalidated, std::memory_order_relaxed);
+  }
+  return hits;
+}
+
+void TemplateIdCache::InsertBatch(const uint64_t* keys, const int* ids,
+                                  size_t n, uint64_t epoch) {
+  if (per_shard_capacity_ == 0) return;
+  uint64_t inserted = 0, evicted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Shard& shard = ShardFor(keys[i]);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(keys[i]);
+    if (it != shard.index.end()) {
+      // Refresh: same fingerprint, same content — bump recency and restamp
+      // (a duplicate miss within one flush lands here on its second copy).
+      // A stale writer (older epoch than the stored entry) must not
+      // clobber what the new model already learned.
+      if (it->second->epoch <= epoch) {
+        it->second->id = ids[i];
+        it->second->epoch = epoch;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      }
+      continue;
+    }
+    shard.lru.push_front(Entry{keys[i], epoch, ids[i]});
+    shard.index.emplace(keys[i], shard.lru.begin());
+    ++inserted;
+    size_.fetch_add(1, std::memory_order_relaxed);
+    if (shard.lru.size() > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      ++evicted;
+      size_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  if (inserted > 0) insertions_.fetch_add(inserted, std::memory_order_relaxed);
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+void TemplateIdCache::Clear() {
+  for (size_t s = 0; s <= shard_mask_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    size_.fetch_sub(shards_[s].lru.size(), std::memory_order_relaxed);
+    shards_[s].lru.clear();
+    shards_[s].index.clear();
+  }
+}
+
+TemplateIdCacheStats TemplateIdCache::stats() const {
+  TemplateIdCacheStats st;
+  st.hits = hits_.load(std::memory_order_relaxed);
+  st.misses = misses_.load(std::memory_order_relaxed);
+  st.insertions = insertions_.load(std::memory_order_relaxed);
+  st.evictions = evictions_.load(std::memory_order_relaxed);
+  st.invalidations = invalidations_.load(std::memory_order_relaxed);
+  st.size = size_.load(std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace wmp::engine

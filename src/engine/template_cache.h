@@ -1,0 +1,157 @@
+#ifndef WMP_ENGINE_TEMPLATE_CACHE_H_
+#define WMP_ENGINE_TEMPLATE_CACHE_H_
+
+/// \file template_cache.h
+/// Sharded LRU cache of per-query template ids, keyed by
+/// `QueryRecord::content_fingerprint` — the second cache level of the
+/// serving path.
+///
+/// The histogram cache (histogram_cache.h) memoizes *whole workloads*; it
+/// only pays off when the exact same query multiset recurs. Production
+/// admission streams (the paper's §I deployment; Sibyl's template-repetitive
+/// traces) instead repeat *individual* queries endlessly in novel
+/// combinations. This cache memoizes the expensive per-query half of IN3 —
+/// featurize + scale + nearest-centroid assign — so a workload made of
+/// all-known queries builds its histogram from cached template ids without
+/// touching the featurizer at all, even when its own fingerprint has never
+/// been seen. Memoized ids are exactly the ids `TemplateModel::AssignBatch`
+/// would compute, so downstream histograms and predictions are bitwise
+/// unchanged by a hit.
+///
+/// Model versioning mirrors HistogramCache: entries carry the model epoch
+/// of the `BatchScorer` snapshot that computed them. After a PublishModel
+/// hot-swap, probes under the new epoch treat old entries as misses and
+/// erase them lazily — a retired model's assignments can never leak into
+/// the new model's histograms. The comparison is directional: an
+/// in-flight flush still pinned to the old snapshot misses against newer
+/// entries without evicting them, and its inserts never clobber an entry
+/// the new model already learned.
+///
+/// Thread-safety: fully thread-safe (independent lock shards + atomic
+/// counters), so dispatchers of different service shards may share one
+/// cache over the same model. The `View` adapter binds (cache, epoch) into
+/// the `core::TemplateIdResolver` interface the core binning path consumes
+/// and additionally tallies per-call hit/miss counts for serving stats.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/template_resolver.h"
+
+namespace wmp::engine {
+
+struct TemplateIdCacheOptions {
+  /// Maximum resident entries across all shards; 0 disables insertion
+  /// (every probe misses). Entries are ~32 bytes, so the default memoizes
+  /// 64k distinct queries in ~2 MB.
+  size_t capacity = 1 << 16;
+  /// Lock shards (rounded up to a power of two, >= 1).
+  size_t num_shards = 8;
+};
+
+/// Monotonic counters; `size` is the current resident entry count.
+struct TemplateIdCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  /// Entries dropped because their epoch no longer matched a probe's.
+  uint64_t invalidations = 0;
+  size_t size = 0;
+};
+
+/// \brief Thread-safe sharded LRU map: query fingerprint -> template id.
+class TemplateIdCache {
+ public:
+  explicit TemplateIdCache(TemplateIdCacheOptions options = {});
+
+  /// Batched probe: for each `i` in `[0, n)`, on a hit under `epoch`
+  /// writes the memoized id into `ids[i]` and sets `hit[i] = 1`, else sets
+  /// `hit[i] = 0`. Returns the hit count. Entries stamped with an older
+  /// epoch are erased (counted as invalidations + misses); entries from a
+  /// newer epoch just miss, untouched.
+  size_t LookupBatch(const uint64_t* keys, size_t n, uint64_t epoch, int* ids,
+                     uint8_t* hit);
+
+  /// Batched insert (or refresh) of `n` (key, id) pairs stamped with
+  /// `epoch`, evicting least-recently-used entries when over budget.
+  void InsertBatch(const uint64_t* keys, const int* ids, size_t n,
+                   uint64_t epoch);
+
+  /// Drops every entry (stats counters keep accumulating).
+  void Clear();
+
+  TemplateIdCacheStats stats() const;
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Per-call resolver view bound to one model epoch.
+  ///
+  /// The core binning path (`LearnedWmpModel::AssignTemplateIds`) speaks
+  /// `core::TemplateIdResolver`; a View pins the epoch of the scoring
+  /// call's model snapshot so everything the call resolves and learns is
+  /// consistently stamped, and counts that call's own hits/misses (the
+  /// cache-wide counters aggregate across concurrent callers).
+  class View : public core::TemplateIdResolver {
+   public:
+    View(TemplateIdCache* cache, uint64_t epoch)
+        : cache_(cache), epoch_(epoch) {}
+
+    size_t Resolve(const uint64_t* keys, size_t n, int* ids,
+                   uint8_t* hit) override {
+      const size_t hits = cache_->LookupBatch(keys, n, epoch_, ids, hit);
+      hits_ += hits;
+      misses_ += n - hits;
+      return hits;
+    }
+    void Learn(const uint64_t* keys, const int* ids, size_t n) override {
+      cache_->InsertBatch(keys, ids, n, epoch_);
+    }
+
+    size_t hits() const { return hits_; }
+    size_t misses() const { return misses_; }
+
+   private:
+    TemplateIdCache* cache_;
+    uint64_t epoch_;
+    size_t hits_ = 0;
+    size_t misses_ = 0;
+  };
+
+ private:
+  struct Entry {
+    uint64_t key;
+    uint64_t epoch;
+    int id;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    // Keys are splitmix64-mixed fingerprints; fold the high bits in so
+    // shard choice and map bucketing use different bit ranges.
+    return shards_[(key ^ (key >> 32)) & shard_mask_];
+  }
+
+  size_t capacity_ = 0;
+  size_t per_shard_capacity_ = 0;
+  size_t shard_mask_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace wmp::engine
+
+#endif  // WMP_ENGINE_TEMPLATE_CACHE_H_

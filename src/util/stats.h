@@ -7,19 +7,24 @@
 /// rank) lives in exactly one place.
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
 namespace wmp::util {
 
 /// Nearest-rank percentile (`p` in [0, 1]) of a sample; sorts `*samples`
-/// in place and returns 0 for an empty sample.
+/// in place and returns 0 for an empty sample. Nearest rank is
+/// ceil(p * n): the smallest sample such that at least p of the
+/// distribution is at or below it — so p=0.99 of 100 samples is the 99th
+/// smallest, not the maximum.
 inline double PercentileInPlace(std::vector<double>* samples, double p) {
   if (samples->empty()) return 0.0;
   std::sort(samples->begin(), samples->end());
-  const size_t i =
-      std::min(samples->size() - 1,
-               static_cast<size_t>(p * static_cast<double>(samples->size())));
+  const double rank = std::ceil(p * static_cast<double>(samples->size()));
+  const size_t i = rank < 1.0 ? 0
+                              : std::min(samples->size() - 1,
+                                         static_cast<size_t>(rank) - 1);
   return (*samples)[i];
 }
 

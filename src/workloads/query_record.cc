@@ -37,7 +37,10 @@ uint64_t ContentFingerprint(const QueryRecord& record) {
 void FingerprintRecords(std::vector<QueryRecord>* records) {
   util::ParallelFor(records->size(), 64, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      (*records)[i].content_fingerprint = ContentFingerprint((*records)[i]);
+      QueryRecord& record = (*records)[i];
+      if (record.content_fingerprint == 0) {
+        record.content_fingerprint = ContentFingerprint(record);
+      }
     }
   });
 }

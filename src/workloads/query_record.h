@@ -33,10 +33,12 @@ struct QueryRecord {
   /// templates and diagnostics; the learned pipeline never reads it).
   int family_id = -1;
   /// Memoized ContentFingerprint() (0 = not yet computed). The dataset
-  /// builder and log loader fill it once so the serving layer's workload
-  /// fingerprints (core::WorkloadFingerprint, the histogram-cache key)
-  /// combine precomputed words instead of re-hashing query text per
-  /// submission.
+  /// builder and log loader fill it once so the serving layer's cache
+  /// keys — core::WorkloadFingerprint (the histogram-cache key) and the
+  /// per-query key of engine::TemplateIdCache — combine precomputed words
+  /// instead of re-hashing query text per submission. With the per-query
+  /// template cache this matters per member query per flush, not just
+  /// per workload.
   uint64_t content_fingerprint = 0;
 
   QueryRecord() = default;
@@ -55,7 +57,9 @@ std::string SummarizeRecord(const QueryRecord& record);
 /// process, which is all a cache key needs.
 uint64_t ContentFingerprint(const QueryRecord& record);
 
-/// Fills `content_fingerprint` for every record (parallel over rows).
+/// Fills `content_fingerprint` for every record that does not have one
+/// yet (parallel over rows). Idempotent, so appending a fresh chunk to an
+/// already-fingerprinted log re-hashes only the new rows.
 void FingerprintRecords(std::vector<QueryRecord>* records);
 
 }  // namespace wmp::workloads

@@ -14,6 +14,7 @@
 #include "util/io.h"
 #include "util/mpsc_queue.h"
 #include "util/random.h"
+#include "util/stats.h"
 #include "util/status.h"
 #include "util/strings.h"
 #include "util/sync.h"
@@ -431,6 +432,24 @@ TEST(LatchTest, CountDownThenWait) {
   std::thread t([&] { latch.CountDown(); });
   latch.Wait();
   t.join();
+}
+
+// ---------- Percentiles ----------
+
+TEST(StatsTest, PercentileIsNearestRankNotOneAbove) {
+  // 1..100: the nearest-rank p-th percentile of n samples is the
+  // ceil(p*n)-th smallest — p99 of 100 is 99, not the max.
+  std::vector<double> s;
+  for (int i = 1; i <= 100; ++i) s.push_back(static_cast<double>(i));
+  EXPECT_EQ(util::PercentileInPlace(&s, 0.99), 99.0);
+  EXPECT_EQ(util::PercentileInPlace(&s, 0.50), 50.0);
+  EXPECT_EQ(util::PercentileInPlace(&s, 1.00), 100.0);
+  EXPECT_EQ(util::PercentileInPlace(&s, 0.0), 1.0);
+  std::vector<double> four = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_EQ(util::PercentileInPlace(&four, 0.50), 2.0);  // 2nd of 4
+  EXPECT_EQ(util::PercentileInPlace(&four, 0.51), 3.0);
+  std::vector<double> empty;
+  EXPECT_EQ(util::PercentileInPlace(&empty, 0.5), 0.0);
 }
 
 }  // namespace

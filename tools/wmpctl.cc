@@ -9,7 +9,13 @@
 //       this step with a dump from its DBMS in the same text format.
 //
 //   wmpctl train --log=log.txt --model=model.wmp [--templates=K] [--batch=S]
-//       Train a LearnedWMP model from a query log and persist it.
+//       Train a LearnedWMP model from a query log and persist it. With
+//       --publish, additionally rehearse the production rollout: stand up
+//       the async scoring service on the PREVIOUS artifact at --model (if
+//       one exists), drive live traffic against it, hot-swap the freshly
+//       trained model in mid-stream (ScoringService::PublishModel), and
+//       verify zero failed requests plus bitwise agreement of post-swap
+//       predictions with the new model.
 //
 //   wmpctl evaluate --log=log.txt --model=model.wmp [--batch=S]
 //       Score a model against a labeled log (RMSE / MAPE over workloads).
@@ -18,12 +24,13 @@
 //       Treat the whole log file as one workload and predict its memory.
 //
 //   wmpctl serve-bench --log=log.txt --model=model.wmp [--clients=8]
-//                      [--shards=1] [--batch=S] [--repeat=3]
+//                      [--shards=1] [--batch=S] [--repeat=3] [--adaptive=1]
 //       Drive N concurrent client threads against the async scoring
 //       service (engine::ScoringService): each client submits every
 //       workload of the log `repeat` times, so the second pass onward
-//       exercises the histogram cache. Reports throughput, latency, and
-//       cache hit rate.
+//       exercises the caches. Reports throughput, latency, per-level
+//       cache hit rates (histogram vs template-id), and the flush-reason
+//       breakdown of the adaptive micro-batching controller.
 
 #include <algorithm>
 #include <atomic>
@@ -80,13 +87,15 @@ int Usage() {
                "  wmpctl generate --benchmark=tpcds|job|tpcc --queries=N "
                "--out=PATH [--seed=N]\n"
                "  wmpctl train    --log=PATH --model=PATH [--templates=K] "
-               "[--batch=S] [--seed=N]\n"
+               "[--batch=S] [--seed=N] [--publish]\n"
                "  wmpctl evaluate --log=PATH --model=PATH [--batch=S]\n"
                "  wmpctl predict  --log=PATH --model=PATH\n"
                "  wmpctl serve-bench --log=PATH --model=PATH [--clients=8] "
                "[--shards=1]\n"
                "                 [--batch=S] [--repeat=3] [--max-batch=64] "
                "[--max-delay-us=200]\n"
+               "                 [--adaptive=1] [--template-cache=65536] "
+               "[--cache=4096]\n"
                "common: --threads=N caps the worker pool (0 = all cores)\n");
   return 2;
 }
@@ -126,6 +135,72 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// The --publish rollout rehearsal: serve `live` (the previous artifact,
+// or the fresh model itself on a first train), hot-swap `fresh` in under
+// closed-loop traffic, and verify the swap lost nothing — zero failed
+// requests and post-swap predictions bitwise equal to the fresh model's
+// own batched scoring.
+int RunPublishRehearsal(const std::vector<workloads::QueryRecord>& records,
+                        std::shared_ptr<const core::LearnedWmpModel> live,
+                        std::shared_ptr<const core::LearnedWmpModel> fresh,
+                        int batch_size) {
+  const auto batches =
+      engine::MakeConsecutiveBatches(records.size(), batch_size);
+  if (batches.empty()) {
+    std::fprintf(stderr, "log too small for one workload of %d queries\n",
+                 batch_size);
+    return 1;
+  }
+  engine::ScoringService service({std::move(live)});
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> done{0};
+  constexpr int kPasses = 4;
+  std::thread driver([&] {
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (const auto& b : batches) {
+        auto got = service.Submit("rollout", records, b.query_indices).get();
+        if (!got.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  // Swap once the stream is demonstrably live (mid-first-pass).
+  while (done.load(std::memory_order_relaxed) < batches.size() / 2 + 1) {
+    std::this_thread::yield();
+  }
+  if (Status st = service.PublishModel(0, fresh); !st.ok()) {
+    driver.join();
+    return Fail(st);
+  }
+  driver.join();
+
+  // Post-swap steady state must be the fresh model, bitwise.
+  engine::BatchScorer reference(fresh);
+  auto want = reference.ScoreWorkloads(records, batches);
+  if (!want.ok()) return Fail(want.status());
+  size_t mismatches = 0;
+  for (size_t w = 0; w < batches.size(); ++w) {
+    auto got =
+        service.Submit("rollout", records, batches[w].query_indices).get();
+    if (!got.ok()) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+    } else if (*got != want->predictions[w]) {
+      ++mismatches;
+    }
+  }
+  service.Stop();
+  const engine::ServiceStats st = service.stats();
+  std::printf(
+      "publish rehearsal: %llu requests across the swap, %llu failed, "
+      "%zu post-swap mismatches\n",
+      static_cast<unsigned long long>(st.completed + st.failed),
+      static_cast<unsigned long long>(errors.load()), mismatches);
+  std::printf("  hot-swap %s: live traffic kept flowing and the service "
+              "now serves the fresh model bitwise\n",
+              errors.load() == 0 && mismatches == 0 ? "OK" : "FAILED");
+  return errors.load() == 0 && mismatches == 0 ? 0 : 1;
+}
+
 int CmdTrain(const std::map<std::string, std::string>& flags) {
   const std::string log_path = FlagOr(flags, "log", "");
   const std::string model_path = FlagOr(flags, "model", "");
@@ -133,6 +208,17 @@ int CmdTrain(const std::map<std::string, std::string>& flags) {
 
   auto records = workloads::LoadQueryLog(log_path);
   if (!records.ok()) return Fail(records.status());
+
+  // For --publish, pick up the previous artifact BEFORE it is overwritten:
+  // the rehearsal swaps old -> new exactly like a production rollout.
+  const bool publish = flags.count("publish") > 0;
+  std::shared_ptr<const core::LearnedWmpModel> previous;
+  if (publish) {
+    if (auto old = core::LearnedWmpModel::LoadFromFile(model_path); old.ok()) {
+      previous =
+          std::make_shared<const core::LearnedWmpModel>(std::move(*old));
+    }
+  }
 
   core::LearnedWmpOptions opt;
   opt.templates.num_templates =
@@ -156,6 +242,14 @@ int CmdTrain(const std::map<std::string, std::string>& flags) {
       "trained on %zu queries (%zu workloads of %d), saved %zu bytes to %s\n",
       records->size(), model->train_stats().num_workloads, opt.batch_size,
       model->SerializedSize().ValueOr(0), model_path.c_str());
+  if (publish) {
+    auto fresh =
+        std::make_shared<const core::LearnedWmpModel>(std::move(*model));
+    // First train (no previous artifact): rehearse the swap onto a live
+    // service that starts on the fresh model itself.
+    return RunPublishRehearsal(*records, previous ? previous : fresh, fresh,
+                               opt.batch_size);
+  }
   return 0;
 }
 
@@ -253,6 +347,11 @@ int CmdServeBench(const std::map<std::string, std::string>& flags) {
   sopt.max_batch = static_cast<size_t>(
       std::max(std::atoi(FlagOr(flags, "max-batch", "64").c_str()), 1));
   sopt.max_delay_us = std::atoll(FlagOr(flags, "max-delay-us", "200").c_str());
+  sopt.adaptive_flush = FlagOr(flags, "adaptive", "1") != "0";
+  sopt.cache_capacity = static_cast<size_t>(
+      std::atoll(FlagOr(flags, "cache", "4096").c_str()));
+  sopt.template_cache_capacity = static_cast<size_t>(
+      std::atoll(FlagOr(flags, "template-cache", "65536").c_str()));
   // All shards serve the one trained model; sharding spreads dispatch.
   engine::ScoringService service(
       std::vector<const core::LearnedWmpModel*>(
@@ -309,8 +408,11 @@ int CmdServeBench(const std::map<std::string, std::string>& flags) {
   for (const auto& b : batches) pass_queries += b.query_indices.size();
   const uint64_t queries =
       st.completed * static_cast<uint64_t>(pass_queries) / batches.size();
-  std::printf("serve-bench: %d clients x %d shards, batch=%d, repeat=%d\n",
-              clients, num_shards, batch_size, repeat);
+  std::printf(
+      "serve-bench: %d clients x %d shards, batch=%d, repeat=%d, "
+      "adaptive=%s\n",
+      clients, num_shards, batch_size, repeat,
+      sopt.adaptive_flush ? "on" : "off");
   std::printf("  %llu workloads (%llu queries) in %.2f s -> %.0f queries/sec\n",
               static_cast<unsigned long long>(st.completed),
               static_cast<unsigned long long>(queries), wall_s,
@@ -321,12 +423,22 @@ int CmdServeBench(const std::map<std::string, std::string>& flags) {
   const double lat_max = latencies_us.empty() ? 0.0 : latencies_us.back();
   std::printf("  latency p50 %.0f us   p99 %.0f us   max %.0f us\n", p50, p99,
               lat_max);
-  std::printf("  flushes %llu (avg batch %.1f)   cache hit rate %.1f%% "
-              "(%llu/%llu)   errors %llu\n",
+  std::printf("  flushes %llu (avg batch %.1f): %llu full, %llu adaptive, "
+              "%llu deadline, %llu drain\n",
               static_cast<unsigned long long>(st.flushes), st.avg_batch(),
+              static_cast<unsigned long long>(st.flushes_full),
+              static_cast<unsigned long long>(st.flushes_adaptive),
+              static_cast<unsigned long long>(st.flushes_deadline),
+              static_cast<unsigned long long>(st.flushes_drain));
+  std::printf("  histogram cache hit rate %.1f%% (%llu/%llu)   "
+              "template-id cache hit rate %.1f%% (%llu/%llu)   errors %llu\n",
               100.0 * st.cache_hit_rate(),
               static_cast<unsigned long long>(st.cache_hits),
               static_cast<unsigned long long>(st.cache_hits + st.cache_misses),
+              100.0 * st.template_cache_hit_rate(),
+              static_cast<unsigned long long>(st.template_cache_hits),
+              static_cast<unsigned long long>(st.template_cache_hits +
+                                              st.template_cache_misses),
               static_cast<unsigned long long>(errors.load()));
   return errors.load() == 0 ? 0 : 1;
 }
