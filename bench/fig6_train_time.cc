@@ -6,40 +6,86 @@
 // model for every non-trivial learner (it fits |Q_train|/s workload
 // examples instead of |Q_train| queries); Ridge shows no meaningful gap
 // (closed-form solve, the paper calls this out).
+//
+// Output: human tables plus JSON records (stdout, or --json=PATH) so the
+// BENCH trajectory can track training perf per family — including the tree
+// engines' bin/grow/update phase breakdown for the Learned variants.
 
+#include <cstdio>
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "bench_common.h"
 
 using namespace wmp;
 
+namespace {
+
+struct TrainRow {
+  std::string benchmark;
+  std::string family;
+  double single_ms = 0.0;
+  double learned_ms = 0.0;
+  double speedup = 0.0;
+  double template_ms = 0.0;  // shared phase-1 cost, repeated per row
+  ml::FitTiming learned_phases;
+};
+
+std::string ToJson(const TrainRow& r) {
+  return StrFormat(
+      "{\"benchmark\": \"%s\", \"family\": \"%s\", \"single_ms\": %.2f, "
+      "\"learned_ms\": %.2f, \"speedup\": %.2f, \"template_ms\": %.2f, "
+      "\"learned_bin_ms\": %.2f, \"learned_grow_ms\": %.2f, "
+      "\"learned_update_ms\": %.2f}",
+      r.benchmark.c_str(), r.family.c_str(), r.single_ms, r.learned_ms,
+      r.speedup, r.template_ms, r.learned_phases.bin_ms,
+      r.learned_phases.grow_ms, r.learned_phases.update_ms);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseArgs(argc, argv);
   bench::PrintRunBanner("Fig. 6", "model training time (ms)", args);
 
+  std::vector<TrainRow> rows;
   for (workloads::Benchmark benchmark : workloads::AllBenchmarks()) {
     auto result = core::RunCoreExperiment(bench::MakeConfig(benchmark, args));
     if (!result.ok()) {
       std::cerr << "experiment failed: " << result.status() << "\n";
       return 1;
     }
-    std::map<std::string, std::pair<double, double>> by_family;  // single, learned
+    struct FamilyTimes {
+      double single_ms = 0.0;
+      double learned_ms = 0.0;
+      ml::FitTiming learned_phases;
+    };
+    std::map<std::string, FamilyTimes> by_family;
     for (const core::ModelReport& r : result->reports) {
       if (r.name == "SingleWMP-DBMS") continue;
       const bool learned = r.name.rfind("LearnedWMP-", 0) == 0;
       const std::string family = r.name.substr(r.name.find('-') + 1);
-      (learned ? by_family[family].second : by_family[family].first) =
-          r.train_ms;
+      FamilyTimes& t = by_family[family];
+      if (learned) {
+        t.learned_ms = r.train_ms;
+        t.learned_phases = r.fit_timing;
+      } else {
+        t.single_ms = r.train_ms;
+      }
     }
     TablePrinter table(
         StrFormat("Fig. 6 — %s training time (ms)", result->benchmark.c_str()));
     table.SetHeader({"family", "SingleWMP", "LearnedWMP", "speedup"});
     for (const auto& [family, times] : by_family) {
-      table.AddRow({family, StrFormat("%.1f", times.first),
-                    StrFormat("%.1f", times.second),
-                    StrFormat("%.1fx", times.first /
-                                           std::max(times.second, 1e-3))});
+      table.AddRow({family, StrFormat("%.1f", times.single_ms),
+                    StrFormat("%.1f", times.learned_ms),
+                    StrFormat("%.1fx", times.single_ms /
+                                           std::max(times.learned_ms, 1e-3))});
+      rows.push_back({result->benchmark, family, times.single_ms,
+                      times.learned_ms,
+                      times.single_ms / std::max(times.learned_ms, 1e-3),
+                      result->template_learning_ms, times.learned_phases});
     }
     table.Print(std::cout);
     std::cout << StrFormat(
@@ -47,5 +93,21 @@ int main(int argc, char** argv) {
         "deployment)\n\n",
         result->template_learning_ms);
   }
+
+  FILE* out = stdout;
+  if (!args.json_path.empty()) {
+    out = std::fopen(args.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::cerr << "cannot open " << args.json_path << "\n";
+      return 1;
+    }
+  }
+  std::fprintf(out, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out, "  %s%s\n", ToJson(rows[i]).c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  if (out != stdout) std::fclose(out);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ml/binned.h"
 #include "ml/search.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -74,7 +75,8 @@ Result<ExperimentData> PrepareExperiment(const ExperimentConfig& config) {
 
 Result<ModelReport> EvaluateLearnedWmp(const ExperimentData& data,
                                        ml::RegressorKind kind,
-                                       double* template_ms_out) {
+                                       double* template_ms_out,
+                                       ml::BinnedDatasetCache* bin_cache) {
   LearnedWmpOptions opt;
   opt.templates.method = data.config.template_method;
   opt.templates.num_templates = data.config.num_templates;
@@ -85,7 +87,7 @@ Result<ModelReport> EvaluateLearnedWmp(const ExperimentData& data,
   WMP_ASSIGN_OR_RETURN(
       LearnedWmpModel model,
       LearnedWmpModel::Train(data.dataset.records, data.train_indices,
-                             *data.dataset.generator, opt));
+                             *data.dataset.generator, opt, bin_cache));
 
   Stopwatch sw;
   WMP_ASSIGN_OR_RETURN(
@@ -97,6 +99,7 @@ Result<ModelReport> EvaluateLearnedWmp(const ExperimentData& data,
       StrFormat("LearnedWMP-%s", ml::RegressorKindName(kind)),
       data.test_labels, std::move(predictions));
   report.train_ms = model.train_stats().regressor_ms;
+  report.fit_timing = model.train_stats().regressor_timing;
   report.infer_us_per_workload =
       infer_us / static_cast<double>(data.test_batches.size());
   WMP_ASSIGN_OR_RETURN(report.model_bytes, model.RegressorBytes());
@@ -107,13 +110,15 @@ Result<ModelReport> EvaluateLearnedWmp(const ExperimentData& data,
 }
 
 Result<ModelReport> EvaluateSingleWmp(const ExperimentData& data,
-                                      ml::RegressorKind kind) {
+                                      ml::RegressorKind kind,
+                                      ml::BinnedDatasetCache* bin_cache) {
   SingleWmpOptions opt;
   opt.regressor = kind;
   opt.seed = data.config.seed;
-  WMP_ASSIGN_OR_RETURN(
-      SingleWmpModel model,
-      SingleWmpModel::Train(data.dataset.records, data.train_indices, opt));
+  WMP_ASSIGN_OR_RETURN(SingleWmpModel model,
+                       SingleWmpModel::Train(data.dataset.records,
+                                             data.train_indices, opt,
+                                             bin_cache));
 
   Stopwatch sw;
   WMP_ASSIGN_OR_RETURN(
@@ -125,6 +130,7 @@ Result<ModelReport> EvaluateSingleWmp(const ExperimentData& data,
       StrFormat("SingleWMP-%s", ml::RegressorKindName(kind)),
       data.test_labels, std::move(predictions));
   report.train_ms = model.train_ms();
+  report.fit_timing = model.fit_timing();
   report.infer_us_per_workload =
       infer_us / static_cast<double>(data.test_batches.size());
   WMP_ASSIGN_OR_RETURN(report.model_bytes, model.RegressorBytes());
@@ -153,17 +159,24 @@ Result<ExperimentResult> RunCoreExperiment(const ExperimentData& data) {
   result.test_labels = data.test_labels;
 
   result.reports.push_back(EvaluateDbmsBaseline(data));
+  // The DT/RF/GBT candidates inside each sweep train on an identical design
+  // matrix (same seed, same featurization), so one shared cache per sweep
+  // bins it once instead of once per tree family.
+  ml::BinnedDatasetCache single_bins;
   for (ml::RegressorKind kind : ml::AllRegressorKinds()) {
-    WMP_ASSIGN_OR_RETURN(ModelReport single, EvaluateSingleWmp(data, kind));
+    WMP_ASSIGN_OR_RETURN(ModelReport single,
+                         EvaluateSingleWmp(data, kind, &single_bins));
     result.reports.push_back(std::move(single));
   }
+  ml::BinnedDatasetCache learned_bins;
   bool first_learned = true;
   for (ml::RegressorKind kind : ml::AllRegressorKinds()) {
     // Phase-1 cost is shared across the Learned variants; report it once.
     double template_ms = 0.0;
     WMP_ASSIGN_OR_RETURN(
         ModelReport learned,
-        EvaluateLearnedWmp(data, kind, first_learned ? &template_ms : nullptr));
+        EvaluateLearnedWmp(data, kind, first_learned ? &template_ms : nullptr,
+                           &learned_bins));
     if (first_learned) {
       result.template_learning_ms = template_ms;
       first_learned = false;

@@ -43,6 +43,9 @@ struct ModelReport {
   double mape = 0.0;
   ml::ResidualSummary residuals;
   double train_ms = 0.0;            ///< regressor fit time (Fig. 6)
+  /// Fit-phase breakdown (tree families: bin / grow / round-update; zeros
+  /// elsewhere) — the machine-readable detail behind fig6's --json output.
+  ml::FitTiming fit_timing;
   double infer_us_per_workload = 0.0;  ///< Fig. 7
   size_t model_bytes = 0;           ///< serialized regressor (Fig. 8)
   std::vector<double> predictions;  ///< per test workload
@@ -77,14 +80,20 @@ Result<ExperimentData> PrepareExperiment(const ExperimentConfig& config);
 
 /// Trains + evaluates one LearnedWMP variant on prepared data. If
 /// `template_ms_out` is non-null it receives the phase-1 (template
-/// learning) wall time, which is shared across the Learned variants.
+/// learning) wall time, which is shared across the Learned variants. A
+/// shared `bin_cache` lets the tree families (DT/RF/GBT) bin the identical
+/// histogram design matrix once across the sweep.
 Result<ModelReport> EvaluateLearnedWmp(const ExperimentData& data,
                                        ml::RegressorKind kind,
-                                       double* template_ms_out = nullptr);
+                                       double* template_ms_out = nullptr,
+                                       ml::BinnedDatasetCache* bin_cache = nullptr);
 
-/// Trains + evaluates one SingleWMP variant on prepared data.
+/// Trains + evaluates one SingleWMP variant on prepared data; `bin_cache`
+/// as in EvaluateLearnedWmp (the per-query scaled design is also identical
+/// across the tree families).
 Result<ModelReport> EvaluateSingleWmp(const ExperimentData& data,
-                                      ml::RegressorKind kind);
+                                      ml::RegressorKind kind,
+                                      ml::BinnedDatasetCache* bin_cache = nullptr);
 
 /// Evaluates the SingleWMP-DBMS baseline (no training).
 ModelReport EvaluateDbmsBaseline(const ExperimentData& data);

@@ -81,7 +81,7 @@ class NullWorkloadGenerator : public workloads::WorkloadGenerator {
 Result<LearnedWmpModel> LearnedWmpModel::Train(
     const std::vector<workloads::QueryRecord>& records,
     const std::vector<uint32_t>& train_indices,
-    const LearnedWmpOptions& options) {
+    const LearnedWmpOptions& options, ml::BinnedDatasetCache* bin_cache) {
   switch (options.templates.method) {
     case TemplateMethod::kPlanKMeans:
     case TemplateMethod::kPlanDbscan:
@@ -91,14 +91,14 @@ Result<LearnedWmpModel> LearnedWmpModel::Train(
           "generator-free training supports plan-feature templates only");
   }
   static const NullWorkloadGenerator kNullGenerator;
-  return Train(records, train_indices, kNullGenerator, options);
+  return Train(records, train_indices, kNullGenerator, options, bin_cache);
 }
 
 Result<LearnedWmpModel> LearnedWmpModel::Train(
     const std::vector<workloads::QueryRecord>& records,
     const std::vector<uint32_t>& train_indices,
     const workloads::WorkloadGenerator& generator,
-    const LearnedWmpOptions& options) {
+    const LearnedWmpOptions& options, ml::BinnedDatasetCache* bin_cache) {
   if (train_indices.size() < static_cast<size_t>(options.batch_size)) {
     return Status::InvalidArgument(
         "need at least one full workload of training queries");
@@ -146,8 +146,9 @@ Result<LearnedWmpModel> LearnedWmpModel::Train(
   // Phase 3 (TR6): fit the distribution regressor.
   sw.Reset();
   model.regressor_ = MakeLearnedRegressor(options.regressor, options.seed);
-  WMP_RETURN_IF_ERROR(model.regressor_->Fit(h, y));
+  WMP_RETURN_IF_ERROR(model.regressor_->FitWithSharedBins(h, y, bin_cache));
   model.train_stats_.regressor_ms = sw.ElapsedMillis();
+  model.train_stats_.regressor_timing = model.regressor_->fit_timing();
   return model;
 }
 

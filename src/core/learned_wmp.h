@@ -39,6 +39,10 @@ struct LearnedWmpTrainStats {
   double template_ms = 0.0;   ///< phase 1 (TR3)
   double histogram_ms = 0.0;  ///< phase 2 (TR4-TR5)
   double regressor_ms = 0.0;  ///< phase 3 (TR6) — Fig. 6's "training time"
+  /// Phase 3 internals for tree families: design binning / tree growth /
+  /// per-round updates (zeros elsewhere). Attributes training regressions
+  /// from the CLI (wmpctl train) and the training benchmark.
+  ml::FitTiming regressor_timing;
   size_t num_workloads = 0;
 };
 
@@ -47,12 +51,16 @@ class LearnedWmpModel {
  public:
   LearnedWmpModel() = default;
 
-  /// Trains on the selected records (the Q_train partition).
+  /// Trains on the selected records (the Q_train partition). With a
+  /// `bin_cache`, tree-family regressors reuse its binned design matrix —
+  /// the experiment harness trains DT/RF/GBT candidates on the identical
+  /// histogram matrix, so the cache bins it once instead of once per family.
   static Result<LearnedWmpModel> Train(
       const std::vector<workloads::QueryRecord>& records,
       const std::vector<uint32_t>& train_indices,
       const workloads::WorkloadGenerator& generator,
-      const LearnedWmpOptions& options);
+      const LearnedWmpOptions& options,
+      ml::BinnedDatasetCache* bin_cache = nullptr);
 
   /// Generator-free overload for training from an ingested query log
   /// (tools/wmpctl): valid for the plan-feature template methods only —
@@ -61,7 +69,8 @@ class LearnedWmpModel {
   static Result<LearnedWmpModel> Train(
       const std::vector<workloads::QueryRecord>& records,
       const std::vector<uint32_t>& train_indices,
-      const LearnedWmpOptions& options);
+      const LearnedWmpOptions& options,
+      ml::BinnedDatasetCache* bin_cache = nullptr);
 
   /// Predicts the collective memory demand (MB) of one workload:
   /// IN1-IN4 build the histogram, IN5 applies the regressor.

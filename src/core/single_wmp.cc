@@ -27,7 +27,7 @@ std::unique_ptr<ml::Regressor> MakeSingleRegressor(ml::RegressorKind kind,
 Result<SingleWmpModel> SingleWmpModel::Train(
     const std::vector<workloads::QueryRecord>& records,
     const std::vector<uint32_t>& train_indices,
-    const SingleWmpOptions& options) {
+    const SingleWmpOptions& options, ml::BinnedDatasetCache* bin_cache) {
   if (train_indices.empty()) {
     return Status::InvalidArgument("SingleWmpModel::Train with no queries");
   }
@@ -40,7 +40,8 @@ Result<SingleWmpModel> SingleWmpModel::Train(
 
   Stopwatch sw;
   model.regressor_ = MakeSingleRegressor(options.regressor, options.seed);
-  WMP_RETURN_IF_ERROR(model.regressor_->Fit(scaled, y));
+  WMP_RETURN_IF_ERROR(
+      model.regressor_->FitWithSharedBins(scaled, y, bin_cache));
   model.train_ms_ = sw.ElapsedMillis();
   return model;
 }

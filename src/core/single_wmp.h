@@ -29,10 +29,14 @@ class SingleWmpModel {
   SingleWmpModel() = default;
 
   /// Fits the per-query regressor on (plan features, actual memory) pairs.
+  /// With a `bin_cache`, tree-family regressors reuse its binned design —
+  /// the experiment harness trains DT/RF/GBT on the identical scaled matrix,
+  /// so the cache bins it once instead of once per family.
   static Result<SingleWmpModel> Train(
       const std::vector<workloads::QueryRecord>& records,
       const std::vector<uint32_t>& train_indices,
-      const SingleWmpOptions& options);
+      const SingleWmpOptions& options,
+      ml::BinnedDatasetCache* bin_cache = nullptr);
 
   /// Memory estimate (MB) of one query.
   Result<double> PredictQuery(const workloads::QueryRecord& record) const;
@@ -50,6 +54,10 @@ class SingleWmpModel {
   const ml::Regressor& regressor() const { return *regressor_; }
   /// Regressor fit time of the last Train call (ms).
   double train_ms() const { return train_ms_; }
+  /// Phase breakdown of the regressor fit (tree families only).
+  ml::FitTiming fit_timing() const {
+    return regressor_ ? regressor_->fit_timing() : ml::FitTiming{};
+  }
   /// Serialized regressor size in bytes (Fig. 8).
   Result<size_t> RegressorBytes() const;
 

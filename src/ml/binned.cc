@@ -1,0 +1,127 @@
+#include "ml/binned.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace wmp::ml {
+
+Status FeatureBinner::Fit(const Matrix& x, int max_bins) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("FeatureBinner::Fit on empty matrix");
+  }
+  if (max_bins < 2 || max_bins > 65535) {
+    return Status::InvalidArgument("max_bins must be in [2, 65535]");
+  }
+  const size_t n = x.rows(), d = x.cols();
+  edges_.assign(d, {});
+  std::vector<double> col(n);
+  for (size_t f = 0; f < d; ++f) {
+    for (size_t r = 0; r < n; ++r) col[r] = x.At(r, f);
+    std::sort(col.begin(), col.end());
+    std::vector<double>& edges = edges_[f];
+    // Quantile cut points; duplicates collapse so constant features get a
+    // single bin.
+    for (int b = 1; b < max_bins; ++b) {
+      const size_t idx = std::min(
+          n - 1, static_cast<size_t>(static_cast<double>(b) *
+                                     static_cast<double>(n) / max_bins));
+      const double v = col[idx];
+      if (edges.empty() || v > edges.back()) edges.push_back(v);
+    }
+    // Drop a trailing edge equal to the max so the last bin is non-empty.
+    while (!edges.empty() && edges.back() >= col.back()) edges.pop_back();
+  }
+  return Status::OK();
+}
+
+uint16_t FeatureBinner::BinValue(size_t f, double value) const {
+  const std::vector<double>& edges = edges_[f];
+  // First bin whose upper edge is >= value.
+  auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  return static_cast<uint16_t>(it - edges.begin());
+}
+
+Result<std::vector<uint16_t>> FeatureBinner::BinAll(const Matrix& x) const {
+  if (!fitted()) return Status::FailedPrecondition("binner not fitted");
+  if (x.cols() != edges_.size()) {
+    return Status::InvalidArgument("binner column count mismatch");
+  }
+  std::vector<uint16_t> out(x.rows() * x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    uint16_t* o = out.data() + r * x.cols();
+    for (size_t f = 0; f < x.cols(); ++f) o[f] = BinValue(f, row[f]);
+  }
+  return out;
+}
+
+Result<BinnedDataset> BinnedDataset::Build(const Matrix& x, int max_bins) {
+  BinnedDataset data;
+  WMP_RETURN_IF_ERROR(data.binner_.Fit(x, max_bins));
+  data.n_ = x.rows();
+  data.d_ = x.cols();
+  data.max_bins_ = max_bins;
+  data.num_bins_.resize(data.d_);
+  data.bin_offsets_.assign(data.d_ + 1, 0);
+  uint32_t widest = 0;
+  for (size_t f = 0; f < data.d_; ++f) {
+    const uint32_t nb = static_cast<uint32_t>(data.binner_.NumBins(f));
+    data.num_bins_[f] = nb;
+    data.bin_offsets_[f + 1] = data.bin_offsets_[f] + nb;
+    widest = std::max(widest, nb);
+  }
+  data.narrow_ = widest <= 256;
+  if (data.narrow_) {
+    data.bins8_.resize(data.n_ * data.d_);
+    data.rows8_.resize(data.n_ * data.d_);
+  } else {
+    data.bins16_.resize(data.n_ * data.d_);
+    data.rows16_.resize(data.n_ * data.d_);
+  }
+  // Column-contiguous fill: one feature at a time so the per-feature bin
+  // search stays warm and the write stream is sequential; the row-major
+  // mirror scatters alongside.
+  for (size_t f = 0; f < data.d_; ++f) {
+    if (data.narrow_) {
+      uint8_t* col = data.bins8_.data() + f * data.n_;
+      for (size_t r = 0; r < data.n_; ++r) {
+        col[r] = static_cast<uint8_t>(data.binner_.BinValue(f, x.At(r, f)));
+        data.rows8_[r * data.d_ + f] = col[r];
+      }
+    } else {
+      uint16_t* col = data.bins16_.data() + f * data.n_;
+      for (size_t r = 0; r < data.n_; ++r) {
+        col[r] = data.binner_.BinValue(f, x.At(r, f));
+        data.rows16_[r * data.d_ + f] = col[r];
+      }
+    }
+  }
+  return data;
+}
+
+Result<const BinnedDataset*> BinnedDatasetCache::Get(const Matrix& x,
+                                                     int max_bins) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("BinnedDatasetCache::Get on empty matrix");
+  }
+  uint64_t key = util::HashBytes(x.data().data(),
+                                 x.data().size() * sizeof(double),
+                                 0x42494E4E45444453ull);  // "BINNEDDS"
+  key = util::Mix64(key ^ (static_cast<uint64_t>(x.rows()) << 20) ^
+                    (static_cast<uint64_t>(x.cols()) << 4) ^
+                    static_cast<uint64_t>(max_bins));
+  for (const Entry& e : entries_) {
+    if (e.key == key && e.data->num_rows() == x.rows() &&
+        e.data->num_features() == x.cols() && e.data->max_bins() == max_bins) {
+      ++hits_;
+      return e.data.get();
+    }
+  }
+  WMP_ASSIGN_OR_RETURN(BinnedDataset built, BinnedDataset::Build(x, max_bins));
+  entries_.push_back({key, std::make_unique<BinnedDataset>(std::move(built))});
+  ++builds_;
+  return entries_.back().data.get();
+}
+
+}  // namespace wmp::ml

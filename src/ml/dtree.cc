@@ -5,63 +5,15 @@
 #include <limits>
 #include <numeric>
 
+#include "ml/tree_grower.h"
 #include "util/parallel.h"
+#include "util/timer.h"
 
 namespace wmp::ml {
 
-Status FeatureBinner::Fit(const Matrix& x, int max_bins) {
-  if (x.rows() == 0 || x.cols() == 0) {
-    return Status::InvalidArgument("FeatureBinner::Fit on empty matrix");
-  }
-  if (max_bins < 2 || max_bins > 65535) {
-    return Status::InvalidArgument("max_bins must be in [2, 65535]");
-  }
-  const size_t n = x.rows(), d = x.cols();
-  edges_.assign(d, {});
-  std::vector<double> col(n);
-  for (size_t f = 0; f < d; ++f) {
-    for (size_t r = 0; r < n; ++r) col[r] = x.At(r, f);
-    std::sort(col.begin(), col.end());
-    std::vector<double>& edges = edges_[f];
-    // Quantile cut points; duplicates collapse so constant features get a
-    // single bin.
-    for (int b = 1; b < max_bins; ++b) {
-      const size_t idx = std::min(
-          n - 1, static_cast<size_t>(static_cast<double>(b) *
-                                     static_cast<double>(n) / max_bins));
-      const double v = col[idx];
-      if (edges.empty() || v > edges.back()) edges.push_back(v);
-    }
-    // Drop a trailing edge equal to the max so the last bin is non-empty.
-    while (!edges.empty() && edges.back() >= col.back()) edges.pop_back();
-  }
-  return Status::OK();
-}
-
-uint16_t FeatureBinner::BinValue(size_t f, double value) const {
-  const std::vector<double>& edges = edges_[f];
-  // First bin whose upper edge is >= value.
-  auto it = std::lower_bound(edges.begin(), edges.end(), value);
-  return static_cast<uint16_t>(it - edges.begin());
-}
-
-Result<std::vector<uint16_t>> FeatureBinner::BinAll(const Matrix& x) const {
-  if (!fitted()) return Status::FailedPrecondition("binner not fitted");
-  if (x.cols() != edges_.size()) {
-    return Status::InvalidArgument("binner column count mismatch");
-  }
-  std::vector<uint16_t> out(x.rows() * x.cols());
-  for (size_t r = 0; r < x.rows(); ++r) {
-    const double* row = x.RowPtr(r);
-    uint16_t* o = out.data() + r * x.cols();
-    for (size_t f = 0; f < x.cols(); ++f) o[f] = BinValue(f, row[f]);
-  }
-  return out;
-}
-
 namespace {
 
-// Work item for iterative (stack-based) tree construction.
+// Work item for iterative (stack-based) reference tree construction.
 struct BuildItem {
   int node = 0;
   size_t begin = 0;  // range into the shared index buffer
@@ -254,13 +206,68 @@ Status DecisionTreeRegressor::Fit(const Matrix& x,
   if (y.size() != x.rows()) {
     return Status::InvalidArgument("DT::Fit target size mismatch");
   }
-  FeatureBinner binner;
-  WMP_RETURN_IF_ERROR(binner.Fit(x, options_.tree.max_bins));
-  WMP_ASSIGN_OR_RETURN(std::vector<uint16_t> bins, binner.BinAll(x));
-  std::vector<uint32_t> rows(x.rows());
+  if (options_.tree.growth == TreeGrowth::kReference) {
+    fit_timing_ = {};
+    Stopwatch sw;
+    FeatureBinner binner;
+    WMP_RETURN_IF_ERROR(binner.Fit(x, options_.tree.max_bins));
+    WMP_ASSIGN_OR_RETURN(std::vector<uint16_t> bins, binner.BinAll(x));
+    fit_timing_.bin_ms = sw.ElapsedMillis();
+    sw.Reset();
+    std::vector<uint32_t> rows(x.rows());
+    std::iota(rows.begin(), rows.end(), 0);
+    Rng rng(options_.seed);
+    WMP_RETURN_IF_ERROR(
+        tree_.Fit(bins, x.cols(), binner, y, rows, options_.tree, &rng));
+    fit_timing_.grow_ms = sw.ElapsedMillis();
+    grower_stats_ = {};
+    return Status::OK();
+  }
+  Stopwatch sw;
+  WMP_ASSIGN_OR_RETURN(BinnedDataset data,
+                       BinnedDataset::Build(x, options_.tree.max_bins));
+  const double bin_ms = sw.ElapsedMillis();
+  WMP_RETURN_IF_ERROR(FitFromBinned(data, y));
+  fit_timing_.bin_ms = bin_ms;  // FitFromBinned reset it to 0 (shared bins)
+  return Status::OK();
+}
+
+Status DecisionTreeRegressor::FitWithSharedBins(const Matrix& x,
+                                                const std::vector<double>& y,
+                                                BinnedDatasetCache* cache) {
+  if (cache == nullptr || options_.tree.growth != TreeGrowth::kHistogram ||
+      x.rows() == 0 || x.cols() == 0 || y.size() != x.rows()) {
+    return Fit(x, y);
+  }
+  WMP_ASSIGN_OR_RETURN(const BinnedDataset* data,
+                       cache->Get(x, options_.tree.max_bins));
+  return FitFromBinned(*data, y);
+}
+
+Status DecisionTreeRegressor::FitFromBinned(const BinnedDataset& data,
+                                            const std::vector<double>& y) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("DT::FitFromBinned on empty dataset");
+  }
+  if (y.size() != data.num_rows()) {
+    return Status::InvalidArgument("DT::FitFromBinned target size mismatch");
+  }
+  if (options_.tree.growth == TreeGrowth::kReference) {
+    return Status::InvalidArgument(
+        "FitFromBinned requires histogram growth mode");
+  }
+  fit_timing_ = {};
+  Stopwatch sw;
+  std::vector<uint32_t> rows(data.num_rows());
   std::iota(rows.begin(), rows.end(), 0);
   Rng rng(options_.seed);
-  return tree_.Fit(bins, x.cols(), binner, y, rows, options_.tree, &rng);
+  VarianceTreeGrower grower(data, y, options_.tree);
+  std::vector<TreeNode> nodes;
+  WMP_RETURN_IF_ERROR(grower.Grow(rows, &rng, &nodes));
+  tree_ = RegressionTree::FromNodes(std::move(nodes));
+  fit_timing_.grow_ms = sw.ElapsedMillis();
+  grower_stats_ = grower.stats();
+  return Status::OK();
 }
 
 Result<double> DecisionTreeRegressor::PredictOne(
@@ -273,7 +280,7 @@ Result<std::vector<double>> DecisionTreeRegressor::Predict(
     const Matrix& x) const {
   if (!tree_.fitted()) return Status::FailedPrecondition("DT not fitted");
   std::vector<double> out(x.rows());
-  util::ParallelFor(x.rows(), 256, [&](size_t begin, size_t end) {
+  util::ParallelFor(x.rows(), kTreePredictGrain, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       out[i] = tree_.Predict(x.RowPtr(i), x.cols());
     }

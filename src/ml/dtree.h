@@ -4,49 +4,33 @@
 /// \file dtree.h
 /// CART regression trees with histogram-based split finding.
 ///
-/// Features are quantile-binned once per dataset (`FeatureBinner`); split
-/// search then scans per-bin statistics instead of sorting rows at every
-/// node, which keeps single-core training fast at the paper's 93k-query
-/// scale. The same binning infrastructure is reused by the random forest
-/// and the gradient-boosted trees.
+/// Features are quantile-binned once per dataset (`FeatureBinner` /
+/// `BinnedDataset`, ml/binned.h); split search then scans per-bin statistics
+/// instead of sorting rows at every node, which keeps single-core training
+/// fast at the paper's 93k-query scale. The default growth engine
+/// (`TreeGrowth::kHistogram`) works on feature-major bins with sibling
+/// subtraction and a reusable histogram pool (ml/tree_grower.h); the
+/// original direct builder is retained as `TreeGrowth::kReference` for
+/// equivalence testing and benchmarking. The same binning infrastructure is
+/// reused by the random forest and the gradient-boosted trees.
 
 #include <cstdint>
 #include <vector>
 
+#include "ml/binned.h"
 #include "ml/regressor.h"
 #include "util/random.h"
 
 namespace wmp::ml {
 
-/// \brief Quantile binning of continuous features into at most `max_bins`
-/// buckets per feature.
-class FeatureBinner {
- public:
-  /// Computes per-feature bin edges from the rows of `x`.
-  /// \param max_bins  upper bound on buckets per feature (2..65535).
-  Status Fit(const Matrix& x, int max_bins = 64);
-
-  /// Bin index of `value` for feature `f` (0-based, < NumBins(f)).
-  uint16_t BinValue(size_t f, double value) const;
-
-  /// Bins every row of `x`; returns a row-major `n x d` bin-index buffer.
-  Result<std::vector<uint16_t>> BinAll(const Matrix& x) const;
-
-  /// Number of buckets for feature `f`.
-  size_t NumBins(size_t f) const { return edges_[f].size() + 1; }
-  size_t num_features() const { return edges_.size(); }
-  bool fitted() const { return !edges_.empty(); }
-
-  /// Upper edge of bucket `bin` for feature `f` — the raw-value threshold a
-  /// tree node stores so prediction never needs the binner.
-  double UpperEdge(size_t f, size_t bin) const { return edges_[f][bin]; }
-
- private:
-  // edges_[f] is a sorted list of cut points; value <= edges_[f][i] and
-  // > edges_[f][i-1] falls in bin i; values above the last edge fall in the
-  // final bin.
-  std::vector<std::vector<double>> edges_;
-};
+/// Row-block grain for the ParallelFor in the tree-family batch Predict
+/// overrides (DT, RF, GBT), replacing the ad-hoc 64 (RF/GBT) vs 256 (DT)
+/// split. Measured on the bench box (50k-row GBT predict, grains 16..4096):
+/// throughput is flat within noise, so the grain only matters for
+/// multi-core chunk-handoff overhead — where fewer, larger blocks win as
+/// long as there are still >= threads blocks. 256 keeps thousands of
+/// blocks at serving batch sizes while capping handoffs.
+inline constexpr size_t kTreePredictGrain = 256;
 
 /// \brief Flat-array tree node. `feature == -1` marks a leaf.
 struct TreeNode {
@@ -65,6 +49,8 @@ struct TreeOptions {
   /// Features examined per split: 0 = all, else ceil(fraction * d).
   double feature_fraction = 0.0;
   int max_bins = 64;
+  /// Growth engine; kReference selects the pre-histogram-engine builder.
+  TreeGrowth growth = TreeGrowth::kHistogram;
 };
 
 /// \brief A single regression tree trained on pre-binned data with variance
@@ -72,7 +58,10 @@ struct TreeOptions {
 /// RandomForest regressors.
 class RegressionTree {
  public:
-  /// Trains on rows `row_indices` of the binned design.
+  /// Reference (direct-build) trainer on rows `row_indices` of the
+  /// row-major binned design. Kept as the equivalence baseline for the
+  /// histogram engine — production training goes through
+  /// VarianceTreeGrower (ml/tree_grower.h) instead.
   /// \param bins    row-major n x d bin indices from FeatureBinner::BinAll
   /// \param binner  fitted binner (for raw-value thresholds)
   /// \param y       targets, length n
@@ -88,8 +77,8 @@ class RegressionTree {
   const std::vector<TreeNode>& nodes() const { return nodes_; }
   bool fitted() const { return !nodes_.empty(); }
 
-  /// Wraps an externally built node array (used by the gradient booster,
-  /// which grows trees on gradient/hessian statistics instead of variance).
+  /// Wraps an externally built node array (the histogram growers and the
+  /// gradient booster produce nodes through this).
   static RegressionTree FromNodes(std::vector<TreeNode> nodes);
 
   void Serialize(BinaryWriter* writer) const;
@@ -119,15 +108,29 @@ class DecisionTreeRegressor : public Regressor {
   /// vector copies), parallelized over row blocks.
   Result<std::vector<double>> Predict(const Matrix& x) const override;
   Status Serialize(BinaryWriter* writer) const override;
+  FitTiming fit_timing() const override { return fit_timing_; }
+  Status FitWithSharedBins(const Matrix& x, const std::vector<double>& y,
+                           BinnedDatasetCache* cache) override;
+
+  /// Trains on an externally binned design (histogram engine only). The
+  /// dataset's binning governs; sharing one BinnedDataset across DT/RF/GBT
+  /// trained on the same matrix is what BinnedDatasetCache is for.
+  Status FitFromBinned(const BinnedDataset& data, const std::vector<double>& y);
 
   static Result<std::unique_ptr<DecisionTreeRegressor>> Deserialize(
       BinaryReader* reader);
 
   const RegressionTree& tree() const { return tree_; }
+  const DecisionTreeOptions& options() const { return options_; }
+  /// Histogram-engine instrumentation of the last Fit (pool allocation
+  /// bounds are asserted by the equivalence suite).
+  const TreeGrowerStats& grower_stats() const { return grower_stats_; }
 
  private:
   DecisionTreeOptions options_;
   RegressionTree tree_;
+  FitTiming fit_timing_;
+  TreeGrowerStats grower_stats_;
 };
 
 }  // namespace wmp::ml

@@ -4,16 +4,13 @@
 #include <cmath>
 #include <numeric>
 
+#include "ml/tree_grower.h"
 #include "util/parallel.h"
+#include "util/timer.h"
 
 namespace wmp::ml {
 
 namespace {
-
-struct GradHess {
-  double g = 0.0;
-  double h = 0.0;
-};
 
 struct BuildItem {
   int node = 0;
@@ -24,8 +21,10 @@ struct BuildItem {
   double h_sum = 0.0;
 };
 
-// Grows one tree on gradient statistics. Rows in [begin,end) of `idx` are
-// partitioned in place as splits are committed.
+// Reference builder: grows one tree on gradient statistics from the
+// row-major bin buffer, allocating the per-feature histogram at every node.
+// Retained as the equivalence baseline for GbtTreeGrower — production
+// training uses the histogram engine.
 class GbtTreeBuilder {
  public:
   GbtTreeBuilder(const std::vector<uint16_t>& bins, size_t num_features,
@@ -160,9 +159,23 @@ Status GbtRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
   if (options_.num_rounds < 1) {
     return Status::InvalidArgument("GBT needs num_rounds >= 1");
   }
+  if (options_.growth != TreeGrowth::kReference) {
+    Stopwatch sw;
+    WMP_ASSIGN_OR_RETURN(BinnedDataset data,
+                         BinnedDataset::Build(x, options_.max_bins));
+    const double bin_ms = sw.ElapsedMillis();
+    WMP_RETURN_IF_ERROR(FitFromBinned(data, y));
+    fit_timing_.bin_ms = bin_ms;  // FitFromBinned reset it to 0 (shared bins)
+    return Status::OK();
+  }
+
+  fit_timing_ = {};
+  grower_stats_ = {};
+  Stopwatch sw;
   FeatureBinner binner;
   WMP_RETURN_IF_ERROR(binner.Fit(x, options_.max_bins));
   WMP_ASSIGN_OR_RETURN(std::vector<uint16_t> bins, binner.BinAll(x));
+  fit_timing_.bin_ms = sw.ElapsedMillis();
 
   const size_t n = x.rows();
   base_score_ = 0.0;
@@ -179,11 +192,14 @@ Status GbtRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
   std::iota(all_rows.begin(), all_rows.end(), 0);
 
   for (int round = 0; round < options_.num_rounds; ++round) {
+    sw.Reset();
     // Squared-error loss: g = pred - y, h = 1.
     for (size_t i = 0; i < n; ++i) {
       gh[i].g = pred[i] - y[i];
       gh[i].h = 1.0;
     }
+    fit_timing_.update_ms += sw.ElapsedMillis();
+    sw.Reset();
     std::vector<uint32_t> sample;
     if (options_.subsample < 1.0) {
       sample.reserve(n);
@@ -197,11 +213,129 @@ Status GbtRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
     GbtTreeBuilder builder(bins, x.cols(), binner, options_, &rng);
     RegressionTree tree =
         RegressionTree::FromNodes(builder.Build(gh, std::move(sample)));
+    fit_timing_.grow_ms += sw.ElapsedMillis();
+    sw.Reset();
     for (size_t i = 0; i < n; ++i) {
       pred[i] += options_.learning_rate * tree.Predict(x.RowPtr(i), x.cols());
     }
+    fit_timing_.update_ms += sw.ElapsedMillis();
     trees_.push_back(std::move(tree));
   }
+  return Status::OK();
+}
+
+Status GbtRegressor::FitWithSharedBins(const Matrix& x,
+                                       const std::vector<double>& y,
+                                       BinnedDatasetCache* cache) {
+  if (cache == nullptr || options_.growth != TreeGrowth::kHistogram ||
+      x.rows() == 0 || x.cols() == 0 || y.size() != x.rows()) {
+    return Fit(x, y);
+  }
+  WMP_ASSIGN_OR_RETURN(const BinnedDataset* data,
+                       cache->Get(x, options_.max_bins));
+  return FitFromBinned(*data, y);
+}
+
+Status GbtRegressor::FitFromBinned(const BinnedDataset& data,
+                                   const std::vector<double>& y) {
+  const size_t n = data.num_rows();
+  if (n == 0) {
+    return Status::InvalidArgument("GBT::FitFromBinned on empty dataset");
+  }
+  if (y.size() != n) {
+    return Status::InvalidArgument("GBT::FitFromBinned target size mismatch");
+  }
+  if (options_.num_rounds < 1) {
+    return Status::InvalidArgument("GBT needs num_rounds >= 1");
+  }
+  if (options_.growth == TreeGrowth::kReference) {
+    return Status::InvalidArgument(
+        "FitFromBinned requires histogram growth mode");
+  }
+  fit_timing_ = {};
+
+  const size_t d = data.num_features();
+  base_score_ = 0.0;
+  for (double v : y) base_score_ += v;
+  base_score_ /= static_cast<double>(n);
+
+  std::vector<double> pred(n, base_score_);
+  std::vector<GradHess> gh(n);
+  Rng rng(options_.seed);
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(options_.num_rounds));
+
+  std::vector<uint32_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  std::vector<uint32_t> sample;
+  std::vector<size_t> features;
+  std::vector<uint8_t> in_sample(n);
+  const size_t colsample_keep = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(options_.colsample * static_cast<double>(d))));
+
+  GbtGrowParams params;
+  params.max_depth = options_.max_depth;
+  params.lambda = options_.lambda;
+  params.gamma = options_.gamma;
+  params.min_child_weight = options_.min_child_weight;
+  GbtTreeGrower grower(data, params);
+  std::vector<TreeNode> nodes;  // reused scratch across rounds
+
+  const double lr = options_.learning_rate;
+  Stopwatch sw;
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    sw.Reset();
+    // Squared-error loss: g = pred - y, h = 1.
+    for (size_t i = 0; i < n; ++i) {
+      gh[i].g = pred[i] - y[i];
+      gh[i].h = 1.0;
+    }
+    fit_timing_.update_ms += sw.ElapsedMillis();
+
+    sw.Reset();
+    // Row then feature sampling, consuming the RNG in the reference
+    // builder's order so both engines see identical draws.
+    if (options_.subsample < 1.0) {
+      sample.clear();
+      for (uint32_t r : all_rows) {
+        if (rng.Bernoulli(options_.subsample)) sample.push_back(r);
+      }
+      if (sample.empty()) sample = all_rows;
+    } else {
+      sample = all_rows;
+    }
+    features.resize(d);
+    std::iota(features.begin(), features.end(), 0);
+    if (options_.colsample < 1.0) {
+      rng.Shuffle(&features);
+      features.resize(colsample_keep);
+    }
+    WMP_RETURN_IF_ERROR(grower.Grow(gh, sample, features, &nodes));
+    fit_timing_.grow_ms += sw.ElapsedMillis();
+
+    sw.Reset();
+    // In-sample rows update by leaf-membership scatter: the in-place
+    // partition already grouped them by leaf, and the per-leaf delta is the
+    // exact value raw re-traversal would add.
+    const std::vector<uint32_t>& order = grower.row_order();
+    for (const GbtTreeGrower::LeafRange& leaf : grower.leaf_ranges()) {
+      const double delta = lr * nodes[static_cast<size_t>(leaf.node)].value;
+      for (size_t i = leaf.begin; i < leaf.end; ++i) pred[order[i]] += delta;
+    }
+    // Out-of-sample rows traverse the fresh tree in bin space (same leaf as
+    // raw-feature traversal by the bin/threshold equivalence).
+    if (order.size() < n) {
+      std::fill(in_sample.begin(), in_sample.end(), 0);
+      for (uint32_t r : order) in_sample[r] = 1;
+      for (uint32_t r = 0; r < static_cast<uint32_t>(n); ++r) {
+        if (!in_sample[r]) pred[r] += lr * grower.PredictRow(nodes, r);
+      }
+    }
+    fit_timing_.update_ms += sw.ElapsedMillis();
+    trees_.push_back(RegressionTree::FromNodes(nodes));
+  }
+  grower_stats_ = grower.stats();
   return Status::OK();
 }
 
@@ -217,7 +351,7 @@ Result<double> GbtRegressor::PredictOne(const std::vector<double>& x) const {
 Result<std::vector<double>> GbtRegressor::Predict(const Matrix& x) const {
   if (trees_.empty()) return Status::FailedPrecondition("GBT not fitted");
   std::vector<double> out(x.rows());
-  util::ParallelFor(x.rows(), 64, [&](size_t begin, size_t end) {
+  util::ParallelFor(x.rows(), kTreePredictGrain, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const double* row = x.RowPtr(i);
       double acc = base_score_;

@@ -31,6 +31,9 @@ struct GbtOptions {
   int min_child_weight = 1;     ///< min hessian sum per leaf.
   int max_bins = 64;
   uint64_t seed = 42;
+  /// Growth engine; kReference selects the pre-histogram-engine builder
+  /// (per-node histogram allocation + raw-feature re-traversal per round).
+  TreeGrowth growth = TreeGrowth::kHistogram;
 };
 
 /// \brief XGBoost-style gradient-boosted tree regressor.
@@ -45,16 +48,32 @@ class GbtRegressor : public Regressor {
   /// round order (bitwise-identical to PredictOne), rows parallelized.
   Result<std::vector<double>> Predict(const Matrix& x) const override;
   Status Serialize(BinaryWriter* writer) const override;
+  FitTiming fit_timing() const override { return fit_timing_; }
+  Status FitWithSharedBins(const Matrix& x, const std::vector<double>& y,
+                           BinnedDatasetCache* cache) override;
+
+  /// Trains on an externally binned design (histogram engine only). Each
+  /// round's in-sample prediction updates come from leaf-membership scatter
+  /// over the grower's partitioned row ranges; out-of-sample rows (when
+  /// `subsample < 1`) traverse the fresh tree in bin space. Both agree
+  /// exactly with raw-feature re-traversal, so the fitted model is
+  /// identical to what `Fit` produces on the same binning.
+  Status FitFromBinned(const BinnedDataset& data, const std::vector<double>& y);
 
   static Result<std::unique_ptr<GbtRegressor>> Deserialize(BinaryReader* reader);
 
   size_t num_trees() const { return trees_.size(); }
   double base_score() const { return base_score_; }
+  const GbtOptions& options() const { return options_; }
+  /// Histogram-engine instrumentation of the last Fit.
+  const TreeGrowerStats& grower_stats() const { return grower_stats_; }
 
  private:
   GbtOptions options_;
   double base_score_ = 0.0;
   std::vector<RegressionTree> trees_;
+  FitTiming fit_timing_;
+  TreeGrowerStats grower_stats_;
 };
 
 }  // namespace wmp::ml

@@ -37,15 +37,28 @@ class RandomForestRegressor : public Regressor {
   /// ensemble order (bitwise-identical to PredictOne), rows parallelized.
   Result<std::vector<double>> Predict(const Matrix& x) const override;
   Status Serialize(BinaryWriter* writer) const override;
+  FitTiming fit_timing() const override { return fit_timing_; }
+  Status FitWithSharedBins(const Matrix& x, const std::vector<double>& y,
+                           BinnedDatasetCache* cache) override;
+
+  /// Trains on an externally binned design (histogram engine only); one
+  /// grower — and so one histogram pool and one row buffer — is reused
+  /// across all trees of the forest.
+  Status FitFromBinned(const BinnedDataset& data, const std::vector<double>& y);
 
   static Result<std::unique_ptr<RandomForestRegressor>> Deserialize(
       BinaryReader* reader);
 
   size_t num_trees() const { return trees_.size(); }
+  const RandomForestOptions& options() const { return options_; }
+  /// Histogram-engine instrumentation of the last Fit.
+  const TreeGrowerStats& grower_stats() const { return grower_stats_; }
 
  private:
   RandomForestOptions options_;
   std::vector<RegressionTree> trees_;
+  FitTiming fit_timing_;
+  TreeGrowerStats grower_stats_;
 };
 
 }  // namespace wmp::ml

@@ -34,6 +34,17 @@ const char* RegressorKindName(RegressorKind kind);
 /// All kinds, in the order the paper's figures list them.
 const std::vector<RegressorKind>& AllRegressorKinds();
 
+/// \brief Phase breakdown of the last Fit() call, for attributing training
+/// regressions (wmpctl train, bench/train_throughput). Families without
+/// internal phases report zeros.
+struct FitTiming {
+  double bin_ms = 0.0;     ///< dataset binning (skipped on shared-bin hits)
+  double grow_ms = 0.0;    ///< tree growth / split search
+  double update_ms = 0.0;  ///< GBT per-round gradient + prediction updates
+};
+
+class BinnedDatasetCache;
+
 /// \brief Abstract trainable regression model.
 class Regressor {
  public:
@@ -66,6 +77,26 @@ class Regressor {
 
   /// Serialized size in bytes; convenience over Serialize().
   Result<size_t> SerializedSize() const;
+
+  /// Phase breakdown of the last Fit(); zeros for families that don't
+  /// instrument their trainer.
+  virtual FitTiming fit_timing() const { return {}; }
+
+  /// Fits like Fit(), but families that train on binned designs (the tree
+  /// family, in histogram-growth mode) route their binning through `cache`
+  /// so several candidates trained on the same design matrix bin it once.
+  /// The default — and any family without a binned trainer, or a null
+  /// cache — is a plain Fit(x, y), which is also the exact arithmetic the
+  /// shared path produces (a cached fit is bitwise the fit the model would
+  /// compute alone; asserted in tests). On the cached path the model's
+  /// `fit_timing().bin_ms` reads 0: binning is a shared cost paid once
+  /// inside the cache (it still shows up in the first consumer's fit wall
+  /// time, so nothing disappears from train_ms totals).
+  virtual Status FitWithSharedBins(const Matrix& x,
+                                   const std::vector<double>& y,
+                                   BinnedDatasetCache* /*cache*/) {
+    return Fit(x, y);
+  }
 };
 
 /// \brief Creates a regressor of the given family with the default

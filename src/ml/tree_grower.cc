@@ -1,0 +1,455 @@
+#include "ml/tree_grower.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace wmp::ml {
+
+namespace {
+
+// In-place partition of idx's [begin, end) range around `bin` of `feature`
+// (left: bin <= `bin`), shared by both growers. Reads the split feature
+// through its feature-major column; same std::partition call — and so the
+// same resulting order — as the reference builders.
+size_t PartitionBinned(std::vector<uint32_t>* idx, size_t begin, size_t end,
+                       const BinnedDataset& data, size_t feature,
+                       uint32_t bin) {
+  auto first = idx->begin() + static_cast<std::ptrdiff_t>(begin);
+  auto last = idx->begin() + static_cast<std::ptrdiff_t>(end);
+  auto split = [&](const auto* col) {
+    return static_cast<size_t>(
+        std::partition(first, last, [&](uint32_t r) { return col[r] <= bin; }) -
+        idx->begin());
+  };
+  return data.narrow() ? split(data.Column8(feature))
+                       : split(data.Column16(feature));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// VarianceTreeGrower
+// ---------------------------------------------------------------------------
+
+VarianceTreeGrower::VarianceTreeGrower(const BinnedDataset& data,
+                                       const std::vector<double>& y,
+                                       const TreeOptions& options)
+    : data_(data), y_(y), options_(options) {
+  const size_t d = data_.num_features();
+  feat_per_split_ =
+      options_.feature_fraction <= 0.0
+          ? d
+          : std::max<size_t>(
+                1, static_cast<size_t>(std::ceil(options_.feature_fraction *
+                                                 static_cast<double>(d))));
+  feature_order_.resize(d);
+  std::iota(feature_order_.begin(), feature_order_.end(), 0);
+  subtract_ = feat_per_split_ == d;
+  pool_.Configure(data_.total_bins());
+}
+
+void VarianceTreeGrower::BuildHistogram(size_t begin, size_t end, VarBin* hist,
+                                        const size_t* features,
+                                        size_t num_features) {
+  // Single pass over the node's rows: the target is gathered once per row
+  // and every examined feature's segment is updated from the row's
+  // contiguous bin line (row-major mirror). Per feature, rows are still
+  // accumulated in index order, so sums are bitwise what the reference
+  // builder's one-pass-per-feature scheme produces.
+  seg_.resize(num_features);
+  for (size_t fi = 0; fi < num_features; ++fi) {
+    const size_t f = features[fi];
+    VarBin* seg = hist + data_.BinOffset(f);
+    std::fill_n(seg, data_.NumBins(f), VarBin{});
+    seg_[fi] = {seg, static_cast<uint32_t>(f)};
+  }
+  if (data_.narrow()) {
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t r = idx_[i];
+      const double v = y_[r];
+      const uint8_t* line = data_.Row8(r);
+      for (size_t fi = 0; fi < num_features; ++fi) {
+        VarBin& b = seg_[fi].seg[line[seg_[fi].feature]];
+        b.sum += v;
+        ++b.count;
+      }
+    }
+  } else {
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t r = idx_[i];
+      const double v = y_[r];
+      const uint16_t* line = data_.Row16(r);
+      for (size_t fi = 0; fi < num_features; ++fi) {
+        VarBin& b = seg_[fi].seg[line[seg_[fi].feature]];
+        b.sum += v;
+        ++b.count;
+      }
+    }
+  }
+  ++stats_.histograms_scanned;
+}
+
+Status VarianceTreeGrower::Grow(const std::vector<uint32_t>& rows, Rng* rng,
+                                std::vector<TreeNode>* nodes) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("VarianceTreeGrower::Grow with no rows");
+  }
+  nodes->clear();
+  nodes->push_back({});
+  idx_.assign(rows.begin(), rows.end());
+  stack_.clear();
+  // Fresh identity order per tree: the reference builder starts every tree
+  // from iota before its per-node shuffles, and matching its RNG
+  // consumption exactly is what keeps the engines' forests identical.
+  std::iota(feature_order_.begin(), feature_order_.end(), 0);
+
+  if (subtract_) {
+    const int root_slot = pool_.Acquire();
+    BuildHistogram(0, idx_.size(), pool_.Slot(root_slot),
+                   feature_order_.data(), feature_order_.size());
+    stack_.push_back({0, 0, idx_.size(), 0, root_slot});
+  } else {
+    stack_.push_back({0, 0, idx_.size(), 0, -1});
+  }
+
+  while (!stack_.empty()) {
+    const Item item = stack_.back();
+    stack_.pop_back();
+    ++stats_.nodes_built;
+    const size_t n_node = item.end - item.begin;
+
+    double sum = 0.0, sum2 = 0.0;
+    for (size_t i = item.begin; i < item.end; ++i) {
+      const double v = y_[idx_[i]];
+      sum += v;
+      sum2 += v * v;
+    }
+    (*nodes)[static_cast<size_t>(item.node)].value =
+        sum / static_cast<double>(n_node);
+
+    const double node_sse = sum2 - sum * sum / static_cast<double>(n_node);
+    const bool can_split =
+        item.depth < options_.max_depth &&
+        n_node >= static_cast<size_t>(options_.min_samples_split) &&
+        node_sse > 1e-12;
+    if (!can_split) {
+      if (subtract_) pool_.Release(item.slot);
+      continue;
+    }
+
+    // Sample the features examined at this node (random forests).
+    if (feat_per_split_ < data_.num_features()) rng->Shuffle(&feature_order_);
+
+    // In subtraction mode this node's histogram was inherited when its
+    // parent split; in sampled mode, build just the sampled features into a
+    // recycled scratch slot.
+    int slot = item.slot;
+    if (!subtract_) {
+      slot = pool_.Acquire();
+      BuildHistogram(item.begin, item.end, pool_.Slot(slot),
+                     feature_order_.data(), feat_per_split_);
+    }
+    VarBin* hist = pool_.Slot(slot);
+    double best_gain = 0.0;
+    size_t best_feature = 0;
+    uint32_t best_bin = 0;
+    for (size_t fi = 0; fi < feat_per_split_; ++fi) {
+      const size_t f = feature_order_[fi];
+      const size_t nbins = data_.NumBins(f);
+      if (nbins < 2) continue;
+      const VarBin* h = hist + data_.BinOffset(f);
+      double left_sum = 0.0;
+      uint32_t left_count = 0;
+      for (size_t b = 0; b + 1 < nbins; ++b) {
+        left_sum += h[b].sum;
+        left_count += h[b].count;
+        const uint32_t right_count =
+            static_cast<uint32_t>(n_node) - left_count;
+        if (left_count < static_cast<uint32_t>(options_.min_samples_leaf) ||
+            right_count < static_cast<uint32_t>(options_.min_samples_leaf)) {
+          continue;
+        }
+        if (left_count == 0 || right_count == 0) continue;
+        const double right_sum = sum - left_sum;
+        // Variance-reduction gain, constant terms dropped:
+        // gain = SL^2/nL + SR^2/nR - S^2/n
+        const double gain = left_sum * left_sum / left_count +
+                            right_sum * right_sum / right_count -
+                            sum * sum / static_cast<double>(n_node);
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_feature = f;
+          best_bin = static_cast<uint32_t>(b);
+        }
+      }
+    }
+    if (!subtract_) pool_.Release(slot);  // scratch consumed by the scan
+    if (best_gain <= 0.0) {
+      if (subtract_) pool_.Release(slot);
+      continue;
+    }
+
+    const size_t mid =
+        PartitionBinned(&idx_, item.begin, item.end, data_, best_feature,
+                        best_bin);
+    if (mid == item.begin || mid == item.end) {  // degenerate
+      if (subtract_) pool_.Release(slot);
+      continue;
+    }
+
+    const int left_id = static_cast<int>(nodes->size());
+    const int right_id = left_id + 1;
+    nodes->push_back({});
+    nodes->push_back({});
+    TreeNode& split_node = (*nodes)[static_cast<size_t>(item.node)];
+    split_node.feature = static_cast<int>(best_feature);
+    split_node.threshold =
+        data_.binner().UpperEdge(best_feature, best_bin);
+    split_node.left = left_id;
+    split_node.right = right_id;
+
+    int left_slot = -1;
+    int right_slot = -1;
+    if (subtract_) {
+      // Build the smaller child's histogram by scanning its rows; derive
+      // the larger sibling in the parent's buffer as parent - smaller.
+      const size_t left_n = mid - item.begin;
+      const size_t right_n = item.end - mid;
+      const bool left_small = left_n <= right_n;
+      const int small_slot = pool_.Acquire();
+      VarBin* small = pool_.Slot(small_slot);
+      if (left_small) {
+        BuildHistogram(item.begin, mid, small, feature_order_.data(),
+                       feature_order_.size());
+      } else {
+        BuildHistogram(mid, item.end, small, feature_order_.data(),
+                       feature_order_.size());
+      }
+      VarBin* parent = pool_.Slot(slot);
+      const uint32_t total = data_.total_bins();
+      for (uint32_t b = 0; b < total; ++b) {
+        parent[b].sum -= small[b].sum;
+        parent[b].count -= small[b].count;
+      }
+      ++stats_.histograms_subtracted;
+      left_slot = left_small ? small_slot : slot;
+      right_slot = left_small ? slot : small_slot;
+    }
+    stack_.push_back({right_id, mid, item.end, item.depth + 1, right_slot});
+    stack_.push_back({left_id, item.begin, mid, item.depth + 1, left_slot});
+  }
+  return Status::OK();
+}
+
+TreeGrowerStats VarianceTreeGrower::stats() const {
+  TreeGrowerStats s = stats_;
+  s.pool_allocations = pool_.allocations();
+  s.pool_slots = pool_.num_slots();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// GbtTreeGrower
+// ---------------------------------------------------------------------------
+
+GbtTreeGrower::GbtTreeGrower(const BinnedDataset& data,
+                             const GbtGrowParams& params)
+    : data_(data), params_(params) {
+  pool_.Configure(data_.total_bins());
+}
+
+void GbtTreeGrower::BuildHistogram(const std::vector<GradHess>& gh,
+                                   const std::vector<size_t>& features,
+                                   size_t begin, size_t end, GradHess* hist) {
+  // Single pass over the node's rows: gradients are gathered once per row
+  // and every sampled feature's segment is updated from the row's
+  // contiguous bin line; only sampled segments are zeroed and filled.
+  // Per-feature accumulation order matches the reference builder (rows in
+  // index order), so sums are bitwise identical to per-feature passes.
+  seg_.resize(features.size());
+  for (size_t fi = 0; fi < features.size(); ++fi) {
+    const size_t f = features[fi];
+    GradHess* seg = hist + data_.BinOffset(f);
+    std::fill_n(seg, data_.NumBins(f), GradHess{});
+    seg_[fi] = {seg, static_cast<uint32_t>(f)};
+  }
+  const size_t nf = features.size();
+  if (data_.narrow()) {
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t r = idx_[i];
+      const double g = gh[r].g, h = gh[r].h;
+      const uint8_t* line = data_.Row8(r);
+      for (size_t fi = 0; fi < nf; ++fi) {
+        GradHess& b = seg_[fi].seg[line[seg_[fi].feature]];
+        b.g += g;
+        b.h += h;
+      }
+    }
+  } else {
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t r = idx_[i];
+      const double g = gh[r].g, h = gh[r].h;
+      const uint16_t* line = data_.Row16(r);
+      for (size_t fi = 0; fi < nf; ++fi) {
+        GradHess& b = seg_[fi].seg[line[seg_[fi].feature]];
+        b.g += g;
+        b.h += h;
+      }
+    }
+  }
+  ++stats_.histograms_scanned;
+}
+
+Status GbtTreeGrower::Grow(const std::vector<GradHess>& gh,
+                           const std::vector<uint32_t>& rows,
+                           const std::vector<size_t>& features,
+                           std::vector<TreeNode>* nodes) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("GbtTreeGrower::Grow with no rows");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("GbtTreeGrower::Grow with no features");
+  }
+  nodes->clear();
+  nodes->push_back({});
+  leaf_ranges_.clear();
+  split_bins_.assign(1, 0);
+  idx_.assign(rows.begin(), rows.end());
+  stack_.clear();
+
+  double g0 = 0.0, h0 = 0.0;
+  for (uint32_t r : idx_) {
+    g0 += gh[r].g;
+    h0 += gh[r].h;
+  }
+  const int root_slot = pool_.Acquire();
+  BuildHistogram(gh, features, 0, idx_.size(), pool_.Slot(root_slot));
+  stack_.push_back({0, 0, idx_.size(), 0, root_slot, g0, h0});
+
+  const double lambda = params_.lambda;
+  while (!stack_.empty()) {
+    const Item item = stack_.back();
+    stack_.pop_back();
+    ++stats_.nodes_built;
+    (*nodes)[static_cast<size_t>(item.node)].value =
+        -item.g_sum / (item.h_sum + lambda);
+
+    if (item.depth >= params_.max_depth ||
+        item.h_sum < 2.0 * params_.min_child_weight) {
+      pool_.Release(item.slot);
+      leaf_ranges_.push_back({item.node, item.begin, item.end});
+      continue;
+    }
+    const double parent_score =
+        item.g_sum * item.g_sum / (item.h_sum + lambda);
+
+    GradHess* hist = pool_.Slot(item.slot);
+    double best_gain = 0.0;
+    size_t best_feature = 0;
+    uint32_t best_bin = 0;
+    double best_gl = 0.0, best_hl = 0.0;
+    for (size_t f : features) {
+      const size_t nbins = data_.NumBins(f);
+      if (nbins < 2) continue;
+      const GradHess* h = hist + data_.BinOffset(f);
+      double gl = 0.0, hl = 0.0;
+      for (size_t b = 0; b + 1 < nbins; ++b) {
+        gl += h[b].g;
+        hl += h[b].h;
+        const double gr = item.g_sum - gl;
+        const double hr = item.h_sum - hl;
+        if (hl < params_.min_child_weight || hr < params_.min_child_weight) {
+          continue;
+        }
+        const double gain =
+            0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) -
+                   parent_score) -
+            params_.gamma;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_feature = f;
+          best_bin = static_cast<uint32_t>(b);
+          best_gl = gl;
+          best_hl = hl;
+        }
+      }
+    }
+    if (best_gain <= 0.0) {
+      pool_.Release(item.slot);
+      leaf_ranges_.push_back({item.node, item.begin, item.end});
+      continue;
+    }
+
+    const size_t mid =
+        PartitionBinned(&idx_, item.begin, item.end, data_, best_feature,
+                        best_bin);
+    if (mid == item.begin || mid == item.end) {  // degenerate
+      pool_.Release(item.slot);
+      leaf_ranges_.push_back({item.node, item.begin, item.end});
+      continue;
+    }
+
+    const int left_id = static_cast<int>(nodes->size());
+    const int right_id = left_id + 1;
+    nodes->push_back({});
+    nodes->push_back({});
+    split_bins_.resize(nodes->size(), 0);
+    TreeNode& split_node = (*nodes)[static_cast<size_t>(item.node)];
+    split_node.feature = static_cast<int>(best_feature);
+    split_node.threshold =
+        data_.binner().UpperEdge(best_feature, best_bin);
+    split_node.left = left_id;
+    split_node.right = right_id;
+    split_bins_[static_cast<size_t>(item.node)] = best_bin;
+
+    const size_t left_n = mid - item.begin;
+    const size_t right_n = item.end - mid;
+    const bool left_small = left_n <= right_n;
+    const int small_slot = pool_.Acquire();
+    GradHess* small = pool_.Slot(small_slot);
+    if (left_small) {
+      BuildHistogram(gh, features, item.begin, mid, small);
+    } else {
+      BuildHistogram(gh, features, mid, item.end, small);
+    }
+    GradHess* parent = pool_.Slot(item.slot);
+    for (size_t f : features) {
+      GradHess* pseg = parent + data_.BinOffset(f);
+      const GradHess* sseg = small + data_.BinOffset(f);
+      const uint32_t nb = data_.NumBins(f);
+      for (uint32_t b = 0; b < nb; ++b) {
+        pseg[b].g -= sseg[b].g;
+        pseg[b].h -= sseg[b].h;
+      }
+    }
+    ++stats_.histograms_subtracted;
+    const int left_slot = left_small ? small_slot : item.slot;
+    const int right_slot = left_small ? item.slot : small_slot;
+    stack_.push_back({right_id, mid, item.end, item.depth + 1, right_slot,
+                      item.g_sum - best_gl, item.h_sum - best_hl});
+    stack_.push_back({left_id, item.begin, mid, item.depth + 1, left_slot,
+                      best_gl, best_hl});
+  }
+  return Status::OK();
+}
+
+double GbtTreeGrower::PredictRow(const std::vector<TreeNode>& nodes,
+                                 uint32_t row) const {
+  size_t i = 0;
+  while (nodes[i].feature >= 0) {
+    const uint32_t b = data_.BinAt(row, static_cast<size_t>(nodes[i].feature));
+    i = static_cast<size_t>(b <= split_bins_[i] ? nodes[i].left
+                                                : nodes[i].right);
+  }
+  return nodes[i].value;
+}
+
+TreeGrowerStats GbtTreeGrower::stats() const {
+  TreeGrowerStats s = stats_;
+  s.pool_allocations = pool_.allocations();
+  s.pool_slots = pool_.num_slots();
+  return s;
+}
+
+}  // namespace wmp::ml

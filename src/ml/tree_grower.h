@@ -1,0 +1,187 @@
+#ifndef WMP_ML_TREE_GROWER_H_
+#define WMP_ML_TREE_GROWER_H_
+
+/// \file tree_grower.h
+/// Allocation-free histogram tree growth shared by DT, RF, and GBT.
+///
+/// Both growers walk a DFS stack over a BinnedDataset and use the classic
+/// histogram-subtraction trick: at every split only the smaller child's
+/// histogram is built by scanning rows; the larger sibling is derived in
+/// place as `parent - smaller`, cutting per-level build work from
+/// O(n_node) rows to O(min(n_left, n_right)). Histogram builds are a
+/// single pass over the node's rows — one target/gradient gather and one
+/// contiguous (u8) bin line per row updates every examined feature's
+/// segment — while split partitions read the one split feature through its
+/// feature-major column. Histogram buffers come from a depth-bounded
+/// HistogramPool (one live slot per pending node), so steady-state growth
+/// performs zero per-node heap allocations.
+///
+/// A grower is constructed once per ensemble and its Grow() is called once
+/// per tree: the row-index buffer, DFS stack, histogram pool, and node
+/// scratch all retain their capacity across calls.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/binned.h"
+#include "ml/dtree.h"
+#include "util/random.h"
+
+namespace wmp::ml {
+
+/// \brief Variance-reduction tree growth (DecisionTree / RandomForest).
+///
+/// Split decisions replicate RegressionTree::Fit exactly — same node order,
+/// same RNG consumption for per-node feature sampling, same gain formula and
+/// tie epsilon — so a grown tree matches the reference builder up to the
+/// floating-point noise of histogram subtraction (within 1e-9 on
+/// predictions; asserted by the equivalence suite).
+///
+/// When every feature is examined at every split (DT), nodes inherit their
+/// histogram from the parent via sibling subtraction. With per-node feature
+/// sampling (RF), the engine instead direct-builds just the sampled
+/// features' histograms into one recycled scratch buffer: subtraction would
+/// need full-width histograms (children sample different features than the
+/// parent), costing more than the 'feature_fraction' of direct work it
+/// saves — and, worse, any last-ulp gain tie it flipped would change the
+/// per-node Shuffle count and desynchronize the forest's RNG stream. The
+/// direct build accumulates in the reference order, so sampled-mode trees
+/// are bitwise identical to the reference builder's.
+class VarianceTreeGrower {
+ public:
+  /// `data` and `y` must outlive the grower; `y` has one target per dataset
+  /// row.
+  VarianceTreeGrower(const BinnedDataset& data, const std::vector<double>& y,
+                     const TreeOptions& options);
+
+  /// Grows one tree over `rows` (bootstrap samples may repeat ids). The
+  /// node array is written into `*nodes`, which callers should reuse across
+  /// trees to keep growth allocation-free.
+  Status Grow(const std::vector<uint32_t>& rows, Rng* rng,
+              std::vector<TreeNode>* nodes);
+
+  TreeGrowerStats stats() const;
+
+ private:
+  struct VarBin {
+    double sum = 0.0;
+    uint32_t count = 0;
+  };
+  struct Item {
+    int node = 0;
+    size_t begin = 0;
+    size_t end = 0;
+    int depth = 0;
+    int slot = -1;  ///< pool slot holding this node's histogram
+  };
+  struct SegRef {
+    VarBin* seg = nullptr;  ///< feature's segment inside the flat histogram
+    uint32_t feature = 0;   ///< offset into the row's bin line
+  };
+
+  void BuildHistogram(size_t begin, size_t end, VarBin* hist,
+                      const size_t* features, size_t num_features);
+
+  const BinnedDataset& data_;
+  const std::vector<double>& y_;
+  const TreeOptions& options_;
+  size_t feat_per_split_ = 0;
+  bool subtract_ = true;  ///< sibling subtraction; off under feature sampling
+  std::vector<size_t> feature_order_;
+  std::vector<uint32_t> idx_;
+  std::vector<Item> stack_;
+  std::vector<SegRef> seg_;  ///< per-build segment table (reused scratch)
+  HistogramPool<VarBin> pool_;
+  TreeGrowerStats stats_;
+};
+
+/// First/second-order gradient statistics of one row (squared-error loss:
+/// g = pred - y, h = 1).
+struct GradHess {
+  double g = 0.0;
+  double h = 0.0;
+};
+
+/// The slice of GbtOptions the grower needs (kept free of gbt.h so the
+/// grower layer has no dependency on the booster).
+struct GbtGrowParams {
+  int max_depth = 6;
+  double lambda = 1.0;
+  double gamma = 0.0;
+  double min_child_weight = 1.0;
+};
+
+/// \brief Gradient tree growth for the booster.
+///
+/// Mirrors the reference GbtTreeBuilder decision-for-decision (same gain,
+/// child stats carried through the stack, same degenerate-split handling).
+/// Additionally records what the booster's per-round update needs:
+///  * leaf ranges over the partitioned row buffer, so in-sample predictions
+///    update by leaf-membership scatter instead of re-traversing raw
+///    features, and
+///  * per-node split bins, so out-of-sample rows traverse in bin space
+///    (`bin <= split_bin` is exactly `value <= threshold` for binned rows).
+class GbtTreeGrower {
+ public:
+  struct LeafRange {
+    int node = 0;
+    size_t begin = 0;  ///< range into row_order()
+    size_t end = 0;
+  };
+
+  /// `data` must outlive the grower.
+  explicit GbtTreeGrower(const BinnedDataset& data, const GbtGrowParams& params);
+
+  /// Grows one tree on gradient statistics `gh` (one entry per dataset row)
+  /// over the sampled `rows`, examining only `features` (the per-round
+  /// column subsample; order defines the gain-scan order). Histogram work
+  /// touches only the sampled features' segments.
+  Status Grow(const std::vector<GradHess>& gh,
+              const std::vector<uint32_t>& rows,
+              const std::vector<size_t>& features, std::vector<TreeNode>* nodes);
+
+  /// Sampled rows grouped by leaf after Grow(); ranges index row_order().
+  const std::vector<LeafRange>& leaf_ranges() const { return leaf_ranges_; }
+  const std::vector<uint32_t>& row_order() const { return idx_; }
+
+  /// Bin-space traversal of the grown tree for dataset row `row` — used for
+  /// out-of-sample rows, whose leaf assignment matches raw-feature traversal
+  /// exactly (bin/threshold equivalence).
+  double PredictRow(const std::vector<TreeNode>& nodes, uint32_t row) const;
+
+  TreeGrowerStats stats() const;
+
+ private:
+  struct Item {
+    int node = 0;
+    size_t begin = 0;
+    size_t end = 0;
+    int depth = 0;
+    int slot = -1;
+    double g_sum = 0.0;
+    double h_sum = 0.0;
+  };
+
+  void BuildHistogram(const std::vector<GradHess>& gh,
+                      const std::vector<size_t>& features, size_t begin,
+                      size_t end, GradHess* hist);
+
+  struct SegRef {
+    GradHess* seg = nullptr;  ///< feature's segment inside the flat histogram
+    uint32_t feature = 0;     ///< offset into the row's bin line
+  };
+
+  const BinnedDataset& data_;
+  const GbtGrowParams params_;
+  std::vector<uint32_t> idx_;
+  std::vector<Item> stack_;
+  std::vector<LeafRange> leaf_ranges_;
+  std::vector<uint32_t> split_bins_;  ///< per node; valid for internal nodes
+  std::vector<SegRef> seg_;  ///< per-build segment table (reused scratch)
+  HistogramPool<GradHess> pool_;
+  TreeGrowerStats stats_;
+};
+
+}  // namespace wmp::ml
+
+#endif  // WMP_ML_TREE_GROWER_H_

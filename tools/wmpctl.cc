@@ -242,6 +242,16 @@ int CmdTrain(const std::map<std::string, std::string>& flags) {
       "trained on %zu queries (%zu workloads of %d), saved %zu bytes to %s\n",
       records->size(), model->train_stats().num_workloads, opt.batch_size,
       model->SerializedSize().ValueOr(0), model_path.c_str());
+  // Phase breakdown, so a training regression is attributable from the CLI:
+  // featurize covers template learning (TR1-TR3) + workload histograms
+  // (TR4-TR5); bin/grow/round-update split the tree trainer's fit (TR6).
+  const core::LearnedWmpTrainStats& ts = model->train_stats();
+  std::printf(
+      "phase timing: featurize %.1f ms (templates %.1f + histograms %.1f), "
+      "regressor %.1f ms (bin %.1f / grow %.1f / round-update %.1f)\n",
+      ts.template_ms + ts.histogram_ms, ts.template_ms, ts.histogram_ms,
+      ts.regressor_ms, ts.regressor_timing.bin_ms, ts.regressor_timing.grow_ms,
+      ts.regressor_timing.update_ms);
   if (publish) {
     auto fresh =
         std::make_shared<const core::LearnedWmpModel>(std::move(*model));
