@@ -1,0 +1,74 @@
+#include "engine/model_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wmp::engine {
+
+ModelRegistry::ModelRegistry(ModelRegistryOptions options)
+    : options_(options) {
+  options_.keep_last = std::max<size_t>(options_.keep_last, 2);
+}
+
+Result<uint64_t> ModelRegistry::Record(
+    const std::string& name,
+    std::shared_ptr<const core::LearnedWmpModel> model) {
+  if (name.empty()) {
+    return Status::InvalidArgument("registry model name must not be empty");
+  }
+  if (model == nullptr) {
+    return Status::InvalidArgument("cannot record a null model");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RegistryEntry>& history = histories_[name];
+  RegistryEntry entry;
+  entry.epoch = next_epoch_++;
+  entry.model = std::move(model);
+  history.push_back(std::move(entry));
+  if (history.size() > options_.keep_last) {
+    history.erase(history.begin(),
+                  history.begin() +
+                      static_cast<long>(history.size() - options_.keep_last));
+  }
+  return history.back().epoch;
+}
+
+Result<RegistryEntry> ModelRegistry::Rollback(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histories_.find(name);
+  if (it == histories_.end()) {
+    return Status::NotFound("unknown model name: " + name);
+  }
+  std::vector<RegistryEntry>& history = it->second;
+  if (history.size() < 2) {
+    return Status::FailedPrecondition(
+        "no earlier epoch retained for model: " + name);
+  }
+  history.pop_back();
+  return history.back();
+}
+
+Result<RegistryEntry> ModelRegistry::Current(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histories_.find(name);
+  if (it == histories_.end() || it->second.empty()) {
+    return Status::NotFound("unknown model name: " + name);
+  }
+  return it->second.back();
+}
+
+size_t ModelRegistry::NumEpochs(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histories_.find(name);
+  return it == histories_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histories_.size());
+  for (const auto& [name, history] : histories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace wmp::engine

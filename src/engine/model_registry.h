@@ -1,0 +1,86 @@
+#ifndef WMP_ENGINE_MODEL_REGISTRY_H_
+#define WMP_ENGINE_MODEL_REGISTRY_H_
+
+/// \file model_registry.h
+/// Named, epoch-stamped registry of published model artifacts — the
+/// operational memory behind PublishAll and Rollback.
+///
+/// Production model servers (TF-Serving's versioned servables, Clipper's
+/// model registry) keep every recently-published artifact addressable by
+/// (name, version) so a bad rollout is a metadata flip away from undone.
+/// This registry does the same for LearnedWMP: each `Record` stamps the
+/// artifact with a registry-wide monotonically increasing epoch and
+/// appends it to the model name's history; `Rollback` pops the current
+/// epoch and returns the previous one, which the caller re-publishes into
+/// the live ScoringService (see ScoringService::PublishAll). Histories
+/// keep the last `keep_last` epochs per name — enough to roll back
+/// through a few bad retrains without holding every artifact ever built.
+///
+/// Registry epochs are *operator-facing* rollout identifiers; they are
+/// unrelated to engine::BatchScorer's internal cache-versioning epochs,
+/// which keep increasing monotonically even across a rollback (a rolled
+/// back model must still invalidate the bad model's cache entries).
+///
+/// Thread-safety: all methods are safe from any thread (one internal
+/// mutex; entries hold shared_ptr snapshots, so a returned model stays
+/// alive regardless of later eviction).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/learned_wmp.h"
+#include "util/status.h"
+
+namespace wmp::engine {
+
+struct ModelRegistryOptions {
+  /// Epochs retained per model name (>= 2, or Rollback could never work).
+  size_t keep_last = 4;
+};
+
+/// One published artifact in a name's history.
+struct RegistryEntry {
+  uint64_t epoch = 0;
+  std::shared_ptr<const core::LearnedWmpModel> model;
+};
+
+/// \brief Thread-safe name -> epoch history map of published models.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(ModelRegistryOptions options = {});
+
+  /// Appends `model` (non-null) as the new current epoch of `name`,
+  /// trimming the history to `keep_last`. Returns the assigned epoch.
+  Result<uint64_t> Record(const std::string& name,
+                          std::shared_ptr<const core::LearnedWmpModel> model);
+
+  /// Drops `name`'s current epoch and returns the previous one (which
+  /// becomes current). Fails with NotFound for an unknown name and
+  /// FailedPrecondition when no earlier epoch is retained.
+  Result<RegistryEntry> Rollback(const std::string& name);
+
+  /// Current entry of `name` (NotFound for unknown names).
+  Result<RegistryEntry> Current(const std::string& name) const;
+
+  /// Epochs currently retained for `name` (0 for unknown names).
+  size_t NumEpochs(const std::string& name) const;
+
+  /// All registered names, unordered.
+  std::vector<std::string> Names() const;
+
+  const ModelRegistryOptions& options() const { return options_; }
+
+ private:
+  ModelRegistryOptions options_;
+  mutable std::mutex mutex_;
+  uint64_t next_epoch_ = 1;
+  std::unordered_map<std::string, std::vector<RegistryEntry>> histories_;
+};
+
+}  // namespace wmp::engine
+
+#endif  // WMP_ENGINE_MODEL_REGISTRY_H_

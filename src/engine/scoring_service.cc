@@ -147,7 +147,146 @@ Status ScoringService::PublishModel(
   }
   shards_[shard]->scorer->PublishModel(std::move(model));
   models_published_.fetch_add(1, std::memory_order_relaxed);
+  StartWarm(shards_[shard].get());
   return Status::OK();
+}
+
+Result<uint64_t> ScoringService::PublishAll(
+    std::shared_ptr<const core::LearnedWmpModel> model,
+    ModelRegistry* registry, const std::string& name) {
+  // All-or-nothing = validate everything that can fail BEFORE touching any
+  // shard; the per-shard swap itself is an infallible pointer exchange.
+  if (model == nullptr) {
+    return Status::InvalidArgument("cannot publish a null model");
+  }
+  if (model->templates().num_templates() <= 0) {
+    return Status::FailedPrecondition(
+        "cannot publish an untrained model (no templates)");
+  }
+  if (registry != nullptr && name.empty()) {
+    return Status::InvalidArgument(
+        "registry recording needs a model name");
+  }
+  // One rollout at a time: concurrent PublishAll/RollbackAll calls must
+  // not interleave their per-shard swaps (shards could settle on
+  // different artifacts) or their registry updates (the registry's
+  // current entry could diverge from what the shards serve).
+  std::lock_guard<std::mutex> lock(publish_all_mutex_);
+  for (auto& shard : shards_) {
+    shard->scorer->PublishModel(model);
+  }
+  models_published_.fetch_add(shards_.size(), std::memory_order_relaxed);
+  uint64_t epoch = 0;
+  if (registry != nullptr) {
+    WMP_ASSIGN_OR_RETURN(epoch, registry->Record(name, model));
+  }
+  for (auto& shard : shards_) StartWarm(shard.get());
+  return epoch;
+}
+
+Result<uint64_t> ScoringService::RollbackAll(ModelRegistry* registry,
+                                             const std::string& name) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("rollback needs a registry");
+  }
+  // Same rollout mutex as PublishAll: the registry pop and the shard
+  // swaps form one atomic rollout, so a concurrent publish either
+  // happens wholly before (and is what gets rolled back) or wholly
+  // after (and overrides the rollback) — never interleaved.
+  std::lock_guard<std::mutex> lock(publish_all_mutex_);
+  WMP_ASSIGN_OR_RETURN(RegistryEntry previous, registry->Rollback(name));
+  for (auto& shard : shards_) {
+    shard->scorer->PublishModel(previous.model);
+  }
+  models_published_.fetch_add(shards_.size(), std::memory_order_relaxed);
+  for (auto& shard : shards_) StartWarm(shard.get());
+  return previous.epoch;
+}
+
+void ScoringService::SetWarmCorpus(
+    const std::vector<workloads::QueryRecord>* records) {
+  std::shared_ptr<const WarmCorpus> corpus;
+  if (records != nullptr) {
+    auto built = std::make_shared<WarmCorpus>();
+    built->records = records;
+    built->by_fingerprint.reserve(records->size());
+    for (size_t i = 0; i < records->size(); ++i) {
+      const workloads::QueryRecord& r = (*records)[i];
+      const uint64_t fp = r.content_fingerprint != 0
+                              ? r.content_fingerprint
+                              : workloads::ContentFingerprint(r);
+      // First occurrence wins; duplicates share the fingerprint anyway.
+      built->by_fingerprint.emplace(fp, static_cast<uint32_t>(i));
+    }
+    corpus = std::move(built);
+  }
+  std::lock_guard<std::mutex> lock(warm_corpus_mutex_);
+  warm_corpus_ = std::move(corpus);
+}
+
+void ScoringService::StartWarm(Shard* shard) {
+  if (!options_.warm_on_publish || shard->template_cache == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(warm_corpus_mutex_);
+    if (warm_corpus_ == nullptr) return;
+  }
+  std::lock_guard<std::mutex> lock(shard->warm_mutex);
+  // The stopped_ check must happen under warm_mutex: Stop() sets stopped_
+  // BEFORE taking each shard's warm_mutex to join its warmer, so either
+  // this lock precedes Stop's (and Stop joins the warmer launched here),
+  // or it follows it (and the check below sees stopped_ and declines) —
+  // a warmer can never outlive Stop() and read a freed warm corpus.
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  // A previous publish's warmer notices the epoch moved on at its next
+  // chunk boundary and exits, so this join is bounded by one warm_batch.
+  if (shard->warmer.joinable()) shard->warmer.join();
+  shard->warmer = std::thread([this, shard] { WarmShard(shard); });
+}
+
+void ScoringService::WarmShard(Shard* shard) {
+  std::shared_ptr<const WarmCorpus> corpus;
+  {
+    std::lock_guard<std::mutex> lock(warm_corpus_mutex_);
+    corpus = warm_corpus_;
+  }
+  if (corpus == nullptr) return;
+  const std::shared_ptr<const core::LearnedWmpModel> model =
+      shard->scorer->model_snapshot();
+  const uint64_t epoch = shard->scorer->model_epoch();
+  if (model == nullptr) return;
+  // The working set to restore: everything resident right now — mostly
+  // entries stamped with the retired epoch, still in the LRU because
+  // invalidation is lazy. Keys unknown to the corpus are skipped (their
+  // queries will re-learn on first miss as before).
+  std::vector<uint64_t> keys;
+  std::vector<uint32_t> indices;
+  for (uint64_t key : shard->template_cache->ResidentKeys()) {
+    auto it = corpus->by_fingerprint.find(key);
+    if (it == corpus->by_fingerprint.end()) continue;
+    keys.push_back(key);
+    indices.push_back(it->second);
+  }
+  const size_t step = std::max<size_t>(options_.warm_batch, 1);
+  uint64_t warmed = 0;
+  std::vector<uint32_t> chunk;
+  for (size_t begin = 0; begin < keys.size(); begin += step) {
+    // Yield to shutdown, and to any newer publish: its own warmer owns the
+    // new epoch, and inserting under a stale epoch would only create
+    // entries the next probe lazily invalidates.
+    if (stopped_.load(std::memory_order_relaxed)) break;
+    if (shard->scorer->model_epoch() != epoch) break;
+    const size_t end = std::min(begin + step, keys.size());
+    chunk.assign(indices.begin() + static_cast<long>(begin),
+                 indices.begin() + static_cast<long>(end));
+    auto ids = model->AssignTemplateIds(*corpus->records, chunk, nullptr);
+    if (!ids.ok()) break;  // corpus no longer featurizable under this model
+    shard->template_cache->InsertBatch(keys.data() + begin, ids->data(),
+                                       end - begin, epoch);
+    warmed += end - begin;
+  }
+  if (warmed > 0) {
+    template_entries_warmed_.fetch_add(warmed, std::memory_order_relaxed);
+  }
 }
 
 void ScoringService::Fulfill(Shard* shard, Request* request,
@@ -307,6 +446,12 @@ void ScoringService::Stop() {
   for (auto& shard : shards_) {
     if (shard->dispatcher.joinable()) shard->dispatcher.join();
   }
+  // Background warmers see stopped_ at their next chunk boundary; reap
+  // them so no thread outlives the service.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> warm_lock(shard->warm_mutex);
+    if (shard->warmer.joinable()) shard->warmer.join();
+  }
 }
 
 ServiceStats ScoringService::stats() const {
@@ -326,6 +471,8 @@ ServiceStats ScoringService::stats() const {
   st.template_cache_misses =
       template_cache_misses_.load(std::memory_order_relaxed);
   st.models_published = models_published_.load(std::memory_order_relaxed);
+  st.template_entries_warmed =
+      template_entries_warmed_.load(std::memory_order_relaxed);
   st.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
   st.total_latency_us = total_latency_us_.load(std::memory_order_relaxed);
   st.max_latency_us = max_latency_us_.load(std::memory_order_relaxed);

@@ -46,7 +46,13 @@
 ///    traffic keeps flowing — in-flight flushes finish on the snapshot they
 ///    pinned, and both caches version on model epoch so a stale entry can
 ///    never serve the new model's predictions. `wmpctl train --publish`
-///    exercises the full retrain-and-swap loop.
+///    exercises the full retrain-and-swap loop. `PublishAll` is the
+///    coordinated form — one artifact swapped across every shard
+///    all-or-nothing, recorded in an engine::ModelRegistry for rollback —
+///    and with a warm corpus registered (`SetWarmCorpus`) each swap
+///    re-assigns the template cache's resident keys under the new model in
+///    the background, so steady-state traffic does not pay a full miss
+///    pass after a rollout (warmed entries counted in `ServiceStats`).
 ///  * **Clean shutdown.** `Stop` (or the destructor) closes the queues,
 ///    scores everything already accepted, fulfills every promise, and joins
 ///    the dispatchers — no future is ever abandoned. Submissions after Stop
@@ -67,14 +73,17 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/learned_wmp.h"
 #include "core/workload.h"
 #include "engine/batch_scorer.h"
 #include "engine/histogram_cache.h"
+#include "engine/model_registry.h"
 #include "engine/template_cache.h"
 #include "util/mpsc_queue.h"
 
@@ -101,6 +110,14 @@ struct ScoringServiceOptions {
   /// Worker-pool budget for each dispatcher's scoring calls; 0 = library
   /// default. Shards share the process-wide pool either way.
   int num_threads = 0;
+  /// Re-warm each shard's template-id cache in the background after a
+  /// PublishModel/PublishAll hot-swap (requires SetWarmCorpus; see below).
+  /// Off, a swap costs one full miss pass over the working set at p99.
+  bool warm_on_publish = true;
+  /// Queries re-assigned per warming step — bounds how long one background
+  /// chunk monopolizes the worker pool, and how stale a warm can get
+  /// before noticing a newer publish and yielding to it.
+  size_t warm_batch = 512;
 };
 
 /// Point-in-time service counters (monotonic except queue_depth).
@@ -118,7 +135,11 @@ struct ServiceStats {
   uint64_t cache_misses = 0;
   uint64_t template_cache_hits = 0;  ///< level 2: per-query template ids
   uint64_t template_cache_misses = 0;
-  uint64_t models_published = 0;  ///< successful PublishModel hot-swaps
+  uint64_t models_published = 0;  ///< per-shard hot-swaps (PublishAll adds
+                                  ///< one per shard it republished)
+  /// Template-cache entries re-assigned under a new model epoch by the
+  /// post-publish background warmer.
+  uint64_t template_entries_warmed = 0;
   uint64_t max_queue_depth = 0;  ///< high-water mark of any shard queue
   uint64_t queue_depth = 0;      ///< currently pending across shards
   uint64_t total_latency_us = 0; ///< sum of submit→fulfill times
@@ -196,6 +217,39 @@ class ScoringService {
   Status PublishModel(size_t shard,
                       std::shared_ptr<const core::LearnedWmpModel> model);
 
+  /// Coordinated rollout: atomically installs `model` as the serving
+  /// snapshot of EVERY shard — the publish a tenant whose replicas share
+  /// one model actually wants, where PublishModel is the single-shard
+  /// primitive. All-or-nothing: the artifact is validated up front
+  /// (non-null, trained) and concurrent PublishAll calls serialize on one
+  /// publish mutex, so readers can race the swap shard-by-shard (that is
+  /// RCU as usual) but can never observe shards pinned to two *different
+  /// rollouts* once both publishes return. With a `registry`, the artifact
+  /// is additionally recorded as the new current epoch of `name`; the
+  /// returned value is that registry epoch (0 when no registry is given).
+  /// After the swap each shard's template-id cache re-warms in the
+  /// background (see SetWarmCorpus).
+  Result<uint64_t> PublishAll(
+      std::shared_ptr<const core::LearnedWmpModel> model,
+      ModelRegistry* registry = nullptr, const std::string& name = {});
+
+  /// Coordinated rollback: pops `name`'s current registry epoch and
+  /// re-publishes the previous one across every shard. The registry pop
+  /// and the shard swap happen under the same rollout mutex as
+  /// PublishAll, so a racing publish and rollback serialize as two whole
+  /// rollouts — the shards and the registry's current entry can never
+  /// disagree. Returns the restored registry epoch.
+  Result<uint64_t> RollbackAll(ModelRegistry* registry,
+                               const std::string& name);
+
+  /// Registers the query log the background cache warmer re-assigns after
+  /// a hot-swap: resident template-cache keys are matched to these records
+  /// by content fingerprint and re-assigned under the new model in bounded
+  /// batches, so a swap no longer costs a full miss pass at p99. `records`
+  /// is borrowed and must stay alive and unmodified until the service
+  /// stops or the corpus is replaced (nullptr disables warming).
+  void SetWarmCorpus(const std::vector<workloads::QueryRecord>* records);
+
   /// Stable tenant/model-key router: util::HashString(tenant) mod shards.
   size_t ShardForTenant(std::string_view tenant) const;
 
@@ -231,19 +285,38 @@ class ScoringService {
     /// arrival can be pending.
     std::atomic<uint64_t> inflight{0};
     std::thread dispatcher;
+    /// Post-publish template-cache warmer. At most one per shard; a newer
+    /// publish joins the stale warmer (it aborts at its next chunk
+    /// boundary via the epoch check) before starting its own.
+    std::thread warmer;
+    std::mutex warm_mutex;
   };
   /// What ended a flush's collection phase (ServiceStats counters).
   enum class FlushReason { kFull, kAdaptive, kDeadline, kDrain };
+
+  /// Fingerprint-indexed view of the warm corpus, snapshotted by warmers
+  /// so SetWarmCorpus can swap it mid-warm without a data race.
+  struct WarmCorpus {
+    const std::vector<workloads::QueryRecord>* records = nullptr;
+    std::unordered_map<uint64_t, uint32_t> by_fingerprint;
+  };
 
   void DispatcherLoop(Shard* shard);
   void Flush(Shard* shard, std::vector<std::unique_ptr<Request>>* requests,
              FlushReason reason);
   void Fulfill(Shard* shard, Request* request, Result<double> outcome);
+  /// Launches the background warmer for `shard` (joins a stale one first).
+  /// No-op without a corpus, a template cache, or warm_on_publish.
+  void StartWarm(Shard* shard);
+  void WarmShard(Shard* shard);
 
   ScoringServiceOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::mutex stop_mutex_;  // serializes Stop vs destructor
   std::atomic<bool> stopped_{false};
+  std::mutex publish_all_mutex_;  // serializes cross-shard rollouts
+  mutable std::mutex warm_corpus_mutex_;
+  std::shared_ptr<const WarmCorpus> warm_corpus_;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
@@ -258,6 +331,7 @@ class ScoringService {
   std::atomic<uint64_t> template_cache_hits_{0};
   std::atomic<uint64_t> template_cache_misses_{0};
   std::atomic<uint64_t> models_published_{0};
+  std::atomic<uint64_t> template_entries_warmed_{0};
   std::atomic<uint64_t> max_queue_depth_{0};
   std::atomic<uint64_t> total_latency_us_{0};
   std::atomic<uint64_t> max_latency_us_{0};

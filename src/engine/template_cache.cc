@@ -103,6 +103,19 @@ void TemplateIdCache::InsertBatch(const uint64_t* keys, const int* ids,
   if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
 }
 
+std::vector<uint64_t> TemplateIdCache::ResidentKeys(size_t max_keys) {
+  std::vector<uint64_t> keys;
+  keys.reserve(std::min(max_keys, size_.load(std::memory_order_relaxed)));
+  for (size_t s = 0; s <= shard_mask_ && keys.size() < max_keys; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    for (const Entry& e : shards_[s].lru) {
+      if (keys.size() >= max_keys) break;
+      keys.push_back(e.key);
+    }
+  }
+  return keys;
+}
+
 void TemplateIdCache::Clear() {
   for (size_t s = 0; s <= shard_mask_; ++s) {
     std::lock_guard<std::mutex> lock(shards_[s].mutex);

@@ -34,11 +34,13 @@
 /// and additionally tallies per-call hit/miss counts for serving stats.
 
 #include <atomic>
+#include <climits>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/template_resolver.h"
 
@@ -84,6 +86,13 @@ class TemplateIdCache {
 
   /// Drops every entry (stats counters keep accumulating).
   void Clear();
+
+  /// Snapshot of up to `max_keys` resident keys, most-recently-used first
+  /// within each shard, regardless of entry epoch. This is the publish-time
+  /// cache warmer's working set: entries stamped with the retired epoch are
+  /// still resident (invalidation is lazy), and re-assigning exactly these
+  /// queries under the new model turns the post-swap miss storm into hits.
+  std::vector<uint64_t> ResidentKeys(size_t max_keys = SIZE_MAX);
 
   TemplateIdCacheStats stats() const;
   size_t capacity() const { return capacity_; }

@@ -35,11 +35,36 @@ Status FeatureBinner::Fit(const Matrix& x, int max_bins) {
   return Status::OK();
 }
 
+namespace {
+
+// Branchless lower bound over a sorted edge array: the bin of `value` is
+// the index of the first edge >= value. BinnedDataset::Build calls this
+// once per (row, feature) — with tree growth now histogram-based, this
+// search IS the binning phase (train_throughput's bin_ms), and the
+// classic std::lower_bound loop spends it on unpredictable compare
+// branches (each quantile edge is a coin flip by construction). The
+// halving step below has no branch on the comparison: the compiler turns
+// `base += (cond ? half : 0)` into a cmov, so the only control flow is
+// the length countdown, which is data-independent and predicted
+// perfectly. Result is identical to std::lower_bound for every input
+// (checked exhaustively in tests/binning_test.cc) — bitwise-equal models.
+inline size_t LowerBoundIndex(const double* edges, size_t n, double value) {
+  const double* base = edges;
+  while (n > 1) {
+    const size_t half = n / 2;
+    base += (base[half - 1] < value) ? half : 0;  // cmov, not a branch
+    n -= half;
+  }
+  return static_cast<size_t>(base - edges) +
+         ((n == 1 && *base < value) ? 1 : 0);
+}
+
+}  // namespace
+
 uint16_t FeatureBinner::BinValue(size_t f, double value) const {
   const std::vector<double>& edges = edges_[f];
-  // First bin whose upper edge is >= value.
-  auto it = std::lower_bound(edges.begin(), edges.end(), value);
-  return static_cast<uint16_t>(it - edges.begin());
+  return static_cast<uint16_t>(
+      LowerBoundIndex(edges.data(), edges.size(), value));
 }
 
 Result<std::vector<uint16_t>> FeatureBinner::BinAll(const Matrix& x) const {

@@ -1,0 +1,92 @@
+#ifndef WMP_NET_FRAME_H_
+#define WMP_NET_FRAME_H_
+
+/// \file frame.h
+/// Length-prefixed binary frame codec — the unit of the wire protocol.
+///
+/// Every message between net::WireClient and net::WireServer is one frame:
+///
+///   offset 0  u32  magic  0x31464D57 ("WMF1", little-endian)
+///   offset 4  u8   type   (FrameType)
+///   offset 5  u32  payload length in bytes
+///   offset 9  payload    (opaque; see net/protocol.h for the encodings)
+///
+/// The magic lets a receiver reject a desynchronized or non-protocol peer
+/// immediately instead of interpreting garbage as a length; the length
+/// prefix is validated against `FrameLimits::max_payload_bytes` *before*
+/// any payload byte is read, so an adversarial or corrupt header cannot
+/// make the receiver allocate or block unboundedly.
+///
+/// The fd-based I/O helpers speak blocking POSIX descriptors (TCP or Unix
+/// sockets; plain pipes work too, which the tests use). Both directions
+/// handle partial transfers: `ReadFrame` loops until the header and payload
+/// are complete, `WriteFrame` loops over short writes — the kernel is free
+/// to split a frame at any byte boundary and the codec must not care.
+/// Clean EOF *between* frames is reported as `StatusCode::kNotFound`
+/// (a peer hanging up politely); EOF *inside* a frame is an IOError.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace wmp::net {
+
+/// Message kinds carried by a frame. Requests are even, their responses
+/// odd, so a response type is always `request | 1`.
+enum class FrameType : uint8_t {
+  kPing = 0,
+  kPong = 1,
+  kScoreRequest = 2,
+  kScoreResponse = 3,
+  kPublishRequest = 4,
+  kPublishResponse = 5,
+  kStatsRequest = 6,
+  kStatsResponse = 7,
+  kRollbackRequest = 8,
+  kRollbackResponse = 9,
+  /// Server-side failure report: payload is a protocol::ErrorBody.
+  kError = 255,
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// Receiver-side bounds.
+struct FrameLimits {
+  /// Frames whose header announces more than this many payload bytes are
+  /// rejected before any payload is read (default 64 MB — a full score
+  /// request for a ~100k-query log fits comfortably).
+  size_t max_payload_bytes = 64ull << 20;
+};
+
+/// Serializes a frame into a byte string (header + payload) — the exact
+/// bytes WriteFrame puts on the wire.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Parses one complete frame from `buf`. Returns the frame and sets
+/// `*consumed` to the bytes used. Fails with InvalidArgument on a bad
+/// magic or an oversize announced length, and OutOfRange when `buf` holds
+/// only a frame prefix (the streaming caller should read more bytes).
+Result<Frame> DecodeFrame(std::string_view buf, const FrameLimits& limits,
+                          size_t* consumed);
+
+/// Writes one frame to a blocking descriptor, looping over short writes
+/// and EINTR. Safe on sockets and pipes; socket writes suppress SIGPIPE.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Reads one frame from a blocking descriptor, looping over partial reads.
+/// A clean EOF before the first header byte returns NotFound ("peer
+/// disconnected"); EOF mid-frame, a bad magic, or an oversize length are
+/// errors.
+Result<Frame> ReadFrame(int fd, const FrameLimits& limits = {});
+
+}  // namespace wmp::net
+
+#endif  // WMP_NET_FRAME_H_

@@ -1,0 +1,135 @@
+#ifndef WMP_NET_PROTOCOL_H_
+#define WMP_NET_PROTOCOL_H_
+
+/// \file protocol.h
+/// Payload encodings of the wire protocol, one struct + Encode/Decode pair
+/// per frame type (see net/frame.h for the framing).
+///
+/// All payloads are built from util/io's little-endian length-prefixed
+/// primitives, and every Decode is bounds-checked — a malformed or
+/// truncated payload yields a Status, never UB. The encodings are shared
+/// verbatim by net::WireServer and net::WireClient (and unit-tested
+/// symmetrically), so the two sides cannot drift.
+///
+/// Request/response summary:
+///
+///   ScoreRequest    tenant + QueryRecord batch (workloads/wire_format.h)
+///                   + per-workload member indices; one frame scores many
+///                   workloads — the wire analogue of a BatchScorer call.
+///   ScoreResponse   one {ok, prediction | error} per workload, in order.
+///   PublishRequest  model name + serialized LearnedWmpModel artifact;
+///                   the server installs it on EVERY shard (PublishAll)
+///                   and records it in its ModelRegistry.
+///   PublishResponse registry epoch now current + shard count swapped.
+///   RollbackRequest model name; server re-publishes the previous epoch.
+///   StatsResponse   engine::ServiceStats counters + server totals.
+///   ErrorBody       status code + message (frame type kError).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/workload.h"
+#include "engine/scoring_service.h"
+#include "util/status.h"
+#include "workloads/query_record.h"
+
+namespace wmp::net {
+
+/// One ScoreWorkloads call on the wire: every workload's member queries
+/// index into the request's own record batch.
+struct ScoreRequest {
+  std::string tenant;
+  std::vector<workloads::QueryRecord> records;
+  std::vector<core::WorkloadBatch> batches;  // only query_indices travel
+};
+
+/// Per-workload outcome; `predictions[i]` is valid iff `ok[i]`, else
+/// `errors[i]` holds the failure text.
+struct ScoreResponse {
+  std::vector<uint8_t> ok;
+  std::vector<double> predictions;
+  std::vector<std::string> errors;
+  size_t size() const { return ok.size(); }
+};
+
+struct PublishRequest {
+  std::string model_name;
+  std::string model_bytes;  ///< LearnedWmpModel::Serialize stream
+};
+
+struct PublishResponse {
+  uint64_t registry_epoch = 0;
+  uint64_t shards_swapped = 0;
+};
+
+struct RollbackRequest {
+  std::string model_name;
+};
+
+struct RollbackResponse {
+  uint64_t registry_epoch = 0;
+  uint64_t shards_swapped = 0;
+};
+
+/// Server-side counters riding on a StatsResponse frame, alongside the
+/// scoring service's own ServiceStats.
+struct WireServerCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_served = 0;
+  /// Malformed/undecodable frames and rejected requests — peer
+  /// misbehavior, distinct from local resource blips below.
+  uint64_t protocol_errors = 0;
+  /// Transient accept() failures (EMFILE under a connection burst,
+  /// ECONNABORTED); the server backs off and keeps accepting.
+  uint64_t accept_failures = 0;
+};
+
+struct StatsResponse {
+  engine::ServiceStats service;
+  WireServerCounters server;
+};
+
+struct ErrorBody {
+  uint8_t code = 0;  ///< StatusCode of the failure
+  std::string message;
+};
+
+/// Encodes from borrowed parts (QueryRecord is move-only, so callers —
+/// the client above all — never hold an assembled ScoreRequest).
+std::string EncodeScoreRequest(
+    std::string_view tenant,
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<core::WorkloadBatch>& batches);
+Result<ScoreRequest> DecodeScoreRequest(const std::string& payload);
+
+std::string EncodeScoreResponse(const ScoreResponse& response);
+Result<ScoreResponse> DecodeScoreResponse(const std::string& payload);
+
+std::string EncodePublishRequest(const PublishRequest& request);
+Result<PublishRequest> DecodePublishRequest(const std::string& payload);
+
+std::string EncodePublishResponse(const PublishResponse& response);
+Result<PublishResponse> DecodePublishResponse(const std::string& payload);
+
+std::string EncodeRollbackRequest(const RollbackRequest& request);
+Result<RollbackRequest> DecodeRollbackRequest(const std::string& payload);
+
+std::string EncodeRollbackResponse(const RollbackResponse& response);
+Result<RollbackResponse> DecodeRollbackResponse(const std::string& payload);
+
+std::string EncodeStatsResponse(const StatsResponse& response);
+Result<StatsResponse> DecodeStatsResponse(const std::string& payload);
+
+std::string EncodeErrorBody(const ErrorBody& error);
+/// Decoding an error body never fails: a garbled error payload degrades to
+/// an Internal "unparseable error frame" description.
+ErrorBody DecodeErrorBody(const std::string& payload);
+
+/// Convenience: the Status a client should surface for a kError frame.
+Status StatusFromError(const ErrorBody& error);
+
+}  // namespace wmp::net
+
+#endif  // WMP_NET_PROTOCOL_H_

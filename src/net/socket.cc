@@ -1,0 +1,210 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace wmp::net {
+
+namespace {
+
+constexpr char kUnixPrefix[] = "unix:";
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string unix_path;
+  std::string host;
+  int port = 0;
+};
+
+Result<ParsedAddress> ParseAddress(const std::string& address) {
+  ParsedAddress parsed;
+  if (StartsWith(address, kUnixPrefix)) {
+    parsed.is_unix = true;
+    parsed.unix_path = address.substr(sizeof(kUnixPrefix) - 1);
+    if (parsed.unix_path.empty()) {
+      return Status::InvalidArgument("empty unix socket path");
+    }
+    sockaddr_un sun{};
+    if (parsed.unix_path.size() >= sizeof(sun.sun_path)) {
+      return Status::InvalidArgument(
+          StrFormat("unix socket path longer than %zu bytes: %s",
+                    sizeof(sun.sun_path) - 1, parsed.unix_path.c_str()));
+    }
+    return parsed;
+  }
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    return Status::InvalidArgument(
+        "address must be unix:PATH or host:port: " + address);
+  }
+  parsed.host = address.substr(0, colon);
+  char* end = nullptr;
+  const long port = std::strtol(address.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in address: " + address);
+  }
+  parsed.port = static_cast<int>(port);
+  return parsed;
+}
+
+Result<sockaddr_in> ToSockaddrIn(const ParsedAddress& parsed) {
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(static_cast<uint16_t>(parsed.port));
+  if (::inet_pton(AF_INET, parsed.host.c_str(), &sin.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        "host must be an IPv4 literal (e.g. 127.0.0.1): " + parsed.host);
+  }
+  return sin;
+}
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+    address_ = std::move(other.address_);
+    unix_path_ = std::move(other.unix_path_);
+  }
+  return *this;
+}
+
+Status Listener::Listen(const std::string& address, int backlog) {
+  if (fd_ >= 0) return Status::FailedPrecondition("listener already bound");
+  WMP_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(address));
+  if (parsed.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket(AF_UNIX)");
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    std::strncpy(sun.sun_path, parsed.unix_path.c_str(),
+                 sizeof(sun.sun_path) - 1);
+    ::unlink(parsed.unix_path.c_str());  // stale socket from a dead server
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) < 0) {
+      ::close(fd);
+      return Errno("bind(unix)");
+    }
+    if (::listen(fd, backlog) < 0) {
+      ::close(fd);
+      ::unlink(parsed.unix_path.c_str());
+      return Errno("listen(unix)");
+    }
+    fd_ = fd;
+    unix_path_ = parsed.unix_path;
+    address_ = address;
+    return Status::OK();
+  }
+  WMP_ASSIGN_OR_RETURN(sockaddr_in sin, ToSockaddrIn(parsed));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) < 0) {
+    ::close(fd);
+    return Errno("bind(tcp)");
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    return Errno("listen(tcp)");
+  }
+  // Resolve the ephemeral port so callers can hand out a connectable
+  // address after binding host:0.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
+    return Errno("getsockname");
+  }
+  fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  address_ = StrFormat("%s:%d", parsed.host.c_str(), port_);
+  return Status::OK();
+}
+
+Result<int> Listener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("listener closed");
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      // Score requests are one large frame each way; Nagle only adds
+      // latency to the response tail. Harmless ENOTSUP on Unix sockets.
+      const int one = 1;
+      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (fd_ < 0 || errno == EBADF || errno == EINVAL) {
+      return Status::FailedPrecondition("listener closed");
+    }
+    return Errno("accept");
+  }
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    // shutdown() wakes a thread blocked in accept() on some platforms;
+    // close() finishes the job on Linux.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Result<int> ConnectTo(const std::string& address) {
+  WMP_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(address));
+  if (parsed.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket(AF_UNIX)");
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    std::strncpy(sun.sun_path, parsed.unix_path.c_str(),
+                 sizeof(sun.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) < 0) {
+      ::close(fd);
+      return Status::IOError(StrFormat("connect(%s): %s", address.c_str(),
+                                       std::strerror(errno)));
+    }
+    return fd;
+  }
+  WMP_ASSIGN_OR_RETURN(sockaddr_in sin, ToSockaddrIn(parsed));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) < 0) {
+    ::close(fd);
+    return Status::IOError(
+        StrFormat("connect(%s): %s", address.c_str(), std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void CloseConnection(int fd) {
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+}  // namespace wmp::net

@@ -1,0 +1,72 @@
+#ifndef WMP_NET_SOCKET_H_
+#define WMP_NET_SOCKET_H_
+
+/// \file socket.h
+/// Address parsing and blocking-socket setup shared by net::WireServer and
+/// net::WireClient.
+///
+/// Addresses come in two spellings:
+///
+///   "unix:/path/to.sock"   a Unix-domain stream socket (the deployment
+///                          default for a predictor co-located with its
+///                          DBMS — no TCP stack on the hot path)
+///   "host:port"            IPv4 TCP; "127.0.0.1:0" binds an ephemeral
+///                          port, reported back by Listener::port()
+///
+/// Everything here is thin POSIX: the wire protocol's concurrency model is
+/// blocking I/O per connection (see wire_server.h), so no nonblocking or
+/// event-loop machinery is needed.
+
+#include <string>
+
+#include "util/status.h"
+
+namespace wmp::net {
+
+/// A bound, listening server socket plus the bookkeeping to tear it down.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept { *this = std::move(other); }
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on `address` ("unix:PATH" or "host:port"). A Unix
+  /// path is unlinked first (a crashed predecessor's stale socket must not
+  /// block a restart) and unlinked again on Close.
+  Status Listen(const std::string& address, int backlog = 16);
+
+  /// Blocks until a client connects; returns the connection fd. Fails with
+  /// FailedPrecondition once Close() has been called (the accept loop's
+  /// shutdown signal).
+  Result<int> Accept();
+
+  /// Closes the listening socket (wakes a blocked Accept) and removes the
+  /// Unix socket file. Idempotent.
+  void Close();
+
+  bool listening() const { return fd_ >= 0; }
+  /// Resolved TCP port (meaningful after Listen on "host:0"); 0 for Unix.
+  int port() const { return port_; }
+  /// The address clients should connect to (ephemeral port resolved).
+  const std::string& address() const { return address_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+  std::string address_;
+  std::string unix_path_;  // empty for TCP
+};
+
+/// Connects a blocking stream socket to `address`; returns the fd.
+Result<int> ConnectTo(const std::string& address);
+
+/// Closes a connection fd, first shutting both directions down so a peer
+/// blocked in read() wakes immediately. Safe on -1.
+void CloseConnection(int fd);
+
+}  // namespace wmp::net
+
+#endif  // WMP_NET_SOCKET_H_

@@ -1,0 +1,151 @@
+#include "net/wire_client.h"
+
+#include <utility>
+
+#include "net/socket.h"
+#include "util/io.h"
+#include "util/strings.h"
+
+namespace wmp::net {
+
+WireClient::WireClient(std::string address, WireClientOptions options)
+    : address_(std::move(address)), options_(options) {}
+
+WireClient::~WireClient() { Close(); }
+
+Status WireClient::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  WMP_ASSIGN_OR_RETURN(fd_, ConnectTo(address_));
+  return Status::OK();
+}
+
+void WireClient::Close() {
+  CloseConnection(fd_);
+  fd_ = -1;
+}
+
+Result<Frame> WireClient::RoundTrip(FrameType request, std::string payload,
+                                    FrameType expected_response,
+                                    bool idempotent) {
+  FrameLimits limits;
+  limits.max_payload_bytes = options_.max_payload_bytes;
+  // One transparent retry for failures that provably happened BEFORE the
+  // server could have executed the request: Connect and WriteFrame
+  // failures mean at most a truncated frame reached the peer (which it
+  // discards undecoded), so any request is safe to resend. A failed
+  // *response read* is different — the server may well have executed the
+  // request and died writing back — so only idempotent requests (score,
+  // ping, stats) retry across it; publish/rollback surface the error and
+  // let the operator check registry state rather than risk applying a
+  // rollout twice.
+  Status last_error = Status::OK();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (Status st = Connect(); !st.ok()) {
+      last_error = st;
+      continue;
+    }
+    Status write = WriteFrame(fd_, request, payload);
+    if (!write.ok()) {
+      last_error = write;
+      Close();
+      continue;
+    }
+    auto response = ReadFrame(fd_, limits);
+    if (!response.ok()) {
+      last_error = response.status().IsNotFound()
+                       ? Status::IOError("server closed the connection")
+                       : response.status();
+      Close();
+      if (!idempotent) return last_error;
+      continue;
+    }
+    if (response->type == FrameType::kError) {
+      // Protocol-level rejection: the connection is still framed and
+      // reusable; only this request failed.
+      return StatusFromError(DecodeErrorBody(response->payload));
+    }
+    if (response->type != expected_response) {
+      Close();  // desynchronized — do not reuse the stream
+      return Status::Internal(
+          StrFormat("expected %s frame, got %s",
+                    FrameTypeName(expected_response),
+                    FrameTypeName(response->type)));
+    }
+    return std::move(*response);
+  }
+  return last_error;
+}
+
+Status WireClient::Ping() {
+  WMP_ASSIGN_OR_RETURN(Frame pong,
+                       RoundTrip(FrameType::kPing, "wmp", FrameType::kPong));
+  if (pong.payload != "wmp") {
+    return Status::Internal("ping payload not echoed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Result<double>>> WireClient::ScoreWorkloads(
+    std::string_view tenant,
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<core::WorkloadBatch>& batches) {
+  WMP_ASSIGN_OR_RETURN(
+      Frame frame,
+      RoundTrip(FrameType::kScoreRequest,
+                EncodeScoreRequest(tenant, records, batches),
+                FrameType::kScoreResponse));
+  WMP_ASSIGN_OR_RETURN(ScoreResponse response,
+                       DecodeScoreResponse(frame.payload));
+  if (response.size() != batches.size()) {
+    return Status::Internal(
+        StrFormat("server answered %zu workloads for a %zu-workload request",
+                  response.size(), batches.size()));
+  }
+  std::vector<Result<double>> outcomes;
+  outcomes.reserve(response.size());
+  for (size_t i = 0; i < response.size(); ++i) {
+    if (response.ok[i]) {
+      outcomes.emplace_back(response.predictions[i]);
+    } else {
+      outcomes.emplace_back(Status::Internal(response.errors[i]));
+    }
+  }
+  return outcomes;
+}
+
+Result<uint64_t> WireClient::Publish(std::string_view name,
+                                     const core::LearnedWmpModel& model) {
+  BinaryWriter artifact;
+  WMP_RETURN_IF_ERROR(model.Serialize(&artifact));
+  PublishRequest request;
+  request.model_name = std::string(name);
+  request.model_bytes = artifact.buffer();
+  WMP_ASSIGN_OR_RETURN(
+      Frame frame,
+      RoundTrip(FrameType::kPublishRequest, EncodePublishRequest(request),
+                FrameType::kPublishResponse, /*idempotent=*/false));
+  WMP_ASSIGN_OR_RETURN(PublishResponse response,
+                       DecodePublishResponse(frame.payload));
+  return response.registry_epoch;
+}
+
+Result<uint64_t> WireClient::Rollback(std::string_view name) {
+  RollbackRequest request;
+  request.model_name = std::string(name);
+  WMP_ASSIGN_OR_RETURN(
+      Frame frame,
+      RoundTrip(FrameType::kRollbackRequest, EncodeRollbackRequest(request),
+                FrameType::kRollbackResponse, /*idempotent=*/false));
+  WMP_ASSIGN_OR_RETURN(RollbackResponse response,
+                       DecodeRollbackResponse(frame.payload));
+  return response.registry_epoch;
+}
+
+Result<StatsResponse> WireClient::Stats() {
+  WMP_ASSIGN_OR_RETURN(Frame frame,
+                       RoundTrip(FrameType::kStatsRequest, "",
+                                 FrameType::kStatsResponse));
+  return DecodeStatsResponse(frame.payload);
+}
+
+}  // namespace wmp::net

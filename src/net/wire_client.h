@@ -1,0 +1,102 @@
+#ifndef WMP_NET_WIRE_CLIENT_H_
+#define WMP_NET_WIRE_CLIENT_H_
+
+/// \file wire_client.h
+/// Client side of the wire protocol: what a DBMS admission controller (or
+/// wmpctl / the benches) embeds to consult a remote ScoringService.
+///
+///  * **Connection reuse.** One client holds one blocking connection and
+///    pipelines request/response pairs over it; Connect is automatic on
+///    first use and after an I/O failure (one transparent reconnect per
+///    call — a restarted server looks like a slow call, not an error).
+///  * **Batched score requests.** `ScoreWorkloads` mirrors
+///    engine::BatchScorer::ScoreWorkloads: one frame carries the whole
+///    record batch plus every workload's member indices, the server
+///    micro-batches them through its shards, and one frame returns every
+///    outcome — the request count is per *call*, not per workload.
+///  * **Rollouts.** `Publish` ships a locally-trained artifact
+///    (LearnedWmpModel::Serialize bytes) and returns the registry epoch
+///    the server now serves; `Rollback` restores the previous epoch.
+///
+/// Thread-safety: a WireClient is a single connection and is NOT
+/// thread-safe; give each client thread its own instance (they multiplex
+/// fine on the server side).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/learned_wmp.h"
+#include "core/workload.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "workloads/query_record.h"
+
+namespace wmp::net {
+
+struct WireClientOptions {
+  /// Receiver-side frame bound (see FrameLimits).
+  size_t max_payload_bytes = 64ull << 20;
+};
+
+/// \brief One reusable client connection to a net::WireServer.
+class WireClient {
+ public:
+  explicit WireClient(std::string address, WireClientOptions options = {});
+  ~WireClient();
+  WireClient(WireClient&&) = delete;
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Establishes the connection now (otherwise the first call does).
+  Status Connect();
+  /// Drops the connection; the next call reconnects.
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  const std::string& address() const { return address_; }
+
+  /// Round-trips a ping (connectivity / liveness probe).
+  Status Ping();
+
+  /// Scores every workload remotely in one request; returns one
+  /// Result<double> per batch, in order. The call-level Result is the
+  /// transport/protocol outcome; per-workload failures (e.g. an empty
+  /// workload under a fixed-length model) come back inside the vector.
+  Result<std::vector<Result<double>>> ScoreWorkloads(
+      std::string_view tenant,
+      const std::vector<workloads::QueryRecord>& records,
+      const std::vector<core::WorkloadBatch>& batches);
+
+  /// Serializes `model` and publishes it across every server shard under
+  /// `name` (server default when empty). Returns the registry epoch now
+  /// serving.
+  Result<uint64_t> Publish(std::string_view name,
+                           const core::LearnedWmpModel& model);
+
+  /// Rolls `name` back to the previous registry epoch; returns it.
+  Result<uint64_t> Rollback(std::string_view name);
+
+  /// Service + server counters snapshot.
+  Result<StatsResponse> Stats();
+
+ private:
+  /// Sends one request frame and reads its response, reconnecting and
+  /// resending once when the failure provably preceded server-side
+  /// execution (connect/write failures). `idempotent` additionally allows
+  /// the resend after a failed response READ — safe for score/ping/stats,
+  /// never for publish/rollback (the server may have applied them before
+  /// the response was lost). kError frames convert to their carried
+  /// Status.
+  Result<Frame> RoundTrip(FrameType request, std::string payload,
+                          FrameType expected_response,
+                          bool idempotent = true);
+
+  std::string address_;
+  WireClientOptions options_;
+  int fd_ = -1;
+};
+
+}  // namespace wmp::net
+
+#endif  // WMP_NET_WIRE_CLIENT_H_

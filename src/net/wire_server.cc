@@ -1,0 +1,260 @@
+#include "net/wire_server.h"
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "util/io.h"
+#include "util/strings.h"
+
+namespace wmp::net {
+
+WireServer::WireServer(engine::ScoringService* service,
+                       engine::ModelRegistry* registry,
+                       std::string model_name, WireServerOptions options)
+    : service_(service),
+      registry_(registry),
+      model_name_(std::move(model_name)),
+      options_(options) {}
+
+WireServer::~WireServer() { Shutdown(); }
+
+Status WireServer::Listen(const std::string& address) {
+  return listener_.Listen(address, options_.backlog);
+}
+
+Status WireServer::Serve() {
+  if (!listener_.listening()) {
+    return Status::FailedPrecondition("Serve before Listen");
+  }
+  AcceptLoop();
+  return Status::OK();
+}
+
+Status WireServer::Start() {
+  if (!listener_.listening()) {
+    return Status::FailedPrecondition("Start before Listen");
+  }
+  if (serve_thread_.joinable()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  serve_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void WireServer::AcceptLoop() {
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    auto conn_fd = listener_.Accept();
+    if (!conn_fd.ok()) {
+      // FailedPrecondition = the listener was closed (Shutdown). Anything
+      // else is a transient resource failure (EMFILE under a connection
+      // burst, ECONNABORTED): reap finished handlers to free descriptors,
+      // back off briefly, and keep accepting — a still-running server
+      // must not silently go deaf.
+      if (shutting_down_.load(std::memory_order_acquire) ||
+          conn_fd.status().IsFailedPrecondition()) {
+        break;
+      }
+      accept_failures_.fetch_add(1, std::memory_order_relaxed);
+      ReapFinishedConnections();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    ReapFinishedConnections();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = *conn_fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    // The handler thread is started AFTER the connection is registered so
+    // Shutdown can always see (and join) it.
+    raw->handler = std::thread([this, raw] { HandleConnection(raw); });
+  }
+}
+
+void WireServer::ReapFinishedConnections() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->handler.joinable()) (*it)->handler.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WireServer::HandleConnection(Connection* conn) {
+  FrameLimits limits;
+  limits.max_payload_bytes = options_.max_payload_bytes;
+  const int fd = conn->fd.load(std::memory_order_acquire);
+  for (;;) {
+    auto frame = ReadFrame(fd, limits);
+    if (!frame.ok()) {
+      // NotFound = clean hangup. A malformed header (bad magic, oversize
+      // length) means the stream is desynchronized: answer with one error
+      // frame on a best-effort basis, then drop the connection — there is
+      // no way to find the next frame boundary.
+      if (!frame.status().IsNotFound()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        const Frame err = ErrorFrame(frame.status());
+        (void)WriteFrame(fd, err.type, err.payload);
+      }
+      break;
+    }
+    const Frame response = HandleFrame(*frame);
+    frames_served_.fetch_add(1, std::memory_order_relaxed);
+    if (response.type == FrameType::kError) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (Status st = WriteFrame(fd, response.type, response.payload);
+        !st.ok()) {
+      break;  // peer went away mid-response
+    }
+  }
+  CloseConnection(conn->fd.exchange(-1));
+  conn->done.store(true, std::memory_order_release);
+}
+
+Frame WireServer::HandleFrame(const Frame& request) {
+  switch (request.type) {
+    case FrameType::kPing:
+      return Frame{FrameType::kPong, request.payload};
+    case FrameType::kScoreRequest:
+      return HandleScore(request);
+    case FrameType::kPublishRequest:
+      return HandlePublish(request);
+    case FrameType::kRollbackRequest:
+      return HandleRollback(request);
+    case FrameType::kStatsRequest:
+      return HandleStats();
+    default:
+      return ErrorFrame(Status::InvalidArgument(
+          StrFormat("unexpected frame type %u (%s)",
+                    static_cast<unsigned>(request.type),
+                    FrameTypeName(request.type))));
+  }
+}
+
+Frame WireServer::HandleScore(const Frame& request) {
+  auto decoded = DecodeScoreRequest(request.payload);
+  if (!decoded.ok()) return ErrorFrame(decoded.status());
+  const ScoreRequest& score = *decoded;
+  // Submit every workload before collecting any future: the service
+  // micro-batches the whole request into as few flushes as possible, which
+  // is the entire point of batched score frames. The request's records
+  // outlive the futures (collected below), satisfying Submit's borrow.
+  std::vector<std::future<Result<double>>> futures;
+  futures.reserve(score.batches.size());
+  for (const core::WorkloadBatch& b : score.batches) {
+    futures.push_back(
+        service_->Submit(score.tenant, score.records, b.query_indices));
+  }
+  ScoreResponse response;
+  response.ok.resize(score.batches.size());
+  response.predictions.assign(score.batches.size(), 0.0);
+  response.errors.resize(score.batches.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<double> outcome = futures[i].get();
+    if (outcome.ok()) {
+      response.ok[i] = 1;
+      response.predictions[i] = *outcome;
+    } else {
+      response.ok[i] = 0;
+      response.errors[i] = outcome.status().ToString();
+    }
+  }
+  return Frame{FrameType::kScoreResponse, EncodeScoreResponse(response)};
+}
+
+Frame WireServer::HandlePublish(const Frame& request) {
+  auto decoded = DecodePublishRequest(request.payload);
+  if (!decoded.ok()) return ErrorFrame(decoded.status());
+  BinaryReader reader(std::move(decoded->model_bytes));
+  auto model = core::LearnedWmpModel::Deserialize(&reader);
+  if (!model.ok()) {
+    return ErrorFrame(Status(model.status().code(),
+                             "artifact rejected: " + model.status().message()));
+  }
+  auto fresh =
+      std::make_shared<const core::LearnedWmpModel>(std::move(*model));
+  const std::string name = decoded->model_name.empty()
+                               ? model_name_
+                               : decoded->model_name;
+  auto epoch = service_->PublishAll(std::move(fresh), registry_, name);
+  if (!epoch.ok()) return ErrorFrame(epoch.status());
+  PublishResponse response;
+  response.registry_epoch = *epoch;
+  response.shards_swapped = service_->num_shards();
+  return Frame{FrameType::kPublishResponse, EncodePublishResponse(response)};
+}
+
+Frame WireServer::HandleRollback(const Frame& request) {
+  auto decoded = DecodeRollbackRequest(request.payload);
+  if (!decoded.ok()) return ErrorFrame(decoded.status());
+  if (registry_ == nullptr) {
+    return ErrorFrame(
+        Status::FailedPrecondition("server has no model registry"));
+  }
+  // Registry pop + shard swap are one atomic rollout inside the service
+  // (same mutex as PublishAll), so a racing publish frame can't leave the
+  // shards serving a different model than the registry's current epoch.
+  auto epoch = service_->RollbackAll(registry_, decoded->model_name);
+  if (!epoch.ok()) return ErrorFrame(epoch.status());
+  RollbackResponse response;
+  response.registry_epoch = *epoch;
+  response.shards_swapped = service_->num_shards();
+  return Frame{FrameType::kRollbackResponse,
+               EncodeRollbackResponse(response)};
+}
+
+Frame WireServer::HandleStats() const {
+  StatsResponse response;
+  response.service = service_->stats();
+  response.server = stats();
+  return Frame{FrameType::kStatsResponse, EncodeStatsResponse(response)};
+}
+
+Frame WireServer::ErrorFrame(const Status& status) {
+  ErrorBody error;
+  error.code = static_cast<uint8_t>(status.code());
+  error.message = status.message();
+  return Frame{FrameType::kError, EncodeErrorBody(error)};
+}
+
+WireServerCounters WireServer::stats() const {
+  WireServerCounters counters;
+  counters.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  counters.frames_served = frames_served_.load(std::memory_order_relaxed);
+  counters.protocol_errors =
+      protocol_errors_.load(std::memory_order_relaxed);
+  counters.accept_failures =
+      accept_failures_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void WireServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  shutting_down_.store(true, std::memory_order_release);
+  listener_.Close();  // wakes the accept loop
+  if (serve_thread_.joinable()) serve_thread_.join();
+  // Wake handlers blocked in ReadFrame, then join them all.
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> conn_lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    CloseConnection(conn->fd.exchange(-1));
+  }
+  for (auto& conn : connections) {
+    if (conn->handler.joinable()) conn->handler.join();
+  }
+}
+
+}  // namespace wmp::net

@@ -1,0 +1,137 @@
+#ifndef WMP_NET_WIRE_SERVER_H_
+#define WMP_NET_WIRE_SERVER_H_
+
+/// \file wire_server.h
+/// Out-of-process front end for engine::ScoringService — the socket server
+/// a DBMS admission controller (or `wmpctl score --connect`) talks to.
+///
+/// Architecture
+///
+///     clients ──frames──▶ accept loop ──▶ per-connection handler threads
+///                                               │ decode + validate
+///                                               ▼
+///                                 engine::ScoringService  (async shards,
+///                                  micro-batching, caches, hot-swap)
+///                                               │
+///                          engine::ModelRegistry (publish/rollback epochs)
+///
+///  * **Blocking I/O, single accept loop.** `Serve` accepts on the calling
+///    thread and hands each connection to a lightweight handler thread
+///    that does nothing but frame decode/encode — all scoring runs on the
+///    service's dispatcher shards, so on the single-core deployment the
+///    handlers add no compute of their own. Handler threads are reaped as
+///    connections close and joined on Shutdown.
+///  * **Requests.** ScoreRequest frames submit every workload of the
+///    request to the service and answer with per-workload outcomes (one
+///    client error cannot fail its neighbors); Publish frames deserialize
+///    the carried artifact and roll it out across ALL shards
+///    (ScoringService::PublishAll) with registry recording; Rollback
+///    frames re-publish the previous registry epoch; Stats and Ping serve
+///    monitoring.
+///  * **Hostile input.** Frames are size-capped before payload allocation,
+///    payload decoding is fully bounds-checked, and workload indices are
+///    validated against the request's own record batch. A malformed frame
+///    gets a kError response (when the stream is still framed) or drops
+///    the connection; either way the server keeps serving everyone else.
+///
+/// Thread-safety: Start/Serve once; Shutdown/stats from any thread.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/model_registry.h"
+#include "engine/scoring_service.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace wmp::net {
+
+struct WireServerOptions {
+  /// Receiver-side frame bound (see FrameLimits).
+  size_t max_payload_bytes = 64ull << 20;
+  /// Listen backlog.
+  int backlog = 16;
+};
+
+/// \brief Socket server exposing a ScoringService + ModelRegistry.
+class WireServer {
+ public:
+  /// Borrows `service` and `registry`; both must outlive the server.
+  /// `model_name` is the registry name PublishRequest frames default to
+  /// recording under when they carry an empty name.
+  WireServer(engine::ScoringService* service, engine::ModelRegistry* registry,
+             std::string model_name, WireServerOptions options = {});
+  ~WireServer();
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  /// Binds and listens on `address` ("unix:PATH" or "host:port";
+  /// "127.0.0.1:0" picks an ephemeral port — see address()).
+  Status Listen(const std::string& address);
+
+  /// Runs the accept loop on the calling thread until Shutdown().
+  /// Returns OK on a clean shutdown.
+  Status Serve();
+
+  /// Runs the accept loop on an internal thread (benches, tests, the
+  /// in-process half of examples). Pair with Shutdown().
+  Status Start();
+
+  /// Stops accepting, wakes every connection, joins all handler threads
+  /// (and the Start thread). Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// Connectable address (ephemeral TCP port resolved); valid after
+  /// Listen succeeds.
+  const std::string& address() const { return listener_.address(); }
+  int port() const { return listener_.port(); }
+
+  WireServerCounters stats() const;
+
+ private:
+  struct Connection {
+    /// Owned fd; whoever exchange()s the live value to -1 closes it, so a
+    /// handler finishing and Shutdown racing can never double-close.
+    std::atomic<int> fd{-1};
+    std::thread handler;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* conn);
+  /// Decodes and executes one request frame; returns the response frame.
+  /// Never throws; failures become kError frames.
+  Frame HandleFrame(const Frame& request);
+  Frame HandleScore(const Frame& request);
+  Frame HandlePublish(const Frame& request);
+  Frame HandleRollback(const Frame& request);
+  Frame HandleStats() const;
+  static Frame ErrorFrame(const Status& status);
+  void ReapFinishedConnections();
+
+  engine::ScoringService* service_;
+  engine::ModelRegistry* registry_;
+  std::string model_name_;
+  WireServerOptions options_;
+  Listener listener_;
+  std::thread serve_thread_;  // Start() only
+  std::atomic<bool> shutting_down_{false};
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::mutex shutdown_mutex_;  // serializes Shutdown vs destructor
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_served_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> accept_failures_{0};
+};
+
+}  // namespace wmp::net
+
+#endif  // WMP_NET_WIRE_SERVER_H_

@@ -43,16 +43,22 @@ Status WriteQueryLog(const std::vector<QueryRecord>& records,
   return Status::OK();
 }
 
-Result<std::vector<QueryRecord>> ParseQueryLog(const std::string& text) {
-  std::vector<QueryRecord> records;
-  std::vector<std::string> lines = Split(text, '\n');
+namespace {
 
+/// Incremental single-record parser shared by the whole-text ParseQueryLog
+/// and the streaming QueryLogReader — the format's record boundary is a
+/// blank line, so one line of lookahead is never needed and a record can
+/// be finalized (SQL re-parsed, EXPLAIN block re-planned, features
+/// recomputed) the moment its terminator arrives.
+struct RecordAssembler {
   QueryRecord current;
   std::string explain_block;
   bool in_record = false;
-  size_t line_no = 0;
 
-  auto flush = [&]() -> Status {
+  /// Finalizes the pending record (if any) into `*done`; `*completed`
+  /// says whether one was produced.
+  Status Complete(size_t line_no, QueryRecord* done, bool* completed) {
+    *completed = false;
     if (!in_record) return Status::OK();
     if (current.sql_text.empty()) {
       return Status::InvalidArgument(
@@ -61,24 +67,25 @@ Result<std::vector<QueryRecord>> ParseQueryLog(const std::string& text) {
     }
     if (explain_block.empty()) {
       return Status::InvalidArgument(
-          StrFormat("record ending at line %zu has no EXPLAIN block", line_no));
+          StrFormat("record ending at line %zu has no EXPLAIN block",
+                    line_no));
     }
     WMP_ASSIGN_OR_RETURN(current.query, sql::Parse(current.sql_text));
     WMP_ASSIGN_OR_RETURN(current.plan, plan::ParseExplain(explain_block));
     current.plan_features = plan::ExtractPlanFeatures(*current.plan);
-    records.push_back(std::move(current));
+    *done = std::move(current);
+    *completed = true;
     current = QueryRecord{};
     explain_block.clear();
     in_record = false;
     return Status::OK();
-  };
+  }
 
-  for (const std::string& raw : lines) {
-    ++line_no;
-    if (Trim(raw).empty()) {
-      WMP_RETURN_IF_ERROR(flush());
-      continue;
-    }
+  /// Consumes one line; a blank line completes the pending record.
+  Status Feed(const std::string& raw, size_t line_no, QueryRecord* done,
+              bool* completed) {
+    *completed = false;
+    if (Trim(raw).empty()) return Complete(line_no, done, completed);
     if (StartsWith(raw, "-- query: ")) {
       if (in_record && !current.sql_text.empty()) {
         return Status::InvalidArgument(
@@ -87,22 +94,22 @@ Result<std::vector<QueryRecord>> ParseQueryLog(const std::string& text) {
       }
       in_record = true;
       current.sql_text = raw.substr(10);
-      continue;
+      return Status::OK();
     }
     if (StartsWith(raw, "-- memory_mb: ")) {
       current.actual_memory_mb = std::strtod(raw.c_str() + 14, nullptr);
       in_record = true;
-      continue;
+      return Status::OK();
     }
     if (StartsWith(raw, "-- dbms_estimate_mb: ")) {
       current.dbms_estimate_mb = std::strtod(raw.c_str() + 21, nullptr);
       in_record = true;
-      continue;
+      return Status::OK();
     }
     if (StartsWith(raw, "-- family: ")) {
       current.family_id = std::atoi(raw.c_str() + 11);
       in_record = true;
-      continue;
+      return Status::OK();
     }
     if (StartsWith(raw, "--")) {
       return Status::InvalidArgument(
@@ -112,8 +119,26 @@ Result<std::vector<QueryRecord>> ParseQueryLog(const std::string& text) {
     in_record = true;
     explain_block += raw;
     explain_block += '\n';
+    return Status::OK();
   }
-  WMP_RETURN_IF_ERROR(flush());
+};
+
+}  // namespace
+
+Result<std::vector<QueryRecord>> ParseQueryLog(const std::string& text) {
+  std::vector<QueryRecord> records;
+  std::vector<std::string> lines = Split(text, '\n');
+  RecordAssembler assembler;
+  size_t line_no = 0;
+  QueryRecord done;
+  bool completed = false;
+  for (const std::string& raw : lines) {
+    ++line_no;
+    WMP_RETURN_IF_ERROR(assembler.Feed(raw, line_no, &done, &completed));
+    if (completed) records.push_back(std::move(done));
+  }
+  WMP_RETURN_IF_ERROR(assembler.Complete(line_no, &done, &completed));
+  if (completed) records.push_back(std::move(done));
   if (records.empty()) {
     return Status::InvalidArgument("query log contains no records");
   }
@@ -128,6 +153,55 @@ Result<std::vector<QueryRecord>> LoadQueryLog(const std::string& path) {
   std::string text((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   return ParseQueryLog(text);
+}
+
+Result<QueryLogReader> QueryLogReader::Open(const std::string& path) {
+  QueryLogReader reader;
+  reader.in_.open(path);
+  if (!reader.in_) return Status::IOError("cannot open for read: " + path);
+  return reader;
+}
+
+Result<size_t> QueryLogReader::ReadChunk(size_t max_records,
+                                         std::vector<QueryRecord>* out) {
+  if (exhausted_ || max_records == 0) return static_cast<size_t>(0);
+  // ReadChunk always leaves the stream at a record boundary (it returns
+  // only after a record completes or at end of log), so the assembler
+  // carries no state between chunks.
+  RecordAssembler assembler;
+  const size_t base = out->size();
+  size_t appended = 0;
+  QueryRecord done;
+  bool completed = false;
+  std::string raw;
+  while (appended < max_records && std::getline(in_, raw)) {
+    ++line_no_;
+    WMP_RETURN_IF_ERROR(assembler.Feed(raw, line_no_, &done, &completed));
+    if (completed) {
+      out->push_back(std::move(done));
+      ++appended;
+    }
+  }
+  if (appended < max_records) {
+    // getline hit end of file; flush a final unterminated record.
+    WMP_RETURN_IF_ERROR(assembler.Complete(line_no_, &done, &completed));
+    if (completed) {
+      out->push_back(std::move(done));
+      ++appended;
+    }
+    exhausted_ = true;
+  }
+  records_read_ += appended;
+  // Fingerprint just the fresh rows (FingerprintRecords over the whole
+  // vector would be correct — it skips memoized rows — but would rescan
+  // the caller's carry-over on every chunk).
+  for (size_t i = base; i < out->size(); ++i) {
+    QueryRecord& r = (*out)[i];
+    if (r.content_fingerprint == 0) {
+      r.content_fingerprint = ContentFingerprint(r);
+    }
+  }
+  return appended;
 }
 
 }  // namespace wmp::workloads

@@ -15,6 +15,7 @@
 ///     SORT ...
 ///   <blank line terminates the record>
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,44 @@ Result<std::vector<QueryRecord>> LoadQueryLog(const std::string& path);
 /// In-memory variants (for tests and piping).
 std::string SerializeQueryLog(const std::vector<QueryRecord>& records);
 Result<std::vector<QueryRecord>> ParseQueryLog(const std::string& text);
+
+/// \brief Streaming reader of the query-log format.
+///
+/// `LoadQueryLog` slurps the whole file — fine for experiments, but a
+/// production site's log is arbitrarily large while scoring only ever
+/// needs one workload's worth of records at a time. The reader parses
+/// records incrementally (the format is line-oriented and
+/// blank-line-delimited, so record boundaries need no lookahead) and
+/// hands them out in caller-sized chunks; `wmpctl score` streams a log
+/// through the scorer this way with a resident set capped at one chunk.
+///
+/// Chunks are fingerprinted on the way out (same as LoadQueryLog), so
+/// serving-layer cache keys are identical whether a record arrived via a
+/// chunk or a whole-file load.
+class QueryLogReader {
+ public:
+  /// Opens `path`; fails with IOError when unreadable.
+  static Result<QueryLogReader> Open(const std::string& path);
+
+  /// Parses up to `max_records` further records into `*out` (appended;
+  /// existing elements untouched). Returns the number appended — 0 means
+  /// clean end of log. Malformed records fail with a line-annotated error,
+  /// like ParseQueryLog.
+  Result<size_t> ReadChunk(size_t max_records, std::vector<QueryRecord>* out);
+
+  /// True once the last record has been returned.
+  bool exhausted() const { return exhausted_; }
+  /// Records handed out so far.
+  size_t records_read() const { return records_read_; }
+
+ private:
+  QueryLogReader() = default;
+
+  std::ifstream in_;
+  size_t line_no_ = 0;
+  size_t records_read_ = 0;
+  bool exhausted_ = false;
+};
 
 }  // namespace wmp::workloads
 

@@ -1,0 +1,77 @@
+#include "workloads/wire_format.h"
+
+#include "util/strings.h"
+
+namespace wmp::workloads {
+
+namespace {
+
+constexpr uint32_t kRecordsMagic = 0x57524543;  // "WREC"
+constexpr uint32_t kRecordsVersion = 1;
+
+}  // namespace
+
+void SerializeRecordsWire(const std::vector<QueryRecord>& records,
+                          BinaryWriter* writer) {
+  writer->WriteU32(kRecordsMagic);
+  writer->WriteU32(kRecordsVersion);
+  writer->WriteU64(records.size());
+  for (const QueryRecord& r : records) {
+    writer->WriteString(r.sql_text);
+    writer->WriteDoubleVec(r.plan_features);
+    writer->WriteDouble(r.actual_memory_mb);
+    writer->WriteDouble(r.dbms_estimate_mb);
+    writer->WriteI64(r.family_id);
+    writer->WriteU64(r.content_fingerprint != 0
+                         ? r.content_fingerprint
+                         : ContentFingerprint(r));
+  }
+}
+
+Result<std::vector<QueryRecord>> DeserializeRecordsWire(BinaryReader* reader) {
+  WMP_ASSIGN_OR_RETURN(const uint32_t magic, reader->ReadU32());
+  if (magic != kRecordsMagic) {
+    return Status::InvalidArgument(
+        StrFormat("bad record-batch magic 0x%08x", magic));
+  }
+  WMP_ASSIGN_OR_RETURN(const uint32_t version, reader->ReadU32());
+  if (version != kRecordsVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported record-batch version %u", version));
+  }
+  WMP_ASSIGN_OR_RETURN(const uint64_t n, reader->ReadU64());
+  // Sanity bound before reserving: each record costs at least the four
+  // fixed-width fields on the wire, so a count the remaining bytes cannot
+  // possibly hold is a corrupt or adversarial header, not a short read.
+  constexpr uint64_t kMinWireBytesPerRecord = 4 + 8 + 8 + 8 + 8 + 8;
+  if (n > reader->remaining() / kMinWireBytesPerRecord + 1) {
+    return Status::InvalidArgument(
+        StrFormat("record-batch count %llu exceeds what %zu payload bytes "
+                  "can hold",
+                  static_cast<unsigned long long>(n), reader->remaining()));
+  }
+  std::vector<QueryRecord> records(static_cast<size_t>(n));
+  for (QueryRecord& r : records) {
+    WMP_ASSIGN_OR_RETURN(r.sql_text, reader->ReadString());
+    WMP_ASSIGN_OR_RETURN(r.plan_features, reader->ReadDoubleVec());
+    WMP_ASSIGN_OR_RETURN(r.actual_memory_mb, reader->ReadDouble());
+    WMP_ASSIGN_OR_RETURN(r.dbms_estimate_mb, reader->ReadDouble());
+    WMP_ASSIGN_OR_RETURN(const int64_t family, reader->ReadI64());
+    r.family_id = static_cast<int>(family);
+    WMP_ASSIGN_OR_RETURN(const uint64_t carried, reader->ReadU64());
+    // The fingerprint keys SHARED server-side caches, so it is part of
+    // the trust boundary: recompute from the carried content (HashBytes
+    // is platform-stable, so the honest value matches bitwise and cache
+    // hits survive the hop) and reject a mismatch — a client shipping a
+    // wrong fingerprint could otherwise poison other tenants' cache
+    // entries or abort nothing more than its own request.
+    r.content_fingerprint = ContentFingerprint(r);
+    if (carried != 0 && carried != r.content_fingerprint) {
+      return Status::InvalidArgument(
+          "record carries a fingerprint that does not match its content");
+    }
+  }
+  return records;
+}
+
+}  // namespace wmp::workloads

@@ -1,0 +1,46 @@
+#ifndef WMP_WORKLOADS_WIRE_FORMAT_H_
+#define WMP_WORKLOADS_WIRE_FORMAT_H_
+
+/// \file wire_format.h
+/// Binary (de)serialization of QueryRecord batches for the wire protocol.
+///
+/// A score request ships the *scoring-relevant* content of each record —
+/// SQL text, plan features, labels, generator family, and the memoized
+/// `content_fingerprint` — through util/io's length-prefixed primitives.
+/// The parsed AST and plan tree are deliberately NOT carried: the serving
+/// path never reads them (TemplateModel featurizes plan-feature methods
+/// from `plan_features` and text methods from `sql_text`), and they are
+/// exactly the expensive-to-reparse half of a record.
+///
+/// Fingerprints ride along so the server's cache keys are *bitwise* the
+/// client's: `ContentFingerprint` hashes SQL bytes, plan-feature bit
+/// patterns, and the family id — all of which this format round-trips
+/// exactly — so a workload that hit the server's template-id or histogram
+/// cache when submitted in-process hits the same entries when submitted
+/// over the wire. Because those keys index caches SHARED across clients,
+/// deserialization recomputes the hash from the carried content (the
+/// honest value matches bitwise — HashBytes is platform-stable) and
+/// rejects a record whose carried fingerprint disagrees, so one client
+/// cannot poison another's cache entries.
+
+#include <vector>
+
+#include "util/io.h"
+#include "workloads/query_record.h"
+
+namespace wmp::workloads {
+
+/// Appends `records` to `writer` (format magic + version + row count +
+/// per-record fields). Records need not carry plans or ASTs.
+void SerializeRecordsWire(const std::vector<QueryRecord>& records,
+                          BinaryWriter* writer);
+
+/// Parses a record batch written by SerializeRecordsWire. The returned
+/// records have null `plan` and a default `query` AST; every
+/// `content_fingerprint` is recomputed from the carried content, and a
+/// record whose carried (nonzero) fingerprint disagrees is rejected.
+Result<std::vector<QueryRecord>> DeserializeRecordsWire(BinaryReader* reader);
+
+}  // namespace wmp::workloads
+
+#endif  // WMP_WORKLOADS_WIRE_FORMAT_H_

@@ -27,6 +27,46 @@ Matrix ColumnMatrix(const std::vector<double>& values) {
 
 // ---------- FeatureBinner edges ----------
 
+TEST(FeatureBinnerEdgeTest, BranchlessBinSearchMatchesLowerBoundExactly) {
+  // BinValue's branchless halving search must compute std::lower_bound's
+  // answer for every (edge count, probe position) combination — on the
+  // edges themselves, just beside them, and outside the range — or models
+  // silently drift from their pre-branchless bit pattern.
+  Rng rng(20260726);
+  for (size_t n_edges : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                         size_t{16}, size_t{63}, size_t{64}, size_t{255}}) {
+    // Distinct sorted edges, as FeatureBinner::Fit constructs them.
+    std::vector<double> values;
+    double v = -50.0;
+    for (size_t i = 0; i < 4 * n_edges + 4; ++i) {
+      v += rng.UniformDouble() + 1e-3;
+      values.push_back(v);
+    }
+    Matrix x = ColumnMatrix(values);
+    FeatureBinner binner;
+    ASSERT_TRUE(binner.Fit(x, static_cast<int>(n_edges) + 1).ok());
+    std::vector<double> edges;
+    for (size_t b = 0; b + 1 < binner.NumBins(0); ++b) {
+      edges.push_back(binner.UpperEdge(0, b));
+    }
+    std::vector<double> probes = {-1e300, 1e300, 0.0};
+    for (double e : edges) {
+      probes.push_back(e);
+      probes.push_back(std::nextafter(e, -1e308));
+      probes.push_back(std::nextafter(e, 1e308));
+      probes.push_back(e - 0.5);
+      probes.push_back(e + 0.5);
+    }
+    for (double probe : probes) {
+      const auto want = static_cast<uint16_t>(
+          std::lower_bound(edges.begin(), edges.end(), probe) -
+          edges.begin());
+      EXPECT_EQ(binner.BinValue(0, probe), want)
+          << "edges=" << edges.size() << " probe=" << probe;
+    }
+  }
+}
+
 TEST(FeatureBinnerEdgeTest, ConstantFeatureCollapsesToOneBin) {
   Matrix x(64, 2);
   Rng rng(3);

@@ -1,0 +1,326 @@
+// Tests for the wire frame codec (net/frame.h) and the protocol payload
+// encodings (net/protocol.h): byte-level round trips, partial
+// reads/short writes across a real descriptor, and rejection of oversize,
+// truncated, and malformed frames with clean errors.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <thread>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "workloads/dataset.h"
+#include "workloads/wire_format.h"
+
+namespace wmp::net {
+namespace {
+
+// A pipe whose ends close on destruction; ReadFrame/WriteFrame speak
+// plain descriptors, so the codec is testable without sockets.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int reader() const { return fds[0]; }
+  int writer() const { return fds[1]; }
+  void CloseWriter() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+TEST(FrameTest, EncodeDecodeRoundTrip) {
+  const std::string payload = "hello workload memory prediction";
+  const std::string wire = EncodeFrame(FrameType::kScoreRequest, payload);
+  size_t consumed = 0;
+  auto frame = DecodeFrame(wire, FrameLimits{}, &consumed);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(frame->type, FrameType::kScoreRequest);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(FrameTest, DecodeEmptyPayloadAndBackToBackFrames) {
+  const std::string wire = EncodeFrame(FrameType::kPing, "") +
+                           EncodeFrame(FrameType::kPong, "x");
+  size_t consumed = 0;
+  auto first = DecodeFrame(wire, FrameLimits{}, &consumed);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->type, FrameType::kPing);
+  EXPECT_TRUE(first->payload.empty());
+  auto second = DecodeFrame(wire.substr(consumed), FrameLimits{}, &consumed);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->type, FrameType::kPong);
+  EXPECT_EQ(second->payload, "x");
+}
+
+TEST(FrameTest, DecodeRejectsBadMagic) {
+  std::string wire = EncodeFrame(FrameType::kPing, "abc");
+  wire[0] ^= 0x5A;  // corrupt the magic
+  size_t consumed = 0;
+  auto frame = DecodeFrame(wire, FrameLimits{}, &consumed);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsInvalidArgument());
+}
+
+TEST(FrameTest, DecodeRejectsOversizeAnnouncedLength) {
+  FrameLimits limits;
+  limits.max_payload_bytes = 16;
+  const std::string wire =
+      EncodeFrame(FrameType::kScoreRequest, std::string(17, 'x'));
+  size_t consumed = 0;
+  auto frame = DecodeFrame(wire, limits, &consumed);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsInvalidArgument());
+  // The announced length is rejected from the header alone — a prefix
+  // holding just the header fails identically instead of waiting for
+  // bytes that may never come.
+  auto prefix = DecodeFrame(wire.substr(0, 9), limits, &consumed);
+  ASSERT_FALSE(prefix.ok());
+  EXPECT_TRUE(prefix.status().IsInvalidArgument());
+}
+
+TEST(FrameTest, DecodeReportsIncompleteFramesAsOutOfRange) {
+  const std::string wire = EncodeFrame(FrameType::kPing, "abcdef");
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    size_t consumed = 0;
+    auto frame = DecodeFrame(wire.substr(0, cut), FrameLimits{}, &consumed);
+    ASSERT_FALSE(frame.ok()) << "cut=" << cut;
+    EXPECT_TRUE(frame.status().IsOutOfRange()) << "cut=" << cut;
+  }
+}
+
+TEST(FrameTest, ReadFrameAssemblesByteDribbledInput) {
+  // The peer writes one byte at a time: ReadFrame must loop over partial
+  // reads of both header and payload.
+  Pipe pipe;
+  const std::string payload(257, 'q');
+  const std::string wire = EncodeFrame(FrameType::kStatsRequest, payload);
+  std::thread writer([&] {
+    for (char c : wire) {
+      ASSERT_EQ(::write(pipe.writer(), &c, 1), 1);
+    }
+  });
+  auto frame = ReadFrame(pipe.reader());
+  writer.join();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kStatsRequest);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(FrameTest, WriteFrameSurvivesShortWritesOnAFullPipe) {
+  // A payload much larger than the pipe buffer forces write() to return
+  // short; the slow byte-trickle reader keeps the pipe near-full the
+  // whole time.
+  Pipe pipe;
+  const std::string payload(2 << 20, 'z');
+  std::string received;
+  std::thread reader([&] {
+    auto frame = ReadFrame(pipe.reader());
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    received = std::move(frame->payload);
+  });
+  ASSERT_TRUE(WriteFrame(pipe.writer(), FrameType::kPublishRequest, payload)
+                  .ok());
+  reader.join();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(FrameTest, ReadFrameCleanEofIsNotFound) {
+  Pipe pipe;
+  pipe.CloseWriter();
+  auto frame = ReadFrame(pipe.reader());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsNotFound());
+}
+
+TEST(FrameTest, ReadFrameEofInsideHeaderOrPayloadIsIOError) {
+  const std::string wire = EncodeFrame(FrameType::kPing, "abcdef");
+  for (size_t cut : {size_t{3}, size_t{9 + 2}}) {
+    Pipe pipe;
+    ASSERT_EQ(::write(pipe.writer(), wire.data(), cut),
+              static_cast<ssize_t>(cut));
+    pipe.CloseWriter();
+    auto frame = ReadFrame(pipe.reader());
+    ASSERT_FALSE(frame.ok()) << "cut=" << cut;
+    EXPECT_TRUE(frame.status().IsIOError()) << "cut=" << cut;
+  }
+}
+
+TEST(FrameTest, ReadFrameRejectsOversizeBeforeReadingPayload) {
+  Pipe pipe;
+  FrameLimits limits;
+  limits.max_payload_bytes = 8;
+  // Write only the header announcing a huge payload: the reader must
+  // reject it without waiting for the (never-sent) payload bytes.
+  std::string header = EncodeFrame(FrameType::kPing, "").substr(0, 5);
+  const uint32_t huge = 1u << 30;
+  header.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  ASSERT_EQ(::write(pipe.writer(), header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  auto frame = ReadFrame(pipe.reader(), limits);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsInvalidArgument());
+}
+
+// ---------- protocol payloads ----------
+
+TEST(ProtocolTest, ScoreRequestRoundTripCarriesFingerprintsBitwise) {
+  workloads::DatasetOptions opt;
+  opt.num_queries = 24;
+  opt.seed = 5;
+  auto dataset = workloads::BuildDataset(workloads::Benchmark::kTpcc, opt);
+  ASSERT_TRUE(dataset.ok());
+
+  const std::vector<std::vector<uint32_t>> indices = {{0, 1, 2}, {3, 0, 5}};
+  std::vector<core::WorkloadBatch> batches(indices.size());
+  for (size_t b = 0; b < indices.size(); ++b) {
+    batches[b].query_indices = indices[b];
+  }
+  auto decoded = DecodeScoreRequest(
+      EncodeScoreRequest("tenant-42", dataset->records, batches));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->tenant, "tenant-42");
+  ASSERT_EQ(decoded->records.size(), dataset->records.size());
+  for (size_t i = 0; i < decoded->records.size(); ++i) {
+    const auto& a = dataset->records[i];
+    const auto& b = decoded->records[i];
+    EXPECT_EQ(a.sql_text, b.sql_text);
+    EXPECT_EQ(a.plan_features, b.plan_features);
+    EXPECT_EQ(a.family_id, b.family_id);
+    // The serving-layer cache key survives the hop bitwise.
+    EXPECT_EQ(workloads::ContentFingerprint(a), b.content_fingerprint);
+    EXPECT_EQ(a.content_fingerprint, b.content_fingerprint);
+  }
+  ASSERT_EQ(decoded->batches.size(), 2u);
+  EXPECT_EQ(decoded->batches[0].query_indices, indices[0]);
+  EXPECT_EQ(decoded->batches[1].query_indices, indices[1]);
+}
+
+TEST(ProtocolTest, ScoreRequestRejectsOutOfRangeWorkloadIndices) {
+  workloads::DatasetOptions opt;
+  opt.num_queries = 8;
+  opt.seed = 5;
+  auto dataset = workloads::BuildDataset(workloads::Benchmark::kTpcc, opt);
+  ASSERT_TRUE(dataset.ok());
+  std::vector<core::WorkloadBatch> batches(1);
+  batches[0].query_indices = {
+      static_cast<uint32_t>(dataset->records.size())};  // one past the end
+  auto decoded = DecodeScoreRequest(
+      EncodeScoreRequest("t", dataset->records, batches));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsOutOfRange());
+}
+
+TEST(ProtocolTest, RecordWithWrongFingerprintIsRejected) {
+  workloads::DatasetOptions opt;
+  opt.num_queries = 8;
+  opt.seed = 5;
+  auto dataset = workloads::BuildDataset(workloads::Benchmark::kTpcc, opt);
+  ASSERT_TRUE(dataset.ok());
+  // Claim a fingerprint that is not record 0's content hash: the shared
+  // server-side caches key on it, so the decoder must refuse.
+  dataset->records[0].content_fingerprint =
+      workloads::ContentFingerprint(dataset->records[0]) ^ 1;
+  std::vector<core::WorkloadBatch> batches(1);
+  batches[0].query_indices = {0};
+  auto decoded = DecodeScoreRequest(
+      EncodeScoreRequest("t", dataset->records, batches));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+}
+
+TEST(ProtocolTest, TruncatedScoreRequestFailsCleanly) {
+  workloads::DatasetOptions opt;
+  opt.num_queries = 8;
+  opt.seed = 5;
+  auto dataset = workloads::BuildDataset(workloads::Benchmark::kTpcc, opt);
+  ASSERT_TRUE(dataset.ok());
+  std::vector<core::WorkloadBatch> batches(1);
+  batches[0].query_indices = {0, 1, 2};
+  const std::string full =
+      EncodeScoreRequest("t", dataset->records, batches);
+  // Every strict prefix must decode to an error, never crash or hang.
+  for (size_t cut = 0; cut < full.size(); cut += 7) {
+    auto decoded = DecodeScoreRequest(full.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ProtocolTest, ScoreResponseMixedOutcomesRoundTrip) {
+  ScoreResponse response;
+  response.ok = {1, 0, 1};
+  response.predictions = {12.5, 0.0, -3.25};
+  response.errors = {"", "empty workload", ""};
+  auto decoded = DecodeScoreResponse(EncodeScoreResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->ok, response.ok);
+  EXPECT_EQ(decoded->predictions[0], 12.5);
+  EXPECT_EQ(decoded->predictions[2], -3.25);
+  EXPECT_EQ(decoded->errors[1], "empty workload");
+}
+
+TEST(ProtocolTest, PublishAndRollbackRoundTrip) {
+  PublishRequest publish;
+  publish.model_name = "tenant-a";
+  publish.model_bytes = std::string("\x01\x02\x03\x00\x7f", 5);
+  auto publish2 = DecodePublishRequest(EncodePublishRequest(publish));
+  ASSERT_TRUE(publish2.ok());
+  EXPECT_EQ(publish2->model_name, publish.model_name);
+  EXPECT_EQ(publish2->model_bytes, publish.model_bytes);
+
+  // Empty name is valid (server substitutes its default); a missing
+  // artifact is not.
+  EXPECT_TRUE(DecodePublishRequest(EncodePublishRequest({"", "bytes"}))
+                  .ok());
+  EXPECT_FALSE(DecodePublishRequest(EncodePublishRequest({"name", ""}))
+                   .ok());
+
+  RollbackResponse rollback;
+  rollback.registry_epoch = 7;
+  rollback.shards_swapped = 3;
+  auto rollback2 = DecodeRollbackResponse(EncodeRollbackResponse(rollback));
+  ASSERT_TRUE(rollback2.ok());
+  EXPECT_EQ(rollback2->registry_epoch, 7u);
+  EXPECT_EQ(rollback2->shards_swapped, 3u);
+}
+
+TEST(ProtocolTest, StatsResponseRoundTripAndErrorBody) {
+  StatsResponse stats;
+  stats.service.submitted = 10;
+  stats.service.completed = 9;
+  stats.service.failed = 1;
+  stats.service.template_entries_warmed = 123;
+  stats.service.max_latency_us = 456;
+  stats.server.connections_accepted = 3;
+  stats.server.frames_served = 17;
+  auto decoded = DecodeStatsResponse(EncodeStatsResponse(stats));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->service.submitted, 10u);
+  EXPECT_EQ(decoded->service.completed, 9u);
+  EXPECT_EQ(decoded->service.template_entries_warmed, 123u);
+  EXPECT_EQ(decoded->service.max_latency_us, 456u);
+  EXPECT_EQ(decoded->server.connections_accepted, 3u);
+  EXPECT_EQ(decoded->server.frames_served, 17u);
+
+  ErrorBody error;
+  error.code = static_cast<uint8_t>(StatusCode::kFailedPrecondition);
+  error.message = "no model";
+  const Status st = StatusFromError(DecodeErrorBody(EncodeErrorBody(error)));
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("no model"), std::string::npos);
+  // Garbage degrades to Internal, never throws.
+  EXPECT_TRUE(StatusFromError(DecodeErrorBody("zz")).IsInternal());
+}
+
+}  // namespace
+}  // namespace wmp::net

@@ -120,6 +120,91 @@ TEST(LogIoTest, TrainFromIngestedLogEndToEnd) {
   EXPECT_GT(*pred, 0.0);
 }
 
+TEST(QueryLogReaderTest, ChunkedReadMatchesWholeFileLoad) {
+  DatasetOptions opt;
+  opt.num_queries = 100;
+  opt.seed = 47;
+  auto dataset = BuildDataset(Benchmark::kTpcc, opt);
+  ASSERT_TRUE(dataset.ok());
+  const std::string path = ::testing::TempDir() + "/wmp_chunked_log.txt";
+  ASSERT_TRUE(WriteQueryLog(dataset->records, path).ok());
+  auto whole = LoadQueryLog(path);
+  ASSERT_TRUE(whole.ok());
+
+  for (size_t chunk : {size_t{1}, size_t{7}, size_t{100}, size_t{1000}}) {
+    auto reader = QueryLogReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    std::vector<QueryRecord> streamed;
+    size_t chunks = 0;
+    for (;;) {
+      auto n = reader->ReadChunk(chunk, &streamed);
+      ASSERT_TRUE(n.ok()) << n.status().ToString();
+      if (*n == 0) break;
+      EXPECT_LE(*n, chunk);
+      ++chunks;
+    }
+    EXPECT_TRUE(reader->exhausted());
+    EXPECT_EQ(reader->records_read(), whole->size());
+    ASSERT_EQ(streamed.size(), whole->size()) << "chunk=" << chunk;
+    if (chunk < whole->size()) {
+      EXPECT_GT(chunks, 1u);
+    }
+    for (size_t i = 0; i < streamed.size(); ++i) {
+      EXPECT_EQ(streamed[i].sql_text, (*whole)[i].sql_text);
+      EXPECT_EQ(streamed[i].plan_features, (*whole)[i].plan_features);
+      EXPECT_DOUBLE_EQ(streamed[i].actual_memory_mb,
+                       (*whole)[i].actual_memory_mb);
+      // Cache keys must not depend on how the record was ingested.
+      EXPECT_EQ(streamed[i].content_fingerprint,
+                (*whole)[i].content_fingerprint);
+      EXPECT_NE(streamed[i].content_fingerprint, 0u);
+    }
+  }
+}
+
+TEST(QueryLogReaderTest, EofAndEmptyAndMissingFile) {
+  EXPECT_TRUE(QueryLogReader::Open("/no/such/wmp/log.txt")
+                  .status()
+                  .IsIOError());
+  const std::string path = ::testing::TempDir() + "/wmp_empty_log.txt";
+  { std::ofstream out(path, std::ios::trunc); }
+  auto reader = QueryLogReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<QueryRecord> out;
+  auto n = reader->ReadChunk(16, &out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  EXPECT_TRUE(reader->exhausted());
+  // Further reads stay at a clean EOF.
+  auto again = reader->ReadChunk(16, &out);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+}
+
+TEST(QueryLogReaderTest, MalformedRecordFailsWithLineAnnotatedError) {
+  const std::string path = ::testing::TempDir() + "/wmp_malformed_log.txt";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "-- query: SELECT a FROM t\n"
+        << "-- memory_mb: 12.5\n"
+        << "RETURN in=1 out=1 width=8\n"
+        << "  TBSCAN(t) in=10 out=1 width=8\n"
+        << "\n"
+        << "-- bogus-directive: nope\n"
+        << "\n";
+  }
+  auto reader = QueryLogReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<QueryRecord> out;
+  auto first = reader->ReadChunk(1, &out);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(*first, 1u);
+  auto second = reader->ReadChunk(1, &out);
+  ASSERT_FALSE(second.ok());
+  EXPECT_NE(second.status().message().find("line 6"), std::string::npos)
+      << second.status().ToString();
+}
+
 TEST(LogIoTest, GeneratorFreeTrainingRejectsRuleBased) {
   Dataset dataset = SmallDataset();
   core::LearnedWmpOptions opt;

@@ -31,13 +31,33 @@
 //       exercises the caches. Reports throughput, latency, per-level
 //       cache hit rates (histogram vs template-id), and the flush-reason
 //       breakdown of the adaptive micro-batching controller.
+//
+//   wmpctl serve --listen=ADDR --model=model.wmp [--name=default]
+//                [--shards=N] [--warm-log=log.txt]
+//       Stand up the out-of-process scoring server (net::WireServer over
+//       ScoringService + ModelRegistry) on "unix:/path.sock" or
+//       "host:port". Runs until SIGINT/SIGTERM, then drains and prints
+//       the serving stats. --warm-log registers a corpus so every
+//       publish re-warms the template cache in the background.
+//
+//   wmpctl score --log=log.txt (--connect=ADDR | --model=model.wmp)
+//                [--batch=S] [--chunk=4096] [--tenant=NAME]
+//       Score a log against a remote server (or a local model) in
+//       fixed-size chunks: the log streams through workloads::
+//       QueryLogReader, so the resident set stays capped at ~one chunk
+//       no matter how large the log is.
+//
+//   wmpctl rollback --connect=ADDR [--name=default]
+//       Revert the server's named model to the previous registry epoch.
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <future>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,8 +66,11 @@
 #include "core/learned_wmp.h"
 #include "core/single_wmp.h"
 #include "engine/batch_scorer.h"
+#include "engine/model_registry.h"
 #include "engine/scoring_service.h"
 #include "ml/metrics.h"
+#include "net/wire_client.h"
+#include "net/wire_server.h"
 #include "util/parallel.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -96,6 +119,18 @@ int Usage() {
                "[--max-delay-us=200]\n"
                "                 [--adaptive=1] [--template-cache=65536] "
                "[--cache=4096]\n"
+               "  wmpctl serve    --listen=ADDR --model=PATH "
+               "[--name=default] [--shards=N]\n"
+               "                 [--warm-log=PATH] [--max-batch=64] "
+               "[--max-delay-us=200]\n"
+               "  wmpctl score    --log=PATH (--connect=ADDR | "
+               "--model=PATH) [--batch=S]\n"
+               "                 [--chunk=4096] [--tenant=NAME]\n"
+               "  wmpctl rollback --connect=ADDR [--name=default]\n"
+               "ADDR is unix:/path.sock or host:port; --publish accepts "
+               "--connect=ADDR\n"
+               "to roll out over the wire instead of rehearsing "
+               "in-process.\n"
                "common: --threads=N caps the worker pool (0 = all cores)\n");
   return 2;
 }
@@ -201,6 +236,49 @@ int RunPublishRehearsal(const std::vector<workloads::QueryRecord>& records,
   return errors.load() == 0 && mismatches == 0 ? 0 : 1;
 }
 
+// The --publish --connect rollout: push the freshly-trained artifact to a
+// running `wmpctl serve` over the wire (PublishAll across every shard +
+// registry recording), then verify the swap took by scoring the training
+// log remotely and comparing bitwise against the fresh model's own local
+// batched scoring.
+int RunRemotePublish(const std::string& address, const std::string& name,
+                     const std::vector<workloads::QueryRecord>& records,
+                     const core::LearnedWmpModel& fresh, int batch_size) {
+  net::WireClient client(address);
+  auto epoch = client.Publish(name, fresh);
+  if (!epoch.ok()) return Fail(epoch.status());
+  std::printf("published '%s' to %s (registry epoch %llu)\n", name.c_str(),
+              address.c_str(), static_cast<unsigned long long>(*epoch));
+
+  const auto batches =
+      engine::MakeConsecutiveBatches(records.size(), batch_size);
+  if (batches.empty()) {
+    std::fprintf(stderr, "log too small for one workload of %d queries\n",
+                 batch_size);
+    return 1;
+  }
+  engine::BatchScorer reference(&fresh);
+  auto want = reference.ScoreWorkloads(records, batches);
+  if (!want.ok()) return Fail(want.status());
+  auto got = client.ScoreWorkloads("rollout-verify", records, batches);
+  if (!got.ok()) return Fail(got.status());
+  size_t failed = 0, mismatches = 0;
+  for (size_t w = 0; w < batches.size(); ++w) {
+    if (!(*got)[w].ok()) {
+      ++failed;
+    } else if (*(*got)[w] != want->predictions[w]) {
+      ++mismatches;
+    }
+  }
+  std::printf("post-swap verification: %zu workloads scored remotely, "
+              "%zu failed, %zu mismatches\n",
+              batches.size(), failed, mismatches);
+  std::printf("  cross-process rollout %s: the server now serves the fresh "
+              "model bitwise\n",
+              failed == 0 && mismatches == 0 ? "OK" : "FAILED");
+  return failed == 0 && mismatches == 0 ? 0 : 1;
+}
+
 int CmdTrain(const std::map<std::string, std::string>& flags) {
   const std::string log_path = FlagOr(flags, "log", "");
   const std::string model_path = FlagOr(flags, "model", "");
@@ -255,8 +333,15 @@ int CmdTrain(const std::map<std::string, std::string>& flags) {
   if (publish) {
     auto fresh =
         std::make_shared<const core::LearnedWmpModel>(std::move(*model));
-    // First train (no previous artifact): rehearse the swap onto a live
-    // service that starts on the fresh model itself.
+    // With --connect this is a REAL rollout: the artifact crosses a
+    // process boundary into a running `wmpctl serve`. Without it, fall
+    // back to the in-process rehearsal (first train: swap onto a live
+    // service that starts on the fresh model itself).
+    const std::string address = FlagOr(flags, "connect", "");
+    if (!address.empty()) {
+      return RunRemotePublish(address, FlagOr(flags, "name", "default"),
+                              *records, *fresh, opt.batch_size);
+    }
     return RunPublishRehearsal(*records, previous ? previous : fresh, fresh,
                                opt.batch_size);
   }
@@ -453,6 +538,233 @@ int CmdServeBench(const std::map<std::string, std::string>& flags) {
   return errors.load() == 0 ? 0 : 1;
 }
 
+// wmpctl serve — the out-of-process serving daemon: WireServer fronting a
+// sharded ScoringService, with a ModelRegistry so remote publishes are
+// rollback-able. Blocks until SIGINT/SIGTERM.
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  const std::string address = FlagOr(flags, "listen", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  if (address.empty() || model_path.empty()) return Usage();
+  const std::string name = FlagOr(flags, "name", "default");
+  const int num_shards =
+      std::max(std::atoi(FlagOr(flags, "shards", "1").c_str()), 1);
+
+  // Block the shutdown signals FIRST, before any thread exists: every
+  // thread the service/server spawn inherits this mask, so a
+  // process-directed SIGINT/SIGTERM can only be delivered to the sigwait
+  // below — delivered to a dispatcher thread it would kill the process
+  // via the default disposition instead of draining.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  auto loaded = core::LearnedWmpModel::LoadFromFile(model_path);
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto model =
+      std::make_shared<const core::LearnedWmpModel>(std::move(*loaded));
+
+  engine::ScoringServiceOptions sopt;
+  sopt.max_batch = static_cast<size_t>(
+      std::max(std::atoi(FlagOr(flags, "max-batch", "64").c_str()), 1));
+  sopt.max_delay_us = std::atoll(FlagOr(flags, "max-delay-us", "200").c_str());
+  sopt.adaptive_flush = FlagOr(flags, "adaptive", "1") != "0";
+  sopt.cache_capacity =
+      static_cast<size_t>(std::atoll(FlagOr(flags, "cache", "4096").c_str()));
+  sopt.template_cache_capacity = static_cast<size_t>(
+      std::atoll(FlagOr(flags, "template-cache", "65536").c_str()));
+  engine::ScoringService service(
+      std::vector<std::shared_ptr<const core::LearnedWmpModel>>(
+          static_cast<size_t>(num_shards), model),
+      sopt);
+
+  // The warm corpus must outlive the service (borrowed by the background
+  // warmer), so it lives here in main's scope.
+  std::vector<workloads::QueryRecord> warm_records;
+  const std::string warm_log = FlagOr(flags, "warm-log", "");
+  if (!warm_log.empty()) {
+    auto records = workloads::LoadQueryLog(warm_log);
+    if (!records.ok()) return Fail(records.status());
+    warm_records = std::move(*records);
+    service.SetWarmCorpus(&warm_records);
+    std::printf("warm corpus: %zu queries from %s\n", warm_records.size(),
+                warm_log.c_str());
+  }
+
+  engine::ModelRegistry registry;
+  // The artifact we booted on is epoch 1, so the first remote publish is
+  // already rollback-able.
+  if (auto recorded = registry.Record(name, model); !recorded.ok()) {
+    return Fail(recorded.status());
+  }
+
+  net::WireServer server(&service, &registry, name);
+  if (Status st = server.Listen(address); !st.ok()) return Fail(st);
+
+  // The accept loop runs in the background; this thread sigwaits for the
+  // (already blocked) shutdown signals and tears down with ordinary
+  // signal-unsafe calls, not inside a handler.
+  if (Status st = server.Start(); !st.ok()) return Fail(st);
+  std::printf("serving '%s' (%d shard%s) on %s — SIGINT/SIGTERM stops\n",
+              name.c_str(), num_shards, num_shards == 1 ? "" : "s",
+              server.address().c_str());
+  std::fflush(stdout);
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("signal %d: shutting down\n", sig);
+  server.Shutdown();
+  service.Stop();
+
+  const engine::ServiceStats st = service.stats();
+  const net::WireServerCounters wc = server.stats();
+  std::printf(
+      "served %llu requests (%llu failed) over %llu connections, "
+      "%llu frames, %llu protocol errors\n",
+      static_cast<unsigned long long>(st.completed + st.failed),
+      static_cast<unsigned long long>(st.failed),
+      static_cast<unsigned long long>(wc.connections_accepted),
+      static_cast<unsigned long long>(wc.frames_served),
+      static_cast<unsigned long long>(wc.protocol_errors));
+  std::printf(
+      "  models published %llu, template entries warmed %llu, histogram "
+      "hit rate %.1f%%, template hit rate %.1f%%\n",
+      static_cast<unsigned long long>(st.models_published),
+      static_cast<unsigned long long>(st.template_entries_warmed),
+      100.0 * st.cache_hit_rate(), 100.0 * st.template_cache_hit_rate());
+  return 0;
+}
+
+// wmpctl score — chunked log scoring: the log streams through
+// QueryLogReader in --chunk-sized slices, each scored remotely
+// (--connect) or locally (--model), so the resident set never exceeds
+// ~one chunk of parsed records regardless of log size.
+int CmdScore(const std::map<std::string, std::string>& flags) {
+  const std::string log_path = FlagOr(flags, "log", "");
+  const std::string address = FlagOr(flags, "connect", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  if (log_path.empty() || (address.empty() && model_path.empty())) {
+    return Usage();
+  }
+  const int batch_size =
+      std::max(std::atoi(FlagOr(flags, "batch", "10").c_str()), 1);
+  const size_t chunk = static_cast<size_t>(
+      std::max(std::atoll(FlagOr(flags, "chunk", "4096").c_str()),
+               static_cast<long long>(batch_size)));
+  const std::string tenant = FlagOr(flags, "tenant", "wmpctl");
+
+  Result<core::LearnedWmpModel> local_model = Status::NotFound("unused");
+  std::unique_ptr<engine::BatchScorer> local;
+  std::unique_ptr<net::WireClient> remote;
+  if (!address.empty()) {
+    remote = std::make_unique<net::WireClient>(address);
+    if (Status st = remote->Connect(); !st.ok()) return Fail(st);
+  } else {
+    local_model = core::LearnedWmpModel::LoadFromFile(model_path);
+    if (!local_model.ok()) return Fail(local_model.status());
+    local = std::make_unique<engine::BatchScorer>(&*local_model);
+  }
+
+  auto reader = workloads::QueryLogReader::Open(log_path);
+  if (!reader.ok()) return Fail(reader.status());
+
+  std::vector<workloads::QueryRecord> window;  // current chunk + carry
+  std::vector<double> predictions, labels;
+  size_t total_queries = 0, failures = 0, max_resident = 0;
+  Stopwatch wall;
+  for (;;) {
+    auto appended = reader->ReadChunk(chunk, &window);
+    if (!appended.ok()) return Fail(appended.status());
+    if (window.empty()) break;
+    // Score whole workloads; carry the tail queries into the next chunk so
+    // workload boundaries are identical to a whole-log load. The final
+    // (post-EOF) pass scores the partial tail workload too.
+    size_t usable = window.size() - window.size() % static_cast<size_t>(
+                                        batch_size);
+    if (reader->exhausted()) usable = window.size();
+    if (usable == 0 && !reader->exhausted()) continue;
+    if (usable == 0) break;
+    const auto batches = engine::MakeConsecutiveBatches(usable, batch_size);
+    max_resident = std::max(max_resident, window.size());
+    std::vector<workloads::QueryRecord> scored;
+    scored.reserve(usable);
+    for (size_t i = 0; i < usable; ++i) {
+      scored.push_back(std::move(window[i]));
+    }
+    window.erase(window.begin(), window.begin() + static_cast<long>(usable));
+    if (remote != nullptr) {
+      auto got = remote->ScoreWorkloads(tenant, scored, batches);
+      if (!got.ok()) return Fail(got.status());
+      for (size_t w = 0; w < batches.size(); ++w) {
+        if ((*got)[w].ok()) {
+          predictions.push_back(*(*got)[w]);
+        } else {
+          predictions.push_back(0.0);
+          ++failures;
+        }
+      }
+    } else {
+      auto got = local->ScoreWorkloads(scored, batches);
+      if (!got.ok()) return Fail(got.status());
+      for (double p : got->predictions) predictions.push_back(p);
+    }
+    for (const auto& b : batches) {
+      double label = 0.0;
+      for (uint32_t qi : b.query_indices) {
+        label += scored[qi].actual_memory_mb;
+      }
+      labels.push_back(label);
+      total_queries += b.query_indices.size();
+    }
+    if (reader->exhausted()) break;
+  }
+  const double seconds = wall.ElapsedSeconds();
+  if (predictions.empty()) {
+    std::fprintf(stderr, "log produced no workloads\n");
+    return 1;
+  }
+  std::printf("scored %zu workloads (%zu queries) in %.2f s via %s — "
+              "%.0f queries/sec, resident set capped at %zu records "
+              "(chunk %zu)\n",
+              predictions.size(), total_queries, seconds,
+              remote != nullptr ? address.c_str() : "local model",
+              seconds > 0 ? static_cast<double>(total_queries) / seconds : 0.0,
+              max_resident, chunk);
+  const bool labeled =
+      std::any_of(labels.begin(), labels.end(), [](double v) { return v > 0; });
+  if (labeled && failures == 0) {
+    std::printf("LearnedWMP      RMSE %.1f MB   MAPE %.1f%%\n",
+                ml::Rmse(labels, predictions), ml::Mape(labels, predictions));
+  }
+  if (remote != nullptr) {
+    if (auto stats = remote->Stats(); stats.ok()) {
+      std::printf("server: histogram hit rate %.1f%%, template hit rate "
+                  "%.1f%%, %llu entries warmed\n",
+                  100.0 * stats->service.cache_hit_rate(),
+                  100.0 * stats->service.template_cache_hit_rate(),
+                  static_cast<unsigned long long>(
+                      stats->service.template_entries_warmed));
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%zu workloads failed to score\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
+int CmdRollback(const std::map<std::string, std::string>& flags) {
+  const std::string address = FlagOr(flags, "connect", "");
+  if (address.empty()) return Usage();
+  const std::string name = FlagOr(flags, "name", "default");
+  net::WireClient client(address);
+  auto epoch = client.Rollback(name);
+  if (!epoch.ok()) return Fail(epoch.status());
+  std::printf("rolled '%s' back to registry epoch %llu on %s\n", name.c_str(),
+              static_cast<unsigned long long>(*epoch), address.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -465,5 +777,8 @@ int main(int argc, char** argv) {
   if (cmd == "evaluate") return CmdEvaluate(flags);
   if (cmd == "predict") return CmdPredict(flags);
   if (cmd == "serve-bench") return CmdServeBench(flags);
+  if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "score") return CmdScore(flags);
+  if (cmd == "rollback") return CmdRollback(flags);
   return Usage();
 }
