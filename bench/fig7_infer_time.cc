@@ -29,7 +29,10 @@ namespace {
 
 struct ThroughputRow {
   std::string benchmark;
-  std::string mode;  // "scalar" or "batch"
+  // "scalar" (per-query loop), "batch" (BatchScorer through the compiled
+  // bin-space ensemble — the default serving path), or "batch_reference"
+  // (BatchScorer with compiled routing off: the raw-space regressor walk).
+  std::string mode;
   int batch_size = 0;
   int threads = 0;
   size_t queries = 0;
@@ -84,7 +87,7 @@ ThroughputRow BatchRun(const core::ExperimentData& data,
   engine::BatchScorer scorer(&model, opt);
   auto p = scorer.ScoreLog(data.dataset.records, batch_size);
   ThroughputRow row;
-  row.mode = "batch";
+  row.mode = model.compiled_inference() ? "batch" : "batch_reference";
   row.batch_size = batch_size;
   row.threads = threads;
   if (p.ok()) {
@@ -93,6 +96,34 @@ ThroughputRow BatchRun(const core::ExperimentData& data,
     row.qps = p->stats.queries_per_sec;
   }
   return row;
+}
+
+// Bitwise gate on the compiled fast path: scores the full log through the
+// compiled ensemble and through the reference regressor walk and requires
+// every prediction identical. The throughput rows above are only honest if
+// the fast path is exact, so a breach fails the harness (nonzero exit —
+// CI's serve smoke runs this binary).
+bool CompiledMatchesReference(const core::ExperimentData& data,
+                              core::LearnedWmpModel* model) {
+  const auto batches =
+      engine::MakeConsecutiveBatches(data.dataset.records.size(), 100);
+  model->set_compiled_inference(true);
+  auto compiled = model->PredictWorkloads(data.dataset.records, batches);
+  model->set_compiled_inference(false);
+  auto reference = model->PredictWorkloads(data.dataset.records, batches);
+  model->set_compiled_inference(true);
+  if (!compiled.ok() || !reference.ok()) {
+    std::cerr << "equivalence scoring failed\n";
+    return false;
+  }
+  for (size_t i = 0; i < compiled->size(); ++i) {
+    if ((*compiled)[i] != (*reference)[i]) {
+      std::cerr << "compiled/reference divergence at workload " << i << ": "
+                << (*compiled)[i] << " vs " << (*reference)[i] << "\n";
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -148,25 +179,35 @@ int main(int argc, char** argv) {
       std::cerr << "train failed: " << model.status() << "\n";
       return 1;
     }
+    if (!CompiledMatchesReference(*data, &*model)) {
+      std::cerr << "compiled inference is NOT bitwise-equal to the "
+                   "reference path\n";
+      return 1;
+    }
     const int hw = static_cast<int>(util::HardwareThreads());
     TablePrinter tput(StrFormat("%s batch throughput (queries/sec)",
                                 result->benchmark.c_str()));
-    tput.SetHeader({"batch", "scalar 1t", "batch 1t",
-                    StrFormat("batch %dt", hw), "speedup"});
+    tput.SetHeader({"batch", "scalar 1t", "reference 1t", "compiled 1t",
+                    StrFormat("compiled %dt", hw), "compiled gain"});
     for (int batch_size : {1, 10, 100, 1000}) {
       ThroughputRow scalar = ScalarBaseline(*data, *model, batch_size);
+      model->set_compiled_inference(false);
+      ThroughputRow reference = BatchRun(*data, *model, batch_size, 1);
+      model->set_compiled_inference(true);
       ThroughputRow batch1 = BatchRun(*data, *model, batch_size, 1);
       ThroughputRow batch_hw = hw > 1 ? BatchRun(*data, *model, batch_size, hw)
                                       : batch1;
-      scalar.benchmark = batch1.benchmark = batch_hw.benchmark =
-          result->benchmark;
+      scalar.benchmark = reference.benchmark = batch1.benchmark =
+          batch_hw.benchmark = result->benchmark;
       tput.AddRow({StrFormat("%d", batch_size), StrFormat("%.0f", scalar.qps),
+                   StrFormat("%.0f", reference.qps),
                    StrFormat("%.0f", batch1.qps),
                    StrFormat("%.0f", batch_hw.qps),
-                   scalar.qps > 0.0
-                       ? StrFormat("%.1fx", batch_hw.qps / scalar.qps)
+                   reference.qps > 0.0
+                       ? StrFormat("%.2fx", batch1.qps / reference.qps)
                        : std::string("n/a")});
       throughput.push_back(scalar);
+      throughput.push_back(reference);
       throughput.push_back(batch1);
       if (hw > 1) throughput.push_back(batch_hw);
     }

@@ -532,6 +532,64 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
+  // --- Compiled bin-space inference vs the reference regressor walk,
+  // through the full service stack. One cold pipelined pass each over the
+  // same stream; the row's bitwise flag compares every prediction across
+  // the two paths and feeds the nonzero-exit gate below, so CI's serve
+  // smoke fails on any compiled/reference divergence. ---
+  {
+    const int clients = args.quick ? 2 : 4;
+    engine::ScoringServiceOptions sopt;
+    sopt.max_batch = 1024;
+    sopt.max_delay_us = 25;
+    model->set_compiled_inference(false);
+    engine::ScoringService ref_service({&*model}, sopt);
+    DriveResult ref = Drive(&ref_service, records, batches, clients, 1, true);
+    ref_service.Stop();
+    model->set_compiled_inference(true);
+    engine::ScoringService service({&*model}, sopt);
+    DriveResult d = Drive(&service, records, batches, clients, 1, true);
+    service.Stop();
+    bool bitwise = ref.errors == 0 && d.errors == 0;
+    for (size_t w = 0; bitwise && w < batches.size(); ++w) {
+      if (d.pass_predictions[0][w] != ref.pass_predictions[0][w]) {
+        std::cerr << "compiled/reference divergence at workload " << w << ": "
+                  << d.pass_predictions[0][w] << " vs "
+                  << ref.pass_predictions[0][w] << "\n";
+        bitwise = false;
+      }
+    }
+    ServeRow row;
+    row.mode = "compiled";
+    row.clients = clients;
+    row.shards = 1;
+    row.workloads = batches.size();
+    row.queries = CountQueries(batches);
+    row.seconds = d.seconds;
+    row.qps = d.seconds > 0 ? static_cast<double>(row.queries) / d.seconds
+                            : 0.0;
+    row.p50_us = util::PercentileInPlace(&d.latencies_us, 0.50);
+    row.p99_us = util::PercentileInPlace(&d.latencies_us, 0.99);
+    row.errors = d.errors + ref.errors;
+    row.bitwise_identical = bitwise;
+    rows.push_back(row);
+    const double ref_qps =
+        ref.seconds > 0 ? static_cast<double>(row.queries) / ref.seconds : 0.0;
+    TablePrinter table("serve_latency — compiled bin-space inference");
+    table.SetHeader({"path", "qps", "p50 us", "p99 us", "bitwise"});
+    table.AddRow({"reference", StrFormat("%.0f", ref_qps),
+                  StrFormat("%.0f", util::PercentileInPlace(
+                                        &ref.latencies_us, 0.50)),
+                  StrFormat("%.0f", util::PercentileInPlace(
+                                        &ref.latencies_us, 0.99)),
+                  "-"});
+    table.AddRow({"compiled", StrFormat("%.0f", row.qps),
+                  StrFormat("%.0f", row.p50_us), StrFormat("%.0f", row.p99_us),
+                  bitwise ? "yes" : "NO"});
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
   FILE* out = stdout;
   if (!args.json_path.empty()) {
     out = std::fopen(args.json_path.c_str(), "w");

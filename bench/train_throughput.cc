@@ -25,6 +25,7 @@
 #include "bench_common.h"
 #include "util/timer.h"
 #include "core/featurizer.h"
+#include "ml/compiled_tree.h"
 #include "ml/dtree.h"
 #include "ml/gbt.h"
 #include "ml/random_forest.h"
@@ -49,6 +50,12 @@ struct FamilyRow {
   double update_ms = 0.0;
   size_t pool_allocs = 0;
   double max_rel_diff = 0.0;
+  // Compiled bin-space inference over the training design: batch Predict
+  // time of the raw-space regressor vs the compiled ensemble, and their
+  // divergence (0 required for DT/RF, <= 1e-9 relative for GBT).
+  double pred_ms = 0.0;
+  double compiled_pred_ms = 0.0;
+  double compiled_max_diff = 0.0;
 };
 
 std::string ToJson(const FamilyRow& r) {
@@ -57,10 +64,12 @@ std::string ToJson(const FamilyRow& r) {
       "\"cols\": %zu, \"ref_ms\": %.2f, \"new_ms\": %.2f, "
       "\"speedup\": %.2f, \"rows_per_sec\": %.0f, \"bin_ms\": %.2f, "
       "\"grow_ms\": %.2f, \"update_ms\": %.2f, \"pool_allocs\": %zu, "
-      "\"max_rel_diff\": %.3g}",
+      "\"max_rel_diff\": %.3g, \"pred_ms\": %.2f, "
+      "\"compiled_pred_ms\": %.2f, \"compiled_max_diff\": %.3g}",
       r.fixture.c_str(), r.family.c_str(), r.rows, r.cols, r.ref_ms, r.new_ms,
       r.speedup, r.rows_per_sec, r.bin_ms, r.grow_ms, r.update_ms,
-      r.pool_allocs, r.max_rel_diff);
+      r.pool_allocs, r.max_rel_diff, r.pred_ms, r.compiled_pred_ms,
+      r.compiled_max_diff);
 }
 
 ml::TreeGrowerStats GrowerStatsOf(const ml::Regressor& model) {
@@ -118,7 +127,9 @@ FamilyRow RunFamily(const std::string& fixture, const std::string& family,
   row.pool_allocs = GrowerStatsOf(*histogram).pool_allocations;
 
   auto ref_pred = reference->Predict(x);
+  sw.Reset();
   auto new_pred = histogram->Predict(x);
+  row.pred_ms = sw.ElapsedMillis();
   if (!ref_pred.ok() || !new_pred.ok()) {
     std::cerr << fixture << "/" << family << " predict failed\n";
     *ok = false;
@@ -132,6 +143,40 @@ FamilyRow RunFamily(const std::string& fixture, const std::string& family,
   if (row.max_rel_diff > 1e-9) {
     std::cerr << "EQUIVALENCE BREACH: " << fixture << "/" << family
               << " diverges by " << row.max_rel_diff << " (> 1e-9)\n";
+    *ok = false;
+  }
+
+  // Compiled bin-space inference gate: flatten the freshly trained model
+  // and require its batch predictions to match the regressor's own —
+  // bitwise for DT/RF (pure bin-space traversal + exact combine), and
+  // within 1e-9 relative for GBT. CI's train smoke (--quick) runs this.
+  auto compiled = ml::CompiledEnsemble::CompileRegressor(*histogram);
+  if (!compiled.ok()) {
+    std::cerr << fixture << "/" << family
+              << " compile failed: " << compiled.status() << "\n";
+    *ok = false;
+    return row;
+  }
+  sw.Reset();
+  auto comp_pred = compiled->Predict(x);
+  row.compiled_pred_ms = sw.ElapsedMillis();
+  if (!comp_pred.ok()) {
+    std::cerr << fixture << "/" << family
+              << " compiled predict failed: " << comp_pred.status() << "\n";
+    *ok = false;
+    return row;
+  }
+  const bool exact = family != "XGB";
+  for (size_t i = 0; i < new_pred->size(); ++i) {
+    const double denom = std::max(1.0, std::fabs((*new_pred)[i]));
+    row.compiled_max_diff =
+        std::max(row.compiled_max_diff,
+                 std::fabs((*new_pred)[i] - (*comp_pred)[i]) / denom);
+  }
+  if (row.compiled_max_diff > (exact ? 0.0 : 1e-9)) {
+    std::cerr << "COMPILED EQUIVALENCE BREACH: " << fixture << "/" << family
+              << " compiled diverges by " << row.compiled_max_diff << " (> "
+              << (exact ? "bitwise" : "1e-9") << ")\n";
     *ok = false;
   }
   return row;
@@ -264,7 +309,8 @@ int main(int argc, char** argv) {
     TablePrinter table(StrFormat("train_throughput — %s design", fixture));
     table.SetHeader({"family", "rows", "ref ms", "hist ms", "speedup",
                      "rows/s", "bin ms", "grow ms", "update ms", "pool allocs",
-                     "max rel diff"});
+                     "max rel diff", "pred ms", "compiled ms",
+                     "compiled diff"});
     for (const FamilyRow& r : rows) {
       if (r.fixture != fixture) continue;
       table.AddRow({r.family, StrFormat("%zu", r.rows),
@@ -274,7 +320,10 @@ int main(int argc, char** argv) {
                     StrFormat("%.1f", r.bin_ms), StrFormat("%.1f", r.grow_ms),
                     StrFormat("%.1f", r.update_ms),
                     StrFormat("%zu", r.pool_allocs),
-                    StrFormat("%.2g", r.max_rel_diff)});
+                    StrFormat("%.2g", r.max_rel_diff),
+                    StrFormat("%.1f", r.pred_ms),
+                    StrFormat("%.1f", r.compiled_pred_ms),
+                    StrFormat("%.2g", r.compiled_max_diff)});
     }
     table.Print(std::cout);
   }

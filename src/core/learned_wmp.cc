@@ -1,6 +1,7 @@
 #include "core/learned_wmp.h"
 
 #include "core/histogram.h"
+#include "ml/compiled_tree.h"
 #include "ml/dtree.h"
 #include "util/parallel.h"
 #include "ml/gbt.h"
@@ -149,7 +150,20 @@ Result<LearnedWmpModel> LearnedWmpModel::Train(
   WMP_RETURN_IF_ERROR(model.regressor_->FitWithSharedBins(h, y, bin_cache));
   model.train_stats_.regressor_ms = sw.ElapsedMillis();
   model.train_stats_.regressor_timing = model.regressor_->fit_timing();
+  model.CompileInference();
   return model;
+}
+
+void LearnedWmpModel::CompileInference() {
+  compiled_.reset();
+  if (regressor_ == nullptr) return;
+  // Best-effort: tree families compile, everything else keeps serving
+  // through the reference Predict path.
+  auto compiled = ml::CompiledEnsemble::CompileRegressor(*regressor_);
+  if (compiled.ok()) {
+    compiled_ = std::make_shared<const ml::CompiledEnsemble>(
+        std::move(compiled).value());
+  }
 }
 
 Result<std::vector<double>> LearnedWmpModel::BinWorkload(
@@ -281,8 +295,11 @@ Result<std::vector<double>> LearnedWmpModel::PredictFromHistogramMatrix(
     return Status::InvalidArgument("histogram width != num templates");
   }
   if (h.rows() == 0) return std::vector<double>{};
+  // Bin-space fast path: the compiled ensemble reproduces the regressor's
+  // predictions bit for bit, so routing is invisible to callers.
+  const bool compiled = use_compiled_ && compiled_ != nullptr;
   if (!options_.variable_length) {
-    return regressor_->Predict(h);
+    return compiled ? compiled_->Predict(h) : regressor_->Predict(h);
   }
   // Variable-length mode: normalize each histogram row to a distribution,
   // predict per-query demand for all rows at once, rescale by each
@@ -299,7 +316,9 @@ Result<std::vector<double>> LearnedWmpModel::PredictFromHistogramMatrix(
     double* mut = h.RowPtr(b);
     for (size_t c = 0; c < h.cols(); ++c) mut[c] /= m;
   }
-  WMP_ASSIGN_OR_RETURN(std::vector<double> per_query, regressor_->Predict(h));
+  WMP_ASSIGN_OR_RETURN(
+      std::vector<double> per_query,
+      compiled ? compiled_->Predict(h) : regressor_->Predict(h));
   for (size_t b = 0; b < per_query.size(); ++b) per_query[b] *= mass[b];
   return per_query;
 }
@@ -312,8 +331,10 @@ Result<double> LearnedWmpModel::PredictFromHistogram(
   if (histogram.size() != static_cast<size_t>(templates_.num_templates())) {
     return Status::InvalidArgument("histogram length != num templates");
   }
+  const bool compiled = use_compiled_ && compiled_ != nullptr;
   if (!options_.variable_length) {
-    return regressor_->PredictOne(histogram);
+    return compiled ? compiled_->PredictOne(histogram)
+                    : regressor_->PredictOne(histogram);
   }
   // Variable-length mode: normalize to a distribution, predict per-query
   // demand, rescale by the workload's actual size.
@@ -323,7 +344,9 @@ Result<double> LearnedWmpModel::PredictFromHistogram(
   }
   std::vector<double> normalized = histogram;
   for (double& c : normalized) c /= mass;
-  WMP_ASSIGN_OR_RETURN(double per_query, regressor_->PredictOne(normalized));
+  WMP_ASSIGN_OR_RETURN(double per_query,
+                       compiled ? compiled_->PredictOne(normalized)
+                                : regressor_->PredictOne(normalized));
   return per_query * mass;
 }
 
@@ -377,6 +400,7 @@ Result<LearnedWmpModel> LearnedWmpModel::Deserialize(BinaryReader* reader) {
   model.options_.templates.method = model.templates_.method();
   model.options_.templates.num_templates = model.templates_.num_templates();
   WMP_ASSIGN_OR_RETURN(model.regressor_, ml::DeserializeRegressor(reader));
+  model.CompileInference();
   return model;
 }
 

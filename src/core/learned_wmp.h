@@ -17,6 +17,10 @@
 #include "core/workload.h"
 #include "ml/regressor.h"
 
+namespace wmp::ml {
+class CompiledEnsemble;
+}  // namespace wmp::ml
+
 namespace wmp::core {
 
 /// Configuration of a LearnedWMP model.
@@ -149,6 +153,22 @@ class LearnedWmpModel {
   const LearnedWmpTrainStats& train_stats() const { return train_stats_; }
   const LearnedWmpOptions& options() const { return options_; }
 
+  /// \name Bin-space compiled inference (ml/compiled_tree.h).
+  ///
+  /// Tree-family regressors are flattened into a compiled ensemble at
+  /// train/load time, and IN5 (PredictFromHistogram / the batched matrix
+  /// form) scores through it — bitwise-identical predictions, several
+  /// times faster per row. Non-tree regressors (Ridge, MLP) leave
+  /// `compiled()` null and serve through the reference path unchanged.
+  /// @{
+  /// Compiled form of the regressor, or null when the family has none.
+  const ml::CompiledEnsemble* compiled() const { return compiled_.get(); }
+  /// Routing toggle (default on). Turning it off forces the reference
+  /// regressor path — the equivalence baseline the tests compare against.
+  void set_compiled_inference(bool on) { use_compiled_ = on; }
+  bool compiled_inference() const { return use_compiled_; }
+  /// @}
+
   /// Deployed model footprint: regressor + template model bytes.
   Result<size_t> SerializedSize() const;
   /// Regressor-only bytes (the quantity Fig. 8 compares across model
@@ -167,9 +187,17 @@ class LearnedWmpModel {
   /// @}
 
  private:
+  /// Rebuilds `compiled_` from the current regressor (best-effort: null
+  /// for non-tree families). Called after Train and Deserialize.
+  void CompileInference();
+
   LearnedWmpOptions options_;
   TemplateModel templates_;
   std::unique_ptr<ml::Regressor> regressor_;
+  /// shared_ptr so model copies made by the serving layer's hot-swap path
+  /// share one immutable compiled form.
+  std::shared_ptr<const ml::CompiledEnsemble> compiled_;
+  bool use_compiled_ = true;
   LearnedWmpTrainStats train_stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "core/single_wmp.h"
 
 #include "core/featurizer.h"
+#include "ml/compiled_tree.h"
 #include "ml/mlp.h"
 #include "util/timer.h"
 
@@ -43,6 +44,14 @@ Result<SingleWmpModel> SingleWmpModel::Train(
   WMP_RETURN_IF_ERROR(
       model.regressor_->FitWithSharedBins(scaled, y, bin_cache));
   model.train_ms_ = sw.ElapsedMillis();
+  // Best-effort bin-space compile (tree families only; others keep the
+  // reference path). Bitwise-identical predictions, so callers never see
+  // the difference.
+  auto compiled = ml::CompiledEnsemble::CompileRegressor(*model.regressor_);
+  if (compiled.ok()) {
+    model.compiled_ = std::make_shared<const ml::CompiledEnsemble>(
+        std::move(compiled).value());
+  }
   return model;
 }
 
@@ -53,6 +62,9 @@ Result<double> SingleWmpModel::PredictQuery(
   }
   std::vector<double> row = record.plan_features;
   WMP_RETURN_IF_ERROR(scaler_.TransformRow(&row));
+  if (use_compiled_ && compiled_ != nullptr) {
+    return compiled_->PredictOne(row);
+  }
   return regressor_->PredictOne(row);
 }
 

@@ -15,6 +15,10 @@
 #include "ml/scaler.h"
 #include "workloads/query_record.h"
 
+namespace wmp::ml {
+class CompiledEnsemble;
+}  // namespace wmp::ml
+
 namespace wmp::core {
 
 /// Configuration of a SingleWMP model.
@@ -52,6 +56,15 @@ class SingleWmpModel {
       const std::vector<WorkloadBatch>& batches) const;
 
   const ml::Regressor& regressor() const { return *regressor_; }
+
+  /// Bin-space compiled form of the regressor (ml/compiled_tree.h); null
+  /// for non-tree families. PredictQuery routes through it when present —
+  /// bitwise the reference prediction.
+  const ml::CompiledEnsemble* compiled() const { return compiled_.get(); }
+  /// Routing toggle (default on); off forces the reference regressor path.
+  void set_compiled_inference(bool on) { use_compiled_ = on; }
+  bool compiled_inference() const { return use_compiled_; }
+
   /// Regressor fit time of the last Train call (ms).
   double train_ms() const { return train_ms_; }
   /// Phase breakdown of the regressor fit (tree families only).
@@ -65,6 +78,8 @@ class SingleWmpModel {
   SingleWmpOptions options_;
   ml::StandardScaler scaler_;
   std::unique_ptr<ml::Regressor> regressor_;
+  std::shared_ptr<const ml::CompiledEnsemble> compiled_;
+  bool use_compiled_ = true;
   double train_ms_ = 0.0;
 };
 

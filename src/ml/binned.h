@@ -31,6 +31,13 @@ class FeatureBinner {
   /// \param max_bins  upper bound on buckets per feature (2..65535).
   Status Fit(const Matrix& x, int max_bins = 64);
 
+  /// Wraps externally supplied cut points (each inner vector strictly
+  /// increasing; empty = single-bin feature). The compiled tree backend
+  /// (ml/compiled_tree.h) rebuilds its bin space from the thresholds stored
+  /// in a fitted ensemble through this, so bin-space prediction needs no
+  /// access to the training-time binner.
+  static FeatureBinner FromEdges(std::vector<std::vector<double>> edges);
+
   /// Bin index of `value` for feature `f` (0-based, < NumBins(f)).
   uint16_t BinValue(size_t f, double value) const;
 
@@ -38,6 +45,22 @@ class FeatureBinner {
   /// This is the reference layout the pre-histogram-engine tree builders
   /// consume; the training hot path uses BinnedDataset instead.
   Result<std::vector<uint16_t>> BinAll(const Matrix& x) const;
+
+  /// \name Multi-probe batch binning — the binning hot path.
+  ///
+  /// Bins `n` values of feature `f`, reading `values[i * value_stride]` and
+  /// writing `out[i * out_stride]`. Four independent branchless lower-bound
+  /// searches run interleaved: they probe the same edge array, so every
+  /// probe has the identical (data-independent) trip count and the four
+  /// cmov chains overlap in flight instead of serializing on load latency.
+  /// Bitwise-equal to calling BinValue per element (binning_test asserts
+  /// this exhaustively). The u8 overload requires NumBins(f) <= 256.
+  /// @{
+  void BinColumn(size_t f, const double* values, size_t n, size_t value_stride,
+                 uint16_t* out, size_t out_stride) const;
+  void BinColumn(size_t f, const double* values, size_t n, size_t value_stride,
+                 uint8_t* out, size_t out_stride) const;
+  /// @}
 
   /// Number of buckets for feature `f`.
   size_t NumBins(size_t f) const { return edges_[f].size() + 1; }

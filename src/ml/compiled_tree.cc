@@ -1,0 +1,603 @@
+#include "ml/compiled_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <type_traits>
+
+#include "ml/gbt.h"
+#include "ml/random_forest.h"
+#include "util/parallel.h"
+
+namespace wmp::ml {
+
+namespace {
+
+constexpr uint32_t kCompiledEnsembleTag = 0x574D5043;  // "WMPC"
+constexpr uint8_t kCompiledEnsembleVersion = 1;
+
+// Hard bounds keeping every index representable: global node indices and
+// leaf references fit i32, feature indices fit u16, codes fit u16.
+constexpr size_t kMaxNodes = (size_t{1} << 31) - 2;
+constexpr size_t kMaxFeatures = 65536;
+constexpr size_t kMaxEdgesPerFeature = 65535;
+
+}  // namespace
+
+Result<CompiledEnsemble> CompiledEnsemble::CompileTrees(
+    const std::vector<const RegressionTree*>& trees, Combine combine,
+    double base, double scale, const CompileOptions& opts) {
+  if (trees.empty()) {
+    return Status::FailedPrecondition("compile of an empty ensemble");
+  }
+  // Pass 1: the bin space. Collect the distinct thresholds every feature is
+  // ever split on; their sorted order is the edge table, and each node's
+  // double threshold becomes its exact index in that table. Built from the
+  // ensemble itself, so deserialized models compile without the trainer's
+  // FeatureBinner.
+  size_t d = 0;
+  size_t total_nodes = 0;
+  for (const RegressionTree* tree : trees) {
+    if (!tree->fitted()) {
+      return Status::FailedPrecondition("compile of an unfitted tree");
+    }
+    total_nodes += tree->nodes().size();
+    for (const TreeNode& nd : tree->nodes()) {
+      if (nd.feature >= 0) {
+        d = std::max(d, static_cast<size_t>(nd.feature) + 1);
+      }
+    }
+  }
+  if (total_nodes > kMaxNodes) {
+    return Status::InvalidArgument("ensemble too large to compile");
+  }
+  if (d > kMaxFeatures) {
+    return Status::InvalidArgument("feature index exceeds compiled range");
+  }
+  std::vector<std::vector<double>> edges(d);
+  for (const RegressionTree* tree : trees) {
+    for (const TreeNode& nd : tree->nodes()) {
+      if (nd.feature >= 0) {
+        edges[static_cast<size_t>(nd.feature)].push_back(nd.threshold);
+      }
+    }
+  }
+  size_t widest = 0;
+  for (std::vector<double>& e : edges) {
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+    if (e.size() > kMaxEdgesPerFeature) {
+      return Status::InvalidArgument("too many distinct thresholds");
+    }
+    widest = std::max(widest, e.size());
+  }
+
+  CompiledEnsemble c;
+  c.combine_ = combine;
+  c.base_ = base;
+  c.scale_ = scale;
+  c.d_ = static_cast<uint32_t>(d);
+  c.narrow_ = widest <= 255;
+  c.binner_ = FeatureBinner::FromEdges(std::move(edges));
+  for (size_t f = 0; f < d; ++f) {
+    if (c.binner_.NumBins(f) > 1) {
+      c.used_features_.push_back(static_cast<uint16_t>(f));
+    }
+  }
+
+  // Pass 2: BFS-flatten each tree. Processing nodes in discovery order
+  // while appending both children together puts the root first and
+  // siblings adjacent, so one i32 left-child offset encodes the pair.
+  c.tree_counts_.reserve(trees.size());
+  c.tree_base_.reserve(trees.size());
+  c.node_feature_.reserve(total_nodes);
+  c.child_.reserve(total_nodes);
+  if (c.narrow_) {
+    c.code8_.reserve(total_nodes);
+  } else {
+    c.code16_.reserve(total_nodes);
+  }
+  std::vector<int> order;  // original node ids, BFS
+  for (const RegressionTree* tree : trees) {
+    const std::vector<TreeNode>& nodes = tree->nodes();
+    const size_t base = c.child_.size();
+    c.tree_base_.push_back(static_cast<uint32_t>(base));
+    order.clear();
+    order.push_back(0);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      if (order.size() > nodes.size()) {
+        return Status::InvalidArgument("malformed tree: shared subtrees");
+      }
+      const TreeNode& nd = nodes[static_cast<size_t>(order[pos])];
+      if (nd.feature < 0) {
+        c.child_.push_back(
+            -static_cast<int32_t>(c.leaf_value_.size()) - 1);
+        c.leaf_value_.push_back(nd.value);
+        c.node_feature_.push_back(0);
+        if (c.narrow_) {
+          c.code8_.push_back(0);
+        } else {
+          c.code16_.push_back(0);
+        }
+        continue;
+      }
+      if (nd.left < 0 || nd.right < 0 ||
+          static_cast<size_t>(nd.left) >= nodes.size() ||
+          static_cast<size_t>(nd.right) >= nodes.size()) {
+        return Status::InvalidArgument("malformed tree: bad child index");
+      }
+      const size_t f = static_cast<size_t>(nd.feature);
+      const uint16_t code = c.binner_.BinValue(f, nd.threshold);
+      if (c.binner_.UpperEdge(f, code) != nd.threshold) {
+        return Status::Internal("threshold lost its edge-table index");
+      }
+      c.child_.push_back(static_cast<int32_t>(base + order.size()));
+      order.push_back(nd.left);
+      order.push_back(nd.right);
+      c.node_feature_.push_back(static_cast<uint16_t>(f));
+      if (c.narrow_) {
+        c.code8_.push_back(static_cast<uint8_t>(code));
+      } else {
+        c.code16_.push_back(code);
+      }
+    }
+    c.tree_counts_.push_back(static_cast<uint32_t>(c.child_.size() - base));
+  }
+  WMP_RETURN_IF_ERROR(c.BuildLut(opts.lut_levels));
+  return c;
+}
+
+Result<CompiledEnsemble> CompiledEnsemble::Compile(
+    const DecisionTreeRegressor& model, const CompileOptions& opts) {
+  return CompileTrees({&model.tree()}, Combine::kSingle, 0.0, 1.0, opts);
+}
+
+Result<CompiledEnsemble> CompiledEnsemble::Compile(
+    const RandomForestRegressor& model, const CompileOptions& opts) {
+  std::vector<const RegressionTree*> trees;
+  trees.reserve(model.trees().size());
+  for (const RegressionTree& t : model.trees()) trees.push_back(&t);
+  return CompileTrees(trees, Combine::kAverage, 0.0, 1.0, opts);
+}
+
+Result<CompiledEnsemble> CompiledEnsemble::Compile(const GbtRegressor& model,
+                                                   const CompileOptions& opts) {
+  std::vector<const RegressionTree*> trees;
+  trees.reserve(model.trees().size());
+  for (const RegressionTree& t : model.trees()) trees.push_back(&t);
+  return CompileTrees(trees, Combine::kBoosted, model.base_score(),
+                      model.options().learning_rate, opts);
+}
+
+Result<CompiledEnsemble> CompiledEnsemble::CompileRegressor(
+    const Regressor& model, const CompileOptions& opts) {
+  if (const auto* dt = dynamic_cast<const DecisionTreeRegressor*>(&model)) {
+    return Compile(*dt, opts);
+  }
+  if (const auto* rf = dynamic_cast<const RandomForestRegressor*>(&model)) {
+    return Compile(*rf, opts);
+  }
+  if (const auto* gbt = dynamic_cast<const GbtRegressor*>(&model)) {
+    return Compile(*gbt, opts);
+  }
+  return Status::FailedPrecondition("not a tree-family regressor");
+}
+
+Status CompiledEnsemble::BuildLut(int levels) {
+  lut_levels_ = 0;
+  lut_feature_.clear();
+  lut_code8_.clear();
+  lut_code16_.clear();
+  lut_exit_.clear();
+  if (levels <= 0 || d_ == 0) return Status::OK();  // all-leaf ensembles
+  if (levels > 16) return Status::InvalidArgument("lut_levels > 16");
+  const size_t num_trees = tree_counts_.size();
+  const size_t tests = (size_t{1} << levels) - 1;
+  const size_t exits = tests + 1;
+  lut_feature_.assign(num_trees * tests, 0);
+  if (narrow_) {
+    lut_code8_.assign(num_trees * tests, 0);
+  } else {
+    lut_code16_.assign(num_trees * tests, 0);
+  }
+  lut_exit_.assign(num_trees * exits, 0);
+  const uint32_t dummy_code = narrow_ ? 255u : 65535u;
+  // Any used feature works for the dummy always-left tests (`code <= max`
+  // holds for every code), but an unused one would read an unbinned slot.
+  const uint16_t dummy_feature = used_features_.front();
+  const auto put_code = [&](size_t idx, uint32_t code) {
+    if (narrow_) {
+      lut_code8_[idx] = static_cast<uint8_t>(code);
+    } else {
+      lut_code16_[idx] = static_cast<uint16_t>(code);
+    }
+  };
+  std::vector<uint32_t> cur, next;
+  for (size_t t = 0; t < num_trees; ++t) {
+    cur.assign(1, tree_base_[t]);
+    for (int l = 0; l < levels; ++l) {
+      next.assign(cur.size() * 2, 0);
+      for (size_t s = 0; s < cur.size(); ++s) {
+        const size_t j = t * tests + ((size_t{1} << l) - 1) + s;
+        const uint32_t node = cur[s];
+        if (child_[node] >= 0) {
+          lut_feature_[j] = node_feature_[node];
+          put_code(j, narrow_ ? code8_[node] : code16_[node]);
+          next[2 * s] = static_cast<uint32_t>(child_[node]);
+          next[2 * s + 1] = static_cast<uint32_t>(child_[node]) + 1;
+        } else {
+          // Leaf above depth L: pad with an always-left test and carry the
+          // leaf down; the unreachable right subtree carries it too.
+          lut_feature_[j] = dummy_feature;
+          put_code(j, dummy_code);
+          next[2 * s] = node;
+          next[2 * s + 1] = node;
+        }
+      }
+      cur.swap(next);
+    }
+    for (size_t s = 0; s < exits; ++s) lut_exit_[t * exits + s] = cur[s];
+  }
+  lut_levels_ = levels;
+  return Status::OK();
+}
+
+template <typename Code>
+double CompiledEnsemble::TraverseTree(size_t t, const Code* codes,
+                                      const Code* node_code,
+                                      const Code* lut_code) const {
+  uint32_t i;
+  if (lut_levels_ > 0) {
+    // Unrolled top levels: complete-tree stepping, no dependent child
+    // loads — the next test's index is pure arithmetic on the previous
+    // compare.
+    const size_t tests = (size_t{1} << lut_levels_) - 1;
+    const uint16_t* lf = lut_feature_.data() + t * tests;
+    const Code* lc = lut_code + t * tests;
+    size_t j = 0;
+    for (int l = 0; l < lut_levels_; ++l) {
+      j = 2 * j + 1 + (codes[lf[j]] > lc[j] ? 1u : 0u);
+    }
+    i = lut_exit_[t * (tests + 1) + (j - tests)];
+  } else {
+    i = tree_base_[t];
+  }
+  int32_t ch;
+  while ((ch = child_[i]) >= 0) {
+    // Siblings are adjacent: +0 goes left (code <= threshold code), +1
+    // goes right. One integer compare, no float math, no second pointer.
+    i = static_cast<uint32_t>(ch) +
+        (codes[node_feature_[i]] > node_code[i] ? 1u : 0u);
+  }
+  return leaf_value_[static_cast<size_t>(-(ch + 1))];
+}
+
+template <typename Code>
+void CompiledEnsemble::PredictBlockT(const Code* codes, size_t begin,
+                                     size_t end, double* out) const {
+  const Code* node_code;
+  const Code* lut_code;
+  if constexpr (std::is_same_v<Code, uint8_t>) {
+    node_code = code8_.data();
+    lut_code = lut_code8_.data();
+  } else {
+    node_code = code16_.data();
+    lut_code = lut_code16_.data();
+  }
+  const size_t num_trees = tree_counts_.size();
+  for (size_t i = begin; i < end; ++i) {
+    const Code* rc = codes + i * d_;
+    // Accumulation mirrors the reference family loops exactly: DT takes
+    // the lone leaf, RF sums in tree order then divides once, GBT starts
+    // at the base score and adds scale * leaf per round.
+    double acc;
+    if (combine_ == Combine::kBoosted) {
+      acc = base_;
+      for (size_t t = 0; t < num_trees; ++t) {
+        acc += scale_ * TraverseTree(t, rc, node_code, lut_code);
+      }
+    } else {
+      acc = 0.0;
+      for (size_t t = 0; t < num_trees; ++t) {
+        acc += TraverseTree(t, rc, node_code, lut_code);
+      }
+      if (combine_ == Combine::kAverage) {
+        acc /= static_cast<double>(num_trees);
+      }
+    }
+    out[i] = acc;
+  }
+}
+
+template <typename Code>
+double CompiledEnsemble::PredictRowT(const double* x) const {
+  thread_local std::vector<Code> codes;
+  if (codes.size() < d_) codes.resize(d_);
+  for (uint16_t f : used_features_) {
+    codes[f] = static_cast<Code>(binner_.BinValue(f, x[f]));
+  }
+  double out;
+  PredictBlockT<Code>(codes.data(), 0, 1, &out);
+  return out;
+}
+
+double CompiledEnsemble::PredictRow(const double* x, size_t /*n*/) const {
+  return narrow_ ? PredictRowT<uint8_t>(x) : PredictRowT<uint16_t>(x);
+}
+
+Result<double> CompiledEnsemble::PredictOne(const std::vector<double>& x) const {
+  if (tree_counts_.empty()) {
+    return Status::FailedPrecondition("ensemble not compiled");
+  }
+  if (x.size() < d_) {
+    return Status::InvalidArgument("row narrower than the compiled ensemble");
+  }
+  return PredictRow(x.data(), x.size());
+}
+
+Result<std::vector<double>> CompiledEnsemble::Predict(const Matrix& x) const {
+  if (tree_counts_.empty()) {
+    return Status::FailedPrecondition("ensemble not compiled");
+  }
+  if (x.cols() < d_) {
+    return Status::InvalidArgument("matrix narrower than the compiled ensemble");
+  }
+  const size_t n = x.rows();
+  std::vector<double> out(n);
+  if (n == 0) return out;
+  // Bin once per used feature — strided multi-probe searches down each
+  // column — then traverse row blocks on the worker pool with the same
+  // grain as the reference batch Predict.
+  if (narrow_) {
+    std::vector<uint8_t> codes(n * d_, 0);
+    for (uint16_t f : used_features_) {
+      binner_.BinColumn(f, x.data().data() + f, n, x.cols(), codes.data() + f,
+                        d_);
+    }
+    util::ParallelFor(n, kTreePredictGrain, [&](size_t begin, size_t end) {
+      PredictBlockT<uint8_t>(codes.data(), begin, end, out.data());
+    });
+  } else {
+    std::vector<uint16_t> codes(n * d_, 0);
+    for (uint16_t f : used_features_) {
+      binner_.BinColumn(f, x.data().data() + f, n, x.cols(), codes.data() + f,
+                        d_);
+    }
+    util::ParallelFor(n, kTreePredictGrain, [&](size_t begin, size_t end) {
+      PredictBlockT<uint16_t>(codes.data(), begin, end, out.data());
+    });
+  }
+  return out;
+}
+
+Result<std::vector<RegressionTree>> CompiledEnsemble::Decompile() const {
+  std::vector<RegressionTree> trees;
+  trees.reserve(tree_counts_.size());
+  for (size_t t = 0; t < tree_counts_.size(); ++t) {
+    const size_t base = tree_base_[t];
+    const size_t count = tree_counts_[t];
+    std::vector<TreeNode> nodes(count);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t g = base + i;
+      TreeNode& nd = nodes[i];
+      const int32_t ch = child_[g];
+      if (ch < 0) {
+        nd.value = leaf_value_[static_cast<size_t>(-(ch + 1))];
+        continue;
+      }
+      const size_t local = static_cast<size_t>(ch) - base;
+      if (static_cast<size_t>(ch) < base || local + 1 >= count) {
+        return Status::Internal("compiled child outside its tree block");
+      }
+      nd.feature = node_feature_[g];
+      const uint32_t code = narrow_ ? code8_[g] : code16_[g];
+      nd.threshold = binner_.UpperEdge(static_cast<size_t>(nd.feature), code);
+      nd.left = static_cast<int>(local);
+      nd.right = static_cast<int>(local) + 1;
+    }
+    trees.push_back(RegressionTree::FromNodes(std::move(nodes)));
+  }
+  return trees;
+}
+
+void CompiledEnsemble::Serialize(BinaryWriter* writer) const {
+  writer->WriteU32(kCompiledEnsembleTag);
+  writer->WriteU8(kCompiledEnsembleVersion);
+  writer->WriteU8(static_cast<uint8_t>(combine_));
+  writer->WriteU8(narrow_ ? 1 : 0);
+  writer->WriteDouble(base_);
+  writer->WriteDouble(scale_);
+  writer->WriteU32(d_);
+  writer->WriteU32(static_cast<uint32_t>(tree_counts_.size()));
+  for (uint32_t count : tree_counts_) writer->WriteU32(count);
+  for (size_t f = 0; f < d_; ++f) {
+    const size_t ne = binner_.NumBins(f) - 1;
+    writer->WriteU32(static_cast<uint32_t>(ne));
+    for (size_t e = 0; e < ne; ++e) {
+      writer->WriteDouble(binner_.UpperEdge(f, e));
+    }
+  }
+  writer->WriteU64(child_.size());
+  writer->WriteU64(leaf_value_.size());
+  for (int32_t ch : child_) writer->WriteU32(static_cast<uint32_t>(ch));
+  for (size_t i = 0; i < child_.size(); ++i) {
+    if (child_[i] < 0) continue;  // leaves carry no test
+    writer->WriteU16(node_feature_[i]);
+    if (narrow_) {
+      writer->WriteU8(code8_[i]);
+    } else {
+      writer->WriteU16(code16_[i]);
+    }
+  }
+  for (double v : leaf_value_) writer->WriteDouble(v);
+}
+
+size_t CompiledEnsemble::SerializedBytes() const {
+  BinaryWriter writer;
+  Serialize(&writer);
+  return writer.size();
+}
+
+Result<CompiledEnsemble> CompiledEnsemble::Deserialize(
+    BinaryReader* reader, const CompileOptions& opts) {
+  WMP_ASSIGN_OR_RETURN(uint32_t tag, reader->ReadU32());
+  if (tag != kCompiledEnsembleTag) {
+    return Status::InvalidArgument("bad compiled-ensemble magic tag");
+  }
+  WMP_ASSIGN_OR_RETURN(uint8_t version, reader->ReadU8());
+  if (version != kCompiledEnsembleVersion) {
+    return Status::InvalidArgument("unsupported compiled-ensemble version");
+  }
+  CompiledEnsemble c;
+  WMP_ASSIGN_OR_RETURN(uint8_t combine, reader->ReadU8());
+  if (combine > static_cast<uint8_t>(Combine::kBoosted)) {
+    return Status::InvalidArgument("bad combine mode");
+  }
+  c.combine_ = static_cast<Combine>(combine);
+  WMP_ASSIGN_OR_RETURN(uint8_t narrow, reader->ReadU8());
+  c.narrow_ = narrow != 0;
+  WMP_ASSIGN_OR_RETURN(c.base_, reader->ReadDouble());
+  WMP_ASSIGN_OR_RETURN(c.scale_, reader->ReadDouble());
+  WMP_ASSIGN_OR_RETURN(c.d_, reader->ReadU32());
+  if (c.d_ > kMaxFeatures) {
+    return Status::InvalidArgument("compiled feature count out of range");
+  }
+  WMP_ASSIGN_OR_RETURN(uint32_t num_trees, reader->ReadU32());
+  if (num_trees == 0 ||
+      static_cast<size_t>(num_trees) * 4 > reader->remaining()) {
+    return Status::InvalidArgument("compiled tree count out of range");
+  }
+  c.tree_counts_.resize(num_trees);
+  c.tree_base_.resize(num_trees);
+  uint64_t running = 0;
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    WMP_ASSIGN_OR_RETURN(c.tree_counts_[t], reader->ReadU32());
+    if (c.tree_counts_[t] == 0) {
+      return Status::InvalidArgument("compiled tree with no nodes");
+    }
+    c.tree_base_[t] = static_cast<uint32_t>(running);
+    running += c.tree_counts_[t];
+  }
+  std::vector<std::vector<double>> edges(c.d_);
+  size_t widest = 0;
+  for (uint32_t f = 0; f < c.d_; ++f) {
+    WMP_ASSIGN_OR_RETURN(uint32_t ne, reader->ReadU32());
+    if (ne > kMaxEdgesPerFeature ||
+        static_cast<size_t>(ne) * sizeof(double) > reader->remaining()) {
+      return Status::InvalidArgument("compiled edge table out of range");
+    }
+    edges[f].resize(ne);
+    for (uint32_t e = 0; e < ne; ++e) {
+      WMP_ASSIGN_OR_RETURN(edges[f][e], reader->ReadDouble());
+      if (e > 0 && edges[f][e] <= edges[f][e - 1]) {
+        return Status::InvalidArgument("compiled edges not increasing");
+      }
+    }
+    widest = std::max(widest, edges[f].size());
+  }
+  if (c.narrow_ != (widest <= 255)) {
+    return Status::InvalidArgument("compiled code width mismatch");
+  }
+  WMP_ASSIGN_OR_RETURN(uint64_t total_nodes, reader->ReadU64());
+  WMP_ASSIGN_OR_RETURN(uint64_t num_leaves, reader->ReadU64());
+  if (total_nodes != running || total_nodes > kMaxNodes ||
+      total_nodes * 4 > reader->remaining() || num_leaves > total_nodes) {
+    return Status::InvalidArgument("compiled node counts out of range");
+  }
+  c.binner_ = FeatureBinner::FromEdges(std::move(edges));
+  for (uint32_t f = 0; f < c.d_; ++f) {
+    if (c.binner_.NumBins(f) > 1) c.used_features_.push_back(
+        static_cast<uint16_t>(f));
+  }
+  c.child_.resize(total_nodes);
+  for (uint64_t i = 0; i < total_nodes; ++i) {
+    WMP_ASSIGN_OR_RETURN(uint32_t raw, reader->ReadU32());
+    c.child_[i] = static_cast<int32_t>(raw);
+  }
+  // Validate the block structure: every internal child lands strictly
+  // later inside its own tree block (guarantees traversal terminates),
+  // every leaf reference is in range.
+  {
+    size_t t = 0;
+    for (size_t i = 0; i < total_nodes; ++i) {
+      while (t + 1 < c.tree_base_.size() && i >= c.tree_base_[t + 1]) ++t;
+      const int32_t ch = c.child_[i];
+      if (ch < 0) {
+        if (static_cast<size_t>(-(ch + 1)) >= num_leaves) {
+          return Status::InvalidArgument("compiled leaf index out of range");
+        }
+      } else {
+        const size_t tree_end = c.tree_base_[t] + c.tree_counts_[t];
+        if (static_cast<size_t>(ch) <= i ||
+            static_cast<size_t>(ch) + 1 >= tree_end) {
+          return Status::InvalidArgument("compiled child index out of range");
+        }
+      }
+    }
+  }
+  c.node_feature_.assign(total_nodes, 0);
+  if (c.narrow_) {
+    c.code8_.assign(total_nodes, 0);
+  } else {
+    c.code16_.assign(total_nodes, 0);
+  }
+  for (uint64_t i = 0; i < total_nodes; ++i) {
+    if (c.child_[i] < 0) continue;
+    WMP_ASSIGN_OR_RETURN(uint16_t f, reader->ReadU16());
+    if (f >= c.d_) {
+      return Status::InvalidArgument("compiled feature index out of range");
+    }
+    c.node_feature_[i] = f;
+    uint32_t code;
+    if (c.narrow_) {
+      WMP_ASSIGN_OR_RETURN(uint8_t c8, reader->ReadU8());
+      code = c8;
+      c.code8_[i] = c8;
+    } else {
+      WMP_ASSIGN_OR_RETURN(uint16_t c16, reader->ReadU16());
+      code = c16;
+      c.code16_[i] = c16;
+    }
+    if (code + 1 >= c.binner_.NumBins(f)) {
+      return Status::InvalidArgument("compiled threshold code out of range");
+    }
+  }
+  c.leaf_value_.resize(num_leaves);
+  for (uint64_t i = 0; i < num_leaves; ++i) {
+    WMP_ASSIGN_OR_RETURN(c.leaf_value_[i], reader->ReadDouble());
+  }
+  WMP_RETURN_IF_ERROR(c.BuildLut(opts.lut_levels));
+  return c;
+}
+
+Result<size_t> PointerSerializedBytes(const Regressor& model) {
+  BinaryWriter writer;
+  if (const auto* dt = dynamic_cast<const DecisionTreeRegressor*>(&model)) {
+    if (!dt->tree().fitted()) {
+      return Status::FailedPrecondition("DT not fitted");
+    }
+    writer.WriteU32(serialize_tags::kDecisionTree);
+    dt->tree().Serialize(&writer);
+    return writer.size();
+  }
+  if (const auto* rf = dynamic_cast<const RandomForestRegressor*>(&model)) {
+    if (rf->trees().empty()) return Status::FailedPrecondition("RF not fitted");
+    writer.WriteU32(serialize_tags::kRandomForest);
+    writer.WriteU64(rf->trees().size());
+    for (const RegressionTree& t : rf->trees()) t.Serialize(&writer);
+    return writer.size();
+  }
+  if (const auto* gbt = dynamic_cast<const GbtRegressor*>(&model)) {
+    if (gbt->trees().empty()) {
+      return Status::FailedPrecondition("GBT not fitted");
+    }
+    writer.WriteU32(serialize_tags::kGbt);
+    writer.WriteDouble(gbt->options().learning_rate);
+    writer.WriteDouble(gbt->base_score());
+    writer.WriteU64(gbt->trees().size());
+    for (const RegressionTree& t : gbt->trees()) t.Serialize(&writer);
+    return writer.size();
+  }
+  return model.SerializedSize();
+}
+
+}  // namespace wmp::ml

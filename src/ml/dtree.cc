@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "ml/compiled_tree.h"
 #include "ml/tree_grower.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -288,10 +289,17 @@ Result<std::vector<double>> DecisionTreeRegressor::Predict(
   return out;
 }
 
+// The stream body is the compiled bin-space form (ml/compiled_tree.h):
+// one shared edge table plus ~7 bytes per node instead of five 8-byte
+// fields. Decompile() restores the exact thresholds and topology, so the
+// codec change is invisible to predictions.
 Status DecisionTreeRegressor::Serialize(BinaryWriter* writer) const {
   if (!tree_.fitted()) return Status::FailedPrecondition("DT not fitted");
   writer->WriteU32(serialize_tags::kDecisionTree);
-  tree_.Serialize(writer);
+  WMP_ASSIGN_OR_RETURN(
+      CompiledEnsemble compiled,
+      CompiledEnsemble::Compile(*this, CompileOptions{.lut_levels = 0}));
+  compiled.Serialize(writer);
   return Status::OK();
 }
 
@@ -301,8 +309,17 @@ Result<std::unique_ptr<DecisionTreeRegressor>> DecisionTreeRegressor::Deserializ
   if (tag != serialize_tags::kDecisionTree) {
     return Status::InvalidArgument("bad decision-tree magic tag");
   }
+  WMP_ASSIGN_OR_RETURN(
+      CompiledEnsemble compiled,
+      CompiledEnsemble::Deserialize(reader, CompileOptions{.lut_levels = 0}));
+  if (compiled.combine() != CompiledEnsemble::Combine::kSingle ||
+      compiled.num_trees() != 1) {
+    return Status::InvalidArgument("stream is not a single decision tree");
+  }
+  WMP_ASSIGN_OR_RETURN(std::vector<RegressionTree> trees,
+                       compiled.Decompile());
   auto model = std::make_unique<DecisionTreeRegressor>();
-  WMP_ASSIGN_OR_RETURN(model->tree_, RegressionTree::Deserialize(reader));
+  model->tree_ = std::move(trees.front());
   return model;
 }
 

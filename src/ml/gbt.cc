@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "ml/compiled_tree.h"
 #include "ml/tree_grower.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -364,13 +365,17 @@ Result<std::vector<double>> GbtRegressor::Predict(const Matrix& x) const {
   return out;
 }
 
+// Compiled bin-space codec (ml/compiled_tree.h). The stream's base score
+// and per-tree scale carry base_score_ / learning_rate, so deserialization
+// restores both the trees (losslessly, via Decompile) and the prediction
+// arithmetic exactly.
 Status GbtRegressor::Serialize(BinaryWriter* writer) const {
   if (trees_.empty()) return Status::FailedPrecondition("GBT not fitted");
   writer->WriteU32(serialize_tags::kGbt);
-  writer->WriteDouble(options_.learning_rate);
-  writer->WriteDouble(base_score_);
-  writer->WriteU64(trees_.size());
-  for (const auto& tree : trees_) tree.Serialize(writer);
+  WMP_ASSIGN_OR_RETURN(
+      CompiledEnsemble compiled,
+      CompiledEnsemble::Compile(*this, CompileOptions{.lut_levels = 0}));
+  compiled.Serialize(writer);
   return Status::OK();
 }
 
@@ -380,16 +385,17 @@ Result<std::unique_ptr<GbtRegressor>> GbtRegressor::Deserialize(
   if (tag != serialize_tags::kGbt) {
     return Status::InvalidArgument("bad gbt magic tag");
   }
-  GbtOptions opt;
-  WMP_ASSIGN_OR_RETURN(opt.learning_rate, reader->ReadDouble());
-  auto model = std::make_unique<GbtRegressor>(opt);
-  WMP_ASSIGN_OR_RETURN(model->base_score_, reader->ReadDouble());
-  WMP_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
-  model->trees_.reserve(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    WMP_ASSIGN_OR_RETURN(RegressionTree t, RegressionTree::Deserialize(reader));
-    model->trees_.push_back(std::move(t));
+  WMP_ASSIGN_OR_RETURN(
+      CompiledEnsemble compiled,
+      CompiledEnsemble::Deserialize(reader, CompileOptions{.lut_levels = 0}));
+  if (compiled.combine() != CompiledEnsemble::Combine::kBoosted) {
+    return Status::InvalidArgument("stream is not a boosted ensemble");
   }
+  GbtOptions opt;
+  opt.learning_rate = compiled.scale();
+  auto model = std::make_unique<GbtRegressor>(opt);
+  model->base_score_ = compiled.base_score();
+  WMP_ASSIGN_OR_RETURN(model->trees_, compiled.Decompile());
   return model;
 }
 

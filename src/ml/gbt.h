@@ -63,6 +63,7 @@ class GbtRegressor : public Regressor {
   static Result<std::unique_ptr<GbtRegressor>> Deserialize(BinaryReader* reader);
 
   size_t num_trees() const { return trees_.size(); }
+  const std::vector<RegressionTree>& trees() const { return trees_; }
   double base_score() const { return base_score_; }
   const GbtOptions& options() const { return options_; }
   /// Histogram-engine instrumentation of the last Fit.

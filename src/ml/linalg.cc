@@ -4,6 +4,13 @@
 #include <cmath>
 #include <limits>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
 namespace wmp::ml {
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
@@ -119,7 +126,7 @@ void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
 // all its time here. The (s0+s1)+(s2+s3)+tail reduction order is fixed and
 // shared with NearestCentroids below, which is what keeps batch and scalar
 // template assignments bitwise identical.
-double SquaredDistance(const double* a, const double* b, size_t n) {
+double SquaredDistanceScalar(const double* a, const double* b, size_t n) {
   double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -139,6 +146,95 @@ double SquaredDistance(const double* a, const double* b, size_t n) {
   }
   return ((s0 + s1) + (s2 + s3)) + tail;
 }
+
+namespace {
+
+// Vector kernels replicating the scalar chain bit-for-bit: lane j of the
+// vector accumulator IS chain s_j (same subtract, multiply, add per block,
+// in the same order — deliberately separate mul + add, never an FMA, which
+// would round once instead of twice), and the horizontal reduction uses
+// the scalar kernel's fixed ((s0+s1)+(s2+s3))+tail order. The kernels are
+// compiled with per-function target attributes and only ever called behind
+// a runtime CPU check, so the binary still runs on baseline hardware.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define WMP_HAVE_AVX2_KERNEL 1
+__attribute__((target("avx2"))) double SquaredDistanceAvx2(const double* a,
+                                                           const double* b,
+                                                           size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    tail += d * d;
+  }
+  return ((s[0] + s[1]) + (s[2] + s[3])) + tail;
+}
+#endif
+
+#if defined(__aarch64__)
+#define WMP_HAVE_NEON_KERNEL 1
+double SquaredDistanceNeon(const double* a, const double* b, size_t n) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t d01 = vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+    const float64x2_t d23 =
+        vsubq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+    acc01 = vaddq_f64(acc01, vmulq_f64(d01, d01));
+    acc23 = vaddq_f64(acc23, vmulq_f64(d23, d23));
+  }
+  const double s0 = vgetq_lane_f64(acc01, 0);
+  const double s1 = vgetq_lane_f64(acc01, 1);
+  const double s2 = vgetq_lane_f64(acc23, 0);
+  const double s3 = vgetq_lane_f64(acc23, 1);
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    tail += d * d;
+  }
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+#endif
+
+using DistanceKernel = double (*)(const double*, const double*, size_t);
+
+struct DistanceDispatch {
+  DistanceKernel fn;
+  const char* name;
+};
+
+DistanceDispatch PickDistanceKernel() {
+#if defined(WMP_HAVE_AVX2_KERNEL)
+  if (__builtin_cpu_supports("avx2")) return {&SquaredDistanceAvx2, "avx2"};
+#endif
+#if defined(WMP_HAVE_NEON_KERNEL)
+  return {&SquaredDistanceNeon, "neon"};
+#endif
+  return {&SquaredDistanceScalar, "scalar"};
+}
+
+const DistanceDispatch& GetDistanceDispatch() {
+  static const DistanceDispatch dispatch = PickDistanceKernel();
+  return dispatch;
+}
+
+}  // namespace
+
+double SquaredDistance(const double* a, const double* b, size_t n) {
+  return GetDistanceDispatch().fn(a, b, n);
+}
+
+const char* SquaredDistanceKernel() { return GetDistanceDispatch().name; }
 
 namespace {
 

@@ -84,10 +84,22 @@ void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
 /// Squared Euclidean distance between two equal-length buffers.
 ///
 /// Register-blocked: the inner loop runs four independent accumulator
-/// chains over the dimension axis (SIMD-friendly; the compiler's
-/// vectorizer maps them onto packed lanes) with a fixed reduction order,
-/// so repeated calls on the same buffers are bitwise reproducible.
+/// chains over the dimension axis with a fixed reduction order, so
+/// repeated calls on the same buffers are bitwise reproducible. On hosts
+/// with AVX2 (x86) or NEON (aarch64) a guarded vector kernel is selected
+/// once at first call; it performs the scalar kernel's exact operation
+/// sequence — separate subtract/multiply/add per 4-wide block (never
+/// fused into FMA) and the same ((s0+s1)+(s2+s3))+tail reduction — so
+/// dispatch never changes a single result bit (linalg_test asserts this).
 double SquaredDistance(const double* a, const double* b, size_t n);
+
+/// The portable reference kernel SquaredDistance's vector paths must match
+/// bitwise. Exposed for the equivalence tests.
+double SquaredDistanceScalar(const double* a, const double* b, size_t n);
+
+/// Which kernel SquaredDistance resolved to on this host:
+/// "avx2", "neon", or "scalar".
+const char* SquaredDistanceKernel();
 
 /// \brief Nearest-centroid labels for a contiguous row block — the batch
 /// assignment kernel shared by k-means and DBSCAN template assignment.

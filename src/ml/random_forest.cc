@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "ml/compiled_tree.h"
 #include "ml/tree_grower.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -128,11 +129,17 @@ Result<std::vector<double>> RandomForestRegressor::Predict(
   return out;
 }
 
+// Compiled bin-space codec (ml/compiled_tree.h): all trees share one edge
+// table and nodes ship as (child i32, feature u16, code u8/u16) — the
+// dominant cost in an RF stream, since thresholds repeat heavily across
+// bootstrapped trees. Decompile() restores the trees losslessly.
 Status RandomForestRegressor::Serialize(BinaryWriter* writer) const {
   if (trees_.empty()) return Status::FailedPrecondition("RF not fitted");
   writer->WriteU32(serialize_tags::kRandomForest);
-  writer->WriteU64(trees_.size());
-  for (const auto& tree : trees_) tree.Serialize(writer);
+  WMP_ASSIGN_OR_RETURN(
+      CompiledEnsemble compiled,
+      CompiledEnsemble::Compile(*this, CompileOptions{.lut_levels = 0}));
+  compiled.Serialize(writer);
   return Status::OK();
 }
 
@@ -142,13 +149,14 @@ Result<std::unique_ptr<RandomForestRegressor>> RandomForestRegressor::Deserializ
   if (tag != serialize_tags::kRandomForest) {
     return Status::InvalidArgument("bad random-forest magic tag");
   }
-  WMP_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
-  auto model = std::make_unique<RandomForestRegressor>();
-  model->trees_.reserve(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    WMP_ASSIGN_OR_RETURN(RegressionTree t, RegressionTree::Deserialize(reader));
-    model->trees_.push_back(std::move(t));
+  WMP_ASSIGN_OR_RETURN(
+      CompiledEnsemble compiled,
+      CompiledEnsemble::Deserialize(reader, CompileOptions{.lut_levels = 0}));
+  if (compiled.combine() != CompiledEnsemble::Combine::kAverage) {
+    return Status::InvalidArgument("stream is not a random forest");
   }
+  auto model = std::make_unique<RandomForestRegressor>();
+  WMP_ASSIGN_OR_RETURN(model->trees_, compiled.Decompile());
   return model;
 }
 

@@ -50,6 +50,7 @@ class RandomForestRegressor : public Regressor {
       BinaryReader* reader);
 
   size_t num_trees() const { return trees_.size(); }
+  const std::vector<RegressionTree>& trees() const { return trees_; }
   const RandomForestOptions& options() const { return options_; }
   /// Histogram-engine instrumentation of the last Fit.
   const TreeGrowerStats& grower_stats() const { return grower_stats_; }

@@ -42,6 +42,12 @@ Result<uint8_t> BinaryReader::ReadU8() {
   return v;
 }
 
+Result<uint16_t> BinaryReader::ReadU16() {
+  uint16_t v;
+  WMP_RETURN_IF_ERROR(Take(&v, sizeof(v)));
+  return v;
+}
+
 Result<uint32_t> BinaryReader::ReadU32() {
   uint32_t v;
   WMP_RETURN_IF_ERROR(Take(&v, sizeof(v)));

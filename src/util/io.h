@@ -24,6 +24,7 @@ class BinaryWriter {
   BinaryWriter() = default;
 
   void WriteU8(uint8_t v) { Append(&v, 1); }
+  void WriteU16(uint16_t v) { Append(&v, sizeof(v)); }
   void WriteU32(uint32_t v) { Append(&v, sizeof(v)); }
   void WriteU64(uint64_t v) { Append(&v, sizeof(v)); }
   void WriteI64(int64_t v) { Append(&v, sizeof(v)); }
@@ -57,6 +58,7 @@ class BinaryReader {
   explicit BinaryReader(std::string buf) : buf_(std::move(buf)) {}
 
   Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
   Result<uint32_t> ReadU32();
   /// Reads a u32 without consuming it (for dispatch on magic tags).
   Result<uint32_t> PeekU32();

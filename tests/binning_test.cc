@@ -153,6 +153,95 @@ TEST(FeatureBinnerEdgeTest, MaxBinsDomainBounds) {
   EXPECT_TRUE(binner.Fit(x, 2).ok());
 }
 
+// ---------- Multi-probe batch binning ----------
+
+TEST(BinColumnTest, BatchBinningMatchesBinValueBitwise) {
+  // BinColumn's four interleaved branchless searches must produce exactly
+  // BinValue's answer for every element — including remainder tails of
+  // every length (n % 4 in {0,1,2,3}) and edge-exact probes.
+  Rng rng(20260808);
+  for (size_t n_bins : {size_t{2}, size_t{3}, size_t{17}, size_t{64},
+                        size_t{256}, size_t{700}}) {
+    std::vector<double> train(4 * n_bins + 8);
+    double v = -100.0;
+    for (double& d : train) {
+      v += rng.UniformDouble() + 1e-3;
+      d = v;
+    }
+    Matrix x = ColumnMatrix(train);
+    FeatureBinner binner;
+    ASSERT_TRUE(binner.Fit(x, static_cast<int>(n_bins)).ok());
+    for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                     size_t{5}, size_t{7}, size_t{97}}) {
+      std::vector<double> probes(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Mix random values with exact edges and just-past-edge values.
+        switch (i % 3) {
+          case 0:
+            probes[i] = rng.UniformDouble(-150, 150);
+            break;
+          case 1:
+            probes[i] = binner.UpperEdge(0, i % (binner.NumBins(0) - 1));
+            break;
+          default:
+            probes[i] = std::nextafter(
+                binner.UpperEdge(0, i % (binner.NumBins(0) - 1)), 1e308);
+        }
+      }
+      std::vector<uint16_t> wide(n, 0xffff);
+      binner.BinColumn(0, probes.data(), n, 1, wide.data(), 1);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(wide[i], binner.BinValue(0, probes[i]))
+            << "bins=" << n_bins << " n=" << n << " i=" << i;
+      }
+      if (binner.NumBins(0) <= 256) {
+        std::vector<uint8_t> narrow(n, 0xff);
+        binner.BinColumn(0, probes.data(), n, 1, narrow.data(), 1);
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(narrow[i], binner.BinValue(0, probes[i]));
+        }
+      }
+    }
+  }
+}
+
+TEST(BinColumnTest, StridedAccessReadsAndWritesTheRightSlots) {
+  // The Matrix-column use (value_stride = d) and the row-major scatter use
+  // (out_stride = d) must touch exactly their own slots.
+  Rng rng(77);
+  Matrix x(50, 3);
+  for (double& v : x.data()) v = rng.Normal(0, 10);
+  FeatureBinner binner;
+  ASSERT_TRUE(binner.Fit(x, 32).ok());
+  for (size_t f = 0; f < 3; ++f) {
+    std::vector<uint8_t> out(50 * 3, 0xee);
+    binner.BinColumn(f, x.data().data() + f, 50, 3, out.data() + f, 3);
+    for (size_t r = 0; r < 50; ++r) {
+      EXPECT_EQ(out[r * 3 + f], binner.BinValue(f, x.At(r, f)));
+      // Neighbouring slots untouched.
+      for (size_t g = 0; g < 3; ++g) {
+        if (g != f) EXPECT_EQ(out[r * 3 + g], 0xee);
+      }
+    }
+  }
+}
+
+TEST(BinColumnTest, BinAllMatchesPerElementBinValue) {
+  Rng rng(79);
+  Matrix x(113, 5);
+  for (double& v : x.data()) v = rng.UniformDouble(-3, 3);
+  FeatureBinner binner;
+  ASSERT_TRUE(binner.Fit(x, 24).ok());
+  auto all = binner.BinAll(x);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 113u * 5u);
+  for (size_t r = 0; r < 113; ++r) {
+    for (size_t f = 0; f < 5; ++f) {
+      EXPECT_EQ((*all)[r * 5 + f], binner.BinValue(f, x.At(r, f)));
+    }
+  }
+}
+
 // ---------- BinnedDataset ----------
 
 TEST(BinnedDatasetTest, ColumnsAndRowsMirrorBinValue) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "ml/linalg.h"
 #include "util/random.h"
@@ -108,6 +110,38 @@ TEST(LinalgTest, SquaredDistance) {
   double a[] = {0.0, 0.0};
   double b[] = {3.0, 4.0};
   EXPECT_DOUBLE_EQ(SquaredDistance(a, b, 2), 25.0);
+}
+
+TEST(LinalgTest, SquaredDistanceKernelNameIsKnown) {
+  const std::string kernel = SquaredDistanceKernel();
+  EXPECT_TRUE(kernel == "scalar" || kernel == "avx2" || kernel == "neon")
+      << kernel;
+}
+
+TEST(LinalgTest, SquaredDistanceDispatchBitwiseMatchesScalar) {
+  // Whatever kernel the runtime dispatch picked must reproduce the scalar
+  // reference bit-for-bit — the SIMD variants keep the scalar's fixed
+  // 4-accumulator reduction order and never contract to FMA. Sweep sizes
+  // crossing every vector-width boundary and remainder-tail length.
+  Rng rng(20260808);
+  for (size_t n = 0; n <= 67; ++n) {
+    std::vector<double> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.Normal(0, 1e3);
+      b[i] = rng.Normal(0, 1e-3);
+    }
+    const double got = SquaredDistance(a.data(), b.data(), n);
+    const double want = SquaredDistanceScalar(a.data(), b.data(), n);
+    EXPECT_EQ(got, want) << "n=" << n << " kernel=" << SquaredDistanceKernel();
+  }
+  // A large, cache-crossing size as well.
+  std::vector<double> a(4099), b(4099);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.UniformDouble(-5, 5);
+    b[i] = rng.UniformDouble(-5, 5);
+  }
+  EXPECT_EQ(SquaredDistance(a.data(), b.data(), a.size()),
+            SquaredDistanceScalar(a.data(), b.data(), a.size()));
 }
 
 TEST(CholeskyTest, SolvesKnownSystem) {

@@ -16,6 +16,7 @@
 
 #include "core/featurizer.h"
 #include "core/learned_wmp.h"
+#include "ml/compiled_tree.h"
 #include "engine/batch_scorer.h"
 #include "engine/model_registry.h"
 #include "engine/scoring_service.h"
@@ -506,6 +507,49 @@ TEST_F(WireTest, PublishRejectsCorruptArtifactAndKeepsServing) {
   for (size_t w = 0; w < batches.size(); ++w) {
     ASSERT_TRUE((*got)[w].ok());
     EXPECT_EQ(*(*got)[w], want->predictions[w]);
+  }
+  server.Shutdown();
+  service.Stop();
+}
+
+TEST_F(WireTest, PublishedArtifactServesThroughCompiledEnsemble) {
+  // The publish artifact ships the compact compiled codec; the server-side
+  // deserialize must rebuild the compiled ensemble (model_ is GBT — a tree
+  // family), keep compiled routing on, and serve scores bitwise equal to
+  // the training-side model's own.
+  engine::ScoringService service({model2_});
+  engine::ModelRegistry registry;
+  ASSERT_TRUE(registry.Record("default", Borrow(model2_)).ok());
+  net::WireServer server(&service, &registry, "default");
+  const std::string address = SocketAddress("compiled");
+  ASSERT_TRUE(server.Listen(address).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  net::WireClient client(address);
+  auto epoch = client.Publish("default", *model_);
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+
+  auto current = registry.Current("default");
+  ASSERT_TRUE(current.ok());
+  const core::LearnedWmpModel* received = current->model.get();
+  ASSERT_NE(received, model_) << "the artifact must have crossed the wire";
+  ASSERT_NE(received->compiled(), nullptr)
+      << "deserialize must recompile the tree-family regressor";
+  EXPECT_TRUE(received->compiled_inference());
+  EXPECT_EQ(received->compiled()->num_trees(), model_->compiled()->num_trees());
+  EXPECT_EQ(received->compiled()->num_nodes(), model_->compiled()->num_nodes());
+
+  const auto batches =
+      engine::MakeConsecutiveBatches(dataset_->records.size(), 10);
+  engine::BatchScorer reference(model_);
+  auto want = reference.ScoreWorkloads(dataset_->records, batches);
+  ASSERT_TRUE(want.ok());
+  auto got = client.ScoreWorkloads("tenant", dataset_->records, batches);
+  ASSERT_TRUE(got.ok());
+  for (size_t w = 0; w < batches.size(); ++w) {
+    ASSERT_TRUE((*got)[w].ok());
+    EXPECT_EQ(*(*got)[w], want->predictions[w])
+        << "published compiled artifact must score bitwise the original";
   }
   server.Shutdown();
   service.Stop();
