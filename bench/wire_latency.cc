@@ -22,6 +22,22 @@
 //                   BatchScorer bitwise — then Rollback and verify the
 //                   PREVIOUS epoch's scores come back bitwise. Zero failed
 //                   requests allowed anywhere.
+//   reactor         the per-request closed-loop clients again, but against
+//                   the single-threaded epoll ReactorServer instead of the
+//                   thread-per-connection WireServer — swept over
+//                   connection counts to show one event-loop thread
+//                   holding many sockets.
+//   pipelined       net::AsyncWireClient against the reactor: one workload
+//                   per kScoreRequestPipelined frame with a 16-deep
+//                   in-flight window per connection, so round trips
+//                   overlap instead of serializing. Same connection sweep;
+//                   this is the mode whose qps is compared against the
+//                   blocking per-request wire at the top connection count.
+//   reactor_publish_rollback
+//                   the publish_rollback phase repeated against the
+//                   reactor: checksum-verified publish, bitwise post-swap
+//                   and post-rollback scores, zero failures — under
+//                   concurrent reactor score traffic.
 //
 // Every remote prediction is compared bitwise against the in-process
 // BatchScorer on the same model: the wire must be a transport, not a
@@ -31,6 +47,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <future>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -42,6 +59,8 @@
 #include "engine/batch_scorer.h"
 #include "engine/model_registry.h"
 #include "engine/scoring_service.h"
+#include "net/async_client.h"
+#include "net/reactor_server.h"
 #include "net/wire_client.h"
 #include "net/wire_server.h"
 #include "util/stats.h"
@@ -215,6 +234,97 @@ DriveOut DriveRemote(const std::string& address,
   return out;
 }
 
+// Drives `clients` AsyncWireClient connections against a ReactorServer:
+// one workload per pipelined frame, `window` requests in flight per
+// connection. Latency is submit→harvest per request (harvested in
+// submission order, so it reflects the amortized wire cost a caller
+// actually experiences with the window open, not a single round trip).
+DriveOut DrivePipelined(const std::string& address,
+                        const std::vector<workloads::QueryRecord>& records,
+                        const std::vector<core::WorkloadBatch>& batches,
+                        int clients, int passes, size_t window) {
+  DriveOut out;
+  out.predictions.assign(batches.size(), 0.0);
+  std::vector<std::vector<double>> per_client_lat(
+      static_cast<size_t>(clients));
+  std::atomic<uint64_t> errors{0};
+  util::Latch start(static_cast<size_t>(clients) + 1);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::AsyncWireClientOptions aopt;
+      aopt.max_inflight = window;
+      auto connected = net::AsyncWireClient::Connect(address, aopt);
+      if (!connected.ok()) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        start.ArriveAndWait();
+        return;
+      }
+      std::unique_ptr<net::AsyncWireClient> client = std::move(*connected);
+      auto& lat = per_client_lat[static_cast<size_t>(c)];
+      const std::vector<size_t> slice = SliceFor(c, clients, batches.size());
+      const std::string tenant = StrFormat("pipelined-client-%d", c);
+      // Per-workload payloads prepared outside the timed region, exactly
+      // like the per-request blocking mode, so the comparison isolates
+      // the transport.
+      std::vector<std::vector<workloads::QueryRecord>> member_records;
+      std::vector<std::vector<core::WorkloadBatch>> member_batches;
+      member_records.reserve(slice.size());
+      member_batches.reserve(slice.size());
+      for (size_t w : slice) {
+        member_records.push_back(
+            CloneMembersForWire(records, batches[w].query_indices));
+        core::WorkloadBatch b;
+        b.query_indices.resize(member_records.back().size());
+        for (uint32_t q = 0; q < b.query_indices.size(); ++q) {
+          b.query_indices[q] = q;
+        }
+        member_batches.push_back({std::move(b)});
+      }
+      struct InFlight {
+        size_t w = 0;
+        Stopwatch sw;
+        std::future<Result<net::ScoreResponse>> response;
+      };
+      start.ArriveAndWait();
+      for (int pass = 0; pass < passes; ++pass) {
+        std::vector<InFlight> inflight;
+        inflight.reserve(slice.size());
+        for (size_t i = 0; i < slice.size(); ++i) {
+          InFlight f;
+          f.w = slice[i];
+          auto submitted = client->SubmitScore(tenant, member_records[i],
+                                               member_batches[i]);
+          if (!submitted.ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          f.response = std::move(*submitted);
+          inflight.push_back(std::move(f));
+        }
+        for (InFlight& f : inflight) {
+          auto got = f.response.get();
+          lat.push_back(f.sw.ElapsedMicros());
+          if (!got.ok() || got->size() != 1 || !got->ok[0]) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            out.predictions[f.w] = got->predictions[0];
+          }
+        }
+      }
+    });
+  }
+  Stopwatch wall;
+  start.ArriveAndWait();
+  for (auto& t : threads) t.join();
+  out.seconds = wall.ElapsedSeconds();
+  out.errors = errors.load();
+  for (auto& v : per_client_lat) {
+    out.latencies_us.insert(out.latencies_us.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
 bool BitwiseEqual(const std::vector<double>& got,
                   const std::vector<double>& want) {
   if (got.size() != want.size()) return false;
@@ -222,6 +332,133 @@ bool BitwiseEqual(const std::vector<double>& got,
     if (got[i] != want[i]) return false;
   }
   return true;
+}
+
+WireRow MakeDriveRow(const std::string& mode, int clients, int passes,
+                     const std::vector<core::WorkloadBatch>& batches,
+                     DriveOut d, const std::vector<double>& want) {
+  WireRow row;
+  row.mode = mode;
+  row.clients = clients;
+  row.workloads = batches.size() * static_cast<size_t>(passes);
+  row.queries = CountQueries(batches) * static_cast<size_t>(passes);
+  row.seconds = d.seconds;
+  row.qps = d.seconds > 0 ? static_cast<double>(row.queries) / d.seconds : 0.0;
+  row.p50_us = util::PercentileInPlace(&d.latencies_us, 0.50);
+  row.p99_us = util::PercentileInPlace(&d.latencies_us, 0.99);
+  row.errors = d.errors;
+  row.bitwise_identical = BitwiseEqual(d.predictions, want);
+  return row;
+}
+
+// Publish model2 over the wire under concurrent score traffic, verify the
+// post-swap steady state is model2 bitwise, roll back, verify model1's
+// scores return bitwise. Works unchanged against either server (the
+// checksum trust boundary and the registry epoch machinery live behind
+// the shared dispatcher).
+WireRow RunPublishRollback(const std::string& address,
+                           const std::string& mode,
+                           const std::vector<workloads::QueryRecord>& records,
+                           const std::vector<core::WorkloadBatch>& batches,
+                           const core::LearnedWmpModel& swap_model,
+                           const std::vector<double>& want1,
+                           const std::vector<double>& want2, int clients) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bg_errors{0};
+  // Background clients keep scoring across both swaps; their predictions
+  // are intentionally unchecked (they legitimately straddle epochs) but
+  // must never FAIL.
+  std::vector<std::thread> background;
+  for (int c = 0; c < clients; ++c) {
+    background.emplace_back([&, c] {
+      net::WireClient client(address);
+      const auto slice = SliceFor(c, clients, batches.size());
+      const std::string tenant = StrFormat("bg-client-%d", c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (size_t w : slice) {
+          auto got = client.ScoreWorkloads(tenant, records, {batches[w]});
+          if (!got.ok() || !(*got)[0].ok()) {
+            bg_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  WireRow row;
+  row.mode = mode;
+  row.clients = clients;
+  row.workloads = batches.size() * 2;
+  row.queries = CountQueries(batches) * 2;
+  Stopwatch wall;
+  net::WireClient control(address);
+  uint64_t control_errors = 0;
+  bool bitwise = true;
+  // Publish the retrain over the wire, then the post-swap steady state
+  // must be the new model, bitwise, as served to a fresh client.
+  auto epoch2 = control.Publish("bench", swap_model);
+  if (!epoch2.ok()) {
+    std::cerr << "publish failed: " << epoch2.status() << "\n";
+    ++control_errors;
+  }
+  auto after_publish = control.ScoreWorkloads("verify", records, batches);
+  if (!after_publish.ok()) {
+    ++control_errors;
+  } else {
+    std::vector<double> got(batches.size(), 0.0);
+    for (size_t w = 0; w < batches.size(); ++w) {
+      if ((*after_publish)[w].ok()) {
+        got[w] = *(*after_publish)[w];
+      } else {
+        ++control_errors;
+      }
+    }
+    if (!BitwiseEqual(got, want2)) bitwise = false;
+  }
+  // Roll back: the PREVIOUS epoch's scores must return exactly.
+  auto epoch1 = control.Rollback("bench");
+  if (!epoch1.ok()) {
+    std::cerr << "rollback failed: " << epoch1.status() << "\n";
+    ++control_errors;
+  }
+  auto after_rollback = control.ScoreWorkloads("verify", records, batches);
+  if (!after_rollback.ok()) {
+    ++control_errors;
+  } else {
+    std::vector<double> got(batches.size(), 0.0);
+    for (size_t w = 0; w < batches.size(); ++w) {
+      if ((*after_rollback)[w].ok()) {
+        got[w] = *(*after_rollback)[w];
+      } else {
+        ++control_errors;
+      }
+    }
+    if (!BitwiseEqual(got, want1)) bitwise = false;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : background) t.join();
+  row.seconds = wall.ElapsedSeconds();
+  row.qps = 0.0;  // correctness phase, not a throughput claim
+  row.errors = control_errors + bg_errors.load();
+  row.bitwise_identical = bitwise;
+
+  TablePrinter table(
+      StrFormat("wire_latency — PublishAll + Rollback over the wire (%s)",
+                mode.c_str()));
+  table.SetHeader({"publish epoch", "rollback epoch", "bg errors",
+                   "bitwise (swap/rollback)"});
+  table.AddRow(
+      {epoch2.ok()
+           ? StrFormat("%llu", static_cast<unsigned long long>(*epoch2))
+           : "FAILED",
+       epoch1.ok()
+           ? StrFormat("%llu", static_cast<unsigned long long>(*epoch1))
+           : "FAILED",
+       StrFormat("%llu", static_cast<unsigned long long>(bg_errors.load())),
+       bitwise ? "yes" : "NO"});
+  table.Print(std::cout);
+  std::cout << "\n";
+  return row;
 }
 
 }  // namespace
@@ -353,125 +590,76 @@ int main(int argc, char** argv) {
   }
 
   for (const bool batched : {false, true}) {
-    DriveOut d = DriveRemote(address, records, batches, clients, passes,
-                             batched ? 0 : 1);
-    WireRow row;
-    row.mode = batched ? "remote_batched" : "remote";
-    row.clients = clients;
-    row.workloads = batches.size() * static_cast<size_t>(passes);
-    row.queries = CountQueries(batches) * static_cast<size_t>(passes);
-    row.seconds = d.seconds;
-    row.qps = d.seconds > 0
-                  ? static_cast<double>(row.queries) / d.seconds
-                  : 0.0;
-    row.p50_us = util::PercentileInPlace(&d.latencies_us, 0.50);
-    row.p99_us = util::PercentileInPlace(&d.latencies_us, 0.99);
-    row.errors = d.errors;
-    row.bitwise_identical = BitwiseEqual(d.predictions, want1->predictions);
-    rows.push_back(row);
+    rows.push_back(MakeDriveRow(
+        batched ? "remote_batched" : "remote", clients, passes, batches,
+        DriveRemote(address, records, batches, clients, passes,
+                    batched ? 0 : 1),
+        want1->predictions));
   }
 
   // --- publish + rollback under concurrent remote traffic ---
-  {
-    std::atomic<bool> stop{false};
-    std::atomic<uint64_t> bg_errors{0};
-    // Background clients keep scoring across both swaps; their predictions
-    // are intentionally unchecked (they legitimately straddle epochs) but
-    // must never FAIL.
-    std::vector<std::thread> background;
-    for (int c = 0; c < clients; ++c) {
-      background.emplace_back([&, c] {
-        net::WireClient client(address);
-        const auto slice = SliceFor(c, clients, batches.size());
-        const std::string tenant = StrFormat("bg-client-%d", c);
-        while (!stop.load(std::memory_order_relaxed)) {
-          for (size_t w : slice) {
-            auto got = client.ScoreWorkloads(
-                tenant, records, {batches[w]});
-            if (!got.ok() || !(*got)[0].ok()) {
-              bg_errors.fetch_add(1, std::memory_order_relaxed);
-            }
-          }
-        }
-      });
-    }
+  rows.push_back(RunPublishRollback(address, "publish_rollback", records,
+                                    batches, *m2, want1->predictions,
+                                    want2->predictions, clients));
 
-    WireRow row;
-    row.mode = "publish_rollback";
-    row.clients = clients;
-    row.workloads = batches.size() * 2;
-    row.queries = CountQueries(batches) * 2;
-    Stopwatch wall;
-    net::WireClient control(address);
-    uint64_t control_errors = 0;
-    bool bitwise = true;
-    // Publish model2 over the wire, then the post-swap steady state must
-    // be model2, bitwise, as served to a fresh client.
-    auto epoch2 = control.Publish("bench", *m2);
-    if (!epoch2.ok()) {
-      std::cerr << "publish failed: " << epoch2.status() << "\n";
-      ++control_errors;
+  // --- event-loop reactor + pipelined client: connection sweep ---
+  // The reactor fronts the SAME service and registry as the blocking
+  // server (two transports, one engine), so its scores are compared
+  // against the identical in-process reference. The blocking per-request
+  // mode is re-driven at each sweep point to give the pipelined mode an
+  // apples-to-apples baseline at the same connection count.
+  const std::string reactor_address =
+      StrFormat("unix:/tmp/wmp_wire_latency.%d.reactor.sock",
+                static_cast<int>(::getpid()));
+  net::ReactorServer reactor(&service, &registry, "bench");
+  if (Status st = reactor.Listen(reactor_address); !st.ok()) {
+    std::cerr << "reactor listen failed: " << st << "\n";
+    return 1;
+  }
+  if (Status st = reactor.Start(); !st.ok()) {
+    std::cerr << "reactor start failed: " << st << "\n";
+    return 1;
+  }
+  const std::vector<int> sweep =
+      args.quick ? std::vector<int>{2, 8} : std::vector<int>{1, 2, 4, 8};
+  const size_t kWindow = 16;
+  double blocking_qps_top = 0.0, pipelined_qps_top = 0.0;
+  for (int n : sweep) {
+    WireRow blocking_row = MakeDriveRow(
+        "remote", n, passes, batches,
+        DriveRemote(address, records, batches, n, passes, 1),
+        want1->predictions);
+    WireRow reactor_row = MakeDriveRow(
+        "reactor", n, passes, batches,
+        DriveRemote(reactor_address, records, batches, n, passes, 1),
+        want1->predictions);
+    WireRow pipelined_row = MakeDriveRow(
+        "pipelined", n, passes, batches,
+        DrivePipelined(reactor_address, records, batches, n, passes, kWindow),
+        want1->predictions);
+    if (n == sweep.back()) {
+      blocking_qps_top = blocking_row.qps;
+      pipelined_qps_top = pipelined_row.qps;
     }
-    auto after_publish = control.ScoreWorkloads("verify", records, batches);
-    if (!after_publish.ok()) {
-      ++control_errors;
-    } else {
-      std::vector<double> got(batches.size(), 0.0);
-      for (size_t w = 0; w < batches.size(); ++w) {
-        if ((*after_publish)[w].ok()) {
-          got[w] = *(*after_publish)[w];
-        } else {
-          ++control_errors;
-        }
-      }
-      if (!BitwiseEqual(got, want2->predictions)) bitwise = false;
-    }
-    // Roll back: the PREVIOUS epoch's scores must return exactly.
-    auto epoch1 = control.Rollback("bench");
-    if (!epoch1.ok()) {
-      std::cerr << "rollback failed: " << epoch1.status() << "\n";
-      ++control_errors;
-    }
-    auto after_rollback = control.ScoreWorkloads("verify", records, batches);
-    if (!after_rollback.ok()) {
-      ++control_errors;
-    } else {
-      std::vector<double> got(batches.size(), 0.0);
-      for (size_t w = 0; w < batches.size(); ++w) {
-        if ((*after_rollback)[w].ok()) {
-          got[w] = *(*after_rollback)[w];
-        } else {
-          ++control_errors;
-        }
-      }
-      if (!BitwiseEqual(got, want1->predictions)) bitwise = false;
-    }
-    stop.store(true, std::memory_order_relaxed);
-    for (auto& t : background) t.join();
-    row.seconds = wall.ElapsedSeconds();
-    row.qps = 0.0;  // correctness phase, not a throughput claim
-    row.errors = control_errors + bg_errors.load();
-    row.bitwise_identical = bitwise;
-    rows.push_back(row);
-
-    TablePrinter table("wire_latency — PublishAll + Rollback over the wire");
-    table.SetHeader({"publish epoch", "rollback epoch", "bg errors",
-                     "bitwise (swap/rollback)"});
-    table.AddRow({epoch2.ok() ? StrFormat("%llu",
-                                          static_cast<unsigned long long>(
-                                              *epoch2))
-                              : "FAILED",
-                  epoch1.ok() ? StrFormat("%llu",
-                                          static_cast<unsigned long long>(
-                                              *epoch1))
-                              : "FAILED",
-                  StrFormat("%llu",
-                            static_cast<unsigned long long>(bg_errors.load())),
-                  bitwise ? "yes" : "NO"});
-    table.Print(std::cout);
-    std::cout << "\n";
+    rows.push_back(std::move(blocking_row));
+    rows.push_back(std::move(reactor_row));
+    rows.push_back(std::move(pipelined_row));
+  }
+  if (blocking_qps_top > 0) {
+    std::printf(
+        "pipelined reactor at %d connections: %.0f q/s vs blocking "
+        "per-request %.0f q/s — %.2fx (window %zu)\n\n",
+        sweep.back(), pipelined_qps_top, blocking_qps_top,
+        pipelined_qps_top / blocking_qps_top, kWindow);
   }
 
+  // --- publish + rollback against the reactor, under reactor traffic ---
+  rows.push_back(RunPublishRollback(reactor_address,
+                                    "reactor_publish_rollback", records,
+                                    batches, *m2, want1->predictions,
+                                    want2->predictions, clients));
+
+  reactor.Shutdown();
   server.Shutdown();
   service.Stop();
 

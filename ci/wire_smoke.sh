@@ -4,15 +4,17 @@
 # log through `wmpctl score --connect` in chunks, roll out a retrained
 # model with `wmpctl train --publish --connect` (which asserts zero failed
 # requests and bitwise post-swap scores), roll it back, and shut the
-# server down cleanly. Any nonzero step fails the script.
+# server down cleanly. The loop runs TWICE: once against the blocking
+# thread-per-connection server, once against the epoll reactor
+# (`serve --reactor`) with the pipelined client (`score --pipeline`) —
+# same protocol, same scores, different transport. Any nonzero step fails
+# the script.
 set -euo pipefail
 
 BUILD=${1:-build}
 WORK=$(mktemp -d /tmp/wmp-wire-smoke.XXXXXX)
-SOCK="$WORK/wire.sock"
 LOG="$WORK/log.txt"
 MODEL="$WORK/model.wmp"
-SERVER_LOG="$WORK/server.log"
 SERVER_PID=""
 
 cleanup() {
@@ -28,33 +30,48 @@ echo "== generate + train the first artifact"
 "$BUILD/wmpctl" generate --benchmark=tpcc --queries=600 --out="$LOG"
 "$BUILD/wmpctl" train --log="$LOG" --model="$MODEL" --templates=12 --batch=10
 
-echo "== start wmpctl serve on unix:$SOCK"
-"$BUILD/wmpctl" serve --listen="unix:$SOCK" --model="$MODEL" \
-  --name=smoke --warm-log="$LOG" >"$SERVER_LOG" 2>&1 &
-SERVER_PID=$!
-for _ in $(seq 100); do
-  [[ -S "$SOCK" ]] && break
-  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$SERVER_LOG"; exit 1; }
-  sleep 0.1
-done
-[[ -S "$SOCK" ]] || { echo "server socket never appeared"; cat "$SERVER_LOG"; exit 1; }
+# run_loop <tag> <serve extra flags> <score extra flags>
+run_loop() {
+  local tag="$1" serve_flags="$2" score_flags="$3"
+  local sock="$WORK/wire-$tag.sock"
+  local server_log="$WORK/server-$tag.log"
 
-echo "== score the log over the wire in chunks"
-"$BUILD/wmpctl" score --log="$LOG" --connect="unix:$SOCK" --chunk=150 --batch=10
+  echo "== [$tag] start wmpctl serve $serve_flags on unix:$sock"
+  # shellcheck disable=SC2086
+  "$BUILD/wmpctl" serve --listen="unix:$sock" --model="$MODEL" \
+    --name=smoke --warm-log="$LOG" $serve_flags >"$server_log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 100); do
+    [[ -S "$sock" ]] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$server_log"; exit 1; }
+    sleep 0.1
+  done
+  [[ -S "$sock" ]] || { echo "server socket never appeared"; cat "$server_log"; exit 1; }
 
-echo "== retrain (different seed) and publish over the wire"
-"$BUILD/wmpctl" train --log="$LOG" --model="$MODEL" --templates=12 --batch=10 \
-  --seed=7 --publish --connect="unix:$SOCK" --name=smoke
+  echo "== [$tag] score the log over the wire in chunks"
+  # shellcheck disable=SC2086
+  "$BUILD/wmpctl" score --log="$LOG" --connect="unix:$sock" --chunk=150 \
+    --batch=10 $score_flags
 
-echo "== roll the publish back"
-"$BUILD/wmpctl" rollback --connect="unix:$SOCK" --name=smoke
+  echo "== [$tag] retrain (different seed) and publish over the wire"
+  "$BUILD/wmpctl" train --log="$LOG" --model="$MODEL" --templates=12 \
+    --batch=10 --seed=7 --publish --connect="unix:$sock" --name=smoke
 
-echo "== score again after rollback"
-"$BUILD/wmpctl" score --log="$LOG" --connect="unix:$SOCK" --chunk=150 --batch=10
+  echo "== [$tag] roll the publish back"
+  "$BUILD/wmpctl" rollback --connect="unix:$sock" --name=smoke
 
-echo "== clean shutdown"
-kill -INT "$SERVER_PID"
-wait "$SERVER_PID"
-SERVER_PID=""
-cat "$SERVER_LOG"
+  echo "== [$tag] score again after rollback"
+  # shellcheck disable=SC2086
+  "$BUILD/wmpctl" score --log="$LOG" --connect="unix:$sock" --chunk=150 \
+    --batch=10 $score_flags
+
+  echo "== [$tag] clean shutdown"
+  kill -INT "$SERVER_PID"
+  wait "$SERVER_PID"
+  SERVER_PID=""
+  cat "$server_log"
+}
+
+run_loop blocking "" ""
+run_loop reactor "--reactor" "--pipeline=16"
 echo "wire smoke OK"

@@ -289,6 +289,15 @@ void ScoringService::WarmShard(Shard* shard) {
   }
 }
 
+void ScoringService::SetCompletionCallback(std::function<void()> callback) {
+  std::shared_ptr<const std::function<void()>> next;
+  if (callback) {
+    next = std::make_shared<const std::function<void()>>(std::move(callback));
+  }
+  std::lock_guard<std::mutex> lock(completion_callback_mutex_);
+  completion_callback_ = std::move(next);
+}
+
 void ScoringService::Fulfill(Shard* shard, Request* request,
                              Result<double> outcome) {
   const auto now = std::chrono::steady_clock::now();
@@ -335,6 +344,7 @@ void ScoringService::Flush(Shard* shard,
       Fulfill(shard, req.get(),
               Status::FailedPrecondition("scoring service has no model"));
     }
+    NotifyCompletion();
     return;
   }
   // Group by query-log vector: one ScoreWorkloads call per distinct log in
@@ -389,6 +399,18 @@ void ScoringService::Flush(Shard* shard,
       }
     }
   }
+  // One doorbell per flush, after every promise of the flush is set — a
+  // parked consumer wakes once and finds the whole batch ready.
+  NotifyCompletion();
+}
+
+void ScoringService::NotifyCompletion() {
+  std::shared_ptr<const std::function<void()>> callback;
+  {
+    std::lock_guard<std::mutex> lock(completion_callback_mutex_);
+    callback = completion_callback_;
+  }
+  if (callback) (*callback)();
 }
 
 void ScoringService::DispatcherLoop(Shard* shard) {

@@ -70,6 +70,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -250,6 +251,15 @@ class ScoringService {
   /// stops or the corpus is replaced (nullptr disables warming).
   void SetWarmCorpus(const std::vector<workloads::QueryRecord>* records);
 
+  /// Registers `callback` to run on the dispatching thread after each
+  /// flush has fulfilled its promises (nullptr unregisters). This is the
+  /// "futures may be ready" doorbell for non-blocking consumers: the
+  /// event-loop net::ReactorServer parks Submit futures and must not block
+  /// a thread in get(), so it registers a callback that writes its wakeup
+  /// fd and drains completed futures from the loop. The callback must be
+  /// cheap and must not call back into the service.
+  void SetCompletionCallback(std::function<void()> callback);
+
   /// Stable tenant/model-key router: util::HashString(tenant) mod shards.
   size_t ShardForTenant(std::string_view tenant) const;
 
@@ -305,6 +315,8 @@ class ScoringService {
   void Flush(Shard* shard, std::vector<std::unique_ptr<Request>>* requests,
              FlushReason reason);
   void Fulfill(Shard* shard, Request* request, Result<double> outcome);
+  /// Runs the registered completion callback (if any) after a flush.
+  void NotifyCompletion();
   /// Launches the background warmer for `shard` (joins a stale one first).
   /// No-op without a corpus, a template cache, or warm_on_publish.
   void StartWarm(Shard* shard);
@@ -317,6 +329,10 @@ class ScoringService {
   std::mutex publish_all_mutex_;  // serializes cross-shard rollouts
   mutable std::mutex warm_corpus_mutex_;
   std::shared_ptr<const WarmCorpus> warm_corpus_;
+  /// Swapped whole via shared_ptr so dispatchers snapshot it without
+  /// holding a lock across the user callback.
+  mutable std::mutex completion_callback_mutex_;
+  std::shared_ptr<const std::function<void()>> completion_callback_;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};

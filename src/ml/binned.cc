@@ -1,6 +1,7 @@
 #include "ml/binned.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/hash.h"
 
@@ -32,6 +33,7 @@ Status FeatureBinner::Fit(const Matrix& x, int max_bins) {
     // Drop a trailing edge equal to the max so the last bin is non-empty.
     while (!edges.empty() && edges.back() >= col.back()) edges.pop_back();
   }
+  BuildRadixIndexes();
   return Status::OK();
 }
 
@@ -39,7 +41,48 @@ FeatureBinner FeatureBinner::FromEdges(
     std::vector<std::vector<double>> edges) {
   FeatureBinner binner;
   binner.edges_ = std::move(edges);
+  binner.BuildRadixIndexes();
   return binner;
+}
+
+void FeatureBinner::BuildRadixIndexes() {
+  // Below this the log2(edges) cmov chain is already a handful of steps
+  // and the bucket arithmetic would not pay for itself.
+  constexpr size_t kMinEdgesForRadix = 8;
+  radix_.assign(edges_.size(), {});
+  for (size_t f = 0; f < edges_.size(); ++f) {
+    const std::vector<double>& edges = edges_[f];
+    RadixBuckets& radix = radix_[f];
+    if (edges.size() < kMinEdgesForRadix) continue;
+    const double lo_edge = edges.front();
+    const double hi_edge = edges.back();
+    const double span = hi_edge - lo_edge;
+    if (!std::isfinite(span) || span <= 0.0) continue;
+    // ~2 buckets per edge: expected occupancy 0.5, so most sub-range
+    // searches inspect zero or one edge.
+    const uint32_t nbuckets = static_cast<uint32_t>(
+        std::min<size_t>(2 * edges.size(), 1u << 16));
+    const double scale = static_cast<double>(nbuckets) / span;
+    if (!std::isfinite(scale) || scale <= 0.0) continue;
+    radix.min_edge = lo_edge;
+    radix.scale = scale;
+    radix.nbuckets = nbuckets;
+    radix.lo.assign(nbuckets + 1, 0);
+    // Count edges per bucket, then prefix-sum: lo[b] = edges in buckets
+    // < b. The bucket formula here MUST match the lookup's exactly —
+    // shared bucket math is what makes the bracketing airtight.
+    for (const double edge : edges) {
+      const double t = (edge - lo_edge) * scale;
+      uint32_t b = 0;
+      if (t > 0.0) {
+        b = (t >= static_cast<double>(nbuckets)) ? nbuckets - 1
+                                                 : static_cast<uint32_t>(t);
+      }
+      ++radix.lo[b + 1];
+    }
+    for (uint32_t b = 0; b < nbuckets; ++b) radix.lo[b + 1] += radix.lo[b];
+    radix.usable = true;
+  }
 }
 
 namespace {
@@ -96,14 +139,63 @@ inline void LowerBound4(const double* edges, size_t n, const double* v,
   out[3] = static_cast<size_t>(b3 - edges) + ((tail && *b3 < v[3]) ? 1 : 0);
 }
 
+// Borrowed view of a feature's radix bucket index (the owning struct is
+// private to FeatureBinner; the members pass this through).
+struct RadixView {
+  bool usable = false;
+  double min_edge = 0.0;
+  double scale = 0.0;
+  uint32_t nbuckets = 0;
+  const uint32_t* lo = nullptr;
+};
+
+// Bucket of `value` under the grid — the exact arithmetic the index was
+// built with. The `> 0` guard routes NaN and everything below the first
+// edge to bucket 0 without ever casting a non-finite double to integer.
+inline uint32_t RadixBucket(const RadixView& radix, double value) {
+  const double t = (value - radix.min_edge) * radix.scale;
+  if (!(t > 0.0)) return 0;
+  if (t >= static_cast<double>(radix.nbuckets)) return radix.nbuckets - 1;
+  return static_cast<uint32_t>(t);
+}
+
+// Radix-narrowed lower bound: identical index to LowerBoundIndex over the
+// full array, found by searching only the value's bucket sub-range.
+inline size_t RadixLowerBound(const double* edges, const RadixView& radix,
+                              double value) {
+  const uint32_t b = RadixBucket(radix, value);
+  const uint32_t lo = radix.lo[b];
+  return lo + LowerBoundIndex(edges + lo, radix.lo[b + 1] - lo, value);
+}
+
 // Strided multi-probe column binning shared by the u8 and u16 outputs.
 template <typename Out>
-void BinColumnImpl(const std::vector<double>& edges, const double* values,
-                   size_t n, size_t value_stride, Out* out,
-                   size_t out_stride) {
+void BinColumnImpl(const std::vector<double>& edges, const RadixView& radix,
+                   const double* values, size_t n, size_t value_stride,
+                   Out* out, size_t out_stride) {
   const double* e = edges.data();
   const size_t ne = edges.size();
   size_t i = 0;
+  if (radix.usable) {
+    // Expected sub-range length is under one edge (~2 buckets per edge),
+    // so each lookup is bucket arithmetic + a couple of loads; unroll by
+    // four anyway so the bucket computes and prefix loads overlap.
+    for (; i + 4 <= n; i += 4) {
+      out[(i + 0) * out_stride] = static_cast<Out>(
+          RadixLowerBound(e, radix, values[(i + 0) * value_stride]));
+      out[(i + 1) * out_stride] = static_cast<Out>(
+          RadixLowerBound(e, radix, values[(i + 1) * value_stride]));
+      out[(i + 2) * out_stride] = static_cast<Out>(
+          RadixLowerBound(e, radix, values[(i + 2) * value_stride]));
+      out[(i + 3) * out_stride] = static_cast<Out>(
+          RadixLowerBound(e, radix, values[(i + 3) * value_stride]));
+    }
+    for (; i < n; ++i) {
+      out[i * out_stride] = static_cast<Out>(
+          RadixLowerBound(e, radix, values[i * value_stride]));
+    }
+    return;
+  }
   double v[4];
   size_t idx[4];
   for (; i + 4 <= n; i += 4) {
@@ -131,16 +223,33 @@ uint16_t FeatureBinner::BinValue(size_t f, double value) const {
       LowerBoundIndex(edges.data(), edges.size(), value));
 }
 
+namespace {
+
+template <typename Radix>
+RadixView ViewOf(const Radix& radix) {
+  RadixView view;
+  view.usable = radix.usable;
+  view.min_edge = radix.min_edge;
+  view.scale = radix.scale;
+  view.nbuckets = radix.nbuckets;
+  view.lo = radix.lo.data();
+  return view;
+}
+
+}  // namespace
+
 void FeatureBinner::BinColumn(size_t f, const double* values, size_t n,
                               size_t value_stride, uint16_t* out,
                               size_t out_stride) const {
-  BinColumnImpl(edges_[f], values, n, value_stride, out, out_stride);
+  BinColumnImpl(edges_[f], ViewOf(radix_[f]), values, n, value_stride, out,
+                out_stride);
 }
 
 void FeatureBinner::BinColumn(size_t f, const double* values, size_t n,
                               size_t value_stride, uint8_t* out,
                               size_t out_stride) const {
-  BinColumnImpl(edges_[f], values, n, value_stride, out, out_stride);
+  BinColumnImpl(edges_[f], ViewOf(radix_[f]), values, n, value_stride, out,
+                out_stride);
 }
 
 Result<std::vector<uint16_t>> FeatureBinner::BinAll(const Matrix& x) const {

@@ -49,11 +49,17 @@ class FeatureBinner {
   /// \name Multi-probe batch binning — the binning hot path.
   ///
   /// Bins `n` values of feature `f`, reading `values[i * value_stride]` and
-  /// writing `out[i * out_stride]`. Four independent branchless lower-bound
-  /// searches run interleaved: they probe the same edge array, so every
-  /// probe has the identical (data-independent) trip count and the four
-  /// cmov chains overlap in flight instead of serializing on load latency.
-  /// Bitwise-equal to calling BinValue per element (binning_test asserts
+  /// writing `out[i * out_stride]`. Features with enough edges carry a
+  /// radix bucket index (built once at Fit/FromEdges): a uniform bucket
+  /// grid over [first_edge, last_edge] whose prefix array confines each
+  /// value's lower bound to the few edges of its bucket, collapsing the
+  /// per-value search from log2(edges) dependent steps to O(1) expected.
+  /// Features below the radix threshold (and values only there) take four
+  /// independent branchless lower-bound searches run interleaved: they
+  /// probe the same edge array, so every probe has the identical
+  /// (data-independent) trip count and the four cmov chains overlap in
+  /// flight instead of serializing on load latency. Either path is
+  /// bitwise-equal to calling BinValue per element (binning_test asserts
   /// this exhaustively). The u8 overload requires NumBins(f) <= 256.
   /// @{
   void BinColumn(size_t f, const double* values, size_t n, size_t value_stride,
@@ -74,10 +80,35 @@ class FeatureBinner {
   double UpperEdge(size_t f, size_t bin) const { return edges_[f][bin]; }
 
  private:
+  /// Radix bucket index over one feature's sorted edges: bucket(v) =
+  /// clamp(trunc((v - min_edge) * scale)) is monotone non-decreasing in v
+  /// (IEEE subtract and multiply by a positive finite scale preserve
+  /// order, truncation and clamping are monotone), so for sorted edges the
+  /// bucket sequence is non-decreasing and `lo[b]` — the count of edges in
+  /// buckets < b — brackets every value's lower bound: edges before lo[b]
+  /// are < v, edges from lo[b + 1] are >= v, hence the global answer lies
+  /// in [lo[b], lo[b + 1]] and a sub-range search returns the IDENTICAL
+  /// index (lower bounds are unique). Values outside [min, max] clamp to
+  /// the end buckets; NaN fails the `> 0` guard and lands in bucket 0,
+  /// whose sub-range reproduces the scalar search's 0. Built only when a
+  /// feature has enough edges to beat the plain search; `usable == false`
+  /// (few edges, zero span, non-finite edges) falls back to multi-probe.
+  struct RadixBuckets {
+    double min_edge = 0.0;
+    double scale = 0.0;
+    uint32_t nbuckets = 0;
+    std::vector<uint32_t> lo;  ///< nbuckets + 1 prefix counts
+    bool usable = false;
+  };
+
+  /// Rebuilds radix_ from edges_ (Fit and FromEdges both end here).
+  void BuildRadixIndexes();
+
   // edges_[f] is a sorted list of cut points; value <= edges_[f][i] and
   // > edges_[f][i-1] falls in bin i; values above the last edge fall in the
   // final bin.
   std::vector<std::vector<double>> edges_;
+  std::vector<RadixBuckets> radix_;  // parallel to edges_
 };
 
 /// Selects the tree-growth engine. The histogram engine is the production

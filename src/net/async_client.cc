@@ -1,0 +1,165 @@
+#include "net/async_client.h"
+
+#include <utility>
+
+#include "net/socket.h"
+#include "util/strings.h"
+
+namespace wmp::net {
+
+Result<std::unique_ptr<AsyncWireClient>> AsyncWireClient::Connect(
+    const std::string& address, AsyncWireClientOptions options) {
+  WMP_ASSIGN_OR_RETURN(const int fd, ConnectTo(address));
+  // The socket stays BLOCKING: the reader thread parks in ReadFrame and
+  // writes flow-control themselves via the in-flight window — only the
+  // server side needs readiness multiplexing.
+  return std::unique_ptr<AsyncWireClient>(
+      new AsyncWireClient(fd, options));
+}
+
+AsyncWireClient::AsyncWireClient(int fd, AsyncWireClientOptions options)
+    : options_(options), fd_(fd) {
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+AsyncWireClient::~AsyncWireClient() { Close(); }
+
+Result<std::future<Result<ScoreResponse>>> AsyncWireClient::SubmitScore(
+    std::string_view tenant,
+    const std::vector<workloads::QueryRecord>& records,
+    const std::vector<core::WorkloadBatch>& batches) {
+  uint32_t correlation_id = 0;
+  std::future<Result<ScoreResponse>> future;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    window_cv_.wait(lock, [this] {
+      return dead_ || pendings_.size() < options_.max_inflight;
+    });
+    if (dead_) return death_status_;
+    correlation_id = next_correlation_++;
+    if (next_correlation_ == 0) next_correlation_ = 1;  // 0 = never issued
+    auto [it, inserted] =
+        pendings_.emplace(correlation_id,
+                          std::promise<Result<ScoreResponse>>());
+    future = it->second.get_future();
+  }
+  const std::string payload = EncodePipelinedPayload(
+      correlation_id, EncodeScoreRequest(tenant, records, batches));
+  Status written;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    written =
+        WriteFrame(fd_, FrameType::kScoreRequestPipelined, payload);
+  }
+  if (!written.ok()) {
+    // The stream is broken for everyone, not just this request; the
+    // reader notices EOF too, but whoever sees it first reports it.
+    FailAll(written);
+    return written;
+  }
+  return future;
+}
+
+void AsyncWireClient::ReaderLoop() {
+  FrameLimits limits;
+  limits.max_payload_bytes = options_.max_payload_bytes;
+  for (;;) {
+    auto frame = ReadFrame(fd_, limits);
+    if (!frame.ok()) {
+      // NotFound = clean EOF. Either way the stream is over; anything
+      // unanswered will never be answered.
+      FailAll(frame.status().IsNotFound()
+                  ? Status::IOError(
+                        "server closed the connection with requests in "
+                        "flight")
+                  : frame.status());
+      return;
+    }
+    switch (frame->type) {
+      case FrameType::kScoreResponsePipelined:
+      case FrameType::kErrorPipelined: {
+        std::string body;
+        auto correlation_id = DecodePipelinedPayload(frame->payload, &body);
+        if (!correlation_id.ok()) {
+          FailAll(correlation_id.status());
+          return;
+        }
+        Result<ScoreResponse> outcome = [&]() -> Result<ScoreResponse> {
+          if (frame->type == FrameType::kErrorPipelined) {
+            return StatusFromError(DecodeErrorBody(body));
+          }
+          return DecodeScoreResponse(body);
+        }();
+        std::promise<Result<ScoreResponse>> promise;
+        bool matched = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto it = pendings_.find(*correlation_id);
+          if (it != pendings_.end()) {
+            promise = std::move(it->second);
+            pendings_.erase(it);
+            matched = true;
+          }
+        }
+        if (!matched) {
+          // A response for a request we never made: the server and client
+          // disagree about the stream — unrecoverable.
+          FailAll(Status::Internal(StrFormat(
+              "unmatched correlation id %u on pipelined response",
+              *correlation_id)));
+          return;
+        }
+        promise.set_value(std::move(outcome));
+        window_cv_.notify_one();
+        break;
+      }
+      case FrameType::kError:
+        // Stream-level indictment (e.g. a frame the server could not even
+        // attribute to a request).
+        FailAll(StatusFromError(DecodeErrorBody(frame->payload)));
+        return;
+      default:
+        FailAll(Status::Internal(
+            StrFormat("unexpected %s frame on pipelined stream",
+                      FrameTypeName(frame->type))));
+        return;
+    }
+  }
+}
+
+void AsyncWireClient::FailAll(const Status& status) {
+  std::unordered_map<uint32_t, std::promise<Result<ScoreResponse>>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!dead_) {
+      dead_ = true;
+      death_status_ = status;
+    }
+    orphans.swap(pendings_);
+  }
+  for (auto& [correlation_id, promise] : orphans) {
+    promise.set_value(death_status_);
+  }
+  window_cv_.notify_all();
+}
+
+size_t AsyncWireClient::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pendings_.size();
+}
+
+bool AsyncWireClient::alive() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !dead_;
+}
+
+void AsyncWireClient::Close() {
+  FailAll(Status::FailedPrecondition("client closed"));
+  // CloseConnection shuts down both directions first, waking the reader
+  // out of a parked ReadFrame.
+  CloseConnection(fd_);
+  if (reader_.joinable()) reader_.join();
+  fd_ = -1;
+}
+
+}  // namespace wmp::net

@@ -1,0 +1,103 @@
+#include "net/dispatch.h"
+
+#include <utility>
+
+#include "util/io.h"
+#include "util/strings.h"
+
+namespace wmp::net {
+
+Frame ErrorFrame(const Status& status) {
+  ErrorBody error;
+  error.code = static_cast<uint8_t>(status.code());
+  error.message = status.message();
+  return Frame{FrameType::kError, EncodeErrorBody(error)};
+}
+
+std::vector<std::future<Result<double>>> RequestDispatcher::SubmitScore(
+    const ScoreRequest& request) const {
+  // Submit every workload before anyone collects a future: the service
+  // micro-batches the whole request into as few flushes as possible, which
+  // is the entire point of batched score frames.
+  std::vector<std::future<Result<double>>> futures;
+  futures.reserve(request.batches.size());
+  for (const core::WorkloadBatch& b : request.batches) {
+    futures.push_back(
+        service_->Submit(request.tenant, request.records, b.query_indices));
+  }
+  return futures;
+}
+
+Frame RequestDispatcher::BuildScoreResponse(
+    std::vector<Result<double>> outcomes) {
+  ScoreResponse response;
+  response.ok.resize(outcomes.size());
+  response.predictions.assign(outcomes.size(), 0.0);
+  response.errors.resize(outcomes.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].ok()) {
+      response.ok[i] = 1;
+      response.predictions[i] = *outcomes[i];
+    } else {
+      response.ok[i] = 0;
+      response.errors[i] = outcomes[i].status().ToString();
+    }
+  }
+  return Frame{FrameType::kScoreResponse, EncodeScoreResponse(response)};
+}
+
+Frame RequestDispatcher::HandlePublish(const Frame& request) const {
+  auto decoded = DecodePublishRequest(request.payload);
+  if (!decoded.ok()) return ErrorFrame(decoded.status());
+  BinaryReader reader(std::move(decoded->model_bytes));
+  auto model = core::LearnedWmpModel::Deserialize(&reader);
+  if (!model.ok()) {
+    return ErrorFrame(Status(model.status().code(),
+                             "artifact rejected: " + model.status().message()));
+  }
+  auto fresh =
+      std::make_shared<const core::LearnedWmpModel>(std::move(*model));
+  const std::string name = decoded->model_name.empty()
+                               ? default_model_name_
+                               : decoded->model_name;
+  auto epoch = service_->PublishAll(std::move(fresh), registry_, name);
+  if (!epoch.ok()) return ErrorFrame(epoch.status());
+  PublishResponse response;
+  response.registry_epoch = *epoch;
+  response.shards_swapped = service_->num_shards();
+  return Frame{FrameType::kPublishResponse, EncodePublishResponse(response)};
+}
+
+Frame RequestDispatcher::HandleRollback(const Frame& request) const {
+  auto decoded = DecodeRollbackRequest(request.payload);
+  if (!decoded.ok()) return ErrorFrame(decoded.status());
+  if (registry_ == nullptr) {
+    return ErrorFrame(
+        Status::FailedPrecondition("server has no model registry"));
+  }
+  // Registry pop + shard swap are one atomic rollout inside the service
+  // (same mutex as PublishAll), so a racing publish frame can't leave the
+  // shards serving a different model than the registry's current epoch.
+  auto epoch = service_->RollbackAll(registry_, decoded->model_name);
+  if (!epoch.ok()) return ErrorFrame(epoch.status());
+  RollbackResponse response;
+  response.registry_epoch = *epoch;
+  response.shards_swapped = service_->num_shards();
+  return Frame{FrameType::kRollbackResponse,
+               EncodeRollbackResponse(response)};
+}
+
+Frame RequestDispatcher::HandleStats(const WireServerCounters& server) const {
+  StatsResponse response;
+  response.service = service_->stats();
+  response.server = server;
+  return Frame{FrameType::kStatsResponse, EncodeStatsResponse(response)};
+}
+
+Frame RequestDispatcher::UnexpectedFrame(FrameType type) {
+  return ErrorFrame(Status::InvalidArgument(
+      StrFormat("unexpected frame type %u (%s)", static_cast<unsigned>(type),
+                FrameTypeName(type))));
+}
+
+}  // namespace wmp::net

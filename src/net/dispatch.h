@@ -1,0 +1,85 @@
+#ifndef WMP_NET_DISPATCH_H_
+#define WMP_NET_DISPATCH_H_
+
+/// \file dispatch.h
+/// Transport-independent request execution shared by the blocking
+/// net::WireServer and the event-loop net::ReactorServer.
+///
+/// Both servers speak the same WMF1 frames and land work on the same
+/// engine::ScoringService / engine::ModelRegistry; what differs is purely
+/// how bytes arrive (thread-per-connection blocking reads vs. one reactor
+/// multiplexing every socket). Everything that is NOT transport lives
+/// here: decode, validation (including the publish artifact checksum,
+/// which DecodePublishRequest enforces), registry/service calls, and
+/// response encoding. That is what keeps the two servers bitwise
+/// interchangeable — a response frame depends only on the request frame
+/// and the service state, never on which server built it.
+///
+/// Scoring is the one request that is intentionally split: SubmitScore
+/// enqueues every workload of a request and hands back the futures, and
+/// BuildScoreResponse turns collected outcomes into the response frame.
+/// The blocking server calls them back to back (get() between the two);
+/// the reactor parks the futures and finishes the response as the service
+/// fulfills them, without ever blocking the event loop.
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "engine/model_registry.h"
+#include "engine/scoring_service.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace wmp::net {
+
+/// Builds the kError frame for `status` (code + message as an ErrorBody).
+Frame ErrorFrame(const Status& status);
+
+/// \brief Executes decoded requests against a service + registry pair.
+///
+/// Borrows both; they must outlive the dispatcher. `default_model_name` is
+/// the registry name publish frames fall back to when they carry an empty
+/// name.
+class RequestDispatcher {
+ public:
+  RequestDispatcher(engine::ScoringService* service,
+                    engine::ModelRegistry* registry,
+                    std::string default_model_name)
+      : service_(service),
+        registry_(registry),
+        default_model_name_(std::move(default_model_name)) {}
+
+  /// Submits every workload of `request` to the service; futures come back
+  /// in workload order. The caller owns `request` and must keep its
+  /// `records` alive until every future resolves (Submit's borrow).
+  std::vector<std::future<Result<double>>> SubmitScore(
+      const ScoreRequest& request) const;
+
+  /// Folds fully-collected outcomes into a kScoreResponse frame.
+  static Frame BuildScoreResponse(std::vector<Result<double>> outcomes);
+
+  /// Deserializes the carried artifact (checksum already verified at
+  /// decode) and rolls it out across all shards with registry recording.
+  Frame HandlePublish(const Frame& request) const;
+
+  /// Re-publishes the previous registry epoch of the named model.
+  Frame HandleRollback(const Frame& request) const;
+
+  /// Service counters + the calling server's own counters.
+  Frame HandleStats(const WireServerCounters& server) const;
+
+  /// The response for a frame type no server understands.
+  static Frame UnexpectedFrame(FrameType type);
+
+  engine::ScoringService* service() const { return service_; }
+
+ private:
+  engine::ScoringService* service_;
+  engine::ModelRegistry* registry_;
+  std::string default_model_name_;
+};
+
+}  // namespace wmp::net
+
+#endif  // WMP_NET_DISPATCH_H_

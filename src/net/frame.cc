@@ -13,7 +13,7 @@ namespace wmp::net {
 namespace {
 
 constexpr uint32_t kFrameMagic = 0x31464D57;  // "WMF1" little-endian
-constexpr size_t kHeaderBytes = 4 + 1 + 4;    // magic + type + length
+constexpr size_t kHeaderBytes = kFrameHeaderBytes;
 
 // Blocking write of exactly n bytes; handles short writes and EINTR.
 // send(MSG_NOSIGNAL) keeps a peer hangup from raising SIGPIPE; for
@@ -89,6 +89,10 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kStatsResponse: return "stats-response";
     case FrameType::kRollbackRequest: return "rollback-request";
     case FrameType::kRollbackResponse: return "rollback-response";
+    case FrameType::kScoreRequestPipelined: return "score-request-pipelined";
+    case FrameType::kScoreResponsePipelined:
+      return "score-response-pipelined";
+    case FrameType::kErrorPipelined: return "error-pipelined";
     case FrameType::kError: return "error";
   }
   return "unknown";

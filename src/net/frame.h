@@ -46,11 +46,32 @@ enum class FrameType : uint8_t {
   kStatsResponse = 7,
   kRollbackRequest = 8,
   kRollbackResponse = 9,
+  /// \name Pipelined scoring (net::AsyncWireClient <-> net::ReactorServer).
+  ///
+  /// Payload is a u32 correlation id followed by the plain
+  /// ScoreRequest/ScoreResponse encoding. A client may have many of these
+  /// in flight on one connection and the server answers in COMPLETION
+  /// order, not request order — the correlation id is how responses find
+  /// their request. The plain (non-pipelined) frame types above keep strict
+  /// request/response ordering, which is what makes the blocking client a
+  /// usable equivalence oracle against either server.
+  /// @{
+  kScoreRequestPipelined = 10,
+  kScoreResponsePipelined = 11,
+  /// @}
+  /// Failure of one pipelined request: u32 correlation id + ErrorBody.
+  /// Unlike kError it indicts a single in-flight request, not the stream.
+  kErrorPipelined = 253,
   /// Server-side failure report: payload is a protocol::ErrorBody.
   kError = 255,
 };
 
 const char* FrameTypeName(FrameType type);
+
+/// Fixed frame-header size: u32 magic + u8 type + u32 payload length.
+/// Incremental decoders (the reactor) and header-crafting tests need the
+/// number; the codec below is the only thing that interprets the bytes.
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4;
 
 /// One decoded frame.
 struct Frame {

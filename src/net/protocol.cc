@@ -1,7 +1,9 @@
 #include "net/protocol.h"
 
+#include <cstring>
 #include <utility>
 
+#include "util/hash.h"
 #include "util/io.h"
 #include "util/strings.h"
 #include "workloads/wire_format.h"
@@ -113,6 +115,10 @@ std::string EncodePublishRequest(const PublishRequest& request) {
   BinaryWriter w;
   w.WriteString(request.model_name);
   w.WriteString(request.model_bytes);
+  // The encoder hashes the exact bytes it just wrote — callers cannot
+  // forget the checksum, and any corruption between here and the
+  // receiver's decode (the wire) is what the check exists to catch.
+  w.WriteU64(ArtifactChecksum(request.model_bytes));
   return w.buffer();
 }
 
@@ -121,10 +127,22 @@ Result<PublishRequest> DecodePublishRequest(const std::string& payload) {
   PublishRequest request;
   WMP_ASSIGN_OR_RETURN(request.model_name, r.ReadString());
   WMP_ASSIGN_OR_RETURN(request.model_bytes, r.ReadString());
+  WMP_ASSIGN_OR_RETURN(request.artifact_hash, r.ReadU64());
   // An empty name is valid at the protocol layer — the server substitutes
   // its default registry name (see WireServer::HandlePublish).
   if (request.model_bytes.empty()) {
     return Status::InvalidArgument("publish request carries no artifact");
+  }
+  // Integrity gate for rollouts: a publish whose artifact no longer hashes
+  // to what the sender computed is rejected here, before the model is even
+  // deserialized — so no shard swap and no registry epoch can come of it.
+  const uint64_t computed = ArtifactChecksum(request.model_bytes);
+  if (computed != request.artifact_hash) {
+    return Status::InvalidArgument(StrFormat(
+        "artifact checksum mismatch (wire %016llx, computed %016llx): "
+        "model bytes were corrupted in transit",
+        static_cast<unsigned long long>(request.artifact_hash),
+        static_cast<unsigned long long>(computed)));
   }
   return request;
 }
@@ -282,6 +300,34 @@ ErrorBody DecodeErrorBody(const std::string& payload) {
     error.message = "unparseable error frame from peer";
   }
   return error;
+}
+
+uint64_t ArtifactChecksum(std::string_view model_bytes) {
+  return util::HashBytes(model_bytes.data(), model_bytes.size(),
+                         0x574D505055424C48ull);  // "WMPPUBLH"
+}
+
+std::string EncodePipelinedPayload(uint32_t correlation_id,
+                                   std::string_view body) {
+  std::string out;
+  out.reserve(sizeof(correlation_id) + body.size());
+  out.append(reinterpret_cast<const char*>(&correlation_id),
+             sizeof(correlation_id));
+  out.append(body.data(), body.size());
+  return out;
+}
+
+Result<uint32_t> DecodePipelinedPayload(const std::string& payload,
+                                        std::string* body) {
+  if (payload.size() < sizeof(uint32_t)) {
+    return Status::InvalidArgument(
+        "pipelined payload too short for a correlation id");
+  }
+  uint32_t correlation_id = 0;
+  std::memcpy(&correlation_id, payload.data(), sizeof(correlation_id));
+  body->assign(payload, sizeof(correlation_id),
+               payload.size() - sizeof(correlation_id));
+  return correlation_id;
 }
 
 Status StatusFromError(const ErrorBody& error) {

@@ -57,6 +57,13 @@ struct ScoreResponse {
 struct PublishRequest {
   std::string model_name;
   std::string model_bytes;  ///< LearnedWmpModel::Serialize stream
+  /// ArtifactChecksum(model_bytes). EncodePublishRequest computes it over
+  /// the exact bytes it puts on the wire (this field is ignored on
+  /// encode); DecodePublishRequest recomputes, fills this in, and rejects
+  /// on mismatch — so a truncated or bit-flipped artifact dies at the
+  /// protocol boundary, before deserialization, before PublishAll, and
+  /// before any ModelRegistry epoch exists for it.
+  uint64_t artifact_hash = 0;
 };
 
 struct PublishResponse {
@@ -129,6 +136,27 @@ ErrorBody DecodeErrorBody(const std::string& payload);
 
 /// Convenience: the Status a client should surface for a kError frame.
 Status StatusFromError(const ErrorBody& error);
+
+/// Integrity checksum of a serialized model artifact as it travels on a
+/// publish frame (util::HashBytes under a fixed seed). Non-cryptographic:
+/// the threat model is truncation and bit rot between trainer and fleet,
+/// not an adversary forging artifacts. Both sides hash the same
+/// little-endian byte stream, so the check is platform-stable wherever the
+/// artifacts themselves are.
+uint64_t ArtifactChecksum(std::string_view model_bytes);
+
+/// \name Pipelined-frame payload framing.
+///
+/// A kScoreRequestPipelined / kScoreResponsePipelined / kErrorPipelined
+/// payload is a u32 correlation id followed by the corresponding plain
+/// payload encoding — compose these with the Encode/Decode pairs above.
+/// @{
+std::string EncodePipelinedPayload(uint32_t correlation_id,
+                                   std::string_view body);
+/// Splits off the correlation id; `*body` receives the inner payload.
+Result<uint32_t> DecodePipelinedPayload(const std::string& payload,
+                                        std::string* body);
+/// @}
 
 }  // namespace wmp::net
 

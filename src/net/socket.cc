@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -163,7 +164,7 @@ void Listener::Close() {
     // shutdown() wakes a thread blocked in accept() on some platforms;
     // close() finishes the job on Linux.
     ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
+    CloseFd(fd_);
     fd_ = -1;
   }
   if (!unix_path_.empty()) {
@@ -204,6 +205,23 @@ Result<int> ConnectTo(const std::string& address) {
 void CloseConnection(int fd) {
   if (fd < 0) return;
   ::shutdown(fd, SHUT_RDWR);
+  CloseFd(fd);
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  // Exactly one close: on Linux EINTR means the fd is already released, and
+  // a retry would race a concurrent accept()/socket() reusing the number.
   ::close(fd);
 }
 

@@ -2,8 +2,9 @@
 #define WMP_NET_SOCKET_H_
 
 /// \file socket.h
-/// Address parsing and blocking-socket setup shared by net::WireServer and
-/// net::WireClient.
+/// Address parsing and socket setup shared by the wire-protocol endpoints:
+/// the blocking net::WireServer/net::WireClient pair and the event-loop
+/// net::ReactorServer/net::AsyncWireClient pair.
 ///
 /// Addresses come in two spellings:
 ///
@@ -13,9 +14,10 @@
 ///   "host:port"            IPv4 TCP; "127.0.0.1:0" binds an ephemeral
 ///                          port, reported back by Listener::port()
 ///
-/// Everything here is thin POSIX: the wire protocol's concurrency model is
-/// blocking I/O per connection (see wire_server.h), so no nonblocking or
-/// event-loop machinery is needed.
+/// Everything here is thin POSIX. Sockets are created blocking (what the
+/// thread-per-connection server wants); the reactor flips its listener and
+/// every accepted connection to nonblocking via SetNonBlocking and drives
+/// them from one poll/epoll loop (see reactor_server.h).
 
 #include <string>
 
@@ -48,6 +50,10 @@ class Listener {
   void Close();
 
   bool listening() const { return fd_ >= 0; }
+  /// Raw listening descriptor — the reactor registers it with its poller
+  /// and accepts nonblocking; -1 when not listening. The Listener keeps
+  /// ownership (Close() still tears it down).
+  int fd() const { return fd_; }
   /// Resolved TCP port (meaningful after Listen on "host:0"); 0 for Unix.
   int port() const { return port_; }
   /// The address clients should connect to (ephemeral port resolved).
@@ -66,6 +72,17 @@ Result<int> ConnectTo(const std::string& address);
 /// Closes a connection fd, first shutting both directions down so a peer
 /// blocked in read() wakes immediately. Safe on -1.
 void CloseConnection(int fd);
+
+/// Sets or clears O_NONBLOCK on `fd`. The reactor flips every accepted
+/// connection (and the listener itself) to nonblocking; the blocking
+/// endpoints never call this.
+Status SetNonBlocking(int fd, bool nonblocking);
+
+/// EINTR-correct close(2), safe on -1 — the one way every endpoint
+/// releases a descriptor it owns. On Linux an EINTR'd close has already
+/// freed the fd, so retrying could close a descriptor another thread just
+/// received; this helper closes exactly once and swallows EINTR instead.
+void CloseFd(int fd);
 
 }  // namespace wmp::net
 

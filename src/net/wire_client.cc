@@ -120,6 +120,8 @@ Result<uint64_t> WireClient::Publish(std::string_view name,
   PublishRequest request;
   request.model_name = std::string(name);
   request.model_bytes = artifact.buffer();
+  // EncodePublishRequest checksums the artifact bytes; the server
+  // recomputes over what it received and refuses the rollout on mismatch.
   WMP_ASSIGN_OR_RETURN(
       Frame frame,
       RoundTrip(FrameType::kPublishRequest, EncodePublishRequest(request),

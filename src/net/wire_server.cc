@@ -5,17 +5,12 @@
 #include <thread>
 #include <utility>
 
-#include "util/io.h"
-#include "util/strings.h"
-
 namespace wmp::net {
 
 WireServer::WireServer(engine::ScoringService* service,
                        engine::ModelRegistry* registry,
                        std::string model_name, WireServerOptions options)
-    : service_(service),
-      registry_(registry),
-      model_name_(std::move(model_name)),
+    : dispatcher_(service, registry, std::move(model_name)),
       options_(options) {}
 
 WireServer::~WireServer() { Shutdown(); }
@@ -127,103 +122,28 @@ Frame WireServer::HandleFrame(const Frame& request) {
     case FrameType::kScoreRequest:
       return HandleScore(request);
     case FrameType::kPublishRequest:
-      return HandlePublish(request);
+      return dispatcher_.HandlePublish(request);
     case FrameType::kRollbackRequest:
-      return HandleRollback(request);
+      return dispatcher_.HandleRollback(request);
     case FrameType::kStatsRequest:
-      return HandleStats();
+      return dispatcher_.HandleStats(stats());
     default:
-      return ErrorFrame(Status::InvalidArgument(
-          StrFormat("unexpected frame type %u (%s)",
-                    static_cast<unsigned>(request.type),
-                    FrameTypeName(request.type))));
+      return RequestDispatcher::UnexpectedFrame(request.type);
   }
 }
 
 Frame WireServer::HandleScore(const Frame& request) {
   auto decoded = DecodeScoreRequest(request.payload);
   if (!decoded.ok()) return ErrorFrame(decoded.status());
-  const ScoreRequest& score = *decoded;
-  // Submit every workload before collecting any future: the service
-  // micro-batches the whole request into as few flushes as possible, which
-  // is the entire point of batched score frames. The request's records
-  // outlive the futures (collected below), satisfying Submit's borrow.
-  std::vector<std::future<Result<double>>> futures;
-  futures.reserve(score.batches.size());
-  for (const core::WorkloadBatch& b : score.batches) {
-    futures.push_back(
-        service_->Submit(score.tenant, score.records, b.query_indices));
-  }
-  ScoreResponse response;
-  response.ok.resize(score.batches.size());
-  response.predictions.assign(score.batches.size(), 0.0);
-  response.errors.resize(score.batches.size());
-  for (size_t i = 0; i < futures.size(); ++i) {
-    Result<double> outcome = futures[i].get();
-    if (outcome.ok()) {
-      response.ok[i] = 1;
-      response.predictions[i] = *outcome;
-    } else {
-      response.ok[i] = 0;
-      response.errors[i] = outcome.status().ToString();
-    }
-  }
-  return Frame{FrameType::kScoreResponse, EncodeScoreResponse(response)};
-}
-
-Frame WireServer::HandlePublish(const Frame& request) {
-  auto decoded = DecodePublishRequest(request.payload);
-  if (!decoded.ok()) return ErrorFrame(decoded.status());
-  BinaryReader reader(std::move(decoded->model_bytes));
-  auto model = core::LearnedWmpModel::Deserialize(&reader);
-  if (!model.ok()) {
-    return ErrorFrame(Status(model.status().code(),
-                             "artifact rejected: " + model.status().message()));
-  }
-  auto fresh =
-      std::make_shared<const core::LearnedWmpModel>(std::move(*model));
-  const std::string name = decoded->model_name.empty()
-                               ? model_name_
-                               : decoded->model_name;
-  auto epoch = service_->PublishAll(std::move(fresh), registry_, name);
-  if (!epoch.ok()) return ErrorFrame(epoch.status());
-  PublishResponse response;
-  response.registry_epoch = *epoch;
-  response.shards_swapped = service_->num_shards();
-  return Frame{FrameType::kPublishResponse, EncodePublishResponse(response)};
-}
-
-Frame WireServer::HandleRollback(const Frame& request) {
-  auto decoded = DecodeRollbackRequest(request.payload);
-  if (!decoded.ok()) return ErrorFrame(decoded.status());
-  if (registry_ == nullptr) {
-    return ErrorFrame(
-        Status::FailedPrecondition("server has no model registry"));
-  }
-  // Registry pop + shard swap are one atomic rollout inside the service
-  // (same mutex as PublishAll), so a racing publish frame can't leave the
-  // shards serving a different model than the registry's current epoch.
-  auto epoch = service_->RollbackAll(registry_, decoded->model_name);
-  if (!epoch.ok()) return ErrorFrame(epoch.status());
-  RollbackResponse response;
-  response.registry_epoch = *epoch;
-  response.shards_swapped = service_->num_shards();
-  return Frame{FrameType::kRollbackResponse,
-               EncodeRollbackResponse(response)};
-}
-
-Frame WireServer::HandleStats() const {
-  StatsResponse response;
-  response.service = service_->stats();
-  response.server = stats();
-  return Frame{FrameType::kStatsResponse, EncodeStatsResponse(response)};
-}
-
-Frame WireServer::ErrorFrame(const Status& status) {
-  ErrorBody error;
-  error.code = static_cast<uint8_t>(status.code());
-  error.message = status.message();
-  return Frame{FrameType::kError, EncodeErrorBody(error)};
+  // The request's records outlive the futures (collected right below),
+  // satisfying Submit's borrow; blocking this handler thread on get() is
+  // exactly the concurrency model of this server.
+  std::vector<std::future<Result<double>>> futures =
+      dispatcher_.SubmitScore(*decoded);
+  std::vector<Result<double>> outcomes;
+  outcomes.reserve(futures.size());
+  for (auto& future : futures) outcomes.push_back(future.get());
+  return RequestDispatcher::BuildScoreResponse(std::move(outcomes));
 }
 
 WireServerCounters WireServer::stats() const {

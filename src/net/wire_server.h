@@ -35,6 +35,13 @@
 ///    the connection; either way the server keeps serving everyone else.
 ///
 /// Thread-safety: Start/Serve once; Shutdown/stats from any thread.
+///
+/// This is the REFERENCE server: simple, blocking, one thread per socket.
+/// The production front end for many concurrent controllers is the
+/// event-loop net::ReactorServer (reactor_server.h); both execute requests
+/// through the same net::RequestDispatcher, so their responses are bitwise
+/// identical and this server doubles as the equivalence oracle in tests
+/// and benches.
 
 #include <atomic>
 #include <cstdint>
@@ -46,6 +53,7 @@
 
 #include "engine/model_registry.h"
 #include "engine/scoring_service.h"
+#include "net/dispatch.h"
 #include "net/frame.h"
 #include "net/protocol.h"
 #include "net/socket.h"
@@ -106,18 +114,14 @@ class WireServer {
   void AcceptLoop();
   void HandleConnection(Connection* conn);
   /// Decodes and executes one request frame; returns the response frame.
-  /// Never throws; failures become kError frames.
+  /// Never throws; failures become kError frames. The heavy lifting lives
+  /// in the shared net::RequestDispatcher (also used by ReactorServer);
+  /// this just routes on frame type and blocks on score futures.
   Frame HandleFrame(const Frame& request);
   Frame HandleScore(const Frame& request);
-  Frame HandlePublish(const Frame& request);
-  Frame HandleRollback(const Frame& request);
-  Frame HandleStats() const;
-  static Frame ErrorFrame(const Status& status);
   void ReapFinishedConnections();
 
-  engine::ScoringService* service_;
-  engine::ModelRegistry* registry_;
-  std::string model_name_;
+  RequestDispatcher dispatcher_;
   WireServerOptions options_;
   Listener listener_;
   std::thread serve_thread_;  // Start() only

@@ -3,9 +3,14 @@
 
 /// \file hash.h
 /// Shared non-cryptographic hashing primitives for the serving layer:
-/// query/workload content fingerprints (the histogram-cache key) and
-/// tenant routing. In-process stability is the only contract — nothing
-/// here is persisted or sent over a wire.
+/// query/workload content fingerprints (the histogram-cache key), tenant
+/// routing, and the publish-frame artifact checksum
+/// (net::ArtifactChecksum). The last one crosses the wire, so the byte
+/// hash is part of the protocol: HashBytes consumes its input as
+/// little-endian 8-byte words, which is bit-stable on every platform the
+/// wire protocol itself supports (the protocol is little-endian
+/// throughout). Nothing here is suitable where an adversary controls the
+/// input — these are integrity and distribution hashes, not MACs.
 
 #include <cstddef>
 #include <cstdint>

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "ml/binned.h"
@@ -201,6 +202,112 @@ TEST(BinColumnTest, BatchBinningMatchesBinValueBitwise) {
           EXPECT_EQ(narrow[i], binner.BinValue(0, probes[i]));
         }
       }
+    }
+  }
+}
+
+TEST(BinColumnTest, RadixBucketedSearchMatchesBinValueBitwise) {
+  // Features with >= 8 edges route BinColumn through the radix bucket
+  // index; its sub-range lower bound must return the IDENTICAL index as
+  // the scalar BinValue search for every probe — edges, both nextafter
+  // neighbours of every edge, far outside the range, infinities, and NaN
+  // (which must land in bin 0, like every all-comparisons-false search).
+  Rng rng(20260808);
+  for (size_t n_bins : {size_t{16}, size_t{64}, size_t{256}, size_t{1024}}) {
+    std::vector<double> train(4 * n_bins + 8);
+    double v = -500.0;
+    for (double& d : train) {
+      // Uneven gaps so bucket occupancy varies (some buckets empty, some
+      // holding several edges) — the interesting radix regimes.
+      v += rng.UniformDouble() * (rng.UniformDouble() < 0.1 ? 40.0 : 0.5) +
+           1e-3;
+      d = v;
+    }
+    Matrix x = ColumnMatrix(train);
+    FeatureBinner binner;
+    ASSERT_TRUE(binner.Fit(x, static_cast<int>(n_bins)).ok());
+    ASSERT_GE(binner.NumBins(0), 9u) << "fixture must trigger the radix path";
+    std::vector<double> probes = {
+        -1e300, 1e300, 0.0,
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()};
+    for (size_t b = 0; b + 1 < binner.NumBins(0); ++b) {
+      const double edge = binner.UpperEdge(0, b);
+      probes.push_back(edge);
+      probes.push_back(std::nextafter(edge, -1e308));
+      probes.push_back(std::nextafter(edge, 1e308));
+    }
+    for (int i = 0; i < 500; ++i) probes.push_back(rng.UniformDouble(-600, 600));
+    std::vector<uint16_t> got(probes.size(), 0xffff);
+    binner.BinColumn(0, probes.data(), probes.size(), 1, got.data(), 1);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      EXPECT_EQ(got[i], binner.BinValue(0, probes[i]))
+          << "bins=" << n_bins << " probe=" << probes[i];
+    }
+    EXPECT_EQ(binner.BinValue(0, std::numeric_limits<double>::quiet_NaN()), 0);
+  }
+}
+
+TEST(BinColumnTest, RadixIndexOnExternallySuppliedEdges) {
+  // FromEdges (the compiled-tree reconstruction path) must build the same
+  // radix index Fit does — including for adversarial edge layouts:
+  // clustered edges (many per bucket) and a huge-span outlier edge
+  // (nearly all edges in one bucket).
+  std::vector<double> clustered;
+  for (int i = 0; i < 40; ++i) clustered.push_back(1.0 + i * 1e-9);
+  clustered.push_back(1e6);  // almost everything collapses into bucket 0
+  FeatureBinner binner = FeatureBinner::FromEdges({clustered});
+  Rng rng(99);
+  std::vector<double> probes = {0.5, 1.0, 1.0 + 20e-9, 1e6, 2e6,
+                                std::numeric_limits<double>::quiet_NaN()};
+  for (const double e : clustered) {
+    probes.push_back(e);
+    probes.push_back(std::nextafter(e, -1e308));
+    probes.push_back(std::nextafter(e, 1e308));
+  }
+  for (int i = 0; i < 200; ++i) probes.push_back(rng.UniformDouble(0, 2e6));
+  std::vector<uint16_t> got(probes.size(), 0xffff);
+  binner.BinColumn(0, probes.data(), probes.size(), 1, got.data(), 1);
+  std::vector<double> edges_copy = clustered;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(got[i], binner.BinValue(0, probes[i])) << "i=" << i;
+    if (!std::isnan(probes[i])) {
+      const auto want = static_cast<uint16_t>(
+          std::lower_bound(edges_copy.begin(), edges_copy.end(), probes[i]) -
+          edges_copy.begin());
+      EXPECT_EQ(got[i], want) << "probe=" << probes[i];
+    }
+  }
+}
+
+TEST(BinColumnTest, DegenerateEdgeLayoutsFallBackSafely) {
+  // Few edges (below the radix threshold), zero span, and non-finite
+  // edges must all keep BinColumn == BinValue — whether by skipping the
+  // radix index or surviving inside it.
+  const std::vector<std::vector<double>> layouts = {
+      {1.0},                                   // single edge
+      {1.0, 2.0, 3.0},                         // below threshold
+      {std::numeric_limits<double>::lowest(),  // span overflows to inf
+       0.0, 1.0, 2.0, 3.0, 4.0, 5.0,
+       std::numeric_limits<double>::max()},
+  };
+  Rng rng(101);
+  for (const auto& edges : layouts) {
+    FeatureBinner binner = FeatureBinner::FromEdges({edges});
+    std::vector<double> probes = {-1e308, 1e308, 0.0,
+                                  std::numeric_limits<double>::quiet_NaN()};
+    for (const double e : edges) {
+      probes.push_back(e);
+      probes.push_back(std::nextafter(e, -1e308));
+      probes.push_back(std::nextafter(e, 1e308));
+    }
+    for (int i = 0; i < 50; ++i) probes.push_back(rng.UniformDouble(-10, 10));
+    std::vector<uint16_t> got(probes.size(), 0xffff);
+    binner.BinColumn(0, probes.data(), probes.size(), 1, got.data(), 1);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      EXPECT_EQ(got[i], binner.BinValue(0, probes[i]))
+          << "edges=" << edges.size() << " probe=" << probes[i];
     }
   }
 }

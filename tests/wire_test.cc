@@ -24,6 +24,7 @@
 #include "net/socket.h"
 #include "net/wire_client.h"
 #include "net/wire_server.h"
+#include "util/io.h"
 #include "util/strings.h"
 #include "workloads/dataset.h"
 
@@ -508,6 +509,56 @@ TEST_F(WireTest, PublishRejectsCorruptArtifactAndKeepsServing) {
     ASSERT_TRUE((*got)[w].ok());
     EXPECT_EQ(*(*got)[w], want->predictions[w]);
   }
+  server.Shutdown();
+  service.Stop();
+}
+
+TEST_F(WireTest, PublishChecksumCatchesWireCorruptionBeforeAnyEpoch) {
+  // A VALID artifact corrupted between encode and decode — the scenario
+  // the publish checksum exists for. A single flipped bit inside the
+  // model bytes must be rejected at DecodePublishRequest (the error
+  // names the checksum), leaving the registry epoch count untouched —
+  // the artifact never even reaches Deserialize.
+  engine::ScoringService service({model_});
+  engine::ModelRegistry registry;
+  ASSERT_TRUE(registry.Record("default", Borrow(model_)).ok());
+  net::WireServer server(&service, &registry, "default");
+  const std::string address = SocketAddress("cksum");
+  ASSERT_TRUE(server.Listen(address).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  BinaryWriter artifact;
+  ASSERT_TRUE(model2_->Serialize(&artifact).ok());
+  net::PublishRequest request;
+  request.model_name = "default";
+  request.model_bytes = artifact.buffer();
+  std::string payload = net::EncodePublishRequest(request);
+  // Payload layout: u32 name len + name + u32 bytes len + bytes + u64
+  // hash. Flip one bit comfortably inside the model bytes.
+  const size_t byte_in_model =
+      4 + request.model_name.size() + 4 + request.model_bytes.size() / 2;
+  ASSERT_LT(byte_in_model, payload.size() - 8);
+  payload[byte_in_model] ^= 0x01;
+
+  auto fd = net::ConnectTo(address);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(
+      net::WriteFrame(*fd, net::FrameType::kPublishRequest, payload).ok());
+  auto error = net::ReadFrame(*fd);
+  ASSERT_TRUE(error.ok());
+  ASSERT_EQ(error->type, net::FrameType::kError);
+  const net::ErrorBody body = net::DecodeErrorBody(error->payload);
+  EXPECT_NE(body.message.find("checksum"), std::string::npos)
+      << "rejection must come from the checksum, got: " << body.message;
+  net::CloseConnection(*fd);
+
+  EXPECT_EQ(registry.NumEpochs("default"), 1u)
+      << "a corrupt publish must not create a registry epoch";
+  // An uncorrupted publish of the same artifact still goes through.
+  net::WireClient client(address);
+  auto epoch = client.Publish("default", *model2_);
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(registry.NumEpochs("default"), 2u);
   server.Shutdown();
   service.Stop();
 }

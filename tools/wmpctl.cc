@@ -69,6 +69,8 @@
 #include "engine/model_registry.h"
 #include "engine/scoring_service.h"
 #include "ml/metrics.h"
+#include "net/async_client.h"
+#include "net/reactor_server.h"
 #include "net/wire_client.h"
 #include "net/wire_server.h"
 #include "util/parallel.h"
@@ -122,10 +124,11 @@ int Usage() {
                "  wmpctl serve    --listen=ADDR --model=PATH "
                "[--name=default] [--shards=N]\n"
                "                 [--warm-log=PATH] [--max-batch=64] "
-               "[--max-delay-us=200]\n"
+               "[--max-delay-us=200] [--reactor]\n"
                "  wmpctl score    --log=PATH (--connect=ADDR | "
                "--model=PATH) [--batch=S]\n"
-               "                 [--chunk=4096] [--tenant=NAME]\n"
+               "                 [--chunk=4096] [--tenant=NAME] "
+               "[--pipeline[=N]]\n"
                "  wmpctl rollback --connect=ADDR [--name=default]\n"
                "ADDR is unix:/path.sock or host:port; --publish accepts "
                "--connect=ADDR\n"
@@ -538,9 +541,12 @@ int CmdServeBench(const std::map<std::string, std::string>& flags) {
   return errors.load() == 0 ? 0 : 1;
 }
 
-// wmpctl serve — the out-of-process serving daemon: WireServer fronting a
-// sharded ScoringService, with a ModelRegistry so remote publishes are
-// rollback-able. Blocks until SIGINT/SIGTERM.
+// wmpctl serve — the out-of-process serving daemon: a wire server fronting
+// a sharded ScoringService, with a ModelRegistry so remote publishes are
+// rollback-able. --reactor swaps the blocking thread-per-connection server
+// for the single-threaded epoll reactor (same protocol, same scores; the
+// reactor additionally speaks the pipelined score frames). Blocks until
+// SIGINT/SIGTERM.
 int CmdServe(const std::map<std::string, std::string>& flags) {
   const std::string address = FlagOr(flags, "listen", "");
   const std::string model_path = FlagOr(flags, "model", "");
@@ -599,25 +605,42 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     return Fail(recorded.status());
   }
 
-  net::WireServer server(&service, &registry, name);
-  if (Status st = server.Listen(address); !st.ok()) return Fail(st);
+  const bool use_reactor = FlagOr(flags, "reactor", "0") != "0";
+  std::unique_ptr<net::WireServer> blocking;
+  std::unique_ptr<net::ReactorServer> reactor;
+  if (use_reactor) {
+    reactor = std::make_unique<net::ReactorServer>(&service, &registry, name);
+  } else {
+    blocking = std::make_unique<net::WireServer>(&service, &registry, name);
+  }
+  Status listen = use_reactor ? reactor->Listen(address)
+                              : blocking->Listen(address);
+  if (!listen.ok()) return Fail(listen);
 
-  // The accept loop runs in the background; this thread sigwaits for the
-  // (already blocked) shutdown signals and tears down with ordinary
+  // The accept/event loop runs in the background; this thread sigwaits for
+  // the (already blocked) shutdown signals and tears down with ordinary
   // signal-unsafe calls, not inside a handler.
-  if (Status st = server.Start(); !st.ok()) return Fail(st);
-  std::printf("serving '%s' (%d shard%s) on %s — SIGINT/SIGTERM stops\n",
+  Status started = use_reactor ? reactor->Start() : blocking->Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("serving '%s' (%d shard%s, %s) on %s — SIGINT/SIGTERM stops\n",
               name.c_str(), num_shards, num_shards == 1 ? "" : "s",
-              server.address().c_str());
+              use_reactor ? "reactor" : "blocking",
+              use_reactor ? reactor->address().c_str()
+                          : blocking->address().c_str());
   std::fflush(stdout);
   int sig = 0;
   sigwait(&set, &sig);
   std::printf("signal %d: shutting down\n", sig);
-  server.Shutdown();
+  if (use_reactor) {
+    reactor->Shutdown();
+  } else {
+    blocking->Shutdown();
+  }
   service.Stop();
 
   const engine::ServiceStats st = service.stats();
-  const net::WireServerCounters wc = server.stats();
+  const net::WireServerCounters wc =
+      use_reactor ? reactor->stats().wire : blocking->stats();
   std::printf(
       "served %llu requests (%llu failed) over %llu connections, "
       "%llu frames, %llu protocol errors\n",
@@ -626,6 +649,15 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
       static_cast<unsigned long long>(wc.connections_accepted),
       static_cast<unsigned long long>(wc.frames_served),
       static_cast<unsigned long long>(wc.protocol_errors));
+  if (use_reactor) {
+    const net::ReactorCounters rc = reactor->stats();
+    std::printf(
+        "  reactor: %llu pipelined frames, %llu backpressure pauses, "
+        "%llu idle connections reaped\n",
+        static_cast<unsigned long long>(rc.pipelined_frames),
+        static_cast<unsigned long long>(rc.backpressure_pauses),
+        static_cast<unsigned long long>(rc.idle_closed));
+  }
   std::printf(
       "  models published %llu, template entries warmed %llu, histogram "
       "hit rate %.1f%%, template hit rate %.1f%%\n",
@@ -638,7 +670,10 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
 // wmpctl score — chunked log scoring: the log streams through
 // QueryLogReader in --chunk-sized slices, each scored remotely
 // (--connect) or locally (--model), so the resident set never exceeds
-// ~one chunk of parsed records regardless of log size.
+// ~one chunk of parsed records regardless of log size. With --pipeline[=N]
+// (requires --connect and a --reactor server) each workload travels as its
+// own pipelined frame with up to N in flight, so wire latency amortizes
+// instead of gating every workload on a round trip.
 int CmdScore(const std::map<std::string, std::string>& flags) {
   const std::string log_path = FlagOr(flags, "log", "");
   const std::string address = FlagOr(flags, "connect", "");
@@ -653,10 +688,32 @@ int CmdScore(const std::map<std::string, std::string>& flags) {
                static_cast<long long>(batch_size)));
   const std::string tenant = FlagOr(flags, "tenant", "wmpctl");
 
+  const std::string pipeline_flag = FlagOr(flags, "pipeline", "");
+  size_t pipeline_window = 0;  // 0 = plain request/response client
+  if (!pipeline_flag.empty() && pipeline_flag != "0") {
+    if (address.empty()) {
+      std::fprintf(stderr, "--pipeline requires --connect\n");
+      return Usage();
+    }
+    // Bare --pipeline parses as "1"; treat it as "use the default window"
+    // rather than a window of one (which would be plain request/response
+    // with extra framing).
+    const long long n = std::atoll(pipeline_flag.c_str());
+    pipeline_window = n > 1 ? static_cast<size_t>(n)
+                            : net::AsyncWireClientOptions{}.max_inflight;
+  }
+
   Result<core::LearnedWmpModel> local_model = Status::NotFound("unused");
   std::unique_ptr<engine::BatchScorer> local;
   std::unique_ptr<net::WireClient> remote;
-  if (!address.empty()) {
+  std::unique_ptr<net::AsyncWireClient> pipelined;
+  if (pipeline_window > 0) {
+    net::AsyncWireClientOptions aopt;
+    aopt.max_inflight = pipeline_window;
+    auto connected = net::AsyncWireClient::Connect(address, aopt);
+    if (!connected.ok()) return Fail(connected.status());
+    pipelined = std::move(*connected);
+  } else if (!address.empty()) {
     remote = std::make_unique<net::WireClient>(address);
     if (Status st = remote->Connect(); !st.ok()) return Fail(st);
   } else {
@@ -692,7 +749,47 @@ int CmdScore(const std::map<std::string, std::string>& flags) {
       scored.push_back(std::move(window[i]));
     }
     window.erase(window.begin(), window.begin() + static_cast<long>(usable));
-    if (remote != nullptr) {
+    if (pipelined != nullptr) {
+      // One workload per pipelined frame: submission only blocks when the
+      // in-flight window is full, so up to `pipeline_window` round trips
+      // overlap. Futures resolve in the server's completion order; we
+      // harvest them in submission order, which re-serializes the results.
+      // Records are move-only, so each workload's slice is moved out of
+      // `scored` and its label taken here (the shared label loop below is
+      // skipped for this branch).
+      std::vector<std::future<Result<net::ScoreResponse>>> futures;
+      futures.reserve(batches.size());
+      for (const auto& b : batches) {
+        std::vector<workloads::QueryRecord> sub;
+        sub.reserve(b.query_indices.size());
+        double label = 0.0;
+        for (uint32_t qi : b.query_indices) {
+          label += scored[qi].actual_memory_mb;
+          sub.push_back(std::move(scored[qi]));
+        }
+        labels.push_back(label);
+        total_queries += b.query_indices.size();
+        core::WorkloadBatch whole;
+        whole.query_indices.resize(sub.size());
+        for (uint32_t i = 0; i < whole.query_indices.size(); ++i) {
+          whole.query_indices[i] = i;
+        }
+        auto submitted =
+            pipelined->SubmitScore(tenant, sub, {std::move(whole)});
+        if (!submitted.ok()) return Fail(submitted.status());
+        futures.push_back(std::move(*submitted));
+      }
+      for (auto& f : futures) {
+        auto got = f.get();
+        if (!got.ok()) return Fail(got.status());
+        if (got->size() == 1 && got->ok[0]) {
+          predictions.push_back(got->predictions[0]);
+        } else {
+          predictions.push_back(0.0);
+          ++failures;
+        }
+      }
+    } else if (remote != nullptr) {
       auto got = remote->ScoreWorkloads(tenant, scored, batches);
       if (!got.ok()) return Fail(got.status());
       for (size_t w = 0; w < batches.size(); ++w) {
@@ -708,13 +805,15 @@ int CmdScore(const std::map<std::string, std::string>& flags) {
       if (!got.ok()) return Fail(got.status());
       for (double p : got->predictions) predictions.push_back(p);
     }
-    for (const auto& b : batches) {
-      double label = 0.0;
-      for (uint32_t qi : b.query_indices) {
-        label += scored[qi].actual_memory_mb;
+    if (pipelined == nullptr) {
+      for (const auto& b : batches) {
+        double label = 0.0;
+        for (uint32_t qi : b.query_indices) {
+          label += scored[qi].actual_memory_mb;
+        }
+        labels.push_back(label);
+        total_queries += b.query_indices.size();
       }
-      labels.push_back(label);
-      total_queries += b.query_indices.size();
     }
     if (reader->exhausted()) break;
   }
@@ -723,11 +822,12 @@ int CmdScore(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "log produced no workloads\n");
     return 1;
   }
-  std::printf("scored %zu workloads (%zu queries) in %.2f s via %s — "
+  std::printf("scored %zu workloads (%zu queries) in %.2f s via %s%s — "
               "%.0f queries/sec, resident set capped at %zu records "
               "(chunk %zu)\n",
               predictions.size(), total_queries, seconds,
-              remote != nullptr ? address.c_str() : "local model",
+              !address.empty() ? address.c_str() : "local model",
+              pipelined != nullptr ? " (pipelined)" : "",
               seconds > 0 ? static_cast<double>(total_queries) / seconds : 0.0,
               max_resident, chunk);
   const bool labeled =
@@ -735,6 +835,12 @@ int CmdScore(const std::map<std::string, std::string>& flags) {
   if (labeled && failures == 0) {
     std::printf("LearnedWMP      RMSE %.1f MB   MAPE %.1f%%\n",
                 ml::Rmse(labels, predictions), ml::Mape(labels, predictions));
+  }
+  if (pipelined != nullptr) {
+    // The async client only speaks score frames; fetch the closing stats
+    // over a throwaway plain client (the reactor serves both dialects).
+    pipelined->Close();
+    remote = std::make_unique<net::WireClient>(address);
   }
   if (remote != nullptr) {
     if (auto stats = remote->Stats(); stats.ok()) {
