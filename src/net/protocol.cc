@@ -198,7 +198,7 @@ namespace {
 // ServiceStats travels as a counted list of u64 fields so a newer server
 // can append counters without breaking an older client (extras ignored;
 // missing fields stay zero).
-constexpr uint64_t kServiceStatsFields = 18;
+constexpr uint64_t kServiceStatsFields = 19;
 
 void AppendServiceStats(BinaryWriter* w, const engine::ServiceStats& s) {
   w->WriteU64(kServiceStatsFields);
@@ -220,6 +220,7 @@ void AppendServiceStats(BinaryWriter* w, const engine::ServiceStats& s) {
   w->WriteU64(s.queue_depth);
   w->WriteU64(s.total_latency_us);
   w->WriteU64(s.max_latency_us);
+  w->WriteU64(s.traverse_kernel_id);
 }
 
 Result<engine::ServiceStats> ReadServiceStats(BinaryReader* r) {
@@ -253,6 +254,7 @@ Result<engine::ServiceStats> ReadServiceStats(BinaryReader* r) {
   s.queue_depth = at(15);
   s.total_latency_us = at(16);
   s.max_latency_us = at(17);
+  s.traverse_kernel_id = at(18);
   return s;
 }
 
