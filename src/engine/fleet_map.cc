@@ -1,0 +1,60 @@
+#include "engine/fleet_map.h"
+
+namespace wmp::engine {
+
+void FleetEpochMap::Observe(const std::string& node, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FleetNodeEpoch& entry = nodes_[node];
+  entry.observed_epoch = epoch;
+  entry.observations++;
+}
+
+void FleetEpochMap::SetTarget(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  target_ = epoch;
+}
+
+uint64_t FleetEpochMap::target() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return target_;
+}
+
+FleetNodeEpoch FleetEpochMap::Get(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? FleetNodeEpoch{} : it->second;
+}
+
+std::vector<std::string> FleetEpochMap::Divergent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> divergent;
+  if (target_ == 0) return divergent;
+  for (const auto& [node, entry] : nodes_) {
+    if (entry.observed_epoch != target_) divergent.push_back(node);
+  }
+  return divergent;
+}
+
+bool FleetEpochMap::Mixed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool any = false;
+  uint64_t seen = 0;
+  for (const auto& [node, entry] : nodes_) {
+    if (entry.observations == 0) continue;  // never heard from — unknown
+    if (!any) {
+      any = true;
+      seen = entry.observed_epoch;
+    } else if (entry.observed_epoch != seen) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<std::string, FleetNodeEpoch>> FleetEpochMap::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {nodes_.begin(), nodes_.end()};
+}
+
+}  // namespace wmp::engine

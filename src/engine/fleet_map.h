@@ -1,0 +1,69 @@
+#ifndef WMP_ENGINE_FLEET_MAP_H_
+#define WMP_ENGINE_FLEET_MAP_H_
+
+/// \file fleet_map.h
+/// Fleet-wide epoch bookkeeping for the router tier (net/fleet.h).
+///
+/// Every predictor node runs its own engine::ModelRegistry, and as long as
+/// the SAME sequence of publishes/rollbacks reaches every node, their
+/// registry epochs march in lockstep — which is exactly the invariant the
+/// two-phase fleet publish exists to preserve. This map records, per node,
+/// the epoch last OBSERVED on that node (from health probes and rollout
+/// responses) against the fleet-wide TARGET epoch (what the last
+/// successful coordinated rollout established), so the router — and its
+/// tests — can detect the failure this PR is about: a fleet silently
+/// serving mixed epochs because a rollout half-applied, a node restarted,
+/// or someone published to one node directly.
+///
+/// Thread-safety: all methods are safe from any thread (one mutex).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wmp::engine {
+
+/// What the fleet knows about one node's rollout state.
+struct FleetNodeEpoch {
+  uint64_t observed_epoch = 0;  ///< last epoch the node reported (0 = none)
+  uint64_t observations = 0;    ///< health/rollout responses folded in
+};
+
+/// \brief Per-node observed-epoch map plus the fleet target epoch.
+class FleetEpochMap {
+ public:
+  /// Folds in an epoch report from `node` (a probe or rollout response).
+  void Observe(const std::string& node, uint64_t epoch);
+
+  /// Records the epoch a successful coordinated rollout put the fleet on.
+  void SetTarget(uint64_t epoch);
+  uint64_t target() const;
+
+  /// Last known state of `node` (zero-initialized for unknown nodes).
+  FleetNodeEpoch Get(const std::string& node) const;
+
+  /// Nodes whose last observed epoch differs from the target (empty when
+  /// no target has been established yet).
+  std::vector<std::string> Divergent() const;
+
+  /// True when observed nodes disagree WITH EACH OTHER — the mixed-epoch
+  /// fleet no client should ever score against. Independent of target():
+  /// a fleet can be consistently behind the target (rollout in flight)
+  /// without being mixed.
+  bool Mixed() const;
+
+  /// All nodes, ordered by address (stable for tests and status output).
+  std::vector<std::pair<std::string, FleetNodeEpoch>> Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t target_ = 0;
+  std::map<std::string, FleetNodeEpoch> nodes_;
+};
+
+}  // namespace wmp::engine
+
+#endif  // WMP_ENGINE_FLEET_MAP_H_

@@ -9,7 +9,8 @@ namespace wmp::net {
 
 Result<std::unique_ptr<AsyncWireClient>> AsyncWireClient::Connect(
     const std::string& address, AsyncWireClientOptions options) {
-  WMP_ASSIGN_OR_RETURN(const int fd, ConnectTo(address));
+  WMP_ASSIGN_OR_RETURN(const int fd,
+                       ConnectTo(address, options.connect_timeout_ms));
   // The socket stays BLOCKING: the reader thread parks in ReadFrame and
   // writes flow-control themselves via the in-flight window — only the
   // server side needs readiness multiplexing.
@@ -20,6 +21,9 @@ Result<std::unique_ptr<AsyncWireClient>> AsyncWireClient::Connect(
 AsyncWireClient::AsyncWireClient(int fd, AsyncWireClientOptions options)
     : options_(options), fd_(fd) {
   reader_ = std::thread([this] { ReaderLoop(); });
+  if (options_.request_timeout_ms > 0) {
+    timer_ = std::thread([this] { TimerLoop(); });
+  }
 }
 
 AsyncWireClient::~AsyncWireClient() { Close(); }
@@ -38,11 +42,17 @@ Result<std::future<Result<ScoreResponse>>> AsyncWireClient::SubmitScore(
     if (dead_) return death_status_;
     correlation_id = next_correlation_++;
     if (next_correlation_ == 0) next_correlation_ = 1;  // 0 = never issued
-    auto [it, inserted] =
-        pendings_.emplace(correlation_id,
-                          std::promise<Result<ScoreResponse>>());
-    future = it->second.get_future();
+    Pending pending;
+    pending.deadline =
+        options_.request_timeout_ms > 0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.request_timeout_ms)
+            : std::chrono::steady_clock::time_point::max();
+    auto [it, inserted] = pendings_.emplace(correlation_id,
+                                            std::move(pending));
+    future = it->second.promise.get_future();
   }
+  timer_cv_.notify_one();  // a new (possibly earliest) deadline exists
   const std::string payload = EncodePipelinedPayload(
       correlation_id, EncodeScoreRequest(tenant, records, batches));
   Status written;
@@ -92,15 +102,22 @@ void AsyncWireClient::ReaderLoop() {
         }();
         std::promise<Result<ScoreResponse>> promise;
         bool matched = false;
+        bool was_expired = false;
         {
           std::lock_guard<std::mutex> lock(mutex_);
           auto it = pendings_.find(*correlation_id);
           if (it != pendings_.end()) {
-            promise = std::move(it->second);
+            promise = std::move(it->second.promise);
             pendings_.erase(it);
             matched = true;
+          } else if (expired_.erase(*correlation_id) > 0) {
+            // The deadline already failed this request's future; the slow
+            // answer is dropped and the stream carries on — lateness is
+            // not desynchronization.
+            was_expired = true;
           }
         }
+        if (was_expired) break;
         if (!matched) {
           // A response for a request we never made: the server and client
           // disagree about the stream — unrecoverable.
@@ -127,8 +144,50 @@ void AsyncWireClient::ReaderLoop() {
   }
 }
 
+void AsyncWireClient::TimerLoop() {
+  const auto never = std::chrono::steady_clock::time_point::max();
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (dead_) return;
+    auto earliest = never;
+    for (const auto& [correlation_id, pending] : pendings_) {
+      if (pending.deadline < earliest) earliest = pending.deadline;
+    }
+    if (earliest == never) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now < earliest) {
+      timer_cv_.wait_until(lock, earliest);
+      continue;
+    }
+    // Expire every overdue request: fail ITS future, remember its id so
+    // the eventual response is dropped instead of killing the stream.
+    std::vector<std::promise<Result<ScoreResponse>>> overdue;
+    for (auto it = pendings_.begin(); it != pendings_.end();) {
+      if (it->second.deadline <= now) {
+        expired_.insert(it->first);
+        overdue.push_back(std::move(it->second.promise));
+        it = pendings_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    lock.unlock();
+    for (auto& promise : overdue) {
+      promise.set_value(Status::DeadlineExceeded(
+          StrFormat("no response within %d ms (stream still up; only this "
+                    "request failed)",
+                    options_.request_timeout_ms)));
+    }
+    window_cv_.notify_all();
+    lock.lock();
+  }
+}
+
 void AsyncWireClient::FailAll(const Status& status) {
-  std::unordered_map<uint32_t, std::promise<Result<ScoreResponse>>> orphans;
+  std::unordered_map<uint32_t, Pending> orphans;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!dead_) {
@@ -136,11 +195,13 @@ void AsyncWireClient::FailAll(const Status& status) {
       death_status_ = status;
     }
     orphans.swap(pendings_);
+    expired_.clear();
   }
-  for (auto& [correlation_id, promise] : orphans) {
-    promise.set_value(death_status_);
+  for (auto& [correlation_id, pending] : orphans) {
+    pending.promise.set_value(death_status_);
   }
   window_cv_.notify_all();
+  timer_cv_.notify_all();
 }
 
 size_t AsyncWireClient::inflight() const {
@@ -156,9 +217,10 @@ bool AsyncWireClient::alive() const {
 void AsyncWireClient::Close() {
   FailAll(Status::FailedPrecondition("client closed"));
   // CloseConnection shuts down both directions first, waking the reader
-  // out of a parked ReadFrame.
+  // out of a parked ReadFrame; FailAll already woke the timer.
   CloseConnection(fd_);
   if (reader_.joinable()) reader_.join();
+  if (timer_.joinable()) timer_.join();
   fd_ = -1;
 }
 

@@ -28,10 +28,20 @@
 /// requests may or may not have executed, and score calls are
 /// re-issuable by the caller, who knows which ones it still needs).
 ///
+/// Deadlines: with `request_timeout_ms` set, a request unanswered past its
+/// deadline fails ITS OWN future with kDeadlineExceeded — the stream stays
+/// up and other in-flight futures are untouched. The expired correlation
+/// id is remembered so the response, if it eventually arrives, is dropped
+/// quietly instead of being mistaken for a desynchronized stream (the
+/// "unmatched correlation id" stream-death rule applies only to ids this
+/// client never issued). Without the option a stalled server parks every
+/// future forever — the failure mode this exists to kill.
+///
 /// Thread-safety: SubmitScore may be called from multiple threads; the
 /// futures are independent. Close (or destruction) fails whatever is
 /// still outstanding.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -41,6 +51,7 @@
 #include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/workload.h"
@@ -58,6 +69,11 @@ struct AsyncWireClientOptions {
   /// enough to hide wire latency, shallow enough that one client cannot
   /// monopolize the server's flush windows.
   size_t max_inflight = 32;
+  /// Bounds connect(2) at Connect time (0 = OS default; see ConnectTo).
+  int connect_timeout_ms = 0;
+  /// Per-request deadline: an unanswered request fails its own future
+  /// with kDeadlineExceeded after this long, stream intact (0 = never).
+  int request_timeout_ms = 0;
 };
 
 /// \brief Pipelined scoring connection to a net::ReactorServer.
@@ -93,16 +109,30 @@ class AsyncWireClient {
  private:
   AsyncWireClient(int fd, AsyncWireClientOptions options);
   void ReaderLoop();
+  /// Expires overdue requests one by one (runs only with a deadline set).
+  void TimerLoop();
   /// Fails every pending future with `status` and marks the stream dead.
   void FailAll(const Status& status);
+
+  /// One in-flight request: its caller's promise plus its deadline
+  /// (time_point::max() when deadlines are off).
+  struct Pending {
+    std::promise<Result<ScoreResponse>> promise;
+    std::chrono::steady_clock::time_point deadline;
+  };
 
   AsyncWireClientOptions options_;
   int fd_ = -1;
   std::thread reader_;
+  std::thread timer_;
 
   mutable std::mutex mutex_;           // pendings_, next_correlation_, dead_
   std::condition_variable window_cv_;  // signaled as responses drain
-  std::unordered_map<uint32_t, std::promise<Result<ScoreResponse>>> pendings_;
+  std::condition_variable timer_cv_;   // signaled on new deadline / death
+  std::unordered_map<uint32_t, Pending> pendings_;
+  /// Correlation ids whose futures already expired; the late response (if
+  /// it ever comes) is discarded instead of indicting the stream.
+  std::unordered_set<uint32_t> expired_;
   uint32_t next_correlation_ = 1;
   bool dead_ = false;
   Status death_status_;

@@ -1,0 +1,40 @@
+#ifndef WMP_NET_BACKOFF_H_
+#define WMP_NET_BACKOFF_H_
+
+/// \file backoff.h
+/// Retry pacing shared by net::WireClient and net::FleetRouter: bounded
+/// exponential backoff with FULL jitter (delay drawn uniformly from
+/// [0, min(cap, base * 2^attempt)]), the policy that empirically
+/// de-synchronizes retry storms best — a fleet of clients hammering a
+/// recovering node spreads out instead of arriving in lockstep waves.
+///
+/// Deterministic on purpose: callers own the RNG state (splitmix64), so a
+/// seeded test replays the exact same delay sequence every run, same as
+/// net/fault_inject.h's chaos plans.
+
+#include <cstdint>
+
+namespace wmp::net {
+
+/// splitmix64 — the repo's standard cheap deterministic generator.
+inline uint64_t BackoffNextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Delay before retry number `attempt` (0-based: the wait after the first
+/// failure is attempt 0). base_ms == 0 disables backoff entirely.
+inline uint32_t BackoffDelayMs(uint64_t* state, int attempt,
+                               uint32_t base_ms, uint32_t cap_ms) {
+  if (base_ms == 0) return 0;
+  uint64_t ceiling = base_ms;
+  for (int i = 0; i < attempt && ceiling < cap_ms; ++i) ceiling <<= 1;
+  if (ceiling > cap_ms) ceiling = cap_ms;
+  return static_cast<uint32_t>(BackoffNextRand(state) % (ceiling + 1));
+}
+
+}  // namespace wmp::net
+
+#endif  // WMP_NET_BACKOFF_H_

@@ -87,6 +87,101 @@ Frame RequestDispatcher::HandleRollback(const Frame& request) const {
                EncodeRollbackResponse(response)};
 }
 
+Frame RequestDispatcher::HandleHealth(const Frame& request) const {
+  auto decoded = DecodeHealthRequest(request.payload);
+  if (!decoded.ok()) return ErrorFrame(decoded.status());
+  HealthResponse response;
+  response.nonce = decoded->nonce;
+  if (registry_ != nullptr) {
+    auto current = registry_->Current(default_model_name_);
+    if (current.ok()) response.registry_epoch = current->epoch;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    if (staged_.has_value()) response.staged_ticket = staged_->ticket;
+  }
+  response.queue_depth = service_->stats().queue_depth;
+  return Frame{FrameType::kHealthResponse, EncodeHealthResponse(response)};
+}
+
+Frame RequestDispatcher::HandleStage(const Frame& request) {
+  // Same decode as a direct publish — the checksum gate runs here, so a
+  // corrupted artifact is refused at stage time, while the fleet can
+  // still abort cheaply, not at commit time when peers already committed.
+  auto decoded = DecodePublishRequest(request.payload);
+  if (!decoded.ok()) return ErrorFrame(decoded.status());
+  const uint64_t artifact_hash = decoded->artifact_hash;
+  BinaryReader reader(std::move(decoded->model_bytes));
+  auto model = core::LearnedWmpModel::Deserialize(&reader);
+  if (!model.ok()) {
+    return ErrorFrame(
+        Status(model.status().code(),
+               "staged artifact rejected: " + model.status().message()));
+  }
+  StagedArtifact staged;
+  staged.artifact_hash = artifact_hash;
+  staged.model_name = decoded->model_name.empty() ? default_model_name_
+                                                  : decoded->model_name;
+  staged.model =
+      std::make_shared<const core::LearnedWmpModel>(std::move(*model));
+  StageResponse response;
+  {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    staged.ticket = next_ticket_++;
+    response.ticket = staged.ticket;
+    response.artifact_hash = staged.artifact_hash;
+    staged_ = std::move(staged);
+  }
+  return Frame{FrameType::kStageResponse, EncodeStageResponse(response)};
+}
+
+Frame RequestDispatcher::HandleCommit(const Frame& request) {
+  auto decoded = DecodeTicketRequest(request.payload);
+  if (!decoded.ok()) return ErrorFrame(decoded.status());
+  StagedArtifact staged;
+  {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    if (!staged_.has_value()) {
+      return ErrorFrame(Status::FailedPrecondition(
+          "commit without a staged artifact (stage phase never reached "
+          "this node, or an abort already discarded it)"));
+    }
+    if (staged_->ticket != decoded->ticket) {
+      // Leave the mismatched artifact parked: the rollout that staged it
+      // may still commit or abort it by its own ticket.
+      return ErrorFrame(Status::FailedPrecondition(
+          StrFormat("commit ticket %llu does not match staged ticket %llu",
+                    static_cast<unsigned long long>(decoded->ticket),
+                    static_cast<unsigned long long>(staged_->ticket))));
+    }
+    staged = std::move(*staged_);
+    staged_.reset();
+  }
+  auto epoch =
+      service_->PublishAll(std::move(staged.model), registry_,
+                           staged.model_name);
+  if (!epoch.ok()) return ErrorFrame(epoch.status());
+  PublishResponse response;
+  response.registry_epoch = *epoch;
+  response.shards_swapped = service_->num_shards();
+  return Frame{FrameType::kCommitResponse, EncodePublishResponse(response)};
+}
+
+Frame RequestDispatcher::HandleAbort(const Frame& request) {
+  auto decoded = DecodeTicketRequest(request.payload);
+  if (!decoded.ok()) return ErrorFrame(decoded.status());
+  AbortResponse response;
+  {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    if (staged_.has_value() &&
+        (decoded->ticket == 0 || staged_->ticket == decoded->ticket)) {
+      staged_.reset();
+      response.had_staged = 1;
+    }
+  }
+  return Frame{FrameType::kAbortResponse, EncodeAbortResponse(response)};
+}
+
 Frame RequestDispatcher::HandleStats(const WireServerCounters& server) const {
   StatsResponse response;
   response.service = service_->stats();

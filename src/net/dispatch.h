@@ -23,7 +23,11 @@
 /// fulfills them, without ever blocking the event loop.
 
 #include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/model_registry.h"
@@ -69,15 +73,49 @@ class RequestDispatcher {
   /// Service counters + the calling server's own counters.
   Frame HandleStats(const WireServerCounters& server) const;
 
+  /// \name Fleet control plane (kHealth / kStage / kCommit / kAbort).
+  ///
+  /// The two-phase publish parks exactly ONE validated artifact per
+  /// server (a newer stage replaces an older one — the router serializes
+  /// rollouts, so a lingering staged artifact is a failed rollout's
+  /// leftover, not a concurrent one). Commit must name the ticket stage
+  /// returned; a mismatch fails without touching the parked artifact so
+  /// the router's abort can still clean up.
+  /// @{
+  /// Liveness/epoch probe: echoes the nonce, reports the default model's
+  /// current registry epoch, any staged ticket, and the queue depth.
+  Frame HandleHealth(const Frame& request) const;
+  /// Validates (checksum via DecodePublishRequest, then deserialize) and
+  /// parks the artifact without installing it. Answers kStageResponse.
+  Frame HandleStage(const Frame& request);
+  /// Installs the parked artifact via PublishAll. Answers kCommitResponse
+  /// (a PublishResponse payload).
+  Frame HandleCommit(const Frame& request);
+  /// Discards the parked artifact (ticket 0 = whatever is staged).
+  /// Idempotent: aborting with nothing staged succeeds, had_staged = 0.
+  Frame HandleAbort(const Frame& request);
+  /// @}
+
   /// The response for a frame type no server understands.
   static Frame UnexpectedFrame(FrameType type);
 
   engine::ScoringService* service() const { return service_; }
 
  private:
+  /// A validated artifact waiting for commit.
+  struct StagedArtifact {
+    uint64_t ticket = 0;
+    uint64_t artifact_hash = 0;
+    std::string model_name;
+    std::shared_ptr<const core::LearnedWmpModel> model;
+  };
+
   engine::ScoringService* service_;
   engine::ModelRegistry* registry_;
   std::string default_model_name_;
+  mutable std::mutex stage_mutex_;
+  std::optional<StagedArtifact> staged_;
+  uint64_t next_ticket_ = 1;
 };
 
 }  // namespace wmp::net

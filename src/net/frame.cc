@@ -2,10 +2,11 @@
 
 #include <cerrno>
 #include <cstring>
-#include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include "net/fault_inject.h"
+#include "net/socket.h"
 #include "util/strings.h"
 
 namespace wmp::net {
@@ -15,20 +16,21 @@ namespace {
 constexpr uint32_t kFrameMagic = 0x31464D57;  // "WMF1" little-endian
 constexpr size_t kHeaderBytes = kFrameHeaderBytes;
 
-// Blocking write of exactly n bytes; handles short writes and EINTR.
-// send(MSG_NOSIGNAL) keeps a peer hangup from raising SIGPIPE; for
-// non-socket descriptors (pipes in tests) it falls back to write().
+// Blocking write of exactly n bytes. SendSome (net/socket.h) is the shared
+// EINTR/SIGPIPE-correct primitive; an armed FaultInjector takes over the
+// whole operation instead (chaos tests). With SO_SNDTIMEO armed on the fd
+// a stalled peer surfaces as kDeadlineExceeded, not an indefinite block.
 Status WriteAll(int fd, const char* data, size_t n) {
+  if (FaultInjector* chaos = ActiveFaultInjector()) {
+    return chaos->InjectedWrite(fd, data, n);
+  }
   size_t off = 0;
   while (off < n) {
-#ifdef MSG_NOSIGNAL
-    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
-    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, data + off, n - off);
-#else
-    ssize_t w = ::write(fd, data + off, n - off);
-#endif
+    const ssize_t w = SendSome(fd, data + off, n - off);
     if (w < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("frame write timed out");
+      }
       return Status::IOError(
           StrFormat("frame write failed: %s", std::strerror(errno)));
     }
@@ -39,13 +41,17 @@ Status WriteAll(int fd, const char* data, size_t n) {
 }
 
 // Blocking read of exactly n bytes. `*got` reports progress so the caller
-// can distinguish clean EOF (0 bytes) from a truncated frame.
+// can distinguish clean EOF (0 bytes) from a truncated frame. With
+// SO_RCVTIMEO armed, a peer that stalls mid-frame fails the read with
+// kDeadlineExceeded instead of parking the thread forever.
 Status ReadAll(int fd, char* data, size_t n, size_t* got) {
   *got = 0;
   while (*got < n) {
-    ssize_t r = ::read(fd, data + *got, n - *got);
+    const ssize_t r = ReadSome(fd, data + *got, n - *got);
     if (r < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("frame read timed out");
+      }
       return Status::IOError(
           StrFormat("frame read failed: %s", std::strerror(errno)));
     }
@@ -92,6 +98,14 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kScoreRequestPipelined: return "score-request-pipelined";
     case FrameType::kScoreResponsePipelined:
       return "score-response-pipelined";
+    case FrameType::kHealthRequest: return "health-request";
+    case FrameType::kHealthResponse: return "health-response";
+    case FrameType::kStageRequest: return "stage-request";
+    case FrameType::kStageResponse: return "stage-response";
+    case FrameType::kCommitRequest: return "commit-request";
+    case FrameType::kCommitResponse: return "commit-response";
+    case FrameType::kAbortRequest: return "abort-request";
+    case FrameType::kAbortResponse: return "abort-response";
     case FrameType::kErrorPipelined: return "error-pipelined";
     case FrameType::kError: return "error";
   }
@@ -140,6 +154,9 @@ Status WriteFrame(int fd, FrameType type, std::string_view payload) {
 }
 
 Result<Frame> ReadFrame(int fd, const FrameLimits& limits) {
+  if (FaultInjector* chaos = ActiveFaultInjector()) {
+    WMP_RETURN_IF_ERROR(chaos->BeforeRead(fd));
+  }
   char header[kHeaderBytes];
   size_t got = 0;
   WMP_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header), &got));

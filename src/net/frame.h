@@ -59,6 +59,30 @@ enum class FrameType : uint8_t {
   kScoreRequestPipelined = 10,
   kScoreResponsePipelined = 11,
   /// @}
+  /// \name Fleet control plane (net::FleetRouter <-> predictor nodes).
+  ///
+  /// kHealth is the router's liveness/epoch probe: the response carries
+  /// the node's current registry epoch, so the router detects both a dead
+  /// node (no response inside the deadline) and a node that silently
+  /// diverged from the fleet's target epoch (restarted, missed a rollout).
+  ///
+  /// kStage/kCommit/kAbort are the two-phase publish. Stage carries a full
+  /// PublishRequest payload; the node validates the artifact (checksum +
+  /// deserialize) and parks it WITHOUT installing, answering with a
+  /// ticket. Commit names the ticket and atomically installs the parked
+  /// artifact (a PublishAll). Abort discards a parked artifact and is
+  /// idempotent — the router's compensation path may abort a node that
+  /// never staged. See net/fleet.h for the coordination protocol.
+  /// @{
+  kHealthRequest = 12,
+  kHealthResponse = 13,
+  kStageRequest = 14,
+  kStageResponse = 15,
+  kCommitRequest = 16,
+  kCommitResponse = 17,
+  kAbortRequest = 18,
+  kAbortResponse = 19,
+  /// @}
   /// Failure of one pipelined request: u32 correlation id + ErrorBody.
   /// Unlike kError it indicts a single in-flight request, not the stream.
   kErrorPipelined = 253,

@@ -178,6 +178,82 @@ Result<RollbackRequest> DecodeRollbackRequest(const std::string& payload) {
   return request;
 }
 
+std::string EncodeHealthRequest(const HealthRequest& request) {
+  BinaryWriter w;
+  w.WriteU64(request.nonce);
+  return w.buffer();
+}
+
+Result<HealthRequest> DecodeHealthRequest(const std::string& payload) {
+  BinaryReader r(payload);
+  HealthRequest request;
+  WMP_ASSIGN_OR_RETURN(request.nonce, r.ReadU64());
+  return request;
+}
+
+std::string EncodeHealthResponse(const HealthResponse& response) {
+  BinaryWriter w;
+  w.WriteU64(response.nonce);
+  w.WriteU64(response.registry_epoch);
+  w.WriteU64(response.staged_ticket);
+  w.WriteU64(response.queue_depth);
+  return w.buffer();
+}
+
+Result<HealthResponse> DecodeHealthResponse(const std::string& payload) {
+  BinaryReader r(payload);
+  HealthResponse response;
+  WMP_ASSIGN_OR_RETURN(response.nonce, r.ReadU64());
+  WMP_ASSIGN_OR_RETURN(response.registry_epoch, r.ReadU64());
+  WMP_ASSIGN_OR_RETURN(response.staged_ticket, r.ReadU64());
+  WMP_ASSIGN_OR_RETURN(response.queue_depth, r.ReadU64());
+  return response;
+}
+
+std::string EncodeStageResponse(const StageResponse& response) {
+  BinaryWriter w;
+  w.WriteU64(response.ticket);
+  w.WriteU64(response.artifact_hash);
+  return w.buffer();
+}
+
+Result<StageResponse> DecodeStageResponse(const std::string& payload) {
+  BinaryReader r(payload);
+  StageResponse response;
+  WMP_ASSIGN_OR_RETURN(response.ticket, r.ReadU64());
+  WMP_ASSIGN_OR_RETURN(response.artifact_hash, r.ReadU64());
+  if (response.ticket == 0) {
+    return Status::InvalidArgument("stage response carries ticket 0");
+  }
+  return response;
+}
+
+std::string EncodeTicketRequest(const TicketRequest& request) {
+  BinaryWriter w;
+  w.WriteU64(request.ticket);
+  return w.buffer();
+}
+
+Result<TicketRequest> DecodeTicketRequest(const std::string& payload) {
+  BinaryReader r(payload);
+  TicketRequest request;
+  WMP_ASSIGN_OR_RETURN(request.ticket, r.ReadU64());
+  return request;
+}
+
+std::string EncodeAbortResponse(const AbortResponse& response) {
+  BinaryWriter w;
+  w.WriteU8(response.had_staged);
+  return w.buffer();
+}
+
+Result<AbortResponse> DecodeAbortResponse(const std::string& payload) {
+  BinaryReader r(payload);
+  AbortResponse response;
+  WMP_ASSIGN_OR_RETURN(response.had_staged, r.ReadU8());
+  return response;
+}
+
 std::string EncodeRollbackResponse(const RollbackResponse& response) {
   BinaryWriter w;
   w.WriteU64(response.registry_epoch);
@@ -344,6 +420,7 @@ Status StatusFromError(const ErrorBody& error) {
     case StatusCode::kIOError:
     case StatusCode::kNotImplemented:
     case StatusCode::kInternal:
+    case StatusCode::kDeadlineExceeded:
       break;
     default:
       code = StatusCode::kInternal;

@@ -80,6 +80,62 @@ struct RollbackResponse {
   uint64_t shards_swapped = 0;
 };
 
+/// \name Fleet control plane payloads (see net/frame.h for the verbs).
+///
+/// A kStageRequest reuses the PublishRequest encoding verbatim (same
+/// artifact, same checksum gate) — only the frame type changes the verb
+/// from "install now" to "validate and park". A kCommitResponse reuses
+/// the PublishResponse encoding (the commit IS the publish).
+/// @{
+
+/// Router liveness/epoch probe. The nonce is echoed back so a probe
+/// response can never be confused with a stale one on a reused stream.
+struct HealthRequest {
+  uint64_t nonce = 0;
+};
+
+struct HealthResponse {
+  uint64_t nonce = 0;           ///< echo of the request nonce
+  uint64_t registry_epoch = 0;  ///< node's current epoch (0 = no model)
+  uint64_t staged_ticket = 0;   ///< nonzero while an artifact is parked
+  uint64_t queue_depth = 0;     ///< scoring backlog snapshot
+};
+
+/// Answer to a kStageRequest: the ticket a commit/abort must name, plus
+/// the artifact hash the node verified (the router cross-checks it).
+struct StageResponse {
+  uint64_t ticket = 0;
+  uint64_t artifact_hash = 0;
+};
+
+/// kCommitRequest / kAbortRequest body. An abort with ticket 0 discards
+/// whatever is staged (the compensation path doesn't always know the
+/// ticket — its stage call may have died before the response arrived).
+struct TicketRequest {
+  uint64_t ticket = 0;
+};
+
+struct AbortResponse {
+  uint8_t had_staged = 0;  ///< 1 if an artifact was actually discarded
+};
+
+std::string EncodeHealthRequest(const HealthRequest& request);
+Result<HealthRequest> DecodeHealthRequest(const std::string& payload);
+
+std::string EncodeHealthResponse(const HealthResponse& response);
+Result<HealthResponse> DecodeHealthResponse(const std::string& payload);
+
+std::string EncodeStageResponse(const StageResponse& response);
+Result<StageResponse> DecodeStageResponse(const std::string& payload);
+
+std::string EncodeTicketRequest(const TicketRequest& request);
+Result<TicketRequest> DecodeTicketRequest(const std::string& payload);
+
+std::string EncodeAbortResponse(const AbortResponse& response);
+Result<AbortResponse> DecodeAbortResponse(const std::string& payload);
+
+/// @}
+
 /// Server-side counters riding on a StatsResponse frame, alongside the
 /// scoring service's own ServiceStats.
 struct WireServerCounters {

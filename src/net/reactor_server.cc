@@ -302,8 +302,11 @@ void ReactorServer::OnReadable(const std::shared_ptr<Conn>& conn) {
   if (conn->read_paused || conn->closing) return;
   char chunk[64u << 10];
   size_t read_this_event = 0;
+  bool peer_eof = false;
   for (;;) {
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    // ReadSome (net/socket.h) is the shared EINTR-correct primitive; read()
+    // under it serves sockets and the pipes tests drive the reactor with.
+    const ssize_t n = ReadSome(conn->fd, chunk, sizeof(chunk));
     if (n > 0) {
       conn->rbuf.append(chunk, static_cast<size_t>(n));
       conn->last_activity = std::chrono::steady_clock::now();
@@ -312,30 +315,26 @@ void ReactorServer::OnReadable(const std::shared_ptr<Conn>& conn) {
       continue;
     }
     if (n == 0) {
-      // Peer hung up. Whatever was parseable has already been answered on
-      // earlier iterations; parked responses have nowhere to go.
-      Teardown(conn);
-      return;
+      // Peer hung up — but its final bytes may have arrived in THIS event,
+      // ahead of the EOF, and may hold complete frames (a publish followed
+      // by an immediate close must still apply). Parse below, answer what
+      // can be answered (the peer may have only half-closed), then drain
+      // and close.
+      peer_eof = true;
+      break;
     }
-    if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == ENOTSOCK) {
-      // Tests drive the reactor over pipes; recv is sockets-only there.
-      const ssize_t r = ::read(conn->fd, chunk, sizeof(chunk));
-      if (r > 0) {
-        conn->rbuf.append(chunk, static_cast<size_t>(r));
-        continue;
-      }
-      if (r == 0) {
-        Teardown(conn);
-        return;
-      }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    }
     Teardown(conn);
     return;
   }
   ParseFrames(conn);
+  if (peer_eof && conn->fd >= 0 && !conn->closing) {
+    conn->closing = true;
+    conn->rbuf.clear();  // a trailing partial frame can never complete
+    conn->rpos = 0;
+    UpdateInterest(conn);
+    MaybeFinishClose(conn);
+  }
 }
 
 void ReactorServer::ParseFrames(const std::shared_ptr<Conn>& conn) {
@@ -396,6 +395,20 @@ void ReactorServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       return;
     case FrameType::kStatsRequest:
       PushOrdered(conn, dispatcher_.HandleStats(WireCounters()));
+      return;
+    case FrameType::kHealthRequest:
+      PushOrdered(conn, dispatcher_.HandleHealth(frame));
+      return;
+    case FrameType::kStageRequest:
+      // Inline like publish: stage validates + deserializes but installs
+      // nothing; commit is the same PublishAll a kPublishRequest runs.
+      PushOrdered(conn, dispatcher_.HandleStage(frame));
+      return;
+    case FrameType::kCommitRequest:
+      PushOrdered(conn, dispatcher_.HandleCommit(frame));
+      return;
+    case FrameType::kAbortRequest:
+      PushOrdered(conn, dispatcher_.HandleAbort(frame));
       return;
     default:
       PushOrdered(conn, RequestDispatcher::UnexpectedFrame(frame.type));
@@ -511,21 +524,14 @@ void ReactorServer::AppendFrame(const std::shared_ptr<Conn>& conn,
 void ReactorServer::TryWrite(const std::shared_ptr<Conn>& conn) {
   while (conn->wpos < conn->wbuf.size()) {
     const size_t len = conn->wbuf.size() - conn->wpos;
-#ifdef MSG_NOSIGNAL
-    ssize_t n =
-        ::send(conn->fd, conn->wbuf.data() + conn->wpos, len, MSG_NOSIGNAL);
-    if (n < 0 && errno == ENOTSOCK) {
-      n = ::write(conn->fd, conn->wbuf.data() + conn->wpos, len);
-    }
-#else
-    ssize_t n = ::write(conn->fd, conn->wbuf.data() + conn->wpos, len);
-#endif
+    // SendSome (net/socket.h): EINTR-retried, SIGPIPE-suppressed, with a
+    // write() fallback for the pipes tests drive the reactor with.
+    const ssize_t n = SendSome(conn->fd, conn->wbuf.data() + conn->wpos, len);
     if (n > 0) {
       conn->wpos += static_cast<size_t>(n);
       conn->last_activity = std::chrono::steady_clock::now();
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     Teardown(conn);  // peer gone mid-response
     return;

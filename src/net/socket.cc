@@ -7,7 +7,9 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -173,7 +175,61 @@ void Listener::Close() {
   }
 }
 
-Result<int> ConnectTo(const std::string& address) {
+namespace {
+
+// connect(2) with an optional deadline. With a timeout the socket goes
+// nonblocking for the duration: EINPROGRESS + poll(POLLOUT) + SO_ERROR is
+// the portable bounded-connect idiom; the fd is flipped back to blocking
+// before it is returned either way.
+Status ConnectWithDeadline(int fd, const sockaddr* addr, socklen_t len,
+                           const std::string& address, int timeout_ms) {
+  const auto connect_error = [&address](const char* what) {
+    return Status::IOError(
+        StrFormat("%s(%s): %s", what, address.c_str(), std::strerror(errno)));
+  };
+  if (timeout_ms <= 0) {
+    int rc;
+    do {
+      rc = ::connect(fd, addr, len);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return connect_error("connect");
+    return Status::OK();
+  }
+  WMP_RETURN_IF_ERROR(SetNonBlocking(fd, true));
+  int rc;
+  do {
+    rc = ::connect(fd, addr, len);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && errno != EINPROGRESS) return connect_error("connect");
+  if (rc < 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return connect_error("poll(connect)");
+    if (rc == 0) {
+      return Status::DeadlineExceeded(
+          StrFormat("connect(%s) timed out after %d ms", address.c_str(),
+                    timeout_ms));
+    }
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) < 0) {
+      return connect_error("getsockopt(SO_ERROR)");
+    }
+    if (so_error != 0) {
+      errno = so_error;
+      return connect_error("connect");
+    }
+  }
+  return SetNonBlocking(fd, false);
+}
+
+}  // namespace
+
+Result<int> ConnectTo(const std::string& address, int timeout_ms) {
   WMP_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(address));
   if (parsed.is_unix) {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -182,24 +238,69 @@ Result<int> ConnectTo(const std::string& address) {
     sun.sun_family = AF_UNIX;
     std::strncpy(sun.sun_path, parsed.unix_path.c_str(),
                  sizeof(sun.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) < 0) {
+    if (Status st = ConnectWithDeadline(fd, reinterpret_cast<sockaddr*>(&sun),
+                                        sizeof(sun), address, timeout_ms);
+        !st.ok()) {
       ::close(fd);
-      return Status::IOError(StrFormat("connect(%s): %s", address.c_str(),
-                                       std::strerror(errno)));
+      return st;
     }
     return fd;
   }
   WMP_ASSIGN_OR_RETURN(sockaddr_in sin, ToSockaddrIn(parsed));
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket(AF_INET)");
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) < 0) {
+  if (Status st = ConnectWithDeadline(fd, reinterpret_cast<sockaddr*>(&sin),
+                                      sizeof(sin), address, timeout_ms);
+      !st.ok()) {
     ::close(fd);
-    return Status::IOError(
-        StrFormat("connect(%s): %s", address.c_str(), std::strerror(errno)));
+    return st;
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+Status SetIoDeadlines(int fd, int recv_timeout_ms, int send_timeout_ms) {
+  const auto set = [fd](int opt, int ms, const char* what) -> Status {
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    if (::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv)) < 0) {
+      if (errno == ENOTSOCK) return Status::OK();  // pipes in tests
+      return Errno(what);
+    }
+    return Status::OK();
+  };
+  if (recv_timeout_ms >= 0) {
+    WMP_RETURN_IF_ERROR(set(SO_RCVTIMEO, recv_timeout_ms,
+                            "setsockopt(SO_RCVTIMEO)"));
+  }
+  if (send_timeout_ms >= 0) {
+    WMP_RETURN_IF_ERROR(set(SO_SNDTIMEO, send_timeout_ms,
+                            "setsockopt(SO_SNDTIMEO)"));
+  }
+  return Status::OK();
+}
+
+ssize_t SendSome(int fd, const void* data, size_t n) {
+  for (;;) {
+#ifdef MSG_NOSIGNAL
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, data, n);
+#else
+    ssize_t w = ::write(fd, data, n);
+#endif
+    if (w < 0 && errno == EINTR) continue;
+    return w;
+  }
+}
+
+ssize_t ReadSome(int fd, void* data, size_t n) {
+  for (;;) {
+    const ssize_t r = ::read(fd, data, n);
+    if (r < 0 && errno == EINTR) continue;
+    return r;
+  }
 }
 
 void CloseConnection(int fd) {

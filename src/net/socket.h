@@ -19,6 +19,8 @@
 /// every accepted connection to nonblocking via SetNonBlocking and drives
 /// them from one poll/epoll loop (see reactor_server.h).
 
+#include <sys/types.h>
+
 #include <string>
 
 #include "util/status.h"
@@ -67,7 +69,33 @@ class Listener {
 };
 
 /// Connects a blocking stream socket to `address`; returns the fd.
-Result<int> ConnectTo(const std::string& address);
+/// With `timeout_ms > 0` the connect itself is bounded: the socket is
+/// flipped nonblocking, connect(2) is raced against a poll deadline, and
+/// an unreachable or black-holed peer surfaces as kDeadlineExceeded
+/// instead of hanging for the kernel's SYN-retry eternity. The returned
+/// fd is blocking either way.
+Result<int> ConnectTo(const std::string& address, int timeout_ms = 0);
+
+/// Arms SO_RCVTIMEO / SO_SNDTIMEO on `fd` (0 disables a direction). Once
+/// armed, a stalled read/write fails with EAGAIN, which ReadSome/SendSome
+/// callers surface as kDeadlineExceeded. A no-op on non-socket
+/// descriptors (pipes in tests), so frame I/O code need not care.
+Status SetIoDeadlines(int fd, int recv_timeout_ms, int send_timeout_ms);
+
+/// \name Shared low-level I/O — the ONE place src/net handles SIGPIPE and
+/// EINTR, instead of per-call-site patches.
+///
+/// Every byte src/net puts on a descriptor goes through SendSome (send(2)
+/// with MSG_NOSIGNAL so a peer hangup is an EPIPE errno, never a
+/// process-killing SIGPIPE; falls back to write(2) for non-socket fds)
+/// and every byte read comes through ReadSome. Both retry EINTR
+/// internally and otherwise behave exactly like the syscall: bytes
+/// transferred, 0 on EOF (reads), or -1 with errno set (EAGAIN when a
+/// deadline armed by SetIoDeadlines expires, or on a nonblocking fd).
+/// @{
+ssize_t SendSome(int fd, const void* data, size_t n);
+ssize_t ReadSome(int fd, void* data, size_t n);
+/// @}
 
 /// Closes a connection fd, first shutting both directions down so a peer
 /// blocked in read() wakes immediately. Safe on -1.

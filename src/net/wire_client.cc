@@ -1,21 +1,35 @@
 #include "net/wire_client.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "net/backoff.h"
 #include "net/socket.h"
+#include "util/hash.h"
 #include "util/io.h"
 #include "util/strings.h"
 
 namespace wmp::net {
 
 WireClient::WireClient(std::string address, WireClientOptions options)
-    : address_(std::move(address)), options_(options) {}
+    : address_(std::move(address)),
+      options_(options),
+      backoff_state_(options.jitter_seed ^
+                     util::HashBytes(address_.data(), address_.size(),
+                                     0x574D504A49545452ull)) {}  // "WMPJITTR"
 
 WireClient::~WireClient() { Close(); }
 
 Status WireClient::Connect() {
   if (fd_ >= 0) return Status::OK();
-  WMP_ASSIGN_OR_RETURN(fd_, ConnectTo(address_));
+  WMP_ASSIGN_OR_RETURN(fd_, ConnectTo(address_, options_.connect_timeout_ms));
+  if (Status st = SetIoDeadlines(fd_, options_.read_timeout_ms,
+                                 options_.write_timeout_ms);
+      !st.ok()) {
+    Close();
+    return st;
+  }
   return Status::OK();
 }
 
@@ -38,8 +52,20 @@ Result<Frame> WireClient::RoundTrip(FrameType request, std::string payload,
   // ping, stats) retry across it; publish/rollback surface the error and
   // let the operator check registry state rather than risk applying a
   // rollout twice.
+  // Retries pace themselves with bounded exponential backoff + full
+  // jitter, so a fleet of clients retrying against a recovering server
+  // doesn't arrive in synchronized waves.
+  const int attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
   Status last_error = Status::OK();
-  for (int attempt = 0; attempt < 2; ++attempt) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const uint32_t delay_ms =
+          BackoffDelayMs(&backoff_state_, attempt - 1,
+                         options_.backoff_base_ms, options_.backoff_cap_ms);
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+    }
     if (Status st = Connect(); !st.ok()) {
       last_error = st;
       continue;
@@ -148,6 +174,69 @@ Result<StatsResponse> WireClient::Stats() {
                        RoundTrip(FrameType::kStatsRequest, "",
                                  FrameType::kStatsResponse));
   return DecodeStatsResponse(frame.payload);
+}
+
+Result<HealthResponse> WireClient::Health(uint64_t nonce) {
+  HealthRequest request;
+  request.nonce = nonce;
+  WMP_ASSIGN_OR_RETURN(
+      Frame frame, RoundTrip(FrameType::kHealthRequest,
+                             EncodeHealthRequest(request),
+                             FrameType::kHealthResponse));
+  WMP_ASSIGN_OR_RETURN(HealthResponse response,
+                       DecodeHealthResponse(frame.payload));
+  if (response.nonce != nonce) {
+    Close();  // a stale probe answer means the stream desynchronized
+    return Status::Internal(
+        StrFormat("health probe nonce mismatch (sent %llu, got %llu)",
+                  static_cast<unsigned long long>(nonce),
+                  static_cast<unsigned long long>(response.nonce)));
+  }
+  return response;
+}
+
+Result<StageResponse> WireClient::Stage(std::string_view name,
+                                        const std::string& model_bytes) {
+  PublishRequest request;
+  request.model_name = std::string(name);
+  request.model_bytes = model_bytes;
+  // Staging is idempotent (a resend parks the identical artifact under a
+  // fresh ticket), so a lost stage RESPONSE is safe to retry — unlike
+  // Commit below, which installs.
+  WMP_ASSIGN_OR_RETURN(
+      Frame frame,
+      RoundTrip(FrameType::kStageRequest, EncodePublishRequest(request),
+                FrameType::kStageResponse));
+  WMP_ASSIGN_OR_RETURN(StageResponse response,
+                       DecodeStageResponse(frame.payload));
+  const uint64_t local_hash = ArtifactChecksum(model_bytes);
+  if (response.artifact_hash != local_hash) {
+    return Status::Internal(StrFormat(
+        "node staged artifact %016llx but %016llx was sent",
+        static_cast<unsigned long long>(response.artifact_hash),
+        static_cast<unsigned long long>(local_hash)));
+  }
+  return response;
+}
+
+Result<PublishResponse> WireClient::Commit(uint64_t ticket) {
+  TicketRequest request;
+  request.ticket = ticket;
+  WMP_ASSIGN_OR_RETURN(
+      Frame frame,
+      RoundTrip(FrameType::kCommitRequest, EncodeTicketRequest(request),
+                FrameType::kCommitResponse, /*idempotent=*/false));
+  return DecodePublishResponse(frame.payload);
+}
+
+Result<AbortResponse> WireClient::Abort(uint64_t ticket) {
+  TicketRequest request;
+  request.ticket = ticket;
+  WMP_ASSIGN_OR_RETURN(
+      Frame frame,
+      RoundTrip(FrameType::kAbortRequest, EncodeTicketRequest(request),
+                FrameType::kAbortResponse));
+  return DecodeAbortResponse(frame.payload);
 }
 
 }  // namespace wmp::net

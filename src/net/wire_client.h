@@ -38,6 +38,30 @@ namespace wmp::net {
 struct WireClientOptions {
   /// Receiver-side frame bound (see FrameLimits).
   size_t max_payload_bytes = 64ull << 20;
+  /// \name Deadlines (0 = unbounded, the pre-hardening behavior).
+  ///
+  /// connect_timeout_ms bounds connect(2) itself (see ConnectTo);
+  /// read/write_timeout_ms arm SO_RCVTIMEO/SO_SNDTIMEO, so a stalled
+  /// server surfaces as kDeadlineExceeded instead of parking the caller
+  /// forever. A deadline error closes the connection (the stream position
+  /// is unknowable once a frame may be half-transferred).
+  /// @{
+  int connect_timeout_ms = 0;
+  int read_timeout_ms = 0;
+  int write_timeout_ms = 0;
+  /// @}
+  /// Total tries per call, >= 1. The default keeps the original "one
+  /// transparent resend" behavior; a router talking to a flapping node
+  /// raises it. Retries beyond the first pace themselves with bounded
+  /// exponential backoff + full jitter (net/backoff.h). Regardless of
+  /// attempts left, a non-idempotent request NEVER resends after a failed
+  /// response read — see RoundTrip.
+  int max_attempts = 2;
+  uint32_t backoff_base_ms = 10;
+  uint32_t backoff_cap_ms = 1000;
+  /// Jitter RNG seed; mixed with the address hash so identical clients
+  /// still de-synchronize. Fixed seed -> reproducible delay sequence.
+  uint64_t jitter_seed = 0;
 };
 
 /// \brief One reusable client connection to a net::WireServer.
@@ -80,6 +104,23 @@ class WireClient {
   /// Service + server counters snapshot.
   Result<StatsResponse> Stats();
 
+  /// \name Fleet control plane (what net::FleetRouter drives).
+  /// @{
+  /// Liveness/epoch probe; the response echoes `nonce`.
+  Result<HealthResponse> Health(uint64_t nonce);
+  /// Stages pre-serialized artifact bytes (phase one of a two-phase
+  /// publish) without installing them. Idempotent: re-staging the same
+  /// bytes just replaces the parked copy under a fresh ticket, so a lost
+  /// stage response is safe to retry.
+  Result<StageResponse> Stage(std::string_view name,
+                              const std::string& model_bytes);
+  /// Installs the staged artifact (phase two). NOT idempotent — same
+  /// never-resend rule as Publish.
+  Result<PublishResponse> Commit(uint64_t ticket);
+  /// Discards a staged artifact (0 = whatever is parked). Idempotent.
+  Result<AbortResponse> Abort(uint64_t ticket);
+  /// @}
+
  private:
   /// Sends one request frame and reads its response, reconnecting and
   /// resending once when the failure provably preceded server-side
@@ -95,6 +136,7 @@ class WireClient {
   std::string address_;
   WireClientOptions options_;
   int fd_ = -1;
+  uint64_t backoff_state_ = 0;  ///< jitter RNG; seeded in the constructor
 };
 
 }  // namespace wmp::net

@@ -127,6 +127,14 @@ Frame WireServer::HandleFrame(const Frame& request) {
       return dispatcher_.HandleRollback(request);
     case FrameType::kStatsRequest:
       return dispatcher_.HandleStats(stats());
+    case FrameType::kHealthRequest:
+      return dispatcher_.HandleHealth(request);
+    case FrameType::kStageRequest:
+      return dispatcher_.HandleStage(request);
+    case FrameType::kCommitRequest:
+      return dispatcher_.HandleCommit(request);
+    case FrameType::kAbortRequest:
+      return dispatcher_.HandleAbort(request);
     default:
       return RequestDispatcher::UnexpectedFrame(request.type);
   }

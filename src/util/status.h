@@ -28,6 +28,10 @@ enum class StatusCode : uint8_t {
   kIOError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  /// An operation's deadline expired before it completed. Distinct from
+  /// kIOError so retry policies can tell "the wire broke" (reconnect)
+  /// from "the peer is slow" (back off, maybe fail over).
+  kDeadlineExceeded = 9,
 };
 
 /// \brief Returns a human-readable name for a status code.
@@ -74,6 +78,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return state_ == nullptr; }
@@ -91,6 +98,9 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   /// `"OK"` or `"<Code>: <message>"`.

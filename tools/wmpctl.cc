@@ -71,6 +71,7 @@
 #include "ml/compiled_tree.h"
 #include "ml/metrics.h"
 #include "net/async_client.h"
+#include "net/fleet.h"
 #include "net/reactor_server.h"
 #include "net/wire_client.h"
 #include "net/wire_server.h"
@@ -131,6 +132,14 @@ int Usage() {
                "                 [--chunk=4096] [--tenant=NAME] "
                "[--pipeline[=N]]\n"
                "  wmpctl rollback --connect=ADDR [--name=default]\n"
+               "  wmpctl fleet status|score|publish|rollback "
+               "--nodes=ADDR,ADDR,...\n"
+               "                 [--log=PATH] [--model=PATH] "
+               "[--name=default] [--batch=S]\n"
+               "                 [--tenant=NAME] [--chunk=4096] "
+               "[--attempts=4] [--seed=1]\n"
+               "                 [--probe-interval-ms=200] "
+               "[--request-timeout-ms=2000]\n"
                "ADDR is unix:/path.sock or host:port; --publish accepts "
                "--connect=ADDR\n"
                "to roll out over the wire instead of rehearsing "
@@ -876,6 +885,172 @@ int CmdRollback(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+void PrintRollout(const char* op, const net::FleetRolloutReport& report) {
+  for (const net::FleetNodeRollout& node : report.nodes) {
+    std::printf("  %-28s %s%s%s%s epoch=%llu%s%s\n", node.address.c_str(),
+                node.staged ? "staged " : "",
+                node.committed ? "committed " : "",
+                node.aborted ? "aborted " : "",
+                node.compensated ? "rolled-back " : "",
+                static_cast<unsigned long long>(node.epoch),
+                node.error.empty() ? "" : " error=",
+                node.error.c_str());
+  }
+  if (report.ok) {
+    std::printf("fleet %s ok: every node on epoch %llu\n", op,
+                static_cast<unsigned long long>(report.epoch));
+    if (!report.failure.empty()) {
+      std::printf("  %s\n", report.failure.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "fleet %s FAILED: %s\n", op,
+                 report.failure.c_str());
+  }
+}
+
+// wmpctl fleet — drive a predictor fleet through net::FleetRouter:
+// health-tracked failover scoring, probes, and the two-phase coordinated
+// publish/rollback (any partial failure compensates so the fleet never
+// serves mixed epochs).
+int CmdFleet(int argc, char** argv,
+             const std::map<std::string, std::string>& flags) {
+  const std::string verb = argc >= 3 ? argv[2] : "";
+  const std::string nodes_flag = FlagOr(flags, "nodes", "");
+  if (nodes_flag.empty() || verb.empty()) return Usage();
+  std::vector<std::string> addresses;
+  for (size_t start = 0; start <= nodes_flag.size();) {
+    size_t comma = nodes_flag.find(',', start);
+    if (comma == std::string::npos) comma = nodes_flag.size();
+    if (comma > start) {
+      addresses.push_back(nodes_flag.substr(start, comma - start));
+    }
+    start = comma + 1;
+  }
+  if (addresses.empty()) return Usage();
+
+  net::FleetRouterOptions ropt;
+  ropt.connect_timeout_ms =
+      std::atoi(FlagOr(flags, "connect-timeout-ms", "1000").c_str());
+  ropt.request_timeout_ms =
+      std::atoi(FlagOr(flags, "request-timeout-ms", "2000").c_str());
+  ropt.control_timeout_ms = ropt.request_timeout_ms;
+  ropt.probe_interval_ms =
+      std::atoi(FlagOr(flags, "probe-interval-ms", "200").c_str());
+  ropt.max_score_attempts =
+      std::max(std::atoi(FlagOr(flags, "attempts", "4").c_str()), 1);
+  ropt.seed = std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+  net::FleetRouter router(addresses, ropt);
+  if (Status st = router.Start(); !st.ok()) return Fail(st);
+  const std::string name = FlagOr(flags, "name", "default");
+
+  if (verb == "status") {
+    for (const net::FleetNodeStatus& node : router.Nodes()) {
+      std::printf("  %-28s %-8s epoch=%llu failures=%d probes=%llu/%llu\n",
+                  node.address.c_str(), net::NodeHealthName(node.health),
+                  static_cast<unsigned long long>(node.observed_epoch),
+                  node.consecutive_failures,
+                  static_cast<unsigned long long>(node.probes_ok),
+                  static_cast<unsigned long long>(node.probes_ok +
+                                                  node.probes_failed));
+    }
+    const auto& epochs = router.epoch_map();
+    std::printf("fleet target epoch %llu, %s\n",
+                static_cast<unsigned long long>(epochs.target()),
+                epochs.Mixed() ? "MIXED EPOCHS" : "epochs consistent");
+    return epochs.Mixed() ? 1 : 0;
+  }
+
+  if (verb == "publish") {
+    const std::string model_path = FlagOr(flags, "model", "");
+    if (model_path.empty()) return Usage();
+    auto model = core::LearnedWmpModel::LoadFromFile(model_path);
+    if (!model.ok()) return Fail(model.status());
+    const net::FleetRolloutReport report = router.PublishAll(name, *model);
+    PrintRollout("publish", report);
+    return report.ok ? 0 : 1;
+  }
+
+  if (verb == "rollback") {
+    const net::FleetRolloutReport report = router.RollbackAll(name);
+    PrintRollout("rollback", report);
+    return report.ok ? 0 : 1;
+  }
+
+  if (verb == "score") {
+    const std::string log_path = FlagOr(flags, "log", "");
+    if (log_path.empty()) return Usage();
+    const int batch_size =
+        std::max(std::atoi(FlagOr(flags, "batch", "10").c_str()), 1);
+    const size_t chunk = static_cast<size_t>(
+        std::max(std::atoll(FlagOr(flags, "chunk", "4096").c_str()),
+                 static_cast<long long>(batch_size)));
+    const std::string tenant = FlagOr(flags, "tenant", "wmpctl");
+    auto reader = workloads::QueryLogReader::Open(log_path);
+    if (!reader.ok()) return Fail(reader.status());
+    std::vector<workloads::QueryRecord> window;
+    size_t workloads_scored = 0, workload_failures = 0, call_failures = 0;
+    double checksum = 0.0;  // order-independent fingerprint of the scores
+    Stopwatch wall;
+    for (;;) {
+      auto appended = reader->ReadChunk(chunk, &window);
+      if (!appended.ok()) return Fail(appended.status());
+      if (window.empty()) break;
+      size_t usable =
+          window.size() - window.size() % static_cast<size_t>(batch_size);
+      if (reader->exhausted()) usable = window.size();
+      if (usable == 0 && !reader->exhausted()) continue;
+      if (usable == 0) break;
+      const auto batches = engine::MakeConsecutiveBatches(usable, batch_size);
+      std::vector<workloads::QueryRecord> scored;
+      scored.reserve(usable);
+      for (size_t i = 0; i < usable; ++i) {
+        scored.push_back(std::move(window[i]));
+      }
+      window.erase(window.begin(),
+                   window.begin() + static_cast<long>(usable));
+      auto got = router.ScoreWorkloads(tenant, scored, batches);
+      if (!got.ok()) {
+        // Every attempt on every node failed; count the whole chunk but
+        // keep driving — the fleet may recover mid-log.
+        std::fprintf(stderr, "chunk failed after all retries: %s\n",
+                     got.status().ToString().c_str());
+        call_failures += batches.size();
+        continue;
+      }
+      for (const Result<double>& outcome : *got) {
+        workloads_scored++;
+        if (outcome.ok()) {
+          checksum += *outcome;
+        } else {
+          workload_failures++;
+        }
+      }
+    }
+    const double seconds = wall.ElapsedSeconds();
+    const net::FleetRouterCounters counters = router.counters();
+    std::printf(
+        "fleet scored %zu workloads in %.2fs (%zu workload failures, %zu "
+        "lost to dead fleet), score checksum %.6f\n",
+        workloads_scored, seconds, workload_failures, call_failures,
+        checksum);
+    std::printf(
+        "  router: %llu calls, %llu retries/failovers, %llu exhausted\n",
+        static_cast<unsigned long long>(counters.scores),
+        static_cast<unsigned long long>(counters.score_retries),
+        static_cast<unsigned long long>(counters.score_failures));
+    for (const net::FleetNodeStatus& node : router.Nodes()) {
+      std::printf("  %-28s %-8s scores=%llu/%llu\n", node.address.c_str(),
+                  net::NodeHealthName(node.health),
+                  static_cast<unsigned long long>(node.scores_ok),
+                  static_cast<unsigned long long>(node.scores_ok +
+                                                  node.scores_failed));
+    }
+    return (workload_failures == 0 && call_failures == 0) ? 0 : 1;
+  }
+
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -891,5 +1066,6 @@ int main(int argc, char** argv) {
   if (cmd == "serve") return CmdServe(flags);
   if (cmd == "score") return CmdScore(flags);
   if (cmd == "rollback") return CmdRollback(flags);
+  if (cmd == "fleet") return CmdFleet(argc, argv, flags);
   return Usage();
 }
