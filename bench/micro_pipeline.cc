@@ -21,6 +21,7 @@
 #include "plan/plan_parser.h"
 #include "plan/planner.h"
 #include "sql/parser.h"
+#include "util/arena.h"
 #include "util/parallel.h"
 #include "workloads/dataset.h"
 
@@ -118,6 +119,61 @@ void BM_PredictWorkload(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictWorkload);
+
+// ---------------------------------------------------------------------------
+// Cache-bypass cold path: what a template-cache miss (or a drift/retrain
+// row) pays. Each iteration re-parses and re-plans a batch of queries from
+// SQL text into one reused bump arena, then featurizes + scales + assigns
+// them in a single AssignBatch pass over records whose plan_features are
+// absent — the featurizer walks the freshly planned trees instead of
+// gathering precomputed rows. Arg 0 is the batch size; arg 1 toggles the
+// pruned centroid index (1) vs the NearestCentroids reference scan (0).
+// `items_per_second` is cold queries/sec end to end (parse -> assign).
+// ---------------------------------------------------------------------------
+void BM_ColdPathParsePlanAssign(benchmark::State& state) {
+  PipelineState& s = PipelineState::Get();
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const bool prev_pruned = s.model.templates().pruned_assign();
+  s.model.mutable_templates()->set_pruned_assign(state.range(1) != 0);
+  plan::Planner planner(&s.dataset.generator->catalog());
+  util::Arena arena(plan::kPlanArenaChunk * batch);
+  std::vector<workloads::QueryRecord> cold(batch);
+  std::vector<uint32_t> indices(batch);
+  for (size_t i = 0; i < batch; ++i) indices[i] = static_cast<uint32_t>(i);
+  for (auto _ : state) {
+    // Non-owning PlanTree views into `arena` die with the rebuild below,
+    // never outliving the reset.
+    for (size_t i = 0; i < batch; ++i) cold[i].plan = plan::PlanTree();
+    arena.Reset();
+    for (size_t i = 0; i < batch; ++i) {
+      auto query = sql::Parse(s.dataset.records[i].sql_text);
+      if (!query.ok()) {
+        state.SkipWithError("parse failed");
+        return;
+      }
+      auto root = planner.CreatePlanInto(*query, &arena);
+      if (!root.ok()) {
+        state.SkipWithError("plan failed");
+        return;
+      }
+      cold[i].plan = plan::PlanTree(nullptr, *root);
+    }
+    auto ids = s.model.templates().AssignBatch(cold, indices);
+    if (!ids.ok()) {
+      state.SkipWithError("assign failed");
+      return;
+    }
+    benchmark::DoNotOptimize(ids);
+  }
+  for (size_t i = 0; i < batch; ++i) cold[i].plan = plan::PlanTree();
+  s.model.mutable_templates()->set_pruned_assign(prev_pruned);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_ColdPathParsePlanAssign)
+    ->Args({10, 1})
+    ->Args({100, 1})
+    ->Args({10, 0})
+    ->Args({100, 0});
 
 // ---------------------------------------------------------------------------
 // Batched serving throughput. Arg 0 is the workload batch size; arg 1 the

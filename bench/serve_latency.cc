@@ -617,6 +617,101 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
+  // --- Cache-bypass cold mode: both cache levels disabled and the
+  // records' precomputed plan_features stripped, so every submission pays
+  // the full cold featurize (plan walk) -> scale -> assign per query on
+  // every request. Pruned centroid assignment vs the NearestCentroids
+  // reference scan isolates the assignment engine inside the service
+  // stack; predictions must be bitwise equal, and the pruned run reports
+  // the ServiceStats assignment counters. ---
+  {
+    const int clients = args.quick ? 2 : 4;
+    engine::ScoringServiceOptions sopt;
+    sopt.max_batch = 1024;
+    sopt.max_delay_us = 25;
+    sopt.cache_capacity = 0;           // bypass level 1 (histograms)
+    sopt.template_cache_capacity = 0;  // bypass level 2 (template ids)
+    auto& mut_records = data->dataset.records;
+    std::vector<std::vector<double>> saved(mut_records.size());
+    for (size_t i = 0; i < mut_records.size(); ++i) {
+      saved[i].swap(mut_records[i].plan_features);
+    }
+    struct ColdOut {
+      ServeRow row;
+      std::vector<double> predictions;
+      engine::ServiceStats stats;
+    };
+    const auto run_cold = [&](const char* mode, bool pruned) {
+      model->mutable_templates()->set_pruned_assign(pruned);
+      engine::ScoringService service({&*model}, sopt);
+      DriveResult d = Drive(&service, records, batches, clients, 1, true);
+      service.Stop();
+      ColdOut out;
+      out.stats = service.stats();
+      out.predictions = d.pass_predictions[0];
+      out.row.mode = mode;
+      out.row.clients = clients;
+      out.row.shards = 1;
+      out.row.workloads = batches.size();
+      out.row.queries = CountQueries(batches);
+      out.row.seconds = d.seconds;
+      out.row.qps = d.seconds > 0
+                        ? static_cast<double>(out.row.queries) / d.seconds
+                        : 0.0;
+      out.row.p50_us = util::PercentileInPlace(&d.latencies_us, 0.50);
+      out.row.p99_us = util::PercentileInPlace(&d.latencies_us, 0.99);
+      out.row.errors = d.errors;
+      return out;
+    };
+    // Reference first so the pruned run's counter deltas are its own.
+    const auto ref_before = model->templates().assign_stats();
+    ColdOut ref = run_cold("cold_nocache_reference", false);
+    const auto pruned_before = model->templates().assign_stats();
+    ColdOut pruned = run_cold("cold_nocache_pruned", true);
+    const auto pruned_after = model->templates().assign_stats();
+    model->mutable_templates()->set_pruned_assign(true);
+    for (size_t i = 0; i < mut_records.size(); ++i) {
+      saved[i].swap(mut_records[i].plan_features);
+    }
+    // The reference scan must not have touched the pruned counters, and
+    // the two cold runs must agree bitwise per workload.
+    bool bitwise = ref.row.errors == 0 && pruned.row.errors == 0 &&
+                   pruned_before.rows == ref_before.rows;
+    for (size_t w = 0; bitwise && w < batches.size(); ++w) {
+      if (pruned.predictions[w] != ref.predictions[w]) {
+        std::cerr << "cold_nocache divergence at workload " << w << ": "
+                  << pruned.predictions[w] << " vs " << ref.predictions[w]
+                  << "\n";
+        bitwise = false;
+      }
+    }
+    ref.row.bitwise_identical = bitwise;
+    pruned.row.bitwise_identical = bitwise;
+    rows.push_back(ref.row);
+    rows.push_back(pruned.row);
+    const uint64_t d_rows = pruned_after.rows - pruned_before.rows;
+    const uint64_t d_skip = pruned_after.bound_skips - pruned_before.bound_skips;
+    const uint64_t d_early =
+        pruned_after.early_exits - pruned_before.early_exits;
+    TablePrinter table(
+        "serve_latency — cache-bypass cold path (plan-walk featurize)");
+    table.SetHeader({"path", "qps", "p50 us", "p99 us", "assign rows",
+                     "bound skips", "early exits", "bitwise"});
+    table.AddRow({"reference scan", StrFormat("%.0f", ref.row.qps),
+                  StrFormat("%.0f", ref.row.p50_us),
+                  StrFormat("%.0f", ref.row.p99_us), "-", "-", "-", "-"});
+    table.AddRow(
+        {"pruned index", StrFormat("%.0f", pruned.row.qps),
+         StrFormat("%.0f", pruned.row.p50_us),
+         StrFormat("%.0f", pruned.row.p99_us),
+         StrFormat("%llu", static_cast<unsigned long long>(d_rows)),
+         StrFormat("%llu", static_cast<unsigned long long>(d_skip)),
+         StrFormat("%llu", static_cast<unsigned long long>(d_early)),
+         bitwise ? "yes" : "NO"});
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
   FILE* out = stdout;
   if (!args.json_path.empty()) {
     out = std::fopen(args.json_path.c_str(), "w");

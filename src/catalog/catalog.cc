@@ -11,19 +11,23 @@ Status Catalog::AddTable(TableDef table) {
   return Status::OK();
 }
 
-Result<const TableDef*> Catalog::FindTable(const std::string& name) const {
+Result<const TableDef*> Catalog::FindTable(std::string_view name) const {
   auto it = tables_.find(name);
-  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + std::string(name));
+  }
   return &it->second;
 }
 
-bool Catalog::HasTable(const std::string& name) const {
+bool Catalog::HasTable(std::string_view name) const {
   return tables_.find(name) != tables_.end();
 }
 
-Result<TableDef*> Catalog::FindMutableTable(const std::string& name) {
+Result<TableDef*> Catalog::FindMutableTable(std::string_view name) {
   auto it = tables_.find(name);
-  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + std::string(name));
+  }
   return &it->second;
 }
 

@@ -7,6 +7,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "catalog/table.h"
@@ -23,18 +24,18 @@ class Catalog {
   Status AddTable(TableDef table);
 
   /// Looks up a table by name.
-  Result<const TableDef*> FindTable(const std::string& name) const;
-  bool HasTable(const std::string& name) const;
+  Result<const TableDef*> FindTable(std::string_view name) const;
+  bool HasTable(std::string_view name) const;
 
   /// Mutable lookup (for generators adjusting statistics).
-  Result<TableDef*> FindMutableTable(const std::string& name);
+  Result<TableDef*> FindMutableTable(std::string_view name);
 
   /// Table names in registration order.
   const std::vector<std::string>& table_names() const { return order_; }
   size_t num_tables() const { return tables_.size(); }
 
  private:
-  std::map<std::string, TableDef> tables_;
+  std::map<std::string, TableDef, std::less<>> tables_;
   std::vector<std::string> order_;
 };
 

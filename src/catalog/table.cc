@@ -40,25 +40,26 @@ Status TableDef::AddCorrelation(const std::string& a, const std::string& b,
   return Status::OK();
 }
 
-Result<const Column*> TableDef::FindColumn(const std::string& name) const {
+Result<const Column*> TableDef::FindColumn(std::string_view name) const {
   for (const Column& c : columns_) {
     if (c.name() == name) return &c;
   }
-  return Status::NotFound("column not found: " + name_ + "." + name);
+  return Status::NotFound("column not found: " + name_ + "." +
+                          std::string(name));
 }
 
-bool TableDef::HasColumn(const std::string& name) const {
+bool TableDef::HasColumn(std::string_view name) const {
   return std::any_of(columns_.begin(), columns_.end(),
                      [&](const Column& c) { return c.name() == name; });
 }
 
-bool TableDef::HasIndexOn(const std::string& column) const {
+bool TableDef::HasIndexOn(std::string_view column) const {
   return std::any_of(indexes_.begin(), indexes_.end(),
                      [&](const Index& i) { return i.column == column; });
 }
 
-double TableDef::CorrelationBetween(const std::string& a,
-                                    const std::string& b) const {
+double TableDef::CorrelationBetween(std::string_view a,
+                                    std::string_view b) const {
   for (const Correlation& c : correlations_) {
     if ((c.column_a == a && c.column_b == b) ||
         (c.column_a == b && c.column_b == a)) {
@@ -68,7 +69,7 @@ double TableDef::CorrelationBetween(const std::string& a,
   return 0.0;
 }
 
-const ForeignKey* TableDef::FindForeignKey(const std::string& column) const {
+const ForeignKey* TableDef::FindForeignKey(std::string_view column) const {
   for (const ForeignKey& fk : foreign_keys_) {
     if (fk.local_column == column) return &fk;
   }

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "catalog/column.h"
@@ -72,14 +73,14 @@ class TableDef {
   const std::vector<Correlation>& correlations() const { return correlations_; }
 
   /// Looks up a column by name.
-  Result<const Column*> FindColumn(const std::string& name) const;
-  bool HasColumn(const std::string& name) const;
+  Result<const Column*> FindColumn(std::string_view name) const;
+  bool HasColumn(std::string_view name) const;
   /// True if some index covers `column`.
-  bool HasIndexOn(const std::string& column) const;
+  bool HasIndexOn(std::string_view column) const;
   /// Correlation strength between two columns (0 when undeclared).
-  double CorrelationBetween(const std::string& a, const std::string& b) const;
+  double CorrelationBetween(std::string_view a, std::string_view b) const;
   /// Foreign key departing from `column`, if any.
-  const ForeignKey* FindForeignKey(const std::string& column) const;
+  const ForeignKey* FindForeignKey(std::string_view column) const;
 
   /// Sum of column widths: average materialized row width in bytes.
   uint32_t row_width() const;

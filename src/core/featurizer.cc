@@ -1,8 +1,35 @@
 #include "core/featurizer.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 
+#include "plan/features.h"
+
 namespace wmp::core {
+
+size_t PlanFeaturizer::dim() const { return plan::kPlanFeatureDim; }
+
+Status PlanFeaturizer::FeaturizeInto(const workloads::QueryRecord& record,
+                                     double* out) const {
+  if (record.plan_features.size() == plan::kPlanFeatureDim) {
+    std::copy(record.plan_features.begin(), record.plan_features.end(), out);
+  } else if (record.plan != nullptr) {
+    plan::ExtractPlanFeaturesInto(*record.plan, out);
+  } else if (record.plan_features.empty()) {
+    return Status::InvalidArgument(
+        "record has neither a plan nor precomputed plan features");
+  } else {
+    return Status::InvalidArgument("record's plan-feature length is wrong");
+  }
+  if (log_transform_cards_) {
+    // Odd slots hold summed cardinalities (plan/features.h layout).
+    for (size_t i = 1; i < plan::kPlanFeatureDim; i += 2) {
+      out[i] = std::log1p(out[i]);
+    }
+  }
+  return Status::OK();
+}
 
 ml::Matrix PlanFeatureMatrix(const std::vector<workloads::QueryRecord>& records,
                              const std::vector<uint32_t>& indices) {

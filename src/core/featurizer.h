@@ -3,14 +3,61 @@
 
 /// \file featurizer.h
 /// Bridges query records to ML inputs: feature matrices and label vectors
-/// over arbitrary row subsets.
+/// over arbitrary row subsets — and the pluggable `Featurizer` interface
+/// the template model featurizes through on the serving cold path.
 
+#include <memory>
+#include <string_view>
 #include <vector>
 
 #include "ml/linalg.h"
+#include "util/status.h"
 #include "workloads/query_record.h"
 
 namespace wmp::core {
+
+/// \brief Maps one query record to a fixed-width feature row.
+///
+/// The cold path (parse -> plan -> featurize -> scale -> assign) writes
+/// rows straight into a reusable scratch matrix, so the interface is
+/// fill-in-place rather than return-a-vector. Implementations must be
+/// const-thread-safe: the batch pipeline featurizes row blocks in
+/// parallel through one shared instance.
+class Featurizer {
+ public:
+  virtual ~Featurizer() = default;
+
+  /// Feature row width; fixed for the lifetime of the instance.
+  virtual size_t dim() const = 0;
+
+  /// Writes `record`'s feature row into `out[0..dim())`.
+  virtual Status FeaturizeInto(const workloads::QueryRecord& record,
+                               double* out) const = 0;
+
+  /// Short diagnostic name ("plan-bag", ...).
+  virtual std::string_view name() const = 0;
+};
+
+/// \brief Default featurizer: the paper's flat bag of plan features — two
+/// slots per operator type (instance count, summed estimated output
+/// cardinality), optionally log1p-compressing the cardinality slots.
+///
+/// Prefers the record's precomputed `plan_features` (a gather); falls back
+/// to walking `record.plan` directly for cold records that were parsed and
+/// planned but never pre-featurized.
+class PlanFeaturizer final : public Featurizer {
+ public:
+  explicit PlanFeaturizer(bool log_transform_cards = false)
+      : log_transform_cards_(log_transform_cards) {}
+
+  size_t dim() const override;
+  Status FeaturizeInto(const workloads::QueryRecord& record,
+                       double* out) const override;
+  std::string_view name() const override { return "plan-bag"; }
+
+ private:
+  bool log_transform_cards_;
+};
 
 /// Plan-feature matrix (TR2 output) for the selected records.
 ml::Matrix PlanFeatureMatrix(const std::vector<workloads::QueryRecord>& records,

@@ -90,16 +90,26 @@ Status BuildHistogramRows(const std::vector<int>& template_ids,
   if (out == nullptr || out->cols() != static_cast<size_t>(num_templates)) {
     return Status::InvalidArgument("output matrix has wrong width");
   }
-  std::vector<bool> target(out->rows(), false);
+  // Epoch-stamped duplicate check: the stamp array grows once to the
+  // largest matrix seen and a bumped epoch invalidates every entry, so the
+  // serving layer's per-flush calls do no per-call clearing or allocation
+  // after warm-up.
+  thread_local std::vector<uint32_t> seen_stamp;
+  thread_local uint32_t seen_epoch = 0;
+  if (seen_stamp.size() < out->rows()) seen_stamp.resize(out->rows(), 0);
+  if (++seen_epoch == 0) {  // epoch wrapped: stamps are ambiguous, reset
+    std::fill(seen_stamp.begin(), seen_stamp.end(), 0);
+    seen_epoch = 1;
+  }
   for (size_t r : row_map) {
     if (r >= out->rows()) {
       return Status::OutOfRange("row_map entry outside the output matrix");
     }
     // Rows are filled concurrently, so two workloads may not share one.
-    if (target[r]) {
+    if (seen_stamp[r] == seen_epoch) {
       return Status::InvalidArgument("row_map entries must be distinct");
     }
-    target[r] = true;
+    seen_stamp[r] = seen_epoch;
   }
   constexpr int kNoBadId = std::numeric_limits<int>::min();
   std::atomic<int> bad_id{kNoBadId};

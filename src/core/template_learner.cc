@@ -102,6 +102,7 @@ Result<TemplateModel> TemplateModel::Learn(
     }
     model.dbscan_centroids_ = dbscan.centroids();
     model.num_templates_ = dbscan.num_clusters();
+    model.BuildAssignPath();
     return model;
   }
 
@@ -111,7 +112,32 @@ Result<TemplateModel> TemplateModel::Learn(
   km.seed = options.seed;
   WMP_RETURN_IF_ERROR(model.kmeans_.Fit(scaled, km));
   model.num_templates_ = model.kmeans_.num_clusters();
+  model.BuildAssignPath();
   return model;
+}
+
+void TemplateModel::BuildAssignPath() {
+  if (options_.method != TemplateMethod::kPlanKMeans &&
+      options_.method != TemplateMethod::kPlanDbscan) {
+    return;
+  }
+  featurizer_ =
+      std::make_shared<PlanFeaturizer>(options_.log_transform_cards);
+  centroid_index_ = std::make_shared<ml::CentroidIndex>(AssignCentroids());
+  assign_counters_ = std::make_shared<AssignCounters>();
+}
+
+ml::CentroidIndex::AssignStats TemplateModel::assign_stats() const {
+  ml::CentroidIndex::AssignStats s;
+  if (assign_counters_ == nullptr) return s;
+  s.rows = assign_counters_->rows.load(std::memory_order_relaxed);
+  s.bound_skips =
+      assign_counters_->bound_skips.load(std::memory_order_relaxed);
+  s.early_exits =
+      assign_counters_->early_exits.load(std::memory_order_relaxed);
+  s.full_distances =
+      assign_counters_->full_distances.load(std::memory_order_relaxed);
+  return s;
 }
 
 Result<std::vector<double>> TemplateModel::Featurize(
@@ -229,17 +255,63 @@ Result<std::vector<int>> TemplateModel::AssignBatch(
     return ids;
   }
 
-  WMP_ASSIGN_OR_RETURN(ml::Matrix z, FeaturizeBatch(records, indices));
-  WMP_RETURN_IF_ERROR(scaler_.TransformInPlace(&z));
-
-  if (options_.method == TemplateMethod::kPlanDbscan) {
-    std::vector<int> ids(indices.size());
-    util::ParallelFor(z.rows(), 256, [&](size_t begin, size_t end) {
-      ml::NearestCentroids(z.RowPtr(begin), end - begin, dbscan_centroids_,
-                           ids.data() + begin);
+  if (options_.method == TemplateMethod::kPlanKMeans ||
+      options_.method == TemplateMethod::kPlanDbscan) {
+    // Fused cold path: featurize -> standardize -> assign through one
+    // thread-local grow-only scratch matrix. Zero per-call heap traffic
+    // once the scratch has warmed to the steady-state batch size.
+    const Featurizer& featurizer = *featurizer_;
+    const size_t n = indices.size();
+    thread_local ml::Matrix scratch;
+    ml::Matrix& z = scratch;
+    z.Reshape(n, featurizer.dim());
+    std::atomic<bool> featurize_failed{false};
+    util::ParallelFor(n, 512, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        if (!featurizer.FeaturizeInto(records[indices[i]], z.RowPtr(i))
+                 .ok()) {
+          featurize_failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
     });
+    if (featurize_failed.load(std::memory_order_relaxed)) {
+      // Serial re-run to surface the exact failing record's status.
+      for (uint32_t i : indices) {
+        WMP_RETURN_IF_ERROR(featurizer.FeaturizeInto(records[i], z.RowPtr(0)));
+      }
+      return Status::Internal("featurize failed only under parallelism");
+    }
+    WMP_RETURN_IF_ERROR(scaler_.TransformInPlace(&z));
+
+    std::vector<int> ids(n);
+    if (pruned_assign_ && centroid_index_ != nullptr) {
+      ml::CentroidIndex::AssignStats stats;
+      centroid_index_->Assign(z.RowPtr(0), n, ids.data(), &stats);
+      if (assign_counters_ != nullptr) {
+        assign_counters_->rows.fetch_add(stats.rows,
+                                         std::memory_order_relaxed);
+        assign_counters_->bound_skips.fetch_add(stats.bound_skips,
+                                                std::memory_order_relaxed);
+        assign_counters_->early_exits.fetch_add(stats.early_exits,
+                                                std::memory_order_relaxed);
+        assign_counters_->full_distances.fetch_add(
+            stats.full_distances, std::memory_order_relaxed);
+      }
+    } else {
+      // Reference oracle: the full scan CentroidIndex must agree with.
+      const ml::Matrix& centroids = AssignCentroids();
+      util::ParallelFor(n, 256, [&](size_t begin, size_t end) {
+        ml::NearestCentroids(z.RowPtr(begin), end - begin, centroids,
+                             ids.data() + begin);
+      });
+    }
     return ids;
   }
+
+  // Text-based ablation methods: batch-gather then full scan.
+  WMP_ASSIGN_OR_RETURN(ml::Matrix z, FeaturizeBatch(records, indices));
+  WMP_RETURN_IF_ERROR(scaler_.TransformInPlace(&z));
   return kmeans_.AssignAll(z);
 }
 
@@ -389,6 +461,7 @@ Result<TemplateModel> TemplateModel::Deserialize(BinaryReader* reader) {
     default:
       return Status::InvalidArgument("unsupported serialized template method");
   }
+  model.BuildAssignPath();
   return model;
 }
 

@@ -16,7 +16,7 @@ double DbmsEstimateMemoryMb(const plan::PlanNode& root,
     switch (node.op) {
       case OperatorType::kHsJoin: {
         const plan::PlanNode* build =
-            node.children.size() > 1 ? node.children[1].get() : nullptr;
+            node.children.size() > 1 ? node.children[1] : nullptr;
         const double rows = build != nullptr ? build->output_card : 0.0;
         const double width =
             build != nullptr ? build->row_width : node.row_width;

@@ -47,7 +47,7 @@ OperatorMemory ComputeOperatorMemory(const plan::PlanNode& node,
       // Build side = children[1] by planner convention; its *output* rows
       // populate the hash table.
       const plan::PlanNode* build =
-          node.children.size() > 1 ? node.children[1].get() : nullptr;
+          node.children.size() > 1 ? node.children[1] : nullptr;
       const double rows = build != nullptr ? NodeOutputCard(*build, track) : 0.0;
       const double width = build != nullptr ? build->row_width : node.row_width;
       double table_bytes = rows * (width + config.hash_entry_overhead) /

@@ -510,6 +510,13 @@ ServiceStats ScoringService::stats() const {
       if (model->compiled_inference() && model->compiled() != nullptr) {
         st.traverse_kernel_id = model->compiled()->kernel_id();
       }
+      // Cold-path pruning counters live in the template model's shared
+      // block, so shard 0's snapshot sees every copy's assignments.
+      const auto assign = model->templates().assign_stats();
+      st.assign_rows = assign.rows;
+      st.assign_bound_skips = assign.bound_skips;
+      st.assign_early_exits = assign.early_exits;
+      st.assign_full_distances = assign.full_distances;
     }
   }
   return st;

@@ -149,6 +149,13 @@ struct ServiceStats {
   /// `ml::TraverseKernel` (render via ml::TraverseKernelIdName), or 0 when
   /// shard 0 serves the reference (non-compiled) path.
   uint64_t traverse_kernel_id = 0;
+  /// Cold-path centroid assignment (shard 0's model; see
+  /// ml::CentroidIndex::AssignStats). All zero when the pruned path never
+  /// ran — reference scan, rule-based templates, or an all-hit cache.
+  uint64_t assign_rows = 0;            ///< rows assigned by the pruned path
+  uint64_t assign_bound_skips = 0;     ///< centroids skipped by the c-c bound
+  uint64_t assign_early_exits = 0;     ///< distances abandoned part-way
+  uint64_t assign_full_distances = 0;  ///< distances computed to the end
 
   double avg_batch() const {
     return flushes > 0 ? static_cast<double>(completed + failed) /

@@ -48,6 +48,17 @@ class Matrix {
   /// matrix, afterwards `row.size()` must match.
   Status AppendRow(const std::vector<double>& row);
 
+  /// Grow-only reshape for scratch reuse: adopts the new shape, enlarging
+  /// the backing storage only when `rows*cols` exceeds what any earlier
+  /// shape required. Contents are unspecified afterwards (callers
+  /// overwrite every row). Note `data().size()` may exceed `rows*cols` on
+  /// a reshaped matrix — don't serialize a scratch matrix's backing store.
+  void Reshape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    if (data_.size() < rows * cols) data_.resize(rows * cols);
+  }
+
   /// Returns the transpose.
   Matrix Transposed() const;
 

@@ -32,6 +32,22 @@ namespace wmp::plan {
 /// selectivity math).
 double HarmonicApprox(double n, double theta);
 
+/// \name HarmonicApprox fast path (per-theta prefix tables).
+///
+/// The exact prefix of H_n(theta) is O(min(n, 2048)) pow() calls, and the
+/// cold planning path evaluates it once per range predicate with `n`
+/// derived from the predicate's literal — a different key per query, so a
+/// per-(n, theta) memo thrashes at corpus scale. The fast path instead
+/// builds one cumulative prefix-sum table per distinct theta (a catalog
+/// has a handful) in the same left-to-right accumulation order, making
+/// every call a table lookup plus the integral tail — bitwise equal to
+/// the direct summation. The toggle exists for benchmarks that reproduce
+/// the pre-table cost model as their baseline; it never changes values.
+/// @{
+void SetHarmonicTableCache(bool on);
+bool HarmonicTableCache();
+/// @}
+
 /// CDF of Zipf(n, theta) at rank `k` (ranks ordered by frequency).
 double ZipfCdfApprox(double k, double n, double theta);
 
@@ -64,7 +80,7 @@ class CardinalityModel {
   /// Number of output groups of a GROUP BY over `columns` on `input_card`
   /// incoming rows.
   virtual Result<double> GroupCount(
-      const std::vector<std::pair<const catalog::TableDef*, std::string>>& columns,
+      const std::vector<std::pair<const catalog::TableDef*, std::string_view>>& columns,
       double input_card) const = 0;
 
  protected:
@@ -82,7 +98,7 @@ class OptimizerCardinalityModel : public CardinalityModel {
                                  const catalog::TableDef& left,
                                  const catalog::TableDef& right) const override;
   Result<double> GroupCount(
-      const std::vector<std::pair<const catalog::TableDef*, std::string>>& columns,
+      const std::vector<std::pair<const catalog::TableDef*, std::string_view>>& columns,
       double input_card) const override;
 
   /// Default selectivity for LIKE predicates (classic System-R magic).
@@ -105,7 +121,7 @@ class TrueCardinalityModel : public CardinalityModel {
                                  const catalog::TableDef& left,
                                  const catalog::TableDef& right) const override;
   Result<double> GroupCount(
-      const std::vector<std::pair<const catalog::TableDef*, std::string>>& columns,
+      const std::vector<std::pair<const catalog::TableDef*, std::string_view>>& columns,
       double input_card) const override;
 };
 

@@ -1,14 +1,30 @@
 #include "plan/features.h"
 
+#include <algorithm>
+
 namespace wmp::plan {
+
+namespace {
+
+void AccumulateFeatures(const PlanNode& node, double* out) {
+  const size_t t = static_cast<size_t>(node.op);
+  out[2 * t] += 1.0;
+  out[2 * t + 1] += node.output_card;
+  for (const PlanNode* child : node.children) {
+    AccumulateFeatures(*child, out);
+  }
+}
+
+}  // namespace
+
+void ExtractPlanFeaturesInto(const PlanNode& root, double* out) {
+  std::fill(out, out + kPlanFeatureDim, 0.0);
+  AccumulateFeatures(root, out);
+}
 
 std::vector<double> ExtractPlanFeatures(const PlanNode& root) {
   std::vector<double> features(kPlanFeatureDim, 0.0);
-  root.Visit([&](const PlanNode& node) {
-    const size_t t = static_cast<size_t>(node.op);
-    features[2 * t] += 1.0;
-    features[2 * t + 1] += node.output_card;
-  });
+  ExtractPlanFeaturesInto(root, features.data());
   return features;
 }
 

@@ -27,6 +27,11 @@ constexpr size_t kPlanFeatureDim = 2 * static_cast<size_t>(kNumOperatorTypes);
 /// 2*t+1 the summed estimated output cardinality of those instances.
 std::vector<double> ExtractPlanFeatures(const PlanNode& root);
 
+/// Allocation-free form: zeroes `out[0..kPlanFeatureDim)` and accumulates
+/// the features there by direct recursion (no std::function dispatch). The
+/// batch featurizer writes straight into scratch-matrix rows with this.
+void ExtractPlanFeaturesInto(const PlanNode& root, double* out);
+
 /// Human-readable names for the feature slots ("TBSCAN.count",
 /// "TBSCAN.card", ...), index-aligned with ExtractPlanFeatures.
 std::vector<std::string> PlanFeatureNames();

@@ -4,48 +4,60 @@
 
 namespace wmp::plan {
 
-std::unique_ptr<PlanNode> PlanNode::Clone() const {
-  auto copy = std::make_unique<PlanNode>(op);
+PlanNode* PlanNode::Clone(util::Arena* arena) const {
+  PlanNode* copy = arena->New<PlanNode>(arena, op);
   copy->input_card = input_card;
   copy->output_card = output_card;
   copy->true_input_card = true_input_card;
   copy->true_output_card = true_output_card;
   copy->row_width = row_width;
-  copy->table = table;
-  copy->detail = detail;
+  copy->table = arena->CopyString(table);
+  copy->detail = arena->CopyString(detail);
   copy->num_keys = num_keys;
   copy->hash_mode = hash_mode;
   copy->children.reserve(children.size());
-  for (const auto& child : children) copy->children.push_back(child->Clone());
+  for (const PlanNode* child : children) {
+    copy->children.push_back(child->Clone(arena));
+  }
   return copy;
+}
+
+PlanTree PlanTree::Clone() const {
+  if (root_ == nullptr) return {};
+  auto arena = std::make_unique<util::Arena>(kPlanArenaChunk);
+  PlanNode* root = root_->Clone(arena.get());
+  return PlanTree(std::move(arena), root);
 }
 
 size_t PlanNode::TreeSize() const {
   size_t n = 1;
-  for (const auto& child : children) n += child->TreeSize();
+  for (const PlanNode* child : children) n += child->TreeSize();
   return n;
 }
 
 size_t PlanNode::Depth() const {
   size_t deepest = 0;
-  for (const auto& child : children) deepest = std::max(deepest, child->Depth());
+  for (const PlanNode* child : children) {
+    deepest = std::max(deepest, child->Depth());
+  }
   return deepest + 1;
 }
 
 void PlanNode::Visit(const std::function<void(const PlanNode&)>& fn) const {
   fn(*this);
-  for (const auto& child : children) child->Visit(fn);
+  for (const PlanNode* child : children) child->Visit(fn);
 }
 
 void PlanNode::VisitMutable(const std::function<void(PlanNode*)>& fn) {
   fn(this);
-  for (const auto& child : children) child->VisitMutable(fn);
+  for (PlanNode* child : children) child->VisitMutable(fn);
 }
 
-std::unique_ptr<PlanNode> MakeNode(
-    OperatorType op, std::vector<std::unique_ptr<PlanNode>> children) {
-  auto node = std::make_unique<PlanNode>(op);
-  node->children = std::move(children);
+PlanNode* MakeNode(util::Arena* arena, OperatorType op,
+                   std::initializer_list<PlanNode*> children) {
+  PlanNode* node = arena->New<PlanNode>(arena, op);
+  node->children.reserve(children.size());
+  for (PlanNode* child : children) node->children.push_back(child);
   return node;
 }
 

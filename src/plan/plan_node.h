@@ -11,20 +11,28 @@
 ///    execution simulator fills in from the synthetic data model. They
 ///    stand in for "what actually happened at runtime" and drive the
 ///    actual-memory label `m`.
+///
+/// Nodes are arena-allocated (util/arena.h): the planner and EXPLAIN parser
+/// bump-allocate every node and string into one arena per tree (or per
+/// batch, on the serving cold path), so building and dropping a plan does
+/// zero per-node heap traffic. A PlanNode is trivially destructible; its
+/// `table`/`detail` views point into the owning arena or static storage.
+/// PlanTree couples a root with the arena that owns it.
 
+#include <cstddef>
 #include <functional>
 #include <memory>
-#include <string>
-#include <vector>
+#include <string_view>
 
 #include "plan/operator.h"
+#include "util/arena.h"
 
 namespace wmp::plan {
 
 /// \brief One operator instance in a physical plan.
 struct PlanNode {
   OperatorType op = OperatorType::kReturn;
-  std::vector<std::unique_ptr<PlanNode>> children;
+  util::ArenaVec<PlanNode*> children;
 
   /// Optimizer-estimated rows flowing in (sum over children's output) and
   /// out of this operator.
@@ -36,21 +44,24 @@ struct PlanNode {
 
   /// Average output row width in bytes.
   double row_width = 8.0;
-  /// Base table name for scan operators; empty otherwise.
-  std::string table;
+  /// Base table name for scan operators; empty otherwise. Points into the
+  /// owning arena (or static storage).
+  std::string_view table;
   /// Free-form annotation (join columns, sort keys) for EXPLAIN output.
-  std::string detail;
+  std::string_view detail;
   /// Sort keys / grouping columns count.
   int num_keys = 0;
   /// GROUP BY only: hash aggregation (true) vs. streaming over sorted
   /// input (false).
   bool hash_mode = false;
 
-  PlanNode() = default;
-  explicit PlanNode(OperatorType type) : op(type) {}
+  /// Nodes always live in an arena; children grow there too.
+  explicit PlanNode(util::Arena* arena) : children(arena) {}
+  PlanNode(util::Arena* arena, OperatorType type)
+      : op(type), children(arena) {}
 
-  /// Deep copy.
-  std::unique_ptr<PlanNode> Clone() const;
+  /// Deep copy into `arena` (strings are copied there as well).
+  PlanNode* Clone(util::Arena* arena) const;
 
   /// Number of nodes in this subtree.
   size_t TreeSize() const;
@@ -62,9 +73,68 @@ struct PlanNode {
   void VisitMutable(const std::function<void(PlanNode*)>& fn);
 };
 
+static_assert(std::is_trivially_destructible_v<PlanNode>,
+              "PlanNode must stay arena-compatible");
+
+/// \brief Owning handle for a plan: the root plus the arena holding every
+/// node. Move-only, with a unique_ptr-flavored API so call sites read the
+/// same as the pre-arena `std::unique_ptr<PlanNode>`.
+class PlanTree {
+ public:
+  PlanTree() = default;
+  PlanTree(std::nullptr_t) {}  // NOLINT: mirror unique_ptr's null init
+  PlanTree(std::unique_ptr<util::Arena> arena, PlanNode* root)
+      : arena_(std::move(arena)), root_(root) {}
+
+  PlanTree(PlanTree&& o) noexcept
+      : arena_(std::move(o.arena_)), root_(o.root_) {
+    o.root_ = nullptr;
+  }
+  PlanTree& operator=(PlanTree&& o) noexcept {
+    arena_ = std::move(o.arena_);
+    root_ = o.root_;
+    o.root_ = nullptr;
+    return *this;
+  }
+  PlanTree(const PlanTree&) = delete;
+  PlanTree& operator=(const PlanTree&) = delete;
+
+  PlanNode* get() const { return root_; }
+  PlanNode& operator*() const { return *root_; }
+  PlanNode* operator->() const { return root_; }
+  explicit operator bool() const { return root_ != nullptr; }
+  friend bool operator==(const PlanTree& t, std::nullptr_t) {
+    return t.root_ == nullptr;
+  }
+
+  /// Deep copy into a fresh arena.
+  PlanTree Clone() const;
+
+  /// The arena owning this tree's nodes (null for an empty tree).
+  util::Arena* arena() const { return arena_.get(); }
+
+  void reset() {
+    root_ = nullptr;
+    arena_.reset();
+  }
+
+ private:
+  std::unique_ptr<util::Arena> arena_;
+  PlanNode* root_ = nullptr;
+};
+
+/// Default first-chunk size for a single tree's arena: a typical annotated
+/// plan (10-25 nodes + detail strings) fits in one chunk.
+inline constexpr size_t kPlanArenaChunk = 4 << 10;
+
+/// Wraps a root built in `arena` into an owning tree.
+inline PlanTree OwnTree(std::unique_ptr<util::Arena> arena, PlanNode* root) {
+  return PlanTree(std::move(arena), root);
+}
+
 /// Convenience builder for tests and the planner.
-std::unique_ptr<PlanNode> MakeNode(OperatorType op,
-                                   std::vector<std::unique_ptr<PlanNode>> children = {});
+PlanNode* MakeNode(util::Arena* arena, OperatorType op,
+                   std::initializer_list<PlanNode*> children = {});
 
 }  // namespace wmp::plan
 

@@ -1,6 +1,7 @@
 #include "plan/plan_parser.h"
 
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "util/strings.h"
@@ -12,10 +13,11 @@ namespace {
 // One parsed line: indentation depth plus the node's fields.
 struct ParsedLine {
   int depth = 0;
-  std::unique_ptr<PlanNode> node;
+  PlanNode* node = nullptr;
 };
 
-Result<ParsedLine> ParseLine(const std::string& line, size_t line_no) {
+Result<ParsedLine> ParseLine(const std::string& line, size_t line_no,
+                             util::Arena* arena) {
   ParsedLine out;
   size_t indent = 0;
   while (indent < line.size() && line[indent] == ' ') ++indent;
@@ -34,7 +36,7 @@ Result<ParsedLine> ParseLine(const std::string& line, size_t line_no) {
   }
   const std::string op_name(rest.substr(0, name_end));
   WMP_ASSIGN_OR_RETURN(OperatorType op, OperatorTypeFromName(op_name));
-  out.node = std::make_unique<PlanNode>(op);
+  out.node = arena->New<PlanNode>(arena, op);
   rest.remove_prefix(name_end);
 
   if (!rest.empty() && rest.front() == '(') {
@@ -43,7 +45,7 @@ Result<ParsedLine> ParseLine(const std::string& line, size_t line_no) {
       return Status::InvalidArgument(
           StrFormat("line %zu: unterminated table name", line_no));
     }
-    out.node->table = std::string(rest.substr(1, close - 1));
+    out.node->table = arena->CopyString(rest.substr(1, close - 1));
     rest.remove_prefix(close + 1);
   }
 
@@ -64,7 +66,7 @@ Result<ParsedLine> ParseLine(const std::string& line, size_t line_no) {
         return Status::InvalidArgument(
             StrFormat("line %zu: unterminated detail", line_no));
       }
-      out.node->detail = std::string(rest.substr(0, close));
+      out.node->detail = arena->CopyString(rest.substr(0, close));
       rest.remove_prefix(close + 1);
       continue;
     }
@@ -108,22 +110,23 @@ Result<ParsedLine> ParseLine(const std::string& line, size_t line_no) {
 
 }  // namespace
 
-Result<std::unique_ptr<PlanNode>> ParseExplain(const std::string& text) {
+Result<PlanNode*> ParseExplainInto(const std::string& text,
+                                   util::Arena* arena) {
   std::vector<std::string> lines = Split(text, '\n');
   // Stack of (depth, node*) for parent attachment.
-  std::unique_ptr<PlanNode> root;
+  PlanNode* root = nullptr;
   std::vector<std::pair<int, PlanNode*>> stack;
   size_t line_no = 0;
   for (const std::string& raw : lines) {
     ++line_no;
     if (Trim(raw).empty()) continue;
-    WMP_ASSIGN_OR_RETURN(ParsedLine parsed, ParseLine(raw, line_no));
+    WMP_ASSIGN_OR_RETURN(ParsedLine parsed, ParseLine(raw, line_no, arena));
     if (root == nullptr) {
       if (parsed.depth != 0) {
         return Status::InvalidArgument("first plan line must not be indented");
       }
-      root = std::move(parsed.node);
-      stack.push_back({0, root.get()});
+      root = parsed.node;
+      stack.push_back({0, root});
       continue;
     }
     // Pop to the parent level.
@@ -135,13 +138,19 @@ Result<std::unique_ptr<PlanNode>> ParseExplain(const std::string& text) {
           StrFormat("line %zu: indentation skips a level", line_no));
     }
     PlanNode* parent = stack.back().second;
-    parent->children.push_back(std::move(parsed.node));
-    stack.push_back({parsed.depth, parent->children.back().get()});
+    parent->children.push_back(parsed.node);
+    stack.push_back({parsed.depth, parsed.node});
   }
   if (root == nullptr) {
     return Status::InvalidArgument("empty plan text");
   }
   return root;
+}
+
+Result<PlanTree> ParseExplain(const std::string& text) {
+  auto arena = std::make_unique<util::Arena>(kPlanArenaChunk);
+  WMP_ASSIGN_OR_RETURN(PlanNode * root, ParseExplainInto(text, arena.get()));
+  return PlanTree(std::move(arena), root);
 }
 
 }  // namespace wmp::plan

@@ -9,7 +9,6 @@
 /// without re-planning. `ParseExplain(Explain(p))` reconstructs `p` exactly
 /// (all annotated fields).
 
-#include <memory>
 #include <string>
 
 #include "plan/plan_node.h"
@@ -19,8 +18,14 @@ namespace wmp::plan {
 
 /// \brief Parses one EXPLAIN plan. Fails with InvalidArgument on malformed
 /// lines, bad indentation (a child more than one level deeper than its
-/// parent), unknown operators, or empty input.
-Result<std::unique_ptr<PlanNode>> ParseExplain(const std::string& text);
+/// parent), unknown operators, or empty input. The returned tree owns its
+/// arena.
+Result<PlanTree> ParseExplain(const std::string& text);
+
+/// Batch form: parses into a caller-owned arena (nodes and strings live
+/// there; reset the arena between batches to reuse its chunks).
+Result<PlanNode*> ParseExplainInto(const std::string& text,
+                                   util::Arena* arena);
 
 }  // namespace wmp::plan
 

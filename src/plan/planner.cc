@@ -14,15 +14,18 @@ namespace {
 
 /// A base relation during join enumeration: its scan subplan plus both
 /// cardinality tracks and the set of FROM aliases it covers.
+///
+/// Alias views point at interned AST identifiers; nodes live in the
+/// caller's arena.
 struct Rel {
-  std::unique_ptr<PlanNode> node;
+  PlanNode* node = nullptr;
   double est_card = 0.0;
   double true_card = 0.0;
   double width = 0.0;
-  std::set<std::string> aliases;
+  std::set<std::string_view> aliases;
   /// Base-relation info for index-nested-loop decisions; null after a join.
   const catalog::TableDef* base_table = nullptr;
-  std::string base_alias;
+  std::string_view base_alias;
 };
 
 }  // namespace
@@ -30,54 +33,65 @@ struct Rel {
 Planner::Planner(const catalog::Catalog* cat, PlannerOptions options)
     : catalog_(cat), options_(options), optimizer_model_(cat), true_model_(cat) {}
 
-Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
-    const sql::Query& query) const {
+Result<PlanTree> Planner::CreatePlan(const sql::Query& query) const {
+  auto arena = std::make_unique<util::Arena>(kPlanArenaChunk);
+  WMP_ASSIGN_OR_RETURN(PlanNode * root, CreatePlanInto(query, arena.get()));
+  return PlanTree(std::move(arena), root);
+}
+
+Result<PlanNode*> Planner::CreatePlanInto(const sql::Query& query,
+                                          util::Arena* arena) const {
   if (query.from.empty()) {
     return Status::InvalidArgument("query has no FROM clause");
   }
 
   // --- Resolve aliases to table definitions -------------------------------
-  std::map<std::string, const catalog::TableDef*> scope;  // alias -> table
+  // string_view keys compare lexicographically exactly like std::string, so
+  // iteration order — and every downstream FP accumulation order — is
+  // unchanged by the arena conversion.
+  std::map<std::string_view, const catalog::TableDef*> scope;  // alias -> table
   for (const sql::TableRef& ref : query.from) {
     WMP_ASSIGN_OR_RETURN(const catalog::TableDef* def,
                          catalog_->FindTable(ref.table));
     if (!scope.emplace(ref.effective_name(), def).second) {
       return Status::InvalidArgument("duplicate table alias: " +
-                                     ref.effective_name());
+                                     std::string(ref.effective_name()));
     }
   }
   // Resolves a column reference to its (alias, table); unqualified columns
   // match the unique FROM table containing them.
   auto resolve = [&](const sql::ColumnRef& col)
-      -> Result<std::pair<std::string, const catalog::TableDef*>> {
+      -> Result<std::pair<std::string_view, const catalog::TableDef*>> {
     if (!col.table.empty()) {
       auto it = scope.find(col.table);
       if (it == scope.end()) {
-        return Status::NotFound("unknown table alias: " + col.table);
+        return Status::NotFound("unknown table alias: " +
+                                std::string(col.table));
       }
       if (!it->second->HasColumn(col.column)) {
-        return Status::NotFound("column " + col.column + " not in " +
-                                it->second->name());
+        return Status::NotFound("column " + std::string(col.column) +
+                                " not in " + it->second->name());
       }
       return std::make_pair(it->first, it->second);
     }
-    std::pair<std::string, const catalog::TableDef*> found{"", nullptr};
+    std::pair<std::string_view, const catalog::TableDef*> found{"", nullptr};
     for (const auto& [alias, def] : scope) {
       if (def->HasColumn(col.column)) {
         if (found.second != nullptr) {
-          return Status::InvalidArgument("ambiguous column: " + col.column);
+          return Status::InvalidArgument("ambiguous column: " +
+                                         std::string(col.column));
         }
         found = {alias, def};
       }
     }
     if (found.second == nullptr) {
-      return Status::NotFound("column not found: " + col.column);
+      return Status::NotFound("column not found: " + std::string(col.column));
     }
     return found;
   };
 
   // --- Referenced columns per alias (projection width model) --------------
-  std::map<std::string, std::set<std::string>> referenced;
+  std::map<std::string_view, std::set<std::string_view>> referenced;
   auto note_column = [&](const sql::ColumnRef& col) -> Status {
     WMP_ASSIGN_OR_RETURN(auto at, resolve(col));
     referenced[at.first].insert(col.column);
@@ -100,7 +114,7 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
       query.select_list.begin(), query.select_list.end(),
       [](const sql::SelectItem& s) { return s.is_star && s.agg == sql::AggFunc::kNone; });
 
-  auto projected_width = [&](const std::string& alias,
+  auto projected_width = [&](std::string_view alias,
                              const catalog::TableDef* def) {
     if (select_star) {
       return static_cast<double>(def->row_width()) +
@@ -109,7 +123,7 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
     double w = options_.tuple_overhead_bytes;
     auto it = referenced.find(alias);
     if (it != referenced.end()) {
-      for (const std::string& cname : it->second) {
+      for (std::string_view cname : it->second) {
         auto col = def->FindColumn(cname);
         if (col.ok()) w += (*col)->width();
       }
@@ -120,7 +134,7 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
   // --- Build base-relation scans ------------------------------------------
   std::vector<Rel> rels;
   for (const sql::TableRef& ref : query.from) {
-    const std::string& alias = ref.effective_name();
+    const std::string_view alias = ref.effective_name();
     const catalog::TableDef* def = scope[alias];
     const double rows = static_cast<double>(def->row_count());
 
@@ -140,7 +154,7 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
 
     // Access path: an index scan pays off for selective indexed predicates.
     bool use_index = false;
-    std::string index_column;
+    std::string_view index_column;
     if (est_sel < options_.index_selectivity_threshold) {
       for (const sql::Predicate* p : sargable) {
         if (def->HasIndexOn(p->lhs.column)) {
@@ -151,35 +165,36 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
       }
     }
     const double width = projected_width(alias, def);
-    std::unique_ptr<PlanNode> node;
+    PlanNode* node = nullptr;
     if (use_index) {
-      auto ix = std::make_unique<PlanNode>(OperatorType::kIxScan);
-      ix->table = def->name();
-      ix->detail = "index=" + index_column;
+      PlanNode* ix = arena->New<PlanNode>(arena, OperatorType::kIxScan);
+      ix->table = arena->CopyString(def->name());
+      ix->detail = arena->CopyString("index=" + std::string(index_column));
       ix->input_card = rows;
       ix->output_card = std::max(rows * est_sel, 1.0);
       ix->true_input_card = rows;
       ix->true_output_card = std::max(rows * true_sel, 1.0);
       ix->row_width = 12.0;  // RID + key
-      auto fetch = std::make_unique<PlanNode>(OperatorType::kFetch);
-      fetch->table = def->name();
+      PlanNode* fetch = arena->New<PlanNode>(arena, OperatorType::kFetch);
+      fetch->table = ix->table;
       fetch->input_card = ix->output_card;
       fetch->output_card = ix->output_card;
       fetch->true_input_card = ix->true_output_card;
       fetch->true_output_card = ix->true_output_card;
       fetch->row_width = width;
-      fetch->children.push_back(std::move(ix));
-      node = std::move(fetch);
+      fetch->children.push_back(ix);
+      node = fetch;
     } else {
-      node = std::make_unique<PlanNode>(OperatorType::kTbScan);
-      node->table = def->name();
+      node = arena->New<PlanNode>(arena, OperatorType::kTbScan);
+      node->table = arena->CopyString(def->name());
       node->input_card = rows;
       node->output_card = std::max(rows * est_sel, 1.0);
       node->true_input_card = rows;
       node->true_output_card = std::max(rows * true_sel, 1.0);
       node->row_width = width;
       if (!sargable.empty()) {
-        node->detail = StrFormat("sargable=%zu", sargable.size());
+        node->detail =
+            arena->CopyString(StrFormat("sargable=%zu", sargable.size()));
       }
     }
     if (!residual.empty()) {
@@ -187,16 +202,17 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
                                                 residual, *def));
       WMP_ASSIGN_OR_RETURN(double true_rsel,
                            true_model_.ConjunctionSelectivity(residual, *def));
-      auto filter = std::make_unique<PlanNode>(OperatorType::kFilter);
-      filter->detail = StrFormat("residual=%zu", residual.size());
+      PlanNode* filter = arena->New<PlanNode>(arena, OperatorType::kFilter);
+      filter->detail =
+          arena->CopyString(StrFormat("residual=%zu", residual.size()));
       filter->input_card = node->output_card;
       filter->output_card = std::max(node->output_card * est_rsel, 1.0);
       filter->true_input_card = node->true_output_card;
       filter->true_output_card =
           std::max(node->true_output_card * true_rsel, 1.0);
       filter->row_width = width;
-      filter->children.push_back(std::move(node));
-      node = std::move(filter);
+      filter->children.push_back(node);
+      node = filter;
     }
 
     Rel rel;
@@ -206,14 +222,14 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
     rel.aliases.insert(alias);
     rel.base_table = def;
     rel.base_alias = alias;
-    rel.node = std::move(node);
+    rel.node = node;
     rels.push_back(std::move(rel));
   }
 
   // --- Greedy join enumeration --------------------------------------------
   struct JoinEdge {
     const sql::Predicate* pred;
-    std::string lhs_alias, rhs_alias;
+    std::string_view lhs_alias, rhs_alias;
     const catalog::TableDef* lhs_table;
     const catalog::TableDef* rhs_table;
   };
@@ -315,11 +331,12 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
         std::max(outer->true_card * inner->true_card * best_sel_true, 1.0);
     const double out_width = outer->width + inner->width;
 
-    auto join = std::make_unique<PlanNode>(method);
+    PlanNode* join = arena->New<PlanNode>(arena, method);
     join->detail = best_edge == nullptr
-                       ? "cross"
-                       : best_edge->pred->lhs.ToString() + "=" +
-                             best_edge->pred->rhs.ToString();
+                       ? std::string_view("cross")
+                       : arena->CopyString(best_edge->pred->lhs.ToString() +
+                                           "=" +
+                                           best_edge->pred->rhs.ToString());
     join->input_card = outer->est_card + inner->est_card;
     join->output_card = out_est;
     join->true_input_card = outer->true_card + inner->true_card;
@@ -330,7 +347,7 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
     if (method == OperatorType::kMsJoin) {
       // Sort both inputs on the join key.
       auto make_sort = [&](Rel& side) {
-        auto sort = std::make_unique<PlanNode>(OperatorType::kSort);
+        PlanNode* sort = arena->New<PlanNode>(arena, OperatorType::kSort);
         sort->num_keys = 1;
         sort->detail = "merge-join input";
         sort->input_card = side.est_card;
@@ -338,15 +355,15 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
         sort->true_input_card = side.true_card;
         sort->true_output_card = side.true_card;
         sort->row_width = side.width;
-        sort->children.push_back(std::move(side.node));
-        side.node = std::move(sort);
+        sort->children.push_back(side.node);
+        side.node = sort;
       };
       make_sort(*outer);
       make_sort(*inner);
     }
     // children[0] = outer/probe, children[1] = inner/build.
-    join->children.push_back(std::move(outer->node));
-    join->children.push_back(std::move(inner->node));
+    join->children.push_back(outer->node);
+    join->children.push_back(inner->node);
 
     Rel merged;
     merged.est_card = out_est;
@@ -354,7 +371,7 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
     merged.width = out_width;
     merged.aliases = a.aliases;
     merged.aliases.insert(b.aliases.begin(), b.aliases.end());
-    merged.node = std::move(join);
+    merged.node = join;
     // base_table stays null: index-NLJ only applies to base relations.
 
     // Remove b (higher index first), then replace a.
@@ -363,7 +380,7 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
     rels[lo] = std::move(merged);
   }
 
-  std::unique_ptr<PlanNode> root = std::move(rels[0].node);
+  PlanNode* root = rels[0].node;
 
   // --- Aggregation / DISTINCT ---------------------------------------------
   std::vector<sql::ColumnRef> group_cols = query.group_by;
@@ -376,7 +393,7 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
     }
   }
   if (!group_cols.empty() || query.HasAggregation()) {
-    std::vector<std::pair<const catalog::TableDef*, std::string>> gcols;
+    std::vector<std::pair<const catalog::TableDef*, std::string_view>> gcols;
     double key_width = 0.0;
     for (const sql::ColumnRef& c : group_cols) {
       WMP_ASSIGN_OR_RETURN(auto at, resolve(c));
@@ -401,7 +418,7 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
 
     if (!hash_mode && !gcols.empty()) {
       // Sort-based aggregation needs its input ordered by the group keys.
-      auto sort = std::make_unique<PlanNode>(OperatorType::kSort);
+      PlanNode* sort = arena->New<PlanNode>(arena, OperatorType::kSort);
       sort->num_keys = static_cast<int>(gcols.size());
       sort->detail = "group-by input";
       sort->input_card = root->output_card;
@@ -409,26 +426,28 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
       sort->true_input_card = root->true_output_card;
       sort->true_output_card = root->true_output_card;
       sort->row_width = root->row_width;
-      sort->children.push_back(std::move(root));
-      root = std::move(sort);
+      sort->children.push_back(root);
+      root = sort;
     }
-    auto grpby = std::make_unique<PlanNode>(OperatorType::kGroupBy);
+    PlanNode* grpby = arena->New<PlanNode>(arena, OperatorType::kGroupBy);
     grpby->hash_mode = hash_mode && !gcols.empty();
     grpby->num_keys = static_cast<int>(gcols.size());
-    grpby->detail = distinct_only ? "distinct" : StrFormat("aggs=%d", num_aggs);
+    grpby->detail = distinct_only
+                        ? std::string_view("distinct")
+                        : arena->CopyString(StrFormat("aggs=%d", num_aggs));
     grpby->input_card = root->output_card;
     grpby->output_card = std::max(1.0, std::min(groups_est, root->output_card));
     grpby->true_input_card = root->true_output_card;
     grpby->true_output_card =
         std::max(1.0, std::min(groups_true, root->true_output_card));
     grpby->row_width = agg_width;
-    grpby->children.push_back(std::move(root));
-    root = std::move(grpby);
+    grpby->children.push_back(root);
+    root = grpby;
   }
 
   // --- ORDER BY -------------------------------------------------------------
   if (!query.order_by.empty()) {
-    auto sort = std::make_unique<PlanNode>(OperatorType::kSort);
+    PlanNode* sort = arena->New<PlanNode>(arena, OperatorType::kSort);
     sort->num_keys = static_cast<int>(query.order_by.size());
     sort->detail = "order-by";
     sort->input_card = root->output_card;
@@ -436,12 +455,12 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
     sort->true_input_card = root->true_output_card;
     sort->true_output_card = root->true_output_card;
     sort->row_width = root->row_width;
-    sort->children.push_back(std::move(root));
-    root = std::move(sort);
+    sort->children.push_back(root);
+    root = sort;
   }
 
   // --- RETURN ----------------------------------------------------------------
-  auto ret = std::make_unique<PlanNode>(OperatorType::kReturn);
+  PlanNode* ret = arena->New<PlanNode>(arena, OperatorType::kReturn);
   ret->input_card = root->output_card;
   ret->true_input_card = root->true_output_card;
   const double limit =
@@ -451,7 +470,7 @@ Result<std::unique_ptr<PlanNode>> Planner::CreatePlan(
   ret->true_output_card =
       std::max(1.0, std::min(root->true_output_card, limit));
   ret->row_width = root->row_width;
-  ret->children.push_back(std::move(root));
+  ret->children.push_back(root);
 
   if (!options_.annotate_true_cardinalities) {
     ret->VisitMutable([](PlanNode* n) {

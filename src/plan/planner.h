@@ -47,7 +47,14 @@ class Planner {
 
   /// Builds the physical plan for `query`. Fails with NotFound for unknown
   /// tables/columns and InvalidArgument for unresolvable references.
-  Result<std::unique_ptr<PlanNode>> CreatePlan(const sql::Query& query) const;
+  Result<PlanTree> CreatePlan(const sql::Query& query) const;
+
+  /// Batch form: builds the plan into a caller-owned arena (nodes + strings
+  /// live there; the caller resets the arena between batches). The serving
+  /// cold path plans every query of a batch into one warmed arena with zero
+  /// per-node heap traffic.
+  Result<PlanNode*> CreatePlanInto(const sql::Query& query,
+                                   util::Arena* arena) const;
 
   const PlannerOptions& options() const { return options_; }
 

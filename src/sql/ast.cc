@@ -1,8 +1,44 @@
 #include "sql/ast.h"
 
+#include <cctype>
+
+#include "sql/lexer.h"
 #include "util/strings.h"
 
 namespace wmp::sql {
+
+namespace {
+
+bool NeedsQuoting(std::string_view id) {
+  if (id.empty()) return true;
+  const unsigned char first = static_cast<unsigned char>(id[0]);
+  if (!(std::islower(first) || id[0] == '_')) return true;
+  for (char ch : id) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (!(std::islower(c) || std::isdigit(c) || ch == '_')) return true;
+  }
+  return IsReservedKeyword(ToUpper(id));
+}
+
+}  // namespace
+
+std::string QuoteIdentifier(std::string_view id) {
+  if (!NeedsQuoting(id)) return std::string(id);
+  std::string out;
+  out.reserve(id.size() + 2);
+  out.push_back('"');
+  for (char c : id) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string ColumnRef::ToString() const {
+  if (table.empty()) return QuoteIdentifier(column);
+  return QuoteIdentifier(table) + "." + QuoteIdentifier(column);
+}
 
 const char* CompareOpName(CompareOp op) {
   switch (op) {
@@ -29,7 +65,17 @@ const char* CompareOpName(CompareOp op) {
 }
 
 std::string Literal::ToString() const {
-  if (is_string) return "'" + text + "'";
+  if (is_string) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('\'');
+    for (char c : text) {
+      if (c == '\'') out.push_back('\'');  // '' escape, mirrors the lexer
+      out.push_back(c);
+    }
+    out.push_back('\'');
+    return out;
+  }
   // Integral literals print without a trailing ".000000".
   if (number == static_cast<double>(static_cast<int64_t>(number))) {
     return StrFormat("%lld", static_cast<long long>(number));
@@ -90,7 +136,7 @@ std::vector<const Predicate*> Query::JoinPredicates() const {
 }
 
 std::vector<const Predicate*> Query::LocalPredicates(
-    const std::string& table_or_alias) const {
+    std::string_view table_or_alias) const {
   std::vector<const Predicate*> out;
   for (const Predicate& p : where) {
     if (p.kind == Predicate::Kind::kComparison &&

@@ -6,9 +6,18 @@
 /// conjunctive SELECT-FROM-WHERE with joins, aggregation, grouping,
 /// ordering, DISTINCT, and LIMIT — the shape of every TPC-DS / JOB / TPC-C
 /// query the workload generators emit.
+///
+/// Identifier fields (table/column/alias names) are `std::string_view`s with
+/// *static or interned* storage: the parser interns every identifier through
+/// util::Intern, and generators either use string literals or intern their
+/// formatted aliases. Interned views live for the whole process, so a Query
+/// is freely copyable/movable and its nodes never own identifier memory.
+/// When constructing ASTs by hand, never point these fields at a local
+/// std::string — intern it.
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace wmp::sql {
@@ -29,18 +38,23 @@ enum class CompareOp : uint8_t {
 /// SQL spelling of an operator ("=", "<", "BETWEEN", ...).
 const char* CompareOpName(CompareOp op);
 
+/// Renders an identifier as SQL text: bare when it is a plain lower-case
+/// word, double-quoted (with "" escaping) when it contains other characters,
+/// starts with a digit, or collides with a reserved keyword — so
+/// Parse(Print(q)) reproduces the identifier exactly.
+std::string QuoteIdentifier(std::string_view id);
+
 /// \brief Qualified column reference; `table` may be an alias or empty when
 /// unambiguous.
 struct ColumnRef {
-  std::string table;
-  std::string column;
+  std::string_view table;   ///< alias or table name; empty when unambiguous
+  std::string_view column;
 
   bool operator==(const ColumnRef& o) const {
     return table == o.table && column == o.column;
   }
-  std::string ToString() const {
-    return table.empty() ? column : table + "." + column;
-  }
+  /// Quoted SQL spelling (`table.column` with each part quoted as needed).
+  std::string ToString() const;
 };
 
 /// \brief A literal operand: numeric or string.
@@ -99,10 +113,10 @@ struct SelectItem {
 
 /// \brief FROM-list entry with optional alias.
 struct TableRef {
-  std::string table;
-  std::string alias;  ///< empty = table name itself
+  std::string_view table;
+  std::string_view alias;  ///< empty = table name itself
 
-  const std::string& effective_name() const {
+  std::string_view effective_name() const {
     return alias.empty() ? table : alias;
   }
 };
@@ -123,7 +137,7 @@ struct Query {
   std::vector<const Predicate*> JoinPredicates() const;
   /// Local (non-join) predicates referencing `table_or_alias`.
   std::vector<const Predicate*> LocalPredicates(
-      const std::string& table_or_alias) const;
+      std::string_view table_or_alias) const;
 };
 
 }  // namespace wmp::sql

@@ -4,10 +4,18 @@
 /// \file lexer.h
 /// Tokenizer for the SQL subset. Keywords are case-insensitive; identifiers
 /// preserve case (lowered for matching downstream).
+///
+/// Tokens are allocation-free views: keyword/symbol text points at static
+/// canonical spellings, and everything else points either into the input
+/// buffer or into the caller's arena (lowered identifiers, unescaped
+/// strings). One warmed arena lexes an entire batch of queries with zero
+/// heap traffic.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace wmp::sql {
@@ -15,7 +23,8 @@ namespace wmp::sql {
 /// Token categories.
 enum class TokenType : uint8_t {
   kKeyword,     ///< SELECT, FROM, WHERE, ... (normalized upper-case)
-  kIdentifier,  ///< table/column names
+  kIdentifier,  ///< table/column names; bare ones are lowered, double-quoted
+                ///< ones keep their exact spelling ("" escapes a quote)
   kNumber,
   kString,      ///< single-quoted literal, quotes stripped
   kSymbol,      ///< punctuation / operators: ( ) , . = <> <= >= < > *
@@ -25,7 +34,7 @@ enum class TokenType : uint8_t {
 /// \brief A single token with its source offset (for error messages).
 struct Token {
   TokenType type = TokenType::kEnd;
-  std::string text;
+  std::string_view text;
   size_t offset = 0;
 
   bool IsKeyword(const char* kw) const {
@@ -36,12 +45,20 @@ struct Token {
   }
 };
 
-/// \brief Tokenizes `input`. Returns InvalidArgument on malformed input
-/// (unterminated string, stray character).
+/// \brief Tokenizes `input` into `*out` (cleared first). Token text views
+/// into `input`, `arena`, or static storage — valid while both the input
+/// buffer and the arena epoch live. Returns InvalidArgument on malformed
+/// input (unterminated string/quoted identifier, stray character).
+Status LexInto(std::string_view input, util::Arena* arena,
+               std::vector<Token>* out);
+
+/// \brief Convenience form: tokenizes into a thread-local arena (the input
+/// is copied there too, so the tokens do not borrow from `input`). The
+/// returned tokens are valid until the next Lex/Parse call on this thread.
 Result<std::vector<Token>> Lex(const std::string& input);
 
-/// True if `word` (upper-cased) is a reserved keyword.
-bool IsReservedKeyword(const std::string& upper_word);
+/// True if `upper_word` is a reserved keyword (callers upper-case first).
+bool IsReservedKeyword(std::string_view upper_word);
 
 }  // namespace wmp::sql
 

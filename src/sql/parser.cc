@@ -1,18 +1,23 @@
 #include "sql/parser.h"
 
 #include <cstdlib>
+#include <cstring>
 
 #include "sql/lexer.h"
+#include "util/arena.h"
+#include "util/interner.h"
 #include "util/strings.h"
 
 namespace wmp::sql {
 
 namespace {
 
-/// Token-stream cursor with one-token lookahead helpers.
+/// Token-stream cursor with one-token lookahead helpers. Identifiers are
+/// interned into the global pool as they enter the AST, so the Query owns
+/// no identifier storage and outlives the token buffer.
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  explicit Parser(const std::vector<Token>& tokens) : tokens_(tokens) {}
 
   Result<Query> ParseQuery() {
     Query q;
@@ -83,9 +88,10 @@ class Parser {
     return Status::OK();
   }
   Status Error(const std::string& what) const {
+    const std::string near(Peek().text);
     return Status::InvalidArgument(
         StrFormat("%s at offset %zu (near '%s')", what.c_str(), Peek().offset,
-                  Peek().text.c_str()));
+                  near.c_str()));
   }
 
   Result<ColumnRef> ParseColumnRef() {
@@ -93,23 +99,30 @@ class Parser {
       return Error("expected column reference");
     }
     ColumnRef ref;
-    ref.column = Advance().text;
+    ref.column = util::Intern(Advance().text);
     if (AcceptSymbol(".")) {
       if (Peek().type != TokenType::kIdentifier) {
         return Error("expected column after '.'");
       }
-      ref.table = std::move(ref.column);
-      ref.column = Advance().text;
+      ref.table = ref.column;
+      ref.column = util::Intern(Advance().text);
     }
     return ref;
   }
 
   Result<Literal> ParseLiteral() {
     if (Peek().type == TokenType::kNumber) {
-      return Literal::Number(std::strtod(Advance().text.c_str(), nullptr));
+      // Token text is not NUL-terminated; strtod needs a bounded copy.
+      char buf[64];
+      const std::string_view text = Advance().text;
+      const size_t len = text.size() < sizeof(buf) - 1 ? text.size()
+                                                       : sizeof(buf) - 1;
+      std::memcpy(buf, text.data(), len);
+      buf[len] = '\0';
+      return Literal::Number(std::strtod(buf, nullptr));
     }
     if (Peek().type == TokenType::kString) {
-      return Literal::String(Advance().text);
+      return Literal::String(std::string(Advance().text));
     }
     return Error("expected literal");
   }
@@ -153,14 +166,14 @@ class Parser {
         return Error("expected table name");
       }
       TableRef ref;
-      ref.table = Advance().text;
+      ref.table = util::Intern(Advance().text);
       if (AcceptKeyword("AS")) {
         if (Peek().type != TokenType::kIdentifier) {
           return Error("expected alias after AS");
         }
-        ref.alias = Advance().text;
+        ref.alias = util::Intern(Advance().text);
       } else if (Peek().type == TokenType::kIdentifier) {
-        ref.alias = Advance().text;  // bare alias
+        ref.alias = util::Intern(Advance().text);  // bare alias
       }
       q->from.push_back(std::move(ref));
     } while (AcceptSymbol(","));
@@ -199,7 +212,7 @@ class Parser {
       if (Peek().type != TokenType::kString) {
         return Error("LIKE requires a string literal");
       }
-      Literal pattern = Literal::String(Advance().text);
+      Literal pattern = Literal::String(std::string(Advance().text));
       return Predicate::Comparison(std::move(lhs), CompareOp::kLike,
                                    {std::move(pattern)});
     }
@@ -239,15 +252,20 @@ class Parser {
     return Status::OK();
   }
 
-  std::vector<Token> tokens_;
+  const std::vector<Token>& tokens_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
 Result<Query> Parse(const std::string& input) {
-  WMP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
-  Parser parser(std::move(tokens));
+  // Grow-only per-thread lexer scratch: a warmed thread parses with zero
+  // lexer heap traffic. `input` outlives the Parser, so tokens may view it.
+  thread_local util::Arena arena(16 << 10);
+  thread_local std::vector<Token> tokens;
+  arena.Reset();
+  WMP_RETURN_IF_ERROR(LexInto(input, &arena, &tokens));
+  Parser parser(tokens);
   return parser.ParseQuery();
 }
 

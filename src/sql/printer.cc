@@ -52,7 +52,10 @@ std::string Print(const Query& query) {
     std::vector<std::string> tables;
     tables.reserve(query.from.size());
     for (const TableRef& t : query.from) {
-      tables.push_back(t.alias.empty() ? t.table : t.table + " " + t.alias);
+      tables.push_back(t.alias.empty()
+                           ? QuoteIdentifier(t.table)
+                           : QuoteIdentifier(t.table) + " " +
+                                 QuoteIdentifier(t.alias));
     }
     out += Join(tables, ", ");
   }

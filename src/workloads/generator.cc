@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "plan/cardinality.h"
+#include "util/interner.h"
 
 namespace wmp::workloads {
 
@@ -51,9 +52,11 @@ double RankToValue(uint64_t rank, const catalog::ColumnStats& stats) {
 }  // namespace
 
 Result<sql::Predicate> SampleEqPredicate(const catalog::TableDef& table,
-                                         const std::string& alias,
-                                         const std::string& column, Rng* rng) {
+                                         std::string_view alias,
+                                         std::string_view column, Rng* rng) {
   WMP_ASSIGN_OR_RETURN(const catalog::Column* col, table.FindColumn(column));
+  alias = util::Intern(alias);
+  column = util::Intern(column);
   const catalog::ColumnStats& stats = col->stats();
   const uint64_t rank = SampleZipfRank(stats.ndv, stats.zipf_skew, rng);
   sql::Predicate pred = sql::Predicate::Comparison(
@@ -64,10 +67,12 @@ Result<sql::Predicate> SampleEqPredicate(const catalog::TableDef& table,
 }
 
 Result<sql::Predicate> SampleInPredicate(const catalog::TableDef& table,
-                                         const std::string& alias,
-                                         const std::string& column,
+                                         std::string_view alias,
+                                         std::string_view column,
                                          int num_values, Rng* rng) {
   WMP_ASSIGN_OR_RETURN(const catalog::Column* col, table.FindColumn(column));
+  alias = util::Intern(alias);
+  column = util::Intern(column);
   if (num_values < 1) {
     return Status::InvalidArgument("IN predicate needs >= 1 value");
   }
@@ -89,10 +94,12 @@ Result<sql::Predicate> SampleInPredicate(const catalog::TableDef& table,
 }
 
 Result<sql::Predicate> SampleRangePredicate(const catalog::TableDef& table,
-                                            const std::string& alias,
-                                            const std::string& column,
+                                            std::string_view alias,
+                                            std::string_view column,
                                             double domain_fraction, Rng* rng) {
   WMP_ASSIGN_OR_RETURN(const catalog::Column* col, table.FindColumn(column));
+  alias = util::Intern(alias);
+  column = util::Intern(column);
   const catalog::ColumnStats& stats = col->stats();
   const double span = stats.max_value - stats.min_value;
   domain_fraction = std::clamp(domain_fraction, 0.001, 1.0);

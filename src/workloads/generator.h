@@ -54,20 +54,20 @@ class WorkloadGenerator {
 
 /// `alias.column = <sampled value>` with a true-selectivity hint.
 Result<sql::Predicate> SampleEqPredicate(const catalog::TableDef& table,
-                                         const std::string& alias,
-                                         const std::string& column, Rng* rng);
+                                         std::string_view alias,
+                                         std::string_view column, Rng* rng);
 
 /// `alias.column IN (<k sampled values>)` with a true-selectivity hint.
 Result<sql::Predicate> SampleInPredicate(const catalog::TableDef& table,
-                                         const std::string& alias,
-                                         const std::string& column,
+                                         std::string_view alias,
+                                         std::string_view column,
                                          int num_values, Rng* rng);
 
 /// Range predicate covering roughly `domain_fraction` of the domain; the
 /// comparison direction and operator (<=, >=, BETWEEN) are randomized.
 Result<sql::Predicate> SampleRangePredicate(const catalog::TableDef& table,
-                                            const std::string& alias,
-                                            const std::string& column,
+                                            std::string_view alias,
+                                            std::string_view column,
                                             double domain_fraction, Rng* rng);
 /// @}
 

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <map>
 
+#include "util/interner.h"
 #include "util/strings.h"
 
 namespace wmp::workloads {
@@ -256,18 +257,22 @@ class JobGenerator : public WorkloadGenerator {
     int preds_added = 0;
     for (int chain_idx : fam.chains) {
       const Chain& chain = chains_[static_cast<size_t>(chain_idx)];
-      const std::string link_alias = StrFormat("l%d", alias_counter++);
+      const std::string_view link_alias =
+          util::Intern(StrFormat("l%d", alias_counter++));
       q.from.push_back({chain.link, link_alias});
       q.where.push_back(
           sql::Predicate::Join({link_alias, "movie_id"}, {"t", "id"}));
 
-      std::map<std::string, std::string> alias_of;  // table -> alias
+      // table -> interned alias (the AST keeps string_views into the
+      // interner, never into this frame).
+      std::map<std::string, std::string_view, std::less<>> alias_of;
       alias_of[chain.link] = link_alias;
       const int hops =
           std::min<int>(fam.hop_depth, static_cast<int>(chain.hops.size()));
       for (int h = 0; h < hops; ++h) {
         const auto& [from_table, fk, entity, pk] = chain.hops[static_cast<size_t>(h)];
-        const std::string entity_alias = StrFormat("e%d", alias_counter++);
+        const std::string_view entity_alias =
+            util::Intern(StrFormat("e%d", alias_counter++));
         q.from.push_back({entity, entity_alias});
         q.where.push_back(sql::Predicate::Join({alias_of[from_table], fk},
                                                {entity_alias, pk}));

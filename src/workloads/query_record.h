@@ -22,7 +22,8 @@ namespace wmp::workloads {
 struct QueryRecord {
   std::string sql_text;
   sql::Query query;
-  std::unique_ptr<plan::PlanNode> plan;
+  /// Owning tree handle: the plan's nodes live in the tree's arena.
+  plan::PlanTree plan;
   /// TR2 features: per-operator (count, total estimated cardinality).
   std::vector<double> plan_features;
   /// Ground-truth peak working memory (MB) from the execution simulator.

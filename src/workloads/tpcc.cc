@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "util/interner.h"
 #include "util/strings.h"
 
 namespace wmp::workloads {
@@ -279,9 +280,10 @@ class TpccGenerator : public WorkloadGenerator {
                                  std::vector<std::string> cols,
                                  const std::string& key, Rng* rng) const {
     sql::Query q;
-    q.from.push_back({table, ""});
+    // Intern: the AST's views must not dangle into these local strings.
+    q.from.push_back({util::Intern(table), ""});
     for (const std::string& c : cols) {
-      q.select_list.push_back(sql::SelectItem::Col({"", c}));
+      q.select_list.push_back(sql::SelectItem::Col({"", util::Intern(c)}));
     }
     WMP_ASSIGN_OR_RETURN(sql::Predicate pred,
                          SampleEqPredicate(*Table(table), "", key, rng));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/interner.h"
 #include "util/strings.h"
 
 namespace wmp::workloads {
@@ -402,10 +403,11 @@ class TpcdsGenerator : public WorkloadGenerator {
 
     sql::Query q;
     q.from.push_back({fact.table, fact.alias});
-    std::vector<std::string> dim_aliases;
+    // Aliases are interned: the AST's string_views must outlive this frame.
+    std::vector<std::string_view> dim_aliases;
     for (size_t i = 0; i < recipe.dims.size(); ++i) {
       const DimSpec& dim = fact.dims[static_cast<size_t>(recipe.dims[i])];
-      const std::string alias = StrFormat("d%zu", i);
+      const std::string_view alias = util::Intern(StrFormat("d%zu", i));
       q.from.push_back({dim.table, alias});
       dim_aliases.push_back(alias);
       q.where.push_back(sql::Predicate::Join({fact.alias, dim.fk},

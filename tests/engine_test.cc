@@ -20,6 +20,12 @@ using plan::OperatorType;
 using plan::PlanNode;
 using testing_support::MakeStarCatalog;
 
+// All hand-built test trees share one arena; it lives for the process.
+util::Arena* TestArena() {
+  static util::Arena* arena = new util::Arena(64 << 10);
+  return arena;
+}
+
 SimulatorOptions SimOpts(double sigma, uint64_t seed = 7) {
   SimulatorOptions opt;
   opt.noise_sigma = sigma;
@@ -27,9 +33,9 @@ SimulatorOptions SimOpts(double sigma, uint64_t seed = 7) {
   return opt;
 }
 
-std::unique_ptr<PlanNode> Leaf(OperatorType op, double card, double width,
-                               double true_card = -1.0) {
-  auto node = std::make_unique<PlanNode>(op);
+PlanNode* Leaf(OperatorType op, double card, double width,
+               double true_card = -1.0) {
+  PlanNode* node = TestArena()->New<PlanNode>(TestArena(), op);
   node->input_card = node->output_card = card;
   node->true_input_card = node->true_output_card = true_card;
   node->row_width = width;
@@ -38,7 +44,7 @@ std::unique_ptr<PlanNode> Leaf(OperatorType op, double card, double width,
 
 TEST(MemoryModelTest, ScansUseConstantBuffers) {
   MemoryModelConfig cfg;
-  auto scan = Leaf(OperatorType::kTbScan, 1e6, 50);
+  auto* scan = Leaf(OperatorType::kTbScan, 1e6, 50);
   auto mem = ComputeOperatorMemory(*scan, cfg, CardTrack::kEstimated);
   EXPECT_DOUBLE_EQ(mem.build_bytes, cfg.scan_buffer_bytes);
   EXPECT_FALSE(mem.spills);
@@ -46,7 +52,7 @@ TEST(MemoryModelTest, ScansUseConstantBuffers) {
 
 TEST(MemoryModelTest, SortScalesWithInputAndOverhead) {
   MemoryModelConfig cfg;
-  auto sort = Leaf(OperatorType::kSort, 1e5, 100);
+  auto* sort = Leaf(OperatorType::kSort, 1e5, 100);
   auto mem = ComputeOperatorMemory(*sort, cfg, CardTrack::kEstimated);
   EXPECT_NEAR(mem.build_bytes, 1e5 * 100 * cfg.sort_overhead_factor, 1.0);
   EXPECT_FALSE(mem.spills);
@@ -54,7 +60,7 @@ TEST(MemoryModelTest, SortScalesWithInputAndOverhead) {
 
 TEST(MemoryModelTest, OversizedSortSpillsToHeapCap) {
   MemoryModelConfig cfg;
-  auto sort = Leaf(OperatorType::kSort, 1e8, 100);  // 10 GB >> heap
+  auto* sort = Leaf(OperatorType::kSort, 1e8, 100);  // 10 GB >> heap
   auto mem = ComputeOperatorMemory(*sort, cfg, CardTrack::kEstimated);
   EXPECT_TRUE(mem.spills);
   EXPECT_DOUBLE_EQ(mem.build_bytes, cfg.sort_heap_bytes);
@@ -63,7 +69,7 @@ TEST(MemoryModelTest, OversizedSortSpillsToHeapCap) {
 
 TEST(MemoryModelTest, HashJoinBilledOnBuildSide) {
   MemoryModelConfig cfg;
-  auto join = std::make_unique<PlanNode>(OperatorType::kHsJoin);
+  auto* join = plan::MakeNode(TestArena(), OperatorType::kHsJoin);
   join->children.push_back(Leaf(OperatorType::kTbScan, 1e6, 40));  // probe
   join->children.push_back(Leaf(OperatorType::kTbScan, 1e4, 20));  // build
   auto mem = ComputeOperatorMemory(*join, cfg, CardTrack::kEstimated);
@@ -74,7 +80,7 @@ TEST(MemoryModelTest, HashJoinBilledOnBuildSide) {
 
 TEST(MemoryModelTest, HashGroupByScalesWithGroups) {
   MemoryModelConfig cfg;
-  auto grpby = Leaf(OperatorType::kGroupBy, 1e6, 32);
+  auto* grpby = Leaf(OperatorType::kGroupBy, 1e6, 32);
   grpby->output_card = 5000;  // groups
   grpby->hash_mode = true;
   auto mem = ComputeOperatorMemory(*grpby, cfg, CardTrack::kEstimated);
@@ -88,7 +94,7 @@ TEST(MemoryModelTest, HashGroupByScalesWithGroups) {
 
 TEST(MemoryModelTest, TrueTrackReadsTrueCards) {
   MemoryModelConfig cfg;
-  auto sort = Leaf(OperatorType::kSort, /*card=*/1000, /*width=*/100,
+  auto* sort = Leaf(OperatorType::kSort, /*card=*/1000, /*width=*/100,
                    /*true_card=*/50000);
   auto est = ComputeOperatorMemory(*sort, cfg, CardTrack::kEstimated);
   auto tru = ComputeOperatorMemory(*sort, cfg, CardTrack::kTrue);
@@ -97,7 +103,7 @@ TEST(MemoryModelTest, TrueTrackReadsTrueCards) {
 
 TEST(MemoryModelTest, TrueTrackFallsBackWhenUnannotated) {
   MemoryModelConfig cfg;
-  auto sort = Leaf(OperatorType::kSort, 1000, 100);  // true_card = -1
+  auto* sort = Leaf(OperatorType::kSort, 1000, 100);  // true_card = -1
   auto est = ComputeOperatorMemory(*sort, cfg, CardTrack::kEstimated);
   auto tru = ComputeOperatorMemory(*sort, cfg, CardTrack::kTrue);
   EXPECT_DOUBLE_EQ(tru.build_bytes, est.build_bytes);
@@ -108,7 +114,7 @@ TEST(MemoryModelTest, TrueTrackFallsBackWhenUnannotated) {
 TEST(PipelineTest, SortPhasesDoNotStack) {
   // SORT over a scan: peak = scan + sort build, not scan + 2x sort.
   MemoryModelConfig cfg;
-  auto sort = std::make_unique<PlanNode>(OperatorType::kSort);
+  auto* sort = plan::MakeNode(TestArena(), OperatorType::kSort);
   sort->input_card = sort->output_card = 1e5;
   sort->row_width = 100;
   sort->children.push_back(Leaf(OperatorType::kTbScan, 1e5, 100));
@@ -124,14 +130,14 @@ TEST(PipelineTest, TwoSortsOnSameSpineDoNotCoexist) {
   // one finishes building only partially — our model keeps inner resident
   // while outer builds, so peak = inner_resident + outer_build + base.
   MemoryModelConfig cfg;
-  auto inner = std::make_unique<PlanNode>(OperatorType::kSort);
+  auto* inner = plan::MakeNode(TestArena(), OperatorType::kSort);
   inner->input_card = inner->output_card = 1e5;
   inner->row_width = 100;
   inner->children.push_back(Leaf(OperatorType::kTbScan, 1e5, 100));
-  auto outer = std::make_unique<PlanNode>(OperatorType::kSort);
+  auto* outer = plan::MakeNode(TestArena(), OperatorType::kSort);
   outer->input_card = outer->output_card = 1e5;
   outer->row_width = 100;
-  outer->children.push_back(std::move(inner));
+  outer->children.push_back(inner);
   auto profile = AnalyzePlanMemory(*outer, cfg, CardTrack::kEstimated);
   const double sort_bytes = 1e5 * 100 * cfg.sort_overhead_factor;
   EXPECT_NEAR(profile.peak_bytes,
@@ -140,7 +146,7 @@ TEST(PipelineTest, TwoSortsOnSameSpineDoNotCoexist) {
 
 TEST(PipelineTest, HashJoinProbePhaseHoldsTableAndProbePipeline) {
   MemoryModelConfig cfg;
-  auto join = std::make_unique<PlanNode>(OperatorType::kHsJoin);
+  auto* join = plan::MakeNode(TestArena(), OperatorType::kHsJoin);
   join->children.push_back(Leaf(OperatorType::kTbScan, 1e6, 40));
   join->children.push_back(Leaf(OperatorType::kTbScan, 1e4, 20));
   auto profile = AnalyzePlanMemory(*join, cfg, CardTrack::kEstimated);
@@ -152,7 +158,7 @@ TEST(PipelineTest, HashJoinProbePhaseHoldsTableAndProbePipeline) {
 
 TEST(PipelineTest, SpillCountAggregates) {
   MemoryModelConfig cfg;
-  auto sort = std::make_unique<PlanNode>(OperatorType::kSort);
+  auto* sort = plan::MakeNode(TestArena(), OperatorType::kSort);
   sort->input_card = sort->output_card = 1e8;  // spills
   sort->row_width = 100;
   sort->children.push_back(Leaf(OperatorType::kTbScan, 1e8, 100));
@@ -166,7 +172,7 @@ class EngineOnPlansTest : public ::testing::Test {
  protected:
   EngineOnPlansTest() : cat_(MakeStarCatalog()), planner_(&cat_) {}
 
-  std::unique_ptr<PlanNode> Plan(const std::string& sql) {
+  plan::PlanTree Plan(const std::string& sql) {
     auto query = sql::Parse(sql);
     EXPECT_TRUE(query.ok());
     auto plan = planner_.CreatePlan(*query);

@@ -22,7 +22,7 @@ class PlanTest : public ::testing::Test {
  protected:
   PlanTest() : cat_(MakeStarCatalog()), planner_(&cat_) {}
 
-  std::unique_ptr<PlanNode> Plan(const std::string& sql) {
+  PlanTree Plan(const std::string& sql) {
     auto query = sql::Parse(sql);
     EXPECT_TRUE(query.ok()) << query.status().ToString();
     auto plan = planner_.CreatePlan(*query);
@@ -48,6 +48,24 @@ TEST(ZipfMathTest, HarmonicMatchesExactSmallN) {
   EXPECT_NEAR(HarmonicApprox(4, 1.0), 2.0833, 0.08);
   // H_n(0) = n exactly.
   EXPECT_DOUBLE_EQ(HarmonicApprox(100, 0.0), 100.0);
+}
+
+TEST(ZipfMathTest, PrefixTablePathBitwiseEqualsDirectSummation) {
+  // The per-theta prefix-table fast path must return the exact bit
+  // pattern of the reference summation for every (n, theta), including
+  // fractional n, the exact-summation boundary, and the integral tail.
+  ASSERT_TRUE(HarmonicTableCache());  // fast path is the default
+  for (double theta : {0.2, 0.5, 1.0, 1.3, 2.6}) {
+    for (double n :
+         {1.0, 1.5, 7.0, 7.9, 100.25, 2047.0, 2048.0, 2048.5, 1e6}) {
+      SetHarmonicTableCache(true);
+      const double fast = HarmonicApprox(n, theta);
+      SetHarmonicTableCache(false);
+      const double reference = HarmonicApprox(n, theta);
+      SetHarmonicTableCache(true);
+      EXPECT_EQ(fast, reference) << "n=" << n << " theta=" << theta;
+    }
+  }
 }
 
 TEST(ZipfMathTest, CdfBoundsAndMonotonicity) {
@@ -376,7 +394,7 @@ TEST_F(PlanTest, FeatureNamesAligned) {
 TEST_F(PlanTest, PlanCloneIsDeepAndEqual) {
   auto plan = Plan(
       "SELECT s.s_id FROM sales s, customer c WHERE s.s_cust = c.c_id");
-  auto clone = plan->Clone();
+  auto clone = plan.Clone();
   EXPECT_EQ(Explain(*clone), Explain(*plan));
   clone->children[0]->output_card = 99.0;
   EXPECT_NE(Explain(*clone), Explain(*plan));
